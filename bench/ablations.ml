@@ -1,0 +1,213 @@
+(* Ablation benches for design choices DESIGN.md calls out.
+
+   A1  TCP pipeline-window sweep: why request pipelining makes the TCP
+       family competitive (§8.1 blames UDP's slowness on its absence).
+   A2  Staged vs monolithic route processing: the "small performance
+       penalty" §5.1 accepts for the staged design.
+   A3  Background-task slice size: deletion slicing trades total
+       deletion time against worst-case event latency (§5.1.2). *)
+
+open Bench_util
+
+(* --- A1: pipeline window ---------------------------------------------- *)
+
+let run_pipeline () =
+  header "Ablation A1: TCP pipeline window sweep";
+  paper_note
+    [ "The UDP family of Figure 9 is 'primarily to illustrate the effect";
+      "of request pipelining'. Window 1 emulates it over TCP; throughput";
+      "should grow with the window and saturate." ];
+  let loop = Eventloop.create ~mode:`Real () in
+  let finder = Finder.create () in
+  let target =
+    Xrl_router.create ~families:[ Pf_tcp.family ] finder loop
+      ~class_name:"benchtarget" ()
+  in
+  Xrl_router.add_handler target ~interface:"bench" ~method_name:"noop"
+    (fun _ reply -> reply Xrl_error.Ok_xrl []);
+  let caller =
+    Xrl_router.create ~families:[ Pf_tcp.family ] ~family_pref:[ "stcp" ]
+      finder loop ~class_name:"benchcaller" ()
+  in
+  let xrl =
+    Xrl.make ~target:"benchtarget" ~interface:"bench" ~method_name:"noop"
+      [ Xrl_atom.u32 "a" 1 ]
+  in
+  let transaction window =
+    let n = 5000 in
+    let completed = ref 0 in
+    let launched = ref 0 in
+    let rec fire () =
+      if !launched < n then begin
+        incr launched;
+        Xrl_router.send caller xrl (fun _ _ ->
+            incr completed;
+            fire ())
+      end
+    in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to window do fire () done;
+    run_real_until loop (fun () -> !completed >= n) ~timeout_s:120.0
+      "pipeline transaction";
+    float_of_int n /. (Unix.gettimeofday () -. t0)
+  in
+  pf "\n%-8s %14s\n" "window" "XRLs/second";
+  let rates =
+    List.map
+      (fun w ->
+         let r = transaction w in
+         pf "%-8d %14.0f\n%!" w r;
+         (w, r))
+      [ 1; 2; 4; 8; 16; 32; 64; 128 ]
+  in
+  pf "\nshape: window 128 vs window 1: %.1fx\n"
+    (List.assoc 128 rates /. List.assoc 1 rates);
+  Xrl_router.shutdown caller;
+  Xrl_router.shutdown target
+
+(* --- A2: staged vs monolithic ------------------------------------------ *)
+
+(* A minimal "monolithic" BGP route processor: one hash table, direct
+   decision, no stages — the Figure 3 design in miniature. *)
+module Monolithic = struct
+  type t = {
+    rib_in : (Ipv4net.t, Bgp_types.route) Hashtbl.t;
+    best : (Ipv4net.t, Bgp_types.route) Hashtbl.t;
+    mutable emitted : int;
+  }
+
+  let create () =
+    { rib_in = Hashtbl.create 65536; best = Hashtbl.create 65536; emitted = 0 }
+
+  let add t (r : Bgp_types.route) =
+    Hashtbl.replace t.rib_in r.net r;
+    (match Hashtbl.find_opt t.best r.net with
+     | Some cur when Bgp_types.route_equal cur r -> ()
+     | _ ->
+       Hashtbl.replace t.best r.net r;
+       t.emitted <- t.emitted + 1)
+
+  let delete t (r : Bgp_types.route) =
+    Hashtbl.remove t.rib_in r.net;
+    if Hashtbl.mem t.best r.net then begin
+      Hashtbl.remove t.best r.net;
+      t.emitted <- t.emitted + 1
+    end
+end
+
+let mkroute i =
+  { Bgp_types.net =
+      Ipv4net.make (Ipv4.of_octets (10 + (i / 65536)) ((i / 256) mod 256) (i mod 256) 0) 24;
+    attrs =
+      { (Bgp_types.default_attrs ~nexthop:(addr "10.0.0.11")) with
+        Bgp_types.aspath = [ Aspath.Seq [ 65100; 200 + (i mod 7) ] ] };
+    peer_id = 1;
+    igp_metric = None }
+
+let run_stages () =
+  header "Ablation A2: staged pipeline vs monolithic processing";
+  paper_note
+    [ "§5.1: the staged design costs 'a small performance penalty and";
+      "slightly greater memory usage'. We push 100k adds + 100k deletes";
+      "through the real per-peer pipeline (PeerIn -> filters -> resolver";
+      "-> decision -> sink) and through a single-table monolith." ];
+  let n = 100_000 in
+  let routes = Array.init n mkroute in
+  (* Staged: the real pipeline objects. *)
+  let loop = Eventloop.create () in
+  let ribin = new Bgp_ribin.rib_in ~name:"in" ~peer_id:1 loop in
+  let filter =
+    new Bgp_filter.filter_table ~name:"f"
+      ~parent:(ribin :> Bgp_table.table)
+      ~local_as:65000 ~peer_as:65100 ~programs:[] ()
+  in
+  Bgp_table.plumb ribin filter;
+  let nht =
+    new Bgp_nexthop.nexthop_table ~name:"nh"
+      ~resolve:(fun nh cb ->
+          cb { Bgp_nexthop.resolvable = true; metric = 0; valid = Ipv4net.host nh })
+      ()
+  in
+  Bgp_table.plumb filter nht;
+  let decision = new Bgp_decision.decision_table ~name:"d" () in
+  Bgp_table.plumb nht decision;
+  decision#add_parent
+    ~info:
+      { Bgp_types.peer_id = 1; peer_addr = addr "10.0.0.11"; peer_as = 65100;
+        kind = Bgp_types.Ebgp; peer_bgp_id = addr "10.0.0.11" }
+    (nht :> Bgp_table.table);
+  let emitted = ref 0 in
+  let sink =
+    new Bgp_table.sink ~name:"sink"
+      ~parent:(decision :> Bgp_table.table)
+      ~on_add:(fun _ -> incr emitted)
+      ~on_delete:(fun _ -> incr emitted)
+  in
+  decision#set_next (Some (sink :> Bgp_table.table));
+  let t0 = Unix.gettimeofday () in
+  Array.iter (fun r -> ribin#add_route r) routes;
+  Array.iter (fun r -> ribin#delete_route r) routes;
+  let staged_dt = Unix.gettimeofday () -. t0 in
+  (* Monolithic. *)
+  let mono = Monolithic.create () in
+  let t0 = Unix.gettimeofday () in
+  Array.iter (fun r -> Monolithic.add mono r) routes;
+  Array.iter (fun r -> Monolithic.delete mono r) routes;
+  let mono_dt = Unix.gettimeofday () -. t0 in
+  pf "\n%-12s %10s %14s %10s\n" "design" "time" "routes/sec" "emitted";
+  pf "%-12s %9.3fs %14.0f %10d\n" "staged" staged_dt
+    (float_of_int (2 * n) /. staged_dt)
+    !emitted;
+  pf "%-12s %9.3fs %14.0f %10d\n" "monolithic" mono_dt
+    (float_of_int (2 * n) /. mono_dt)
+    mono.Monolithic.emitted;
+  pf "\nshape: staged costs %.1fx the monolith (paper: 'small penalty')\n"
+    (staged_dt /. mono_dt)
+
+(* --- A3: deletion slice size -------------------------------------------- *)
+
+let run_slices () =
+  header "Ablation A3: background deletion slice size vs event latency";
+  paper_note
+    [ "§5.1.2 deletes a dead peering's table as a background task so a";
+      "flapping peer 'should not prevent or unduly delay the processing";
+      "of BGP updates from other peers'. Bigger slices finish sooner but";
+      "hold the loop longer per slice: worst-case event lateness grows." ];
+  let n = 100_000 in
+  pf "\n%-8s %14s %18s\n" "slice" "deletion time" "max timer lateness";
+  List.iter
+    (fun slice ->
+       let loop = Eventloop.create ~mode:`Real () in
+       let ribin = new Bgp_ribin.rib_in ~name:"in" ~peer_id:1 loop in
+       let sink =
+         new Bgp_table.sink ~name:"sink"
+           ~parent:(ribin :> Bgp_table.table)
+           ~on_add:(fun _ -> ())
+           ~on_delete:(fun _ -> ())
+       in
+       ribin#set_next (Some (sink :> Bgp_table.table));
+       for i = 0 to n - 1 do
+         ribin#add_route (mkroute i)
+       done;
+       (* A 2 ms heartbeat competes with the deletion; measure its
+          worst-case lateness. *)
+       let max_late = ref 0.0 in
+       let expected = ref (Unix.gettimeofday () +. 0.002) in
+       let heartbeat = ref None in
+       heartbeat :=
+         Some
+           (Eventloop.periodic loop 0.002 (fun () ->
+                let now = Unix.gettimeofday () in
+                let late = now -. !expected in
+                if late > !max_late then max_late := late;
+                expected := now +. 0.002;
+                true));
+       let t0 = Unix.gettimeofday () in
+       ribin#peering_went_down ~slice ();
+       Eventloop.run
+         ~until:(fun () -> ribin#active_deletion_stages = 0)
+         loop;
+       let dt = Unix.gettimeofday () -. t0 in
+       Option.iter Eventloop.cancel !heartbeat;
+       pf "%-8d %13.3fs %17.3fms\n%!" slice dt (!max_late *. 1000.0))
+    [ 10; 100; 1000; 10000 ]

@@ -1,0 +1,75 @@
+(* camlXORP benchmark harness: regenerates every table and figure in
+   the paper's evaluation (§8), plus ablations and micro-benchmarks.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig9    # one experiment
+     dune exec bench/main.exe -- list    # what exists
+
+   See DESIGN.md for the experiment index and EXPERIMENTS.md for
+   recorded paper-vs-measured results. *)
+
+let experiments =
+  [ ("fig9", "XRL throughput: intra/TCP/UDP vs #args (§8.1, Figure 9)",
+     Fig9.run);
+    ("fig10", "route latency, empty table (§8.2, Figure 10)",
+     fun () ->
+       ignore
+         (Fig_latency.run_experiment
+            ~title:"Figure 10: route propagation latency, no initial routes"
+            ~preload:0 ~same_peering:true
+            ~paper_rows:[ "Paper avg to kernel: 3.374 ms." ]
+            ()));
+    ("fig11", "route latency, 146515 routes, same peering (Figure 11)",
+     fun () ->
+       ignore
+         (Fig_latency.run_experiment
+            ~title:"Figure 11: latency with 146,515 initial routes (same peering)"
+            ~preload:Feed.paper_table_size ~same_peering:true
+            ~paper_rows:[ "Paper avg to kernel: 3.632 ms." ]
+            ()));
+    ("fig12", "route latency, 146515 routes, different peering (Figure 12)",
+     fun () ->
+       ignore
+         (Fig_latency.run_experiment
+            ~title:
+              "Figure 12: latency with 146,515 initial routes (different peering)"
+            ~preload:Feed.paper_table_size ~same_peering:false
+            ~paper_rows:[ "Paper avg to kernel: 4.417 ms." ]
+            ()));
+    ("latency", "figures 10+11+12 with shape summary", Fig_latency.run_all);
+    ("fig13", "event-driven vs 30s scanners (Figure 13)", Fig13.run);
+    ("memory", "full-table memory footprint (§5.1)", Memory.run);
+    ("ablation-pipeline", "A1: TCP pipeline window sweep",
+     Ablations.run_pipeline);
+    ("ablation-stages", "A2: staged vs monolithic processing",
+     Ablations.run_stages);
+    ("ablation-slices", "A3: deletion slice size vs event latency",
+     Ablations.run_slices);
+    ("micro", "Bechamel micro-benchmarks of hot primitives", Micro.run) ]
+
+let list_them () =
+  Printf.printf "available experiments:\n";
+  List.iter
+    (fun (name, descr, _) -> Printf.printf "  %-18s %s\n" name descr)
+    experiments;
+  Printf.printf "  %-18s %s\n" "all" "run everything (default)"
+
+let run_one name =
+  match List.find_opt (fun (n, _, _) -> n = name) experiments with
+  | Some (_, _, f) -> f ()
+  | None ->
+    Printf.eprintf "unknown experiment %S\n" name;
+    list_them ();
+    exit 1
+
+let () =
+  Printf.printf "camlXORP %s benchmark harness (paper: NSDI 2005)\n%!"
+    Xorp.version;
+  match Array.to_list Sys.argv with
+  | _ :: [] | _ :: "all" :: _ ->
+    List.iter
+      (fun (name, _, f) -> if name <> "latency" then (ignore name; f ()))
+      experiments
+  | _ :: "list" :: _ -> list_them ()
+  | _ :: names -> List.iter run_one names
+  | [] -> ()

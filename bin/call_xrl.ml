@@ -1,0 +1,84 @@
+(* call_xrl: the paper's scriptable XRL dispatcher (§6.1).
+
+   "the textual form permits XRLs to be called from any scripting
+   language via a simple call_xrl program. This is put to frequent use
+   in all our scripts for automated testing."
+
+   Boots a router from a configuration file, runs it for a settling
+   period, then dispatches each XRL given on the command line and
+   prints the reply atoms (one per line, canonical text form).
+
+     dune exec bin/call_xrl.exe -- -c router.conf \
+       'finder://rib/rib/1.0/get_route_count' \
+       'finder://rib/rib/1.0/lookup_route_by_dest?addr:ipv4=10.1.2.3' *)
+
+open Cmdliner
+
+let dispatch router xrl_text =
+  match Xrl.of_text xrl_text with
+  | Error e ->
+    Printf.printf "%s\n  MALFORMED: %s\n" xrl_text e;
+    false
+  | Ok xrl ->
+    (* Borrow the RIB's XRL router as our caller endpoint; any
+       component's endpoint can originate calls. *)
+    let caller = Rib.xrl_router (Rtrmgr.rib router) in
+    let err, args = Xrl_router.call_blocking caller xrl in
+    Printf.printf "%s\n" xrl_text;
+    if Xrl_error.is_ok err then begin
+      if args = [] then print_endline "  OK"
+      else
+        List.iter
+          (fun a -> Printf.printf "  %s\n" (Xrl_atom.to_text a))
+          args;
+      true
+    end
+    else begin
+      Printf.printf "  ERROR: %s\n" (Xrl_error.to_string err);
+      false
+    end
+
+let run config_file settle xrls =
+  let config =
+    try
+      let ic = open_in config_file in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    with Sys_error e ->
+      prerr_endline e;
+      exit 1
+  in
+  match Rtrmgr.boot ~config () with
+  | Error problems ->
+    prerr_endline "configuration rejected:";
+    List.iter (fun p -> prerr_endline ("  " ^ p)) problems;
+    exit 1
+  | Ok router ->
+    Eventloop.run_until_time (Rtrmgr.eventloop router) settle;
+    let ok = List.for_all (dispatch router) xrls in
+    Rtrmgr.shutdown router;
+    if not ok then exit 2
+
+let config_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "c"; "config" ] ~docv:"FILE" ~doc:"Router configuration file.")
+
+let settle_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "s"; "settle" ] ~docv:"SECONDS"
+        ~doc:"Simulated settling time before dispatching.")
+
+let xrls_arg =
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"XRL" ~doc:"XRLs to call.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "call_xrl" ~version:Xorp.version
+       ~doc:"dispatch textual XRLs against a booted router")
+    Term.(const run $ config_arg $ settle_arg $ xrls_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,78 @@
+(* xorp_rtrmgr: boot a router from a configuration file and run it.
+
+   The simulated network means a single process hosts the whole
+   router; the clock is simulated, so "--run 300" finishes as fast as
+   the events allow. After running, the operator views are printed.
+
+     dune exec bin/xorp_rtrmgr.exe -- --config router.conf --run 60 *)
+
+open Cmdliner
+
+let run config_file run_seconds show_config =
+  let config =
+    try
+      let ic = open_in config_file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error e ->
+      prerr_endline e;
+      exit 1
+  in
+  match Rtrmgr.boot ~config () with
+  | Error problems ->
+    prerr_endline "configuration rejected:";
+    List.iter (fun p -> prerr_endline ("  " ^ p)) problems;
+    exit 1
+  | Ok router ->
+    if show_config then begin
+      print_endline "# booted configuration";
+      print_string (Rtrmgr.config_text router)
+    end;
+    let loop = Rtrmgr.eventloop router in
+    Eventloop.run_until_time loop run_seconds;
+    Printf.printf "\n--- after %.0f simulated seconds ---\n" run_seconds;
+    print_endline "\n# show routes";
+    print_string (Rtrmgr.show_routes router);
+    print_endline "\n# show fib";
+    print_string (Rtrmgr.show_fib router);
+    (match Rtrmgr.bgp router with
+     | Some _ ->
+       print_endline "\n# show bgp peers";
+       print_string (Rtrmgr.show_bgp_peers router)
+     | None -> ());
+    (match Rtrmgr.rip router with
+     | Some _ ->
+       print_endline "\n# show rip";
+       print_string (Rtrmgr.show_rip router)
+     | None -> ());
+    (match Rtrmgr.ospf router with
+     | Some _ ->
+       print_endline "\n# show ospf";
+       print_string (Rtrmgr.show_ospf router)
+     | None -> ());
+    Rtrmgr.shutdown router
+
+let config_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "c"; "config" ] ~docv:"FILE" ~doc:"Router configuration file.")
+
+let run_arg =
+  Arg.(
+    value & opt float 60.0
+    & info [ "r"; "run" ] ~docv:"SECONDS"
+        ~doc:"How long to run the router (simulated seconds).")
+
+let show_arg =
+  Arg.(value & flag & info [ "show-config" ] ~doc:"Echo the parsed configuration.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "xorp_rtrmgr" ~version:Xorp.version
+       ~doc:"boot and run a camlXORP router from a configuration file")
+    Term.(const run $ config_arg $ run_arg $ show_arg)
+
+let () = exit (Cmd.eval cmd)

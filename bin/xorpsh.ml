@@ -1,0 +1,134 @@
+(* xorpsh: the operator shell (the "CLI" box of the paper's Figure 1).
+
+   Boots a router from a configuration file and reads operational
+   commands, either interactively from stdin or from -e arguments:
+
+     show routes | show fib | show bgp peers | show rip | show ospf
+     show config | show version
+     run <seconds>          advance the (simulated) clock
+     xrl <textual-xrl>      dispatch any XRL (scriptability, §6.1)
+     help | quit
+
+     dune exec bin/xorpsh.exe -- -c etc/sample_router.conf -e 'run 30' \
+       -e 'show routes' *)
+
+open Cmdliner
+
+let help_text = {|commands:
+  show routes | fib | bgp peers | rip | ospf | config | version
+  run <seconds>        advance the clock
+  xrl <textual-xrl>    dispatch an XRL and print the reply
+  help                 this text
+  quit                 leave the shell
+|}
+
+let dispatch_xrl router text =
+  match Xrl.of_text text with
+  | Error e -> Printf.printf "malformed XRL: %s\n" e
+  | Ok xrl ->
+    let caller = Rib.xrl_router (Rtrmgr.rib router) in
+    let err, args = Xrl_router.call_blocking caller xrl in
+    if Xrl_error.is_ok err then
+      if args = [] then print_endline "OK"
+      else List.iter (fun a -> print_endline ("  " ^ Xrl_atom.to_text a)) args
+    else Printf.printf "ERROR: %s\n" (Xrl_error.to_string err)
+
+let execute router line =
+  let loop = Rtrmgr.eventloop router in
+  let words =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [] -> true
+  | [ "quit" ] | [ "exit" ] -> false
+  | [ "help" ] ->
+    print_string help_text;
+    true
+  | [ "show"; "routes" ] | [ "show"; "route" ] ->
+    print_string (Rtrmgr.show_routes router);
+    true
+  | [ "show"; "fib" ] ->
+    print_string (Rtrmgr.show_fib router);
+    true
+  | [ "show"; "bgp"; "peers" ] | [ "show"; "bgp" ] ->
+    print_string (Rtrmgr.show_bgp_peers router);
+    true
+  | [ "show"; "rip" ] ->
+    print_string (Rtrmgr.show_rip router);
+    true
+  | [ "show"; "ospf" ] ->
+    print_string (Rtrmgr.show_ospf router);
+    true
+  | [ "show"; "config" ] ->
+    print_string (Rtrmgr.config_text router);
+    true
+  | [ "show"; "version" ] ->
+    Printf.printf "camlXORP %s\n" Xorp.version;
+    true
+  | [ "run"; s ] ->
+    (match float_of_string_opt s with
+     | Some seconds when seconds >= 0.0 ->
+       Eventloop.run_until_time loop (Eventloop.now loop +. seconds);
+       Printf.printf "clock now at %.1fs\n" (Eventloop.now loop)
+     | _ -> print_endline "usage: run <seconds>");
+    true
+  | "xrl" :: rest ->
+    dispatch_xrl router (String.concat " " rest);
+    true
+  | w :: _ ->
+    Printf.printf "unknown command %S (try 'help')\n" w;
+    true
+
+let run config_file commands =
+  let config =
+    try
+      let ic = open_in config_file in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    with Sys_error e ->
+      prerr_endline e;
+      exit 1
+  in
+  match Rtrmgr.boot ~config () with
+  | Error problems ->
+    prerr_endline "configuration rejected:";
+    List.iter (fun p -> prerr_endline ("  " ^ p)) problems;
+    exit 1
+  | Ok router ->
+    (match commands with
+     | [] ->
+       (* Interactive: read lines until EOF or quit. *)
+       Printf.printf "camlXORP %s operator shell; 'help' for commands\n"
+         Xorp.version;
+       let rec loop () =
+         print_string "xorpsh> ";
+         flush stdout;
+         match input_line stdin with
+         | line -> if execute router line then loop ()
+         | exception End_of_file -> ()
+       in
+       loop ()
+     | commands -> List.iter (fun c -> ignore (execute router c)) commands);
+    Rtrmgr.shutdown router
+
+let config_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "c"; "config" ] ~docv:"FILE" ~doc:"Router configuration file.")
+
+let exec_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "e"; "exec" ] ~docv:"COMMAND"
+        ~doc:"Command to execute (repeatable); omit for interactive mode.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "xorpsh" ~version:Xorp.version
+       ~doc:"operator shell for a camlXORP router")
+    Term.(const run $ config_arg $ exec_arg)
+
+let () = exit (Cmd.eval cmd)

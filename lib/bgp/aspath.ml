@@ -1,0 +1,81 @@
+type segment = Seq of int list | Set of int list
+type t = segment list
+
+let empty = []
+
+let length path =
+  List.fold_left
+    (fun acc seg ->
+       match seg with
+       | Seq l -> acc + List.length l
+       | Set _ -> acc + 1)
+    0 path
+
+let prepend asn path =
+  match path with
+  | Seq l :: rest when List.length l < 255 -> Seq (asn :: l) :: rest
+  | _ -> Seq [ asn ] :: path
+
+let rec prepend_n asn n path =
+  if n <= 0 then path else prepend_n asn (n - 1) (prepend asn path)
+
+let contains path asn =
+  List.exists
+    (function Seq l | Set l -> List.mem asn l)
+    path
+
+let first_as = function
+  | Seq (a :: _) :: _ -> Some a
+  | _ -> None
+
+let origin_as path =
+  match List.rev path with
+  | Seq l :: _ ->
+    (match List.rev l with a :: _ -> Some a | [] -> None)
+  | Set l :: _ ->
+    (match List.rev l with a :: _ -> Some a | [] -> None)
+  | [] -> None
+
+let to_string path =
+  String.concat " "
+    (List.map
+       (function
+         | Seq l -> String.concat " " (List.map string_of_int l)
+         | Set l ->
+           "{" ^ String.concat "," (List.map string_of_int l) ^ "}")
+       path)
+
+let equal = ( = )
+
+let seg_type_set = 1
+let seg_type_seq = 2
+
+let encode w path =
+  List.iter
+    (fun seg ->
+       let ty, asns =
+         match seg with
+         | Set l -> (seg_type_set, l)
+         | Seq l -> (seg_type_seq, l)
+       in
+       Wire.W.u8 w ty;
+       Wire.W.u8 w (List.length asns);
+       List.iter (Wire.W.u32 w) asns)
+    path
+
+let decode r =
+  let rec go acc =
+    if Wire.R.eof r then List.rev acc
+    else begin
+      let ty = Wire.R.u8 r in
+      let n = Wire.R.u8 r in
+      let asns = List.init n (fun _ -> Wire.R.u32 r) in
+      let seg =
+        if ty = seg_type_set then Set asns
+        else if ty = seg_type_seq then Seq asns
+        else failwith (Printf.sprintf "Aspath.decode: bad segment type %d" ty)
+      in
+      go (seg :: acc)
+    end
+  in
+  go []

@@ -1,0 +1,41 @@
+(** BGP AS paths (RFC 4271 §5.1.2, with 4-byte AS numbers throughout —
+    we speak AS4-style paths natively rather than juggling AS_TRANS). *)
+
+type segment =
+  | Seq of int list  (** AS_SEQUENCE: ordered *)
+  | Set of int list  (** AS_SET: unordered aggregate *)
+
+type t = segment list
+
+val empty : t
+
+val length : t -> int
+(** Decision-process path length: each sequence AS counts 1, each set
+    counts 1 in total (RFC 4271 §9.1.2.2). *)
+
+val prepend : int -> t -> t
+(** Prepend one AS to the leftmost sequence (creating one if needed). *)
+
+val prepend_n : int -> int -> t -> t
+(** [prepend_n asn n path] prepends [asn] [n] times. *)
+
+val contains : t -> int -> bool
+(** Loop detection: does the path mention this AS anywhere? *)
+
+val first_as : t -> int option
+(** The neighbouring AS (leftmost AS of the leftmost sequence) — used
+    for the MED comparability rule. *)
+
+val origin_as : t -> int option
+(** The rightmost AS: who originated the route. *)
+
+val to_string : t -> string
+(** e.g. ["1 2 3 {4,5}"]. *)
+
+val equal : t -> t -> bool
+
+val encode : Wire.W.t -> t -> unit
+(** AS_PATH attribute body (without the attribute header). *)
+
+val decode : Wire.R.t -> t
+(** @raise Failure on malformed segments. *)

@@ -1,0 +1,84 @@
+(* Route-aggregation stages.
+
+   Another stage added to the pipeline after the fact, like the policy
+   and damping stages of §8.3 — nothing upstream or downstream changes.
+   Plumbed into a peer's output branch, the stage watches the winner
+   stream for component routes inside each configured aggregate prefix:
+   while at least one component exists, the aggregate is announced
+   (with ATOMIC_AGGREGATE set and an empty AS path, as RFC 4271
+   prescribes for path-information-losing aggregation); optionally the
+   more-specific components are suppressed from this peer.
+
+   The synthesized aggregate carries peer_id 0 (locally originated):
+   output-branch rules treat it like a network statement. *)
+
+type aggregate_config = {
+  agg_net : Ipv4net.t;
+  suppress_specifics : bool;
+}
+
+class aggregation_table ~name ~(aggregates : aggregate_config list)
+    ~(local_nexthop : Ipv4.t) ~(parent : Bgp_table.table) () =
+  object (self)
+    inherit Bgp_table.base name
+
+    (* Per aggregate: the set of component prefixes currently alive. *)
+    val components : (Ipv4net.t, (Ipv4net.t, unit) Hashtbl.t) Hashtbl.t =
+      (let h = Hashtbl.create 8 in
+       List.iter
+         (fun a -> Hashtbl.replace h a.agg_net (Hashtbl.create 16))
+         aggregates;
+       h)
+
+    method private config_of (net : Ipv4net.t) =
+      List.find_opt
+        (fun a ->
+           Ipv4net.contains a.agg_net net
+           && Ipv4net.prefix_len a.agg_net < Ipv4net.prefix_len net)
+        aggregates
+
+    method private aggregate_route (agg : aggregate_config) =
+      { Bgp_types.net = agg.agg_net;
+        attrs =
+          { (Bgp_types.default_attrs ~nexthop:local_nexthop) with
+            Bgp_types.atomic_aggregate = true };
+        peer_id = 0;
+        igp_metric = Some 0 }
+
+    method active (net : Ipv4net.t) =
+      match Hashtbl.find_opt components net with
+      | Some set -> Hashtbl.length set > 0
+      | None -> false
+
+    method add_route r =
+      match self#config_of r.Bgp_types.net with
+      | None -> self#push_add r
+      | Some agg ->
+        let set = Hashtbl.find components agg.agg_net in
+        let was_empty = Hashtbl.length set = 0 in
+        Hashtbl.replace set r.Bgp_types.net ();
+        if was_empty then self#push_add (self#aggregate_route agg);
+        if not agg.suppress_specifics then self#push_add r
+
+    method delete_route r =
+      match self#config_of r.Bgp_types.net with
+      | None -> self#push_delete r
+      | Some agg ->
+        let set = Hashtbl.find components agg.agg_net in
+        let existed = Hashtbl.mem set r.Bgp_types.net in
+        Hashtbl.remove set r.Bgp_types.net;
+        if not agg.suppress_specifics then self#push_delete r;
+        if existed && Hashtbl.length set = 0 then
+          self#push_delete (self#aggregate_route agg)
+
+    method lookup_route net =
+      match
+        List.find_opt (fun a -> Ipv4net.equal a.agg_net net) aggregates
+      with
+      | Some agg when self#active agg.agg_net ->
+        Some (self#aggregate_route agg)
+      | _ ->
+        (match self#config_of net with
+         | Some agg when agg.suppress_specifics -> None
+         | _ -> parent#lookup_route net)
+  end

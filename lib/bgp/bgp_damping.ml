@@ -1,0 +1,175 @@
+(* Route-flap damping stage (RFC 2439 style; paper §8.3 "Adding Route
+   Flap Damping to BGP" — added late, as just another pipeline stage,
+   without touching its neighbours).
+
+   Per-prefix exponential-decay penalty: withdrawals and
+   re-advertisements add penalty; when it exceeds the suppress
+   threshold the prefix is suppressed — further announcements are held
+   rather than propagated — until decay brings the penalty below the
+   reuse threshold, at which point the held route (if any) is
+   announced. An upstream attribute change arrives as delete+add and
+   collects both the withdrawal and re-advertisement penalties, a
+   simplification that is slightly harsher than RFC 2439's
+   attribute-change penalty but preserves the suppress/reuse shape. *)
+
+type params = {
+  half_life : float;            (* seconds *)
+  suppress_threshold : float;
+  reuse_threshold : float;
+  max_penalty : float;
+  withdrawal_penalty : float;
+  readvertisement_penalty : float;
+}
+
+let default_params =
+  { half_life = 900.0; suppress_threshold = 3000.0; reuse_threshold = 750.0;
+    max_penalty = 16000.0; withdrawal_penalty = 1000.0;
+    readvertisement_penalty = 500.0 }
+
+type entry = {
+  mutable penalty : float;
+  mutable stamp : float;                      (* last decay time *)
+  mutable suppressed : bool;
+  mutable announced : Bgp_types.route option; (* downstream view *)
+  mutable held : Bgp_types.route option;      (* suppressed update *)
+  mutable reuse_timer : Eventloop.timer option;
+  mutable seen_before : bool;
+}
+
+class damping_table ~name ?(params = default_params)
+    ~(parent : Bgp_table.table) (loop : Eventloop.t) =
+  object (self)
+    inherit Bgp_table.base name
+    val state : entry Ptree.t = Ptree.create ()
+    val mutable suppress_count = 0
+
+    method suppressed_count = suppress_count
+
+    method private entry net =
+      match Ptree.find state net with
+      | Some e -> e
+      | None ->
+        let e =
+          { penalty = 0.0; stamp = Eventloop.now loop; suppressed = false;
+            announced = None; held = None; reuse_timer = None;
+            seen_before = false }
+        in
+        ignore (Ptree.insert state net e);
+        e
+
+    method private decay e =
+      let now = Eventloop.now loop in
+      let dt = now -. e.stamp in
+      if dt > 0.0 then begin
+        e.penalty <- e.penalty *. (2.0 ** (-.dt /. params.half_life));
+        e.stamp <- now
+      end
+
+    method private bump e amount =
+      self#decay e;
+      e.penalty <- min params.max_penalty (e.penalty +. amount)
+
+    method private maybe_forget net e =
+      if
+        e.penalty < params.reuse_threshold /. 2.0
+        && (not e.suppressed) && e.held = None && e.announced = None
+      then begin
+        Option.iter Eventloop.cancel e.reuse_timer;
+        ignore (Ptree.remove state net)
+      end
+
+    (* Schedule the reuse check for when the penalty will have decayed
+       to the reuse threshold. *)
+    method private schedule_reuse net e =
+      Option.iter Eventloop.cancel e.reuse_timer;
+      self#decay e;
+      let ratio = e.penalty /. params.reuse_threshold in
+      let delay =
+        if ratio <= 1.0 then 0.0
+        else params.half_life *. (Float.log ratio /. Float.log 2.0)
+      in
+      e.reuse_timer <-
+        Some
+          (Eventloop.after loop (max delay 0.001) (fun () ->
+               self#reuse_check net e))
+
+    method private reuse_check net e =
+      self#decay e;
+      if e.penalty <= params.reuse_threshold then begin
+        e.suppressed <- false;
+        e.reuse_timer <- None;
+        (match e.held with
+         | Some r ->
+           e.held <- None;
+           e.announced <- Some r;
+           self#push_add r
+         | None -> ());
+        self#maybe_forget net e
+      end
+      else self#schedule_reuse net e
+
+    method add_route r =
+      let net = r.Bgp_types.net in
+      let e = self#entry net in
+      if e.seen_before then self#bump e params.readvertisement_penalty
+      else begin
+        self#decay e;
+        e.seen_before <- true
+      end;
+      if e.suppressed || e.penalty >= params.suppress_threshold then begin
+        if not e.suppressed then begin
+          e.suppressed <- true;
+          suppress_count <- suppress_count + 1
+        end;
+        (* Suppression withdraws whatever the peer branch currently
+           advertises downstream and holds the update. *)
+        (match e.announced with
+         | Some old ->
+           e.announced <- None;
+           self#push_delete old
+         | None -> ());
+        e.held <- Some r;
+        self#schedule_reuse net e
+      end
+      else begin
+        e.announced <- Some r;
+        e.held <- None;
+        self#push_add r
+      end
+
+    method delete_route r =
+      let net = r.Bgp_types.net in
+      let e = self#entry net in
+      self#bump e params.withdrawal_penalty;
+      e.held <- None;
+      (match e.announced with
+       | Some old ->
+         e.announced <- None;
+         self#push_delete old
+       | None -> ());
+      if e.penalty >= params.suppress_threshold && not e.suppressed then begin
+        e.suppressed <- true;
+        suppress_count <- suppress_count + 1;
+        self#schedule_reuse net e
+      end;
+      self#maybe_forget net e
+
+    (* The downstream view is what we announced, not what the parent
+       currently holds. *)
+    method lookup_route net =
+      match Ptree.find state net with
+      | Some e -> e.announced
+      | None -> parent#lookup_route net
+
+    method penalty_of net =
+      match Ptree.find state net with
+      | Some e ->
+        self#decay e;
+        Some e.penalty
+      | None -> None
+
+    method is_suppressed net =
+      match Ptree.find state net with
+      | Some e -> e.suppressed
+      | None -> false
+  end

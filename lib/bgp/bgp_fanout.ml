@@ -1,0 +1,130 @@
+(* The Fanout Queue (paper §5.1.1, Figure 5).
+
+   Duplicates the Decision Process's winner stream to each peer's
+   output branch and to the RIB branch. "Since the outgoing filter
+   banks modify routes in different ways for different peers, the best
+   place to queue changes is in the fanout stage, after the routes have
+   been chosen but before they have been specialized. The Fanout Queue
+   module then maintains a single route change queue, with n readers
+   (one for each peer) referencing it."
+
+   Each reader drains a bounded batch per event-loop pass (slow peers
+   simply leave their cursor behind; memory is shared in the one
+   queue); fully-consumed entries are compacted away. Per-reader
+   advertisement rules: never echo to the originating peer, and no
+   IBGP-to-IBGP re-advertisement (we are not a route reflector). *)
+
+type entry = { op : [ `Add | `Delete ]; route : Bgp_types.route }
+
+type reader = {
+  r_peer : Bgp_types.peer_info;
+  r_branch : Bgp_table.table;
+  mutable cursor : int; (* absolute entry index *)
+}
+
+class fanout_table ~name ?(batch = 500)
+    ~(peer_info_of : int -> Bgp_types.peer_info option) (loop : Eventloop.t) =
+  object (self)
+    inherit Bgp_table.base name
+    val mutable entries : entry array = [||] (* ring-less growable log *)
+    val mutable base = 0      (* absolute index of entries.(0) *)
+    val mutable count = 0     (* live entries *)
+    val readers : (int, reader) Hashtbl.t = Hashtbl.create 8
+    val mutable drain_scheduled = false
+    val mutable peak_queue = 0
+
+    method reader_count = Hashtbl.length readers
+    method queue_length = count
+    method peak_queue_length = peak_queue
+
+    method private append e =
+      if count >= Array.length entries then begin
+        let ncap = max 64 (2 * Array.length entries) in
+        let na = Array.make ncap e in
+        Array.blit entries 0 na 0 count;
+        entries <- na
+      end;
+      entries.(count) <- e;
+      count <- count + 1;
+      if count > peak_queue then peak_queue <- count;
+      self#schedule_drain
+
+    method private schedule_drain =
+      if not drain_scheduled then begin
+        drain_scheduled <- true;
+        Eventloop.defer loop (fun () ->
+            drain_scheduled <- false;
+            self#drain)
+      end
+
+    method private should_send (r : reader) (e : entry) =
+      let from_id = e.route.Bgp_types.peer_id in
+      if from_id = 0 then true (* locally originated: everywhere *)
+      else if from_id = r.r_peer.peer_id then false (* no echo *)
+      else
+        match peer_info_of from_id with
+        | Some from when from.kind = Bgp_types.Ibgp
+                         && r.r_peer.kind = Bgp_types.Ibgp ->
+          false (* no IBGP-to-IBGP re-advertisement *)
+        | _ -> true
+
+    method private drain =
+      let tail = base + count in
+      let more = ref false in
+      Hashtbl.iter
+        (fun _ r ->
+           let budget = ref batch in
+           while r.cursor < tail && !budget > 0 do
+             let e = entries.(r.cursor - base) in
+             r.cursor <- r.cursor + 1;
+             decr budget;
+             if self#should_send r e then
+               match e.op with
+               | `Add -> r.r_branch#add_route e.route
+               | `Delete -> r.r_branch#delete_route e.route
+           done;
+           if r.cursor < tail then more := true)
+        readers;
+      self#compact;
+      if !more then self#schedule_drain
+
+    method private compact =
+      let min_cursor =
+        Hashtbl.fold (fun _ r acc -> min acc r.cursor) readers (base + count)
+      in
+      let drop = min_cursor - base in
+      if drop > 0 then begin
+        let remaining = count - drop in
+        if remaining > 0 then Array.blit entries drop entries 0 remaining;
+        count <- remaining;
+        base <- min_cursor
+      end
+
+    method add_route route = self#append { op = `Add; route }
+    method delete_route route = self#append { op = `Delete; route }
+
+    (* Pulls pass through to the decision stage upstream. The fanout
+       has no store of its own. *)
+    val mutable parent_tbl : Bgp_table.table option = None
+    method set_parent (p : Bgp_table.table) = parent_tbl <- Some p
+
+    method lookup_route net =
+      match parent_tbl with
+      | Some p -> p#lookup_route net
+      | None -> None
+
+    (* New readers start at the queue tail: they see only future
+       updates. The owner dumps the existing table to them separately
+       (Bgp_process runs a background winner-table dump on session
+       establishment). *)
+    method add_reader ~(info : Bgp_types.peer_info) (branch : Bgp_table.table)
+      =
+      Hashtbl.replace readers info.peer_id
+        { r_peer = info; r_branch = branch; cursor = base + count }
+
+    method remove_reader peer_id =
+      Hashtbl.remove readers peer_id;
+      self#compact
+
+    method has_reader peer_id = Hashtbl.mem readers peer_id
+  end

@@ -1,0 +1,693 @@
+let src = Logs.Src.create "xorp.bgp" ~doc:"BGP process"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let pp_entering = "bgp_in"
+let pp_queued_rib = "bgp_queued_rib"
+let pp_sent_rib = "bgp_sent_rib"
+
+type peer_config = {
+  peer_addr : Ipv4.t;
+  local_addr : Ipv4.t;
+  peer_as : int;
+  hold_time : float;
+  connect_retry : float;
+  passive : bool option;
+  import_policies : Policy.program list;
+  export_policies : Policy.program list;
+  damping : Bgp_damping.params option;
+  checking_cache : bool;
+  deletion_slice : int;
+  aggregates : Bgp_aggregation.aggregate_config list;
+}
+
+let default_peer_config ~peer_addr ~local_addr ~peer_as =
+  { peer_addr; local_addr; peer_as; hold_time = 90.0; connect_retry = 5.0;
+    passive = None; import_policies = []; export_policies = [];
+    damping = None; checking_cache = false; deletion_slice = 100;
+    aggregates = [] }
+
+type peer = {
+  cfg : peer_config;
+  info : Bgp_types.peer_info;
+  fsm : Peer_fsm.t;
+  ribin : Bgp_ribin.rib_in;
+  import_filter : Bgp_filter.filter_table;
+  damping_tbl : Bgp_damping.damping_table option;
+  nexthop_tbl : Bgp_nexthop.nexthop_table;
+  export_branch : Bgp_table.table; (* top of the output branch *)
+  out_cache : Bgp_cache.cache_table option;
+  ribout : Bgp_ribout.rib_out;
+  mutable retry_timer : Eventloop.timer option;
+  mutable endpoint : Netsim.Stream.endpoint option;
+  mutable dump_task : Eventloop.task option;
+  mutable removed : bool;
+}
+
+type t = {
+  router : Xrl_router.t;
+  loop : Eventloop.t;
+  netsim : Netsim.t;
+  profiler : Profiler.t option;
+  local_as : int;
+  bgp_id : Ipv4.t;
+  bgp_port : int;
+  send_to_rib : bool;
+  nexthop_mode : [ `Rib | `Assume_resolvable ];
+  peers : (int, peer) Hashtbl.t; (* keyed by peer address *)
+  (* peer_id -> kind, kept even after peer removal so in-flight RIB
+     withdrawals are attributed to the right origin protocol *)
+  peer_kinds : (int, Bgp_types.peer_kind) Hashtbl.t;
+  mutable next_peer_id : int;
+  decision : Bgp_decision.decision_table;
+  fanout : Bgp_fanout.fanout_table;
+  local_ribin : Bgp_ribin.rib_in;
+  listeners : (int, Netsim.Stream.listener) Hashtbl.t; (* by local addr *)
+  rib_q : (string * Bgp_types.route) Queue.t;
+  mutable rib_flush_scheduled : bool;
+  mutable started : bool;
+}
+
+let profile t point payload =
+  match t.profiler with
+  | Some p -> Profiler.record p point payload
+  | None -> ()
+
+let instance_name t = Xrl_router.instance_name t.router
+let xrl_router t = t.router
+
+(* --- RIB branch ------------------------------------------------------ *)
+
+let schedule_rib_flush t =
+  if not t.rib_flush_scheduled then begin
+    t.rib_flush_scheduled <- true;
+    Eventloop.defer t.loop (fun () ->
+        t.rib_flush_scheduled <- false;
+        let rec drain () =
+          match Queue.take_opt t.rib_q with
+          | None -> ()
+          | Some (op, route) ->
+            let netstr = Ipv4net.to_string route.Bgp_types.net in
+            profile t pp_sent_rib (op ^ " " ^ netstr);
+            let protocol =
+              match Hashtbl.find_opt t.peer_kinds route.Bgp_types.peer_id with
+              | Some Bgp_types.Ibgp -> "ibgp"
+              | _ -> "ebgp"
+            in
+            let xrl =
+              if op = "add" then
+                Xrl.make ~target:"rib" ~interface:"rib"
+                  ~method_name:"add_route"
+                  [ Xrl_atom.txt "protocol" protocol;
+                    Xrl_atom.ipv4net "net" route.Bgp_types.net;
+                    Xrl_atom.ipv4 "nexthop" route.Bgp_types.attrs.nexthop;
+                    Xrl_atom.u32 "metric"
+                      (Option.value route.Bgp_types.attrs.med ~default:0) ]
+              else
+                Xrl.make ~target:"rib" ~interface:"rib"
+                  ~method_name:"delete_route"
+                  [ Xrl_atom.txt "protocol" protocol;
+                    Xrl_atom.ipv4net "net" route.Bgp_types.net ]
+            in
+            Xrl_router.send t.router xrl (fun err _ ->
+                if not (Xrl_error.is_ok err) then
+                  Log.warn (fun m ->
+                      m "RIB %s for %s failed: %s" op netstr
+                        (Xrl_error.to_string err)));
+            drain ()
+        in
+        drain ())
+  end
+
+(* The fanout reader feeding the RIB. Locally originated routes
+   (peer 0) are skipped: the RIB learned them by other means. *)
+let make_rib_branch t : Bgp_table.table =
+  let on op (route : Bgp_types.route) =
+    if route.Bgp_types.peer_id <> 0 && t.send_to_rib then begin
+      profile t pp_queued_rib (op ^ " " ^ Ipv4net.to_string route.net);
+      Queue.push (op, route) t.rib_q;
+      schedule_rib_flush t
+    end
+  in
+  (new Bgp_table.sink ~name:"to-rib"
+    ~parent:(t.decision :> Bgp_table.table)
+    ~on_add:(fun r -> on "add" r)
+    ~on_delete:(fun r -> on "delete" r)
+   :> Bgp_table.table)
+
+(* --- nexthop resolution ---------------------------------------------- *)
+
+let make_resolver t : Bgp_nexthop.resolve_fn =
+  match t.nexthop_mode with
+  | `Assume_resolvable ->
+    fun nh cb ->
+      cb { Bgp_nexthop.resolvable = true; metric = 0; valid = Ipv4net.host nh }
+  | `Rib ->
+    fun nh cb ->
+      let xrl =
+        Xrl.make ~target:"rib" ~interface:"rib"
+          ~method_name:"register_interest"
+          [ Xrl_atom.txt "client" (instance_name t); Xrl_atom.ipv4 "addr" nh ]
+      in
+      Xrl_router.send t.router xrl (fun err args ->
+          if Xrl_error.is_ok err then begin
+            let resolvable = Xrl_atom.get_bool args "resolves" in
+            let valid = Xrl_atom.get_ipv4net args "valid" in
+            let metric =
+              if resolvable then Xrl_atom.get_u32 args "metric" else 0
+            in
+            cb { Bgp_nexthop.resolvable; metric; valid }
+          end
+          else begin
+            Log.warn (fun m ->
+                m "nexthop query for %s failed: %s" (Ipv4.to_string nh)
+                  (Xrl_error.to_string err));
+            cb
+              { Bgp_nexthop.resolvable = false; metric = 0;
+                valid = Ipv4net.host nh }
+          end)
+
+(* --- session plumbing ------------------------------------------------- *)
+
+let peer_key addr = Ipv4.to_int addr
+let find_peer t addr = Hashtbl.find_opt t.peers (peer_key addr)
+
+(* Replicates the fanout's advertisement rules for table dumps. *)
+let dump_should_send (to_info : Bgp_types.peer_info)
+    (from_info : Bgp_types.peer_info option) (route : Bgp_types.route) =
+  let from_id = route.Bgp_types.peer_id in
+  if from_id = 0 then true
+  else if from_id = to_info.peer_id then false
+  else
+    match from_info with
+    | Some from when from.kind = Bgp_types.Ibgp && to_info.kind = Bgp_types.Ibgp
+      -> false
+    | _ -> true
+
+let start_winner_dump t peer =
+  (match peer.dump_task with
+   | Some task -> Eventloop.remove_task task
+   | None -> ());
+  let it = t.decision#winners_iter in
+  let one () =
+    match Ptree.Safe_iter.next it with
+    | None ->
+      peer.dump_task <- None;
+      `Done
+    | Some (_, route) ->
+      if
+        dump_should_send peer.info
+          (t.decision#peer_info route.Bgp_types.peer_id)
+          route
+      then peer.export_branch#add_route route;
+      `Continue
+  in
+  peer.dump_task <- Some (Eventloop.add_task t.loop ~weight:100 one)
+
+let handle_update t peer (msg : Bgp_packet.msg) =
+  match msg with
+  | Bgp_packet.Update { withdrawn; attrs; nlri } ->
+    (* One record per prefix, so per-route latency can be traced
+       through all eight profile points of §8.2. *)
+    List.iter
+      (fun net -> profile t pp_entering ("delete " ^ Ipv4net.to_string net))
+      withdrawn;
+    List.iter
+      (fun net -> profile t pp_entering ("add " ^ Ipv4net.to_string net))
+      nlri;
+    List.iter
+      (fun net ->
+         peer.ribin#delete_route
+           { Bgp_types.net;
+             attrs = Bgp_types.default_attrs ~nexthop:Ipv4.zero;
+             peer_id = peer.info.peer_id; igp_metric = None })
+      withdrawn;
+    (match attrs with
+     | Some a when nlri <> [] ->
+       if Aspath.contains a.Bgp_types.aspath t.local_as then
+         (* AS loop: our own AS already in the path. *)
+         Log.debug (fun m ->
+             m "loop detected from %s, ignoring %d prefixes"
+               (Ipv4.to_string peer.cfg.peer_addr)
+               (List.length nlri))
+       else begin
+         (* LOCAL_PREF is only meaningful on IBGP sessions. *)
+         let a =
+           match peer.info.kind with
+           | Bgp_types.Ebgp -> { a with Bgp_types.localpref = None }
+           | Bgp_types.Ibgp -> a
+         in
+         List.iter
+           (fun net ->
+              peer.ribin#add_route
+                { Bgp_types.net; attrs = a; peer_id = peer.info.peer_id;
+                  igp_metric = None })
+           nlri
+       end
+     | _ -> ())
+  | _ -> ()
+
+let rec schedule_redial t peer =
+  (match peer.retry_timer with
+   | Some timer -> Eventloop.cancel timer
+   | None -> ());
+  if not peer.removed then
+    peer.retry_timer <-
+      Some (Eventloop.after t.loop peer.cfg.connect_retry (fun () -> dial t peer))
+
+and dial t peer =
+  if (not peer.removed) && Peer_fsm.state peer.fsm = Peer_fsm.Idle then begin
+    Peer_fsm.start_active peer.fsm;
+    Netsim.Stream.connect t.netsim ~src:peer.cfg.local_addr
+      ~dst:peer.cfg.peer_addr ~port:t.bgp_port (fun ep ->
+          match ep with
+          | Some ep -> attach_endpoint t peer ep
+          | None ->
+            Peer_fsm.transport_failed peer.fsm;
+            schedule_redial t peer)
+  end
+
+and attach_endpoint _t peer ep =
+  peer.endpoint <- Some ep;
+  Netsim.Stream.on_receive ep (fun data -> Peer_fsm.recv peer.fsm data);
+  Netsim.Stream.on_close ep (fun () -> Peer_fsm.transport_closed peer.fsm);
+  Peer_fsm.transport_up peer.fsm
+    { Peer_fsm.tr_send = (fun data -> Netsim.Stream.send ep data);
+      tr_close = (fun () -> Netsim.Stream.close ep) }
+
+let is_dialer peer =
+  match peer.cfg.passive with
+  | Some passive -> not passive
+  | None -> Ipv4.compare peer.cfg.local_addr peer.cfg.peer_addr < 0
+
+let on_peer_established t peer () =
+  Log.info (fun m ->
+      m "session with %s established" (Ipv4.to_string peer.cfg.peer_addr));
+  peer.ribout#session_reset;
+  t.fanout#add_reader ~info:peer.info peer.export_branch;
+  start_winner_dump t peer
+
+let on_peer_down t peer reason =
+  Log.info (fun m ->
+      m "session with %s down: %s" (Ipv4.to_string peer.cfg.peer_addr) reason);
+  t.fanout#remove_reader peer.info.peer_id;
+  (match peer.dump_task with
+   | Some task ->
+     Eventloop.remove_task task;
+     peer.dump_task <- None
+   | None -> ());
+  peer.endpoint <- None;
+  (* Hand the whole table to a background deletion stage (§5.1.2). *)
+  peer.ribin#peering_went_down ~slice:peer.cfg.deletion_slice ();
+  if is_dialer peer then schedule_redial t peer
+  else if not peer.removed then Peer_fsm.start_passive peer.fsm
+
+(* --- peer construction ------------------------------------------------ *)
+
+let build_peer t (cfg : peer_config) =
+  t.next_peer_id <- t.next_peer_id + 1;
+  let kind =
+    if cfg.peer_as = t.local_as then Bgp_types.Ibgp else Bgp_types.Ebgp
+  in
+  let info =
+    { Bgp_types.peer_id = t.next_peer_id; peer_addr = cfg.peer_addr;
+      peer_as = cfg.peer_as; kind;
+      (* Until the OPEN is seen we use the peer address as its BGP id;
+         good enough for deterministic tie-breaking in simulation. *)
+      peer_bgp_id = cfg.peer_addr }
+  in
+  let pname = Printf.sprintf "peer[%s]" (Ipv4.to_string cfg.peer_addr) in
+  (* Input branch. *)
+  let ribin =
+    new Bgp_ribin.rib_in ~name:(pname ^ ":in") ~peer_id:info.peer_id t.loop
+  in
+  let import_filter =
+    new Bgp_filter.filter_table
+      ~name:(pname ^ ":import")
+      ~parent:(ribin :> Bgp_table.table)
+      ~local_as:t.local_as ~peer_as:cfg.peer_as
+      ~programs:cfg.import_policies ()
+  in
+  Bgp_table.plumb ribin import_filter;
+  let damping_tbl =
+    match cfg.damping with
+    | Some params ->
+      let d =
+        new Bgp_damping.damping_table
+          ~name:(pname ^ ":damping") ~params
+          ~parent:(import_filter :> Bgp_table.table)
+          t.loop
+      in
+      Bgp_table.plumb import_filter d;
+      Some d
+    | None -> None
+  in
+  let nexthop_tbl =
+    new Bgp_nexthop.nexthop_table
+      ~name:(pname ^ ":nexthop") ~resolve:(make_resolver t) ()
+  in
+  (match damping_tbl with
+   | Some d -> Bgp_table.plumb d nexthop_tbl
+   | None -> Bgp_table.plumb import_filter nexthop_tbl);
+  Bgp_table.plumb nexthop_tbl t.decision;
+  t.decision#add_parent ~info (nexthop_tbl :> Bgp_table.table);
+  Hashtbl.replace t.peer_kinds info.peer_id info.kind;
+  (* Output branch: export filters → [cache] → ribout → session. *)
+  let fsm_ref = ref None in
+  let ribout =
+    new Bgp_ribout.rib_out ~name:(pname ^ ":out") ~info ~local_as:t.local_as
+      ~local_addr:cfg.local_addr
+      ~send:(fun msg ->
+          match !fsm_ref with
+          | Some fsm -> Peer_fsm.send_update fsm msg
+          | None -> false)
+      t.loop
+  in
+  (* Output branch head: an optional aggregation stage in front of the
+     export filters (§8.3-style late addition; neighbours unchanged). *)
+  let aggregation =
+    match cfg.aggregates with
+    | [] -> None
+    | aggregates ->
+      Some
+        (new Bgp_aggregation.aggregation_table
+          ~name:(pname ^ ":aggregation") ~aggregates
+          ~local_nexthop:cfg.local_addr
+          ~parent:(t.fanout :> Bgp_table.table)
+          ())
+  in
+  let export_parent =
+    match aggregation with
+    | Some a -> (a :> Bgp_table.table)
+    | None -> (t.fanout :> Bgp_table.table)
+  in
+  let export_filter =
+    new Bgp_filter.filter_table
+      ~name:(pname ^ ":export")
+      ~parent:export_parent
+      ~local_as:t.local_as ~peer_as:cfg.peer_as
+      ~programs:cfg.export_policies ()
+  in
+  (match aggregation with
+   | Some a -> Bgp_table.plumb a export_filter
+   | None -> ());
+  let out_cache =
+    if cfg.checking_cache then
+      Some
+        (new Bgp_cache.cache_table
+          ~name:(pname ^ ":cache")
+          ~parent:(export_filter :> Bgp_table.table)
+          ())
+    else None
+  in
+  (match out_cache with
+   | Some c ->
+     Bgp_table.plumb export_filter c;
+     Bgp_table.plumb c ribout
+   | None -> Bgp_table.plumb export_filter ribout);
+  let rec peer =
+    lazy
+      {
+        cfg; info;
+        fsm =
+          Peer_fsm.create t.loop
+            { Peer_fsm.local_as = t.local_as; bgp_id = t.bgp_id;
+              peer_as = cfg.peer_as; hold_time = cfg.hold_time }
+            {
+              Peer_fsm.on_established =
+                (fun () -> on_peer_established t (Lazy.force peer) ());
+              on_update = (fun msg -> handle_update t (Lazy.force peer) msg);
+              on_down = (fun reason -> on_peer_down t (Lazy.force peer) reason);
+            };
+        ribin; import_filter; damping_tbl; nexthop_tbl;
+        export_branch =
+          (match aggregation with
+           | Some a -> (a :> Bgp_table.table)
+           | None -> (export_filter :> Bgp_table.table));
+        out_cache; ribout;
+        retry_timer = None; endpoint = None; dump_task = None; removed = false;
+      }
+  in
+  let peer = Lazy.force peer in
+  fsm_ref := Some peer.fsm;
+  peer
+
+(* --- XRL interface ----------------------------------------------------- *)
+
+let route_count t = t.decision#winner_count
+
+let originate t net =
+  t.local_ribin#add_route
+    { Bgp_types.net;
+      attrs = Bgp_types.default_attrs ~nexthop:t.bgp_id;
+      peer_id = 0; igp_metric = Some 0 }
+
+let withdraw t net =
+  t.local_ribin#delete_route
+    { Bgp_types.net;
+      attrs = Bgp_types.default_attrs ~nexthop:t.bgp_id;
+      peer_id = 0; igp_metric = Some 0 }
+
+let add_xrl_handlers t =
+  let ok = Xrl_error.Ok_xrl in
+  let r = t.router in
+  Xrl_router.add_handler r ~interface:"rib_client"
+    ~method_name:"route_info_invalid" (fun args reply ->
+        let valid = Xrl_atom.get_ipv4net args "valid" in
+        Hashtbl.iter
+          (fun _ peer -> peer.nexthop_tbl#invalidate valid)
+          t.peers;
+        reply ok []);
+  (* Redistribution INTO BGP (§3): the RIB's redist stage can feed us
+     IGP routes, which we originate with INCOMPLETE origin, as real
+     routers mark redistributed routes. *)
+  Xrl_router.add_handler r ~interface:"redist_client" ~method_name:"add_route"
+    (fun args reply ->
+       let net = Xrl_atom.get_ipv4net args "net" in
+       let med = Xrl_atom.get_u32 args "metric" in
+       t.local_ribin#add_route
+         { Bgp_types.net;
+           attrs =
+             { (Bgp_types.default_attrs ~nexthop:t.bgp_id) with
+               Bgp_types.origin = Bgp_types.INCOMPLETE;
+               med = (if med = 0 then None else Some med) };
+           peer_id = 0; igp_metric = Some 0 };
+       reply ok []);
+  Xrl_router.add_handler r ~interface:"redist_client"
+    ~method_name:"delete_route" (fun args reply ->
+        withdraw t (Xrl_atom.get_ipv4net args "net");
+        reply ok []);
+  Xrl_router.add_handler r ~interface:"bgp" ~method_name:"originate_route"
+    (fun args reply ->
+       originate t (Xrl_atom.get_ipv4net args "net");
+       reply ok []);
+  Xrl_router.add_handler r ~interface:"bgp" ~method_name:"withdraw_route"
+    (fun args reply ->
+       withdraw t (Xrl_atom.get_ipv4net args "net");
+       reply ok []);
+  Xrl_router.add_handler r ~interface:"bgp" ~method_name:"get_route_count"
+    (fun _ reply -> reply ok [ Xrl_atom.u32 "count" (route_count t) ]);
+  Xrl_router.add_handler r ~interface:"bgp" ~method_name:"get_peer_state"
+    (fun args reply ->
+       let addr = Xrl_atom.get_ipv4 args "peer" in
+       match find_peer t addr with
+       | Some peer ->
+         reply ok
+           [ Xrl_atom.txt "state"
+               (Peer_fsm.state_to_string (Peer_fsm.state peer.fsm)) ]
+       | None ->
+         reply
+           (Xrl_error.Command_failed ("no peer " ^ Ipv4.to_string addr))
+           []);
+  Xrl_router.add_handler r ~interface:"bgp" ~method_name:"list_peers"
+    (fun _ reply ->
+       let vals =
+         Hashtbl.fold
+           (fun _ peer acc ->
+              Xrl_atom.Txt (Ipv4.to_string peer.cfg.peer_addr) :: acc)
+           t.peers []
+       in
+       reply ok [ Xrl_atom.list "peers" vals ])
+
+(* --- public API --------------------------------------------------------- *)
+
+let create ?profiler ?(send_to_rib = true) ?(nexthop_mode = `Rib)
+    ?(bgp_port = 179) finder loop ~netsim ~local_as ~bgp_id () =
+  let router = Xrl_router.create finder loop ~class_name:"bgp" () in
+  let decision = new Bgp_decision.decision_table ~name:"decision" () in
+  let t =
+    lazy
+      (let fanout =
+         new Bgp_fanout.fanout_table ~name:"fanout"
+           ~peer_info_of:(fun id -> decision#peer_info id)
+           loop
+       in
+       {
+         router; loop; netsim; profiler; local_as; bgp_id; bgp_port;
+         send_to_rib; nexthop_mode;
+         peers = Hashtbl.create 8; peer_kinds = Hashtbl.create 8;
+         next_peer_id = 0;
+         decision; fanout;
+         local_ribin = new Bgp_ribin.rib_in ~name:"local" ~peer_id:0 loop;
+         listeners = Hashtbl.create 4;
+         rib_q = Queue.create (); rib_flush_scheduled = false;
+         started = false;
+       })
+  in
+  let t = Lazy.force t in
+  (match profiler with
+   | Some p ->
+     List.iter (Profiler.define p) [ pp_entering; pp_queued_rib; pp_sent_rib ]
+   | None -> ());
+  Bgp_table.plumb t.decision t.fanout;
+  t.fanout#set_parent (t.decision :> Bgp_table.table);
+  (* Local branch: originated networks, already "resolved". *)
+  Bgp_table.plumb t.local_ribin t.decision;
+  t.decision#add_parent
+    ~info:(Bgp_types.local_peer_info ~local_as ~bgp_id)
+    (t.local_ribin :> Bgp_table.table);
+  (* RIB branch reads the fanout like any peer. *)
+  let rib_branch = make_rib_branch t in
+  t.fanout#add_reader
+    ~info:
+      { Bgp_types.peer_id = -1; peer_addr = Ipv4.zero; peer_as = 0;
+        kind = Bgp_types.Ebgp; peer_bgp_id = Ipv4.zero }
+    rib_branch;
+  add_xrl_handlers t;
+  t
+
+let ensure_listener t local_addr =
+  let key = Ipv4.to_int local_addr in
+  if not (Hashtbl.mem t.listeners key) then begin
+    let listener =
+      Netsim.Stream.listen t.netsim ~addr:local_addr ~port:t.bgp_port
+        (fun ep ->
+           let remote = Netsim.Stream.remote_addr ep in
+           match find_peer t remote with
+           | Some peer when not peer.removed -> attach_endpoint t peer ep
+           | _ ->
+             Log.debug (fun m ->
+                 m "refusing connection from unconfigured %s"
+                   (Ipv4.to_string remote));
+             Netsim.Stream.close ep)
+    in
+    Hashtbl.replace t.listeners key listener
+  end
+
+let start_peer t peer =
+  if is_dialer peer then dial t peer else Peer_fsm.start_passive peer.fsm
+
+let add_peer t cfg =
+  if Hashtbl.mem t.peers (peer_key cfg.peer_addr) then
+    invalid_arg
+      ("Bgp_process.add_peer: duplicate " ^ Ipv4.to_string cfg.peer_addr);
+  let peer = build_peer t cfg in
+  Hashtbl.replace t.peers (peer_key cfg.peer_addr) peer;
+  if t.started then begin
+    ensure_listener t cfg.local_addr;
+    start_peer t peer
+  end
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    Hashtbl.iter (fun _ peer -> ensure_listener t peer.cfg.local_addr) t.peers;
+    Hashtbl.iter (fun _ peer -> start_peer t peer) t.peers
+  end
+
+let remove_peer t addr =
+  match find_peer t addr with
+  | None -> ()
+  | Some peer ->
+    peer.removed <- true;
+    (match peer.retry_timer with
+     | Some timer -> Eventloop.cancel timer
+     | None -> ());
+    let state = Peer_fsm.state peer.fsm in
+    Peer_fsm.stop peer.fsm;
+    (* stop does not fire on_down; clean up the branch ourselves. *)
+    if state = Peer_fsm.Established then begin
+      t.fanout#remove_reader peer.info.peer_id;
+      (match peer.dump_task with
+       | Some task -> Eventloop.remove_task task
+       | None -> ())
+    end;
+    peer.ribin#peering_went_down ~slice:peer.cfg.deletion_slice ();
+    (* Permanent removal: detach the branch from the decision process.
+       The deletion stage's withdrawals still trigger re-evaluation,
+       which now simply no longer finds this branch's candidates. *)
+    t.decision#remove_parent peer.info.peer_id;
+    Hashtbl.remove t.peers (peer_key addr)
+
+let subscribe_rib_redistribution t ~policy =
+  let xrl =
+    Xrl.make ~target:"rib" ~interface:"rib" ~method_name:"redist_subscribe"
+      [ Xrl_atom.txt "target" (instance_name t);
+        Xrl_atom.txt "policy" policy ]
+  in
+  Xrl_router.send t.router xrl (fun err _ ->
+      if not (Xrl_error.is_ok err) then
+        Log.err (fun m ->
+            m "redist_subscribe failed: %s" (Xrl_error.to_string err)))
+
+let peer_state t addr = Option.map (fun p -> Peer_fsm.state p.fsm) (find_peer t addr)
+
+let peer_addresses t =
+  Hashtbl.fold (fun _ p acc -> p.cfg.peer_addr :: acc) t.peers []
+  |> List.sort Ipv4.compare
+
+let established_count t =
+  Hashtbl.fold
+    (fun _ p acc ->
+       if Peer_fsm.state p.fsm = Peer_fsm.Established then acc + 1 else acc)
+    t.peers 0
+
+let ribin_count t addr =
+  match find_peer t addr with Some p -> p.ribin#route_count | None -> 0
+
+let deletion_stages t addr =
+  match find_peer t addr with
+  | Some p -> p.ribin#active_deletion_stages
+  | None -> 0
+
+let cache_violations t =
+  Hashtbl.fold
+    (fun _ p acc ->
+       match p.out_cache with Some c -> c#violations @ acc | None -> acc)
+    t.peers []
+
+let set_import_policies t addr programs =
+  match find_peer t addr with
+  | None -> false
+  | Some peer ->
+    let it = peer.ribin#safe_iter in
+    peer.import_filter#replace_programs ~loop:t.loop
+      ~pull:(fun () -> Option.map snd (Ptree.Safe_iter.next it))
+      programs;
+    true
+
+(* Fault injection for tests and experiments: cut a session silently,
+   so only the hold timer can notice. *)
+let sever_session t addr =
+  match find_peer t addr with
+  | Some ({ endpoint = Some ep; _ }) ->
+    Netsim.Stream.sever ep;
+    true
+  | _ -> false
+
+let fanout_queue_length t = t.fanout#queue_length
+let fanout_peak_queue_length t = t.fanout#peak_queue_length
+
+let shutdown t =
+  Hashtbl.iter
+    (fun _ peer ->
+       peer.removed <- true;
+       (match peer.retry_timer with
+        | Some timer -> Eventloop.cancel timer
+        | None -> ());
+       Peer_fsm.stop peer.fsm)
+    t.peers;
+  Hashtbl.iter (fun _ l -> Netsim.Stream.unlisten l) t.listeners;
+  Hashtbl.reset t.listeners;
+  Hashtbl.reset t.peers;
+  Xrl_router.shutdown t.router

@@ -1,0 +1,127 @@
+(** The BGP component: sessions, the staged pipeline of Figure 5, RIB
+    interaction, and the [bgp/1.0] XRL interface.
+
+    Per-peer input branch:
+    {v PeerIn → [deletion stages]* → import filters → [damping] →
+       nexthop resolver → Decision v}
+    and output branch:
+    {v Fanout reader → export filters → [checking cache] → PeerOut →
+       session v}
+    plus a RIB branch on the fanout that pushes winning routes to the
+    ["rib"] component over XRLs (protocol ["ebgp"] or ["ibgp"]).
+
+    Sessions run real RFC 4271 messages over {!Netsim} streams. Peering
+    loss hands the PeerIn's table to a dynamic deletion stage
+    (§5.1.2) and the session may come straight back up; re-established
+    sessions receive a background dump of the current winners.
+
+    Nexthop resolution uses the RIB's [register_interest] XRLs
+    (§5.2.1), with the answer cache invalidated via the
+    [rib_client/1.0/route_info_invalid] callback; or, for standalone
+    topologies without a RIB, the [`Assume_resolvable] mode. *)
+
+type t
+
+type peer_config = {
+  peer_addr : Ipv4.t;
+  local_addr : Ipv4.t;
+  peer_as : int;
+  hold_time : float;
+  connect_retry : float;
+  passive : bool option;
+  (** [None]: the side with the lower address dials. *)
+  import_policies : Policy.program list;
+  export_policies : Policy.program list;
+  damping : Bgp_damping.params option;
+  (** [Some p] plumbs a damping stage into this peer's input branch. *)
+  checking_cache : bool;
+  (** Plumb the §5.1 consistency-checking cache stage into the output
+      branch (debugging). *)
+  deletion_slice : int;
+  (** Routes deleted per background slice after a peering loss. *)
+  aggregates : Bgp_aggregation.aggregate_config list;
+  (** Aggregation stages for this peer's output branch: while any
+      component route inside an aggregate prefix is alive, the
+      aggregate is announced (ATOMIC_AGGREGATE, empty AS path), with
+      the more-specifics optionally suppressed. *)
+}
+
+val default_peer_config :
+  peer_addr:Ipv4.t -> local_addr:Ipv4.t -> peer_as:int -> peer_config
+(** hold 90 s, retry 5 s, auto dial direction, no policies, no damping,
+    no checking cache, deletion slice 100. *)
+
+val create :
+  ?profiler:Profiler.t ->
+  ?send_to_rib:bool ->
+  ?nexthop_mode:[ `Rib | `Assume_resolvable ] ->
+  ?bgp_port:int ->
+  Finder.t -> Eventloop.t -> netsim:Netsim.t ->
+  local_as:int -> bgp_id:Ipv4.t -> unit -> t
+(** Registers component class ["bgp"] with the Finder. [send_to_rib]
+    defaults to true; [nexthop_mode] defaults to [`Rib]; [bgp_port]
+    defaults to 179. *)
+
+val add_peer : t -> peer_config -> unit
+(** @raise Invalid_argument if the peer address is already configured. *)
+
+val remove_peer : t -> Ipv4.t -> unit
+(** Administrative stop; the peer's routes are flushed in the
+    background by a deletion stage. *)
+
+val start : t -> unit
+(** Begin listening and dialing. *)
+
+val originate : t -> Ipv4net.t -> unit
+(** Advertise a locally originated network to all peers. *)
+
+val subscribe_rib_redistribution : t -> policy:string -> unit
+(** Ask the RIB to redistribute matching routes into BGP
+    ([rib/1.0/redist_subscribe] targeting this component); they are
+    advertised with INCOMPLETE origin. The policy is stack-language
+    source. *)
+
+val withdraw : t -> Ipv4net.t -> unit
+
+val peer_state : t -> Ipv4.t -> Peer_fsm.state option
+val peer_addresses : t -> Ipv4.t list
+val established_count : t -> int
+
+val route_count : t -> int
+(** Post-decision winners. *)
+
+val ribin_count : t -> Ipv4.t -> int
+(** Routes currently stored in one peer's PeerIn. *)
+
+val deletion_stages : t -> Ipv4.t -> int
+(** Active background deletion stages on one peer's branch. *)
+
+val cache_violations : t -> string list
+(** Violations recorded by all checking-cache stages. *)
+
+val set_import_policies : t -> Ipv4.t -> Policy.program list -> bool
+(** Replace a peer's import filter bank; triggers the background
+    re-filter pass. Returns false if the peer is unknown. *)
+
+val sever_session : t -> Ipv4.t -> bool
+(** Fault injection: silently cut the TCP session with a peer (no close
+    notification — only hold timers can detect it). Returns false if
+    there is no live endpoint. *)
+
+val fanout_queue_length : t -> int
+val fanout_peak_queue_length : t -> int
+
+val instance_name : t -> string
+val xrl_router : t -> Xrl_router.t
+val shutdown : t -> unit
+
+(** {1 Profile points (Figures 10–12)} *)
+
+val pp_entering : string
+(** ["bgp_in"] — UPDATE entering BGP. *)
+
+val pp_queued_rib : string
+(** ["bgp_queued_rib"] — winner queued for transmission to the RIB. *)
+
+val pp_sent_rib : string
+(** ["bgp_sent_rib"] — sent to the RIB. *)

@@ -1,0 +1,153 @@
+(* PeerOut stages (RibOut): the tail of each output branch (Figure 5).
+
+   Maintains the Adj-RIB-Out (what this peer has been told), applies
+   the standard per-session-type attribute rules, batches changes, and
+   packs them into UPDATE messages:
+
+   - EBGP: prepend the local AS, set nexthop to our session address,
+     strip LOCAL_PREF and MED, and drop routes whose AS path already
+     contains the peer's AS (loop prevention becomes a withdrawal if
+     the prefix was previously advertised).
+   - IBGP: attributes pass unchanged, with LOCAL_PREF made explicit.
+
+   Batching: changes accumulate and are flushed in one deferred event;
+   withdrawals are packed together and announcements are grouped by
+   identical attributes, honouring the 4096-byte message limit. *)
+
+let max_prefixes_per_update = 700
+
+type change = Announce of Bgp_types.route | Withdraw of Ipv4net.t
+
+class rib_out ~name ~(info : Bgp_types.peer_info) ~(local_as : int)
+    ~(local_addr : Ipv4.t) ~(send : Bgp_packet.msg -> bool)
+    (loop : Eventloop.t) =
+  object (self)
+    inherit Bgp_table.base name
+    val adv : Bgp_types.route Ptree.t = Ptree.create () (* Adj-RIB-Out *)
+    val pending : change Queue.t = Queue.create ()
+    val mutable flush_scheduled = false
+    val mutable updates_built = 0
+
+    method advertised_count = Ptree.size adv
+    method updates_built = updates_built
+    method advertised net = Ptree.find adv net
+
+    method private transform (r : Bgp_types.route) : Bgp_types.route option =
+      let a = r.Bgp_types.attrs in
+      match info.kind with
+      | Bgp_types.Ebgp ->
+        if Aspath.contains a.aspath info.peer_as then None
+        else
+          Some
+            { r with
+              Bgp_types.attrs =
+                { a with
+                  Bgp_types.aspath = Aspath.prepend local_as a.aspath;
+                  nexthop = local_addr;
+                  localpref = None;
+                  med = None } }
+      | Bgp_types.Ibgp ->
+        Some
+          { r with
+            Bgp_types.attrs =
+              { a with
+                Bgp_types.localpref =
+                  Some (Bgp_types.effective_localpref a) } }
+
+    method private schedule_flush =
+      if not flush_scheduled then begin
+        flush_scheduled <- true;
+        Eventloop.defer loop (fun () ->
+            flush_scheduled <- false;
+            self#flush)
+      end
+
+    method add_route r =
+      (match self#transform r with
+       | Some r' ->
+         ignore (Ptree.insert adv r'.Bgp_types.net r');
+         Queue.push (Announce r') pending
+       | None ->
+         (* Transform dropped it; withdraw any previous advertisement. *)
+         (match Ptree.remove adv r.Bgp_types.net with
+          | Some _ -> Queue.push (Withdraw r.Bgp_types.net) pending
+          | None -> ()));
+      self#schedule_flush
+
+    method delete_route r =
+      match Ptree.remove adv r.Bgp_types.net with
+      | Some _ ->
+        Queue.push (Withdraw r.Bgp_types.net) pending;
+        self#schedule_flush
+      | None -> () (* never advertised (filtered/transform-dropped) *)
+
+    method lookup_route net = Ptree.find adv net
+
+    method private flush =
+      (* Net effect per prefix: the last change wins. *)
+      let final : (Ipv4net.t, change) Hashtbl.t = Hashtbl.create 64 in
+      let order = ref [] in
+      Queue.iter
+        (fun ch ->
+           let net =
+             match ch with
+             | Announce r -> r.Bgp_types.net
+             | Withdraw net -> net
+           in
+           if not (Hashtbl.mem final net) then order := net :: !order;
+           Hashtbl.replace final net ch)
+        pending;
+      Queue.clear pending;
+      let withdrawals = ref [] in
+      let announces = ref [] in (* (attrs, nets ref) groups *)
+      List.iter
+        (fun net ->
+           match Hashtbl.find final net with
+           | Withdraw net -> withdrawals := net :: !withdrawals
+           | Announce r ->
+             let a = r.Bgp_types.attrs in
+             (match
+                List.find_opt
+                  (fun (ga, _) -> Bgp_types.attrs_equal ga a)
+                  !announces
+              with
+              | Some (_, nets) -> nets := r.Bgp_types.net :: !nets
+              | None -> announces := (a, ref [ r.Bgp_types.net ]) :: !announces))
+        (List.rev !order);
+      let rec chunks l =
+        if List.length l <= max_prefixes_per_update then [ l ]
+        else
+          let rec split n acc = function
+            | rest when n = 0 -> (List.rev acc, rest)
+            | x :: rest -> split (n - 1) (x :: acc) rest
+            | [] -> (List.rev acc, [])
+          in
+          let head, rest = split max_prefixes_per_update [] l in
+          head :: chunks rest
+      in
+      if !withdrawals <> [] then
+        List.iter
+          (fun nets ->
+             updates_built <- updates_built + 1;
+             ignore
+               (send
+                  (Bgp_packet.Update { withdrawn = nets; attrs = None; nlri = [] })))
+          (chunks (List.rev !withdrawals));
+      List.iter
+        (fun (attrs, nets) ->
+           List.iter
+             (fun nlri ->
+                updates_built <- updates_built + 1;
+                ignore
+                  (send
+                     (Bgp_packet.Update
+                        { withdrawn = []; attrs = Some attrs; nlri })))
+             (chunks (List.rev !nets)))
+        (List.rev !announces)
+
+    (* Session re-established: forget the Adj-RIB-Out (the peer lost
+       everything) so the fresh dump starts clean. *)
+    method session_reset =
+      Ptree.clear adv;
+      Queue.clear pending
+  end

@@ -1,0 +1,70 @@
+type origin = IGP | EGP | INCOMPLETE
+
+let origin_rank = function IGP -> 0 | EGP -> 1 | INCOMPLETE -> 2
+
+let origin_to_string = function
+  | IGP -> "igp"
+  | EGP -> "egp"
+  | INCOMPLETE -> "incomplete"
+
+type attrs = {
+  origin : origin;
+  aspath : Aspath.t;
+  nexthop : Ipv4.t;
+  med : int option;
+  localpref : int option;
+  communities : int list;
+  atomic_aggregate : bool;
+}
+
+let default_attrs ~nexthop =
+  { origin = IGP; aspath = Aspath.empty; nexthop; med = None;
+    localpref = None; communities = []; atomic_aggregate = false }
+
+let attrs_equal a b =
+  a.origin = b.origin
+  && Aspath.equal a.aspath b.aspath
+  && Ipv4.equal a.nexthop b.nexthop
+  && a.med = b.med
+  && a.localpref = b.localpref
+  && a.communities = b.communities
+  && a.atomic_aggregate = b.atomic_aggregate
+
+type route = {
+  net : Ipv4net.t;
+  attrs : attrs;
+  peer_id : int;
+  igp_metric : int option;
+}
+
+let route_equal a b =
+  Ipv4net.equal a.net b.net
+  && a.peer_id = b.peer_id
+  && attrs_equal a.attrs b.attrs
+  && a.igp_metric = b.igp_metric
+
+let route_to_string r =
+  Printf.sprintf "%s nh %s path [%s] peer %d%s"
+    (Ipv4net.to_string r.net)
+    (Ipv4.to_string r.attrs.nexthop)
+    (Aspath.to_string r.attrs.aspath)
+    r.peer_id
+    (match r.igp_metric with
+     | Some m -> Printf.sprintf " igp %d" m
+     | None -> " unresolved")
+
+type peer_kind = Ebgp | Ibgp
+
+type peer_info = {
+  peer_id : int;
+  peer_addr : Ipv4.t;
+  peer_as : int;
+  kind : peer_kind;
+  peer_bgp_id : Ipv4.t;
+}
+
+let local_peer_info ~local_as ~bgp_id =
+  { peer_id = 0; peer_addr = Ipv4.zero; peer_as = local_as; kind = Ibgp;
+    peer_bgp_id = bgp_id }
+
+let effective_localpref attrs = Option.value attrs.localpref ~default:100

@@ -1,0 +1,310 @@
+let src = Logs.Src.create "xorp.eventloop" ~doc:"camlXORP event loop"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type timer = {
+  mutable deadline : float;
+  mutable action : action;
+  mutable cancelled : bool;
+  tloop : t_ref;
+}
+
+and action =
+  | Once of (unit -> unit)
+  | Periodic of float * (unit -> bool)
+
+and task = {
+  weight : int;
+  slice : unit -> [ `Continue | `Done ];
+  mutable live : bool;
+}
+
+and t = {
+  mode : [ `Real | `Sim ];
+  mutable vclock : float;
+  timers : timer Minheap.t;
+  mutable live_timers : int;
+  deferred : (unit -> unit) Queue.t;
+  tasks : task Queue.t;
+  mutable live_tasks : int;
+  readers : (Unix.file_descr, unit -> unit) Hashtbl.t;
+  writers : (Unix.file_descr, unit -> unit) Hashtbl.t;
+  mutable stopping : bool;
+  mutable dispatched : int;
+}
+
+and t_ref = t
+
+let create ?(mode = `Sim) () =
+  {
+    mode;
+    vclock = 0.0;
+    timers = Minheap.create ();
+    live_timers = 0;
+    deferred = Queue.create ();
+    tasks = Queue.create ();
+    live_tasks = 0;
+    readers = Hashtbl.create 8;
+    writers = Hashtbl.create 8;
+    stopping = false;
+    dispatched = 0;
+  }
+
+let mode t = t.mode
+
+let now t =
+  match t.mode with
+  | `Real -> Unix.gettimeofday ()
+  | `Sim -> t.vclock
+
+let at t time cb =
+  let tm = { deadline = time; action = Once cb; cancelled = false; tloop = t } in
+  Minheap.push t.timers time tm;
+  t.live_timers <- t.live_timers + 1;
+  tm
+
+let after t delay cb = at t (now t +. delay) cb
+
+let periodic t ival cb =
+  if ival <= 0.0 then invalid_arg "Eventloop.periodic";
+  let tm =
+    { deadline = now t +. ival; action = Periodic (ival, cb);
+      cancelled = false; tloop = t }
+  in
+  Minheap.push t.timers tm.deadline tm;
+  t.live_timers <- t.live_timers + 1;
+  tm
+
+let cancel tm =
+  if not tm.cancelled then begin
+    tm.cancelled <- true;
+    tm.tloop.live_timers <- tm.tloop.live_timers - 1
+  end
+
+let timer_pending tm = not tm.cancelled
+let defer t cb = Queue.push cb t.deferred
+
+let add_task t ?(weight = 1) slice =
+  if weight < 1 then invalid_arg "Eventloop.add_task";
+  let task = { weight; slice; live = true } in
+  Queue.push task t.tasks;
+  t.live_tasks <- t.live_tasks + 1;
+  task
+
+let task_live task = task.live
+
+let remove_task task = task.live <- false
+(* live_tasks is decremented when the dead task is next dequeued. *)
+
+let add_reader t fd cb = Hashtbl.replace t.readers fd cb
+let remove_reader t fd = Hashtbl.remove t.readers fd
+let add_writer t fd cb = Hashtbl.replace t.writers fd cb
+let remove_writer t fd = Hashtbl.remove t.writers fd
+
+let dispatch t cb =
+  t.dispatched <- t.dispatched + 1;
+  try cb () with
+  | exn ->
+    Log.err (fun m ->
+        m "callback raised %s; continuing" (Printexc.to_string exn))
+
+(* Run the deferred events queued at entry (new deferrals run on the
+   next iteration, so a self-deferring event cannot starve timers). *)
+let run_deferred t =
+  let n = Queue.length t.deferred in
+  for _ = 1 to n do
+    match Queue.take_opt t.deferred with
+    | Some cb -> dispatch t cb
+    | None -> ()
+  done;
+  n > 0
+
+let rec fire_due_timers t progressed =
+  match Minheap.peek t.timers with
+  | Some (_, tm) when tm.cancelled ->
+    ignore (Minheap.pop t.timers);
+    fire_due_timers t progressed
+  | Some (deadline, tm) when deadline <= now t ->
+    ignore (Minheap.pop t.timers);
+    (match tm.action with
+     | Once cb ->
+       tm.cancelled <- true;
+       t.live_timers <- t.live_timers - 1;
+       dispatch t cb
+     | Periodic (ival, cb) ->
+       let continue = ref false in
+       t.dispatched <- t.dispatched + 1;
+       (try continue := cb () with
+        | exn ->
+          Log.err (fun m ->
+              m "periodic timer raised %s; stopping it" (Printexc.to_string exn)));
+       if !continue && not tm.cancelled then begin
+         (* Advance from the scheduled deadline to avoid drift, but
+            never reschedule into the past. *)
+         let next = ref (tm.deadline +. ival) in
+         while !next <= now t do next := !next +. ival done;
+         tm.deadline <- !next;
+         Minheap.push t.timers !next tm
+       end
+       else if not tm.cancelled then begin
+         tm.cancelled <- true;
+         t.live_timers <- t.live_timers - 1
+       end);
+    fire_due_timers t true
+  | _ -> progressed
+
+(* Run one background task for [weight] slices, round-robin. *)
+let run_one_task t =
+  let rec skim () =
+    match Queue.take_opt t.tasks with
+    | None -> false
+    | Some task when not task.live ->
+      t.live_tasks <- t.live_tasks - 1;
+      skim ()
+    | Some task ->
+      let rec slices n =
+        if n = 0 || not task.live then `Continue
+        else
+          match (try task.slice () with
+                 | exn ->
+                   Log.err (fun m ->
+                       m "background task raised %s; retiring it"
+                         (Printexc.to_string exn));
+                   `Done)
+          with
+          | `Done -> `Done
+          | `Continue -> slices (n - 1)
+      in
+      t.dispatched <- t.dispatched + 1;
+      (match slices task.weight with
+       | `Done ->
+         task.live <- false;
+         t.live_tasks <- t.live_tasks - 1
+       | `Continue ->
+         if task.live then Queue.push task t.tasks
+         else t.live_tasks <- t.live_tasks - 1);
+      true
+  in
+  skim ()
+
+let next_deadline t =
+  let rec peek () =
+    match Minheap.peek t.timers with
+    | Some (_, tm) when tm.cancelled ->
+      ignore (Minheap.pop t.timers);
+      peek ()
+    | Some (deadline, _) -> Some deadline
+    | None -> None
+  in
+  peek ()
+
+let poll_fds t timeout =
+  if Hashtbl.length t.readers = 0 && Hashtbl.length t.writers = 0 then begin
+    if timeout > 0.0 then Unix.sleepf (min timeout 0.1);
+    false
+  end
+  else begin
+    let rds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.readers [] in
+    let wrs = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.writers [] in
+    match Unix.select rds wrs [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+    | rready, wready, _ ->
+      List.iter
+        (fun fd ->
+           match Hashtbl.find_opt t.readers fd with
+           | Some cb -> dispatch t cb
+           | None -> ())
+        rready;
+      List.iter
+        (fun fd ->
+           match Hashtbl.find_opt t.writers fd with
+           | Some cb -> dispatch t cb
+           | None -> ())
+        wready;
+      rready <> [] || wready <> []
+  end
+
+let has_work t =
+  not (Queue.is_empty t.deferred)
+  || t.live_timers > 0 || t.live_tasks > 0
+  || (t.mode = `Real
+      && (Hashtbl.length t.readers > 0 || Hashtbl.length t.writers > 0))
+
+(* One iteration; [cap] bounds how far the virtual clock may jump. *)
+let run_once_capped t cap =
+  let progressed = run_deferred t in
+  let progressed = fire_due_timers t progressed in
+  let progressed =
+    match t.mode with
+    | `Real ->
+      let timeout =
+        if progressed || t.live_tasks > 0 || not (Queue.is_empty t.deferred)
+        then 0.0
+        else
+          match next_deadline t with
+          | Some d -> max 0.0 (min (d -. now t) 0.1)
+          | None -> 0.1
+      in
+      let fd_progress = poll_fds t timeout in
+      progressed || fd_progress
+    | `Sim -> progressed
+  in
+  if progressed then true
+  else if not (Queue.is_empty t.deferred) then true
+  else if run_one_task t then true
+  else
+    match t.mode with
+    | `Real -> has_work t
+    | `Sim ->
+      (match next_deadline t with
+       | Some d ->
+         let target = match cap with Some c -> min d c | None -> d in
+         if target > t.vclock then begin
+           t.vclock <- target;
+           true
+         end
+         else target = d (* due now; next iteration fires it *)
+       | None ->
+         (match cap with
+          | Some c when c > t.vclock ->
+            t.vclock <- c;
+            false
+          | _ -> false))
+
+let run_once t = run_once_capped t None
+
+let run ?(until = fun () -> false) t =
+  t.stopping <- false;
+  let rec loop () =
+    if t.stopping || until () then ()
+    else if run_once t then loop ()
+    else ()
+  in
+  loop ()
+
+let run_until_time t target =
+  t.stopping <- false;
+  (* Keep iterating while now <= target so that work due exactly at the
+     target time runs before we return. *)
+  let rec loop () =
+    if t.stopping || now t > target then ()
+    else begin
+      let progress = run_once_capped t (Some target) in
+      if progress then loop ()
+    end
+  in
+  loop ()
+
+let run_until_idle t =
+  t.stopping <- false;
+  let work_now () =
+    (not (Queue.is_empty t.deferred))
+    || t.live_tasks > 0
+    || (match next_deadline t with Some d -> d <= now t | None -> false)
+  in
+  while (not t.stopping) && work_now () do
+    ignore (run_once_capped t (Some (now t)))
+  done
+
+let stop t = t.stopping <- true
+let events_dispatched t = t.dispatched

@@ -1,0 +1,107 @@
+(** Single-threaded event loop — the core of the XORP programming model
+    (paper §4).
+
+    Everything in camlXORP is event-driven: callbacks are dispatched on
+    timer expiry, file-descriptor readiness, and deferred events, and
+    events are processed to completion. Long-running work (deleting a
+    full routing table, re-filtering after a policy change) runs as a
+    {e background task}: a cooperative slice of work invoked only when
+    no events are pending, exactly as §4 describes.
+
+    Two clock modes:
+    - [`Real]: [now] is wall-clock time ([Unix.gettimeofday]) and idle
+      periods block in [select] on registered file descriptors.
+    - [`Sim]: [now] is a virtual clock that jumps instantaneously to the
+      next timer deadline when the loop is otherwise idle, making long
+      experiments (Figure 13's 255 seconds) run in milliseconds and
+      fully deterministically. *)
+
+type t
+
+val create : ?mode:[ `Real | `Sim ] -> unit -> t
+(** Default mode is [`Sim]; a virtual clock starts at time 0. *)
+
+val mode : t -> [ `Real | `Sim ]
+
+val now : t -> float
+(** Current time in seconds: wall-clock ([`Real]) or virtual ([`Sim]). *)
+
+(** {1 Timers} *)
+
+type timer
+
+val at : t -> float -> (unit -> unit) -> timer
+(** [at loop time cb] fires [cb] once at absolute [time]. Times in the
+    past fire on the next iteration. *)
+
+val after : t -> float -> (unit -> unit) -> timer
+(** [after loop delay cb] fires once [delay] seconds from [now]. *)
+
+val periodic : t -> float -> (unit -> bool) -> timer
+(** [periodic loop ival cb] fires every [ival] seconds for as long as
+    [cb] returns [true]. *)
+
+val cancel : timer -> unit
+(** Idempotent; a cancelled timer never fires again. *)
+
+val timer_pending : timer -> bool
+
+(** {1 Deferred events}
+
+    A deferred event runs on the current loop iteration, after events
+    already queued — the mechanism components use to schedule work
+    "immediately, but not re-entrantly". *)
+
+val defer : t -> (unit -> unit) -> unit
+
+(** {1 Background tasks (§4, §5.1.2)} *)
+
+type task
+
+val add_task : t -> ?weight:int -> (unit -> [ `Continue | `Done ]) -> task
+(** [add_task loop f] registers a background task. [f] is called for
+    one slice of work whenever the loop has no events to process; it
+    returns [`Continue] to be rescheduled or [`Done] to retire. Tasks
+    are scheduled round-robin; [weight] (default 1) gives a task that
+    many consecutive slices per round. *)
+
+val remove_task : task -> unit
+val task_live : task -> bool
+
+(** {1 File descriptors ([`Real] mode)} *)
+
+val add_reader : t -> Unix.file_descr -> (unit -> unit) -> unit
+(** Replaces any previous read callback for the descriptor. *)
+
+val remove_reader : t -> Unix.file_descr -> unit
+val add_writer : t -> Unix.file_descr -> (unit -> unit) -> unit
+val remove_writer : t -> Unix.file_descr -> unit
+
+(** {1 Running} *)
+
+val run_once : t -> bool
+(** One iteration: dispatch deferred events, fire due timers, poll file
+    descriptors, else run one background-task slice, else ([`Sim])
+    advance the virtual clock to the next deadline. Returns [false]
+    when the loop made no progress (fully idle with nothing pending —
+    in [`Real] mode after an up-to-100ms [select] wait). *)
+
+val run : ?until:(unit -> bool) -> t -> unit
+(** Iterate until [until ()] is true (checked between iterations) or
+    the loop is fully idle. *)
+
+val run_until_time : t -> float -> unit
+(** Run until [now] reaches the given absolute time. In [`Sim] mode the
+    clock never overshoots: it stops exactly at the target even if the
+    next timer is later. *)
+
+val run_until_idle : t -> unit
+(** Run until no deferred events, no due work and no background tasks
+    remain. Pending {e future} timers do not count as work here; this
+    drains "everything that can happen now". *)
+
+val stop : t -> unit
+(** Make the innermost [run] return after the current iteration. *)
+
+val events_dispatched : t -> int
+(** Total callbacks dispatched since creation (tests and benches). *)

@@ -1,0 +1,75 @@
+type 'a entry = { prio : float; seq : int; v : 'a }
+
+type 'a t = {
+  mutable arr : 'a entry array;
+  mutable len : int;
+  mutable seq : int;
+}
+
+let create () = { arr = [||]; len = 0; seq = 0 }
+let size h = h.len
+let is_empty h = h.len = 0
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow h e =
+  let cap = Array.length h.arr in
+  if h.len >= cap then begin
+    let ncap = max 16 (2 * cap) in
+    let na = Array.make ncap e in
+    Array.blit h.arr 0 na 0 h.len;
+    h.arr <- na
+  end
+
+let push h prio v =
+  let e = { prio; seq = h.seq; v } in
+  h.seq <- h.seq + 1;
+  grow h e;
+  h.arr.(h.len) <- e;
+  h.len <- h.len + 1;
+  (* sift up *)
+  let i = ref (h.len - 1) in
+  while !i > 0 && less h.arr.(!i) h.arr.((!i - 1) / 2) do
+    let p = (!i - 1) / 2 in
+    let tmp = h.arr.(p) in
+    h.arr.(p) <- h.arr.(!i);
+    h.arr.(!i) <- tmp;
+    i := p
+  done
+
+let peek h =
+  if h.len = 0 then None
+  else
+    let e = h.arr.(0) in
+    Some (e.prio, e.v)
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.arr.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.arr.(0) <- h.arr.(h.len);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && less h.arr.(l) h.arr.(!smallest) then smallest := l;
+        if r < h.len && less h.arr.(r) h.arr.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.arr.(!smallest) in
+          h.arr.(!smallest) <- h.arr.(!i);
+          h.arr.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.prio, top.v)
+  end
+
+let clear h =
+  h.arr <- [||];
+  h.len <- 0

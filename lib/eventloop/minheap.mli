@@ -1,0 +1,22 @@
+(** Array-based binary min-heap, used for the event loop's timer queue.
+
+    Entries are compared by a float priority with an insertion sequence
+    number as tie-break, so equal-deadline timers fire in the order they
+    were scheduled. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h prio v] inserts [v] with priority [prio]. O(log n). *)
+
+val peek : 'a t -> (float * 'a) option
+(** Smallest entry without removing it. O(1). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the smallest entry. O(log n). *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,184 @@
+let src = Logs.Src.create "xorp.fea" ~doc:"Forwarding Engine Abstraction"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let pp_kernel = "fea_kernel"
+let pp_arrived = "fea_arrived"
+
+type relay_socket = {
+  sockid : int;
+  client_target : string;
+  dgram : Netsim.Dgram.socket;
+}
+
+type t = {
+  router : Xrl_router.t;
+  fib : Fib.t;
+  profiler : Profiler.t option;
+  ifaces : (string * Ipv4.t) list;
+  netsim : Netsim.t option;
+  sockets : (int, relay_socket) Hashtbl.t;
+  mutable next_sockid : int;
+  mutable installed : int;
+}
+
+let fib t = t.fib
+let xrl_router t = t.router
+let interfaces t = t.ifaces
+let routes_installed t = t.installed
+
+let profile t point payload =
+  match t.profiler with
+  | Some p -> Profiler.record p point payload
+  | None -> ()
+
+let ok = Xrl_error.Ok_xrl
+
+let add_fib_handlers t =
+  let r = t.router in
+  Xrl_router.add_handler r ~interface:"fea" ~method_name:"add_route4"
+    (fun args reply ->
+       let net = Xrl_atom.get_ipv4net args "net" in
+       let nexthop = Xrl_atom.get_ipv4 args "nexthop" in
+       let ifname =
+         match Xrl_atom.find args "ifname" with
+         | Some { value = Txt s; _ } -> s
+         | _ -> ""
+       in
+       let protocol =
+         match Xrl_atom.find args "protocol" with
+         | Some { value = Txt s; _ } -> s
+         | _ -> "unknown"
+       in
+       profile t pp_arrived (Printf.sprintf "add %s" (Ipv4net.to_string net));
+       Fib.add t.fib { Fib.net; nexthop; ifname; protocol };
+       t.installed <- t.installed + 1;
+       profile t pp_kernel (Printf.sprintf "add %s" (Ipv4net.to_string net));
+       reply ok []);
+  Xrl_router.add_handler r ~interface:"fea" ~method_name:"delete_route4"
+    (fun args reply ->
+       let net = Xrl_atom.get_ipv4net args "net" in
+       let existed = Fib.delete t.fib net in
+       profile t pp_kernel (Printf.sprintf "delete %s" (Ipv4net.to_string net));
+       if existed then reply ok []
+       else
+         reply
+           (Xrl_error.Command_failed
+              ("no FIB entry for " ^ Ipv4net.to_string net))
+           []);
+  Xrl_router.add_handler r ~interface:"fea" ~method_name:"lookup_route4"
+    (fun args reply ->
+       let addr = Xrl_atom.get_ipv4 args "addr" in
+       match Fib.lookup t.fib addr with
+       | Some e ->
+         reply ok
+           [ Xrl_atom.ipv4net "net" e.Fib.net;
+             Xrl_atom.ipv4 "nexthop" e.Fib.nexthop;
+             Xrl_atom.txt "ifname" e.Fib.ifname ]
+       | None ->
+         reply
+           (Xrl_error.Command_failed
+              ("no route to " ^ Ipv4.to_string addr))
+           []);
+  Xrl_router.add_handler r ~interface:"fea" ~method_name:"get_fib_size"
+    (fun _ reply -> reply ok [ Xrl_atom.u32 "size" (Fib.size t.fib) ]);
+  Xrl_router.add_handler r ~interface:"fea" ~method_name:"get_interfaces"
+    (fun _ reply ->
+       let vals =
+         List.concat_map
+           (fun (name, a) ->
+              [ Xrl_atom.Txt name; Xrl_atom.Txt (Ipv4.to_string a) ])
+           t.ifaces
+       in
+       reply ok [ Xrl_atom.list "interfaces" vals ])
+
+let deliver_to_client t sock ~src:srcaddr ~sport payload =
+  let xrl =
+    Xrl.make ~target:sock.client_target ~interface:"fea_client"
+      ~method_name:"recv"
+      [ Xrl_atom.u32 "sockid" sock.sockid;
+        Xrl_atom.ipv4 "src" srcaddr;
+        Xrl_atom.u32 "sport" sport;
+        Xrl_atom.binary "payload" payload ]
+  in
+  Xrl_router.send t.router xrl (fun err _ ->
+      if not (Xrl_error.is_ok err) then
+        Log.warn (fun m ->
+            m "udp relay delivery to %s failed: %s" sock.client_target
+              (Xrl_error.to_string err)))
+
+let add_udp_handlers t =
+  let r = t.router in
+  Xrl_router.add_handler r ~interface:"fea_udp" ~method_name:"udp_open"
+    (fun args reply ->
+       let client_target = Xrl_atom.get_txt args "client_target" in
+       let addr = Xrl_atom.get_ipv4 args "addr" in
+       let port = Xrl_atom.get_u32 args "port" in
+       match t.netsim with
+       | None -> reply (Xrl_error.Command_failed "FEA has no data plane") []
+       | Some net ->
+         if not (List.exists (fun (_, a) -> Ipv4.equal a addr) t.ifaces) then
+           reply
+             (Xrl_error.Command_failed
+                (Ipv4.to_string addr ^ " is not a local interface address"))
+             []
+         else begin
+           match Netsim.Dgram.bind net ~addr ~port with
+           | dgram ->
+             t.next_sockid <- t.next_sockid + 1;
+             let sock = { sockid = t.next_sockid; client_target; dgram } in
+             Hashtbl.replace t.sockets sock.sockid sock;
+             Netsim.Dgram.on_receive dgram (fun ~src ~sport payload ->
+                 deliver_to_client t sock ~src ~sport payload);
+             reply ok [ Xrl_atom.u32 "sockid" sock.sockid ]
+           | exception Invalid_argument msg ->
+             reply (Xrl_error.Command_failed msg) []
+         end);
+  Xrl_router.add_handler r ~interface:"fea_udp" ~method_name:"udp_send"
+    (fun args reply ->
+       let sockid = Xrl_atom.get_u32 args "sockid" in
+       let dst = Xrl_atom.get_ipv4 args "dst" in
+       let dport = Xrl_atom.get_u32 args "dport" in
+       let payload = Xrl_atom.get_binary args "payload" in
+       match Hashtbl.find_opt t.sockets sockid with
+       | None ->
+         reply
+           (Xrl_error.Command_failed (Printf.sprintf "no socket %d" sockid))
+           []
+       | Some sock ->
+         Netsim.Dgram.sendto sock.dgram ~dst ~dport payload;
+         reply ok []);
+  Xrl_router.add_handler r ~interface:"fea_udp" ~method_name:"udp_close"
+    (fun args reply ->
+       let sockid = Xrl_atom.get_u32 args "sockid" in
+       match Hashtbl.find_opt t.sockets sockid with
+       | None ->
+         reply
+           (Xrl_error.Command_failed (Printf.sprintf "no socket %d" sockid))
+           []
+       | Some sock ->
+         Netsim.Dgram.close sock.dgram;
+         Hashtbl.remove t.sockets sockid;
+         reply ok [])
+
+let create ?families ?profiler ?(interfaces = []) ?netsim finder loop () =
+  let router =
+    Xrl_router.create ?families finder loop ~class_name:"fea" ~sole:true ()
+  in
+  let t =
+    { router; fib = Fib.create (); profiler; ifaces = interfaces; netsim;
+      sockets = Hashtbl.create 8; next_sockid = 0; installed = 0 }
+  in
+  (match profiler with
+   | Some p ->
+     Profiler.define p pp_arrived;
+     Profiler.define p pp_kernel
+   | None -> ());
+  add_fib_handlers t;
+  add_udp_handlers t;
+  t
+
+let shutdown t =
+  Hashtbl.iter (fun _ sock -> Netsim.Dgram.close sock.dgram) t.sockets;
+  Hashtbl.reset t.sockets;
+  Xrl_router.shutdown t.router

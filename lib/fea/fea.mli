@@ -1,0 +1,51 @@
+(** The Forwarding Engine Abstraction component (paper §3).
+
+    Provides a stable XRL API between the control plane and the
+    forwarding engine. Two roles, both from the paper:
+
+    - {b FIB manipulation}: routing processes (in practice the RIB)
+      install and remove forwarding entries. Each installation crosses
+      the "kernel" boundary, recorded at the [fea_kernel] profile point
+      — the final latency point of Figures 10–12.
+    - {b Network-access relay} (§7): sandboxed routing processes do not
+      touch sockets themselves; RIP sends and receives UDP through the
+      FEA over XRLs. Here the "network" is a {!Netsim.t}.
+
+    XRL interface [fea/1.0]:
+    [add_route4], [delete_route4], [lookup_route4], [get_fib_size],
+    [get_interfaces].
+    XRL interface [fea_udp/1.0]: [udp_open], [udp_send], [udp_close].
+    Clients of the UDP relay must implement
+    [fea_client/1.0/recv?sockid:u32&src:ipv4&sport:u32&payload:binary]. *)
+
+type t
+
+val create :
+  ?families:Pf.family list ->
+  ?profiler:Profiler.t ->
+  ?interfaces:(string * Ipv4.t) list ->
+  ?netsim:Netsim.t ->
+  Finder.t -> Eventloop.t -> unit -> t
+(** Register the FEA (class ["fea"], sole instance) with the Finder.
+    [interfaces] lists this router's (ifname, address) pairs; UDP-relay
+    sockets bind to these addresses on [netsim]. Without a [netsim],
+    the relay methods fail with [Command_failed]. *)
+
+val fib : t -> Fib.t
+(** Direct access to the forwarding table (tests, benches, examples). *)
+
+val xrl_router : t -> Xrl_router.t
+val interfaces : t -> (string * Ipv4.t) list
+
+val routes_installed : t -> int
+(** Cumulative successful [add_route4] count. *)
+
+val shutdown : t -> unit
+
+(** {1 Profile points} *)
+
+val pp_arrived : string
+(** ["fea_arrived"] — update arriving at the FEA. *)
+
+val pp_kernel : string
+(** ["fea_kernel"] — "entering the kernel". *)

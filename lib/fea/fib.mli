@@ -1,0 +1,33 @@
+(** The forwarding table (FIB) behind the FEA — our stand-in for the
+    kernel forwarding plane. Pure data structure; the {!Fea} component
+    wraps it with an XRL interface and profile points. *)
+
+type entry = {
+  net : Ipv4net.t;
+  nexthop : Ipv4.t;
+  ifname : string;
+  protocol : string; (** Which protocol installed it (diagnostics). *)
+}
+
+type t
+
+val create : unit -> t
+
+val add : t -> entry -> unit
+(** Insert or overwrite the entry for [entry.net]. *)
+
+val delete : t -> Ipv4net.t -> bool
+(** [true] if an entry was present. *)
+
+val lookup : t -> Ipv4.t -> entry option
+(** Longest-prefix-match forwarding decision. *)
+
+val get : t -> Ipv4net.t -> entry option
+(** Exact-match fetch. *)
+
+val size : t -> int
+val entries : t -> entry list
+val clear : t -> unit
+
+val lookups_performed : t -> int
+(** Total {!lookup} calls (forwarding-plane load, for tests/benches). *)

@@ -1,0 +1,187 @@
+let src = Logs.Src.create "xorp.netsim" ~doc:"camlXORP network simulator"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type addr_port = int * int (* Ipv4 as int, port *)
+
+type stream_endpoint = {
+  net : t;
+  latency : float;
+  ep_local : Ipv4.t * int;
+  ep_remote : Ipv4.t * int;
+  mutable peer : stream_endpoint option;
+  mutable ep_open : bool;
+  mutable recv_cb : string -> unit;
+  mutable close_cb : unit -> unit;
+}
+
+and dgram_socket = {
+  dnet : t;
+  d_local : Ipv4.t * int;
+  mutable d_open : bool;
+  mutable drecv_cb : src:Ipv4.t -> sport:int -> string -> unit;
+}
+
+and t = {
+  loop : Eventloop.t;
+  default_latency : float;
+  listeners : (addr_port, listener_rec) Hashtbl.t;
+  dsockets : (addr_port, dgram_socket) Hashtbl.t;
+  mutable loss_rng : Rng.t;
+  mutable ephemeral : int;
+}
+
+and listener_rec = {
+  l_net : t;
+  l_key : addr_port;
+  accept_cb : stream_endpoint -> unit;
+  mutable l_open : bool;
+}
+
+let create ?(default_latency = 0.001) loop =
+  {
+    loop;
+    default_latency;
+    listeners = Hashtbl.create 16;
+    dsockets = Hashtbl.create 16;
+    loss_rng = Rng.create 7;
+    ephemeral = 49152;
+  }
+
+let eventloop t = t.loop
+let set_loss_seed t seed = t.loss_rng <- Rng.create seed
+let key addr port = (Ipv4.to_int addr, port)
+
+module Stream = struct
+  type endpoint = stream_endpoint
+  type listener = listener_rec
+
+  let listen net ~addr ~port accept_cb =
+    let k = key addr port in
+    if Hashtbl.mem net.listeners k then
+      invalid_arg
+        (Printf.sprintf "Netsim.Stream.listen: %s:%d already bound"
+           (Ipv4.to_string addr) port);
+    let l = { l_net = net; l_key = k; accept_cb; l_open = true } in
+    Hashtbl.replace net.listeners k l;
+    l
+
+  let unlisten l =
+    if l.l_open then begin
+      l.l_open <- false;
+      Hashtbl.remove l.l_net.listeners l.l_key
+    end
+
+  let connect net ?latency ~src:srcaddr ~dst ~port cb =
+    let latency = Option.value latency ~default:net.default_latency in
+    let attempt () =
+      match Hashtbl.find_opt net.listeners (key dst port) with
+      | Some l when l.l_open ->
+        net.ephemeral <- net.ephemeral + 1;
+        let sport = net.ephemeral in
+        let client =
+          { net; latency; ep_local = (srcaddr, sport); ep_remote = (dst, port);
+            peer = None; ep_open = true;
+            recv_cb = (fun _ -> ()); close_cb = (fun () -> ()) }
+        in
+        let server =
+          { net; latency; ep_local = (dst, port); ep_remote = (srcaddr, sport);
+            peer = Some client; ep_open = true;
+            recv_cb = (fun _ -> ()); close_cb = (fun () -> ()) }
+        in
+        client.peer <- Some server;
+        (* SYN-ACK: the client learns of success one more latency
+           later. Schedule this before invoking the accept callback so
+           that, at equal deadlines, the client attaches its receive
+           handler before any data the server sends from inside its
+           accept callback can arrive. *)
+        ignore (Eventloop.after net.loop latency (fun () -> cb (Some client)));
+        l.accept_cb server
+      | _ -> ignore (Eventloop.after net.loop latency (fun () -> cb None))
+    in
+    (* SYN takes one latency to reach the listener. *)
+    ignore (Eventloop.after net.loop latency attempt)
+
+  let send ep data =
+    if ep.ep_open then
+      match ep.peer with
+      | Some peer ->
+        ignore
+          (Eventloop.after ep.net.loop ep.latency (fun () ->
+               if peer.ep_open then peer.recv_cb data))
+      | None -> ()
+
+  let on_receive ep cb = ep.recv_cb <- cb
+  let on_close ep cb = ep.close_cb <- cb
+
+  let close ep =
+    if ep.ep_open then begin
+      ep.ep_open <- false;
+      match ep.peer with
+      | Some peer ->
+        ignore
+          (Eventloop.after ep.net.loop ep.latency (fun () ->
+               if peer.ep_open then begin
+                 peer.ep_open <- false;
+                 peer.close_cb ()
+               end))
+      | None -> ()
+    end
+
+  let sever ep =
+    ep.ep_open <- false;
+    match ep.peer with
+    | Some peer -> peer.ep_open <- false
+    | None -> ()
+
+  let is_open ep = ep.ep_open
+  let local_addr ep = fst ep.ep_local
+  let remote_addr ep = fst ep.ep_remote
+end
+
+module Dgram = struct
+  type socket = dgram_socket
+
+  let bind net ~addr ~port =
+    let k = key addr port in
+    if Hashtbl.mem net.dsockets k then
+      invalid_arg
+        (Printf.sprintf "Netsim.Dgram.bind: %s:%d already bound"
+           (Ipv4.to_string addr) port);
+    let s =
+      { dnet = net; d_local = (addr, port); d_open = true;
+        drecv_cb = (fun ~src:_ ~sport:_ _ -> ()) }
+    in
+    Hashtbl.replace net.dsockets k s;
+    s
+
+  let on_receive s cb = s.drecv_cb <- cb
+
+  let sendto s ?latency ?(loss = 0.0) ~dst ~dport data =
+    if not s.d_open then ()
+    else begin
+      let net = s.dnet in
+      let latency = Option.value latency ~default:net.default_latency in
+      let dropped = loss > 0.0 && Rng.float net.loss_rng < loss in
+      if dropped then
+        Log.debug (fun m ->
+            m "dropping datagram to %s:%d" (Ipv4.to_string dst) dport)
+      else
+        let srcaddr, sport = s.d_local in
+        ignore
+          (Eventloop.after net.loop latency (fun () ->
+               match Hashtbl.find_opt net.dsockets (key dst dport) with
+               | Some d when d.d_open -> d.drecv_cb ~src:srcaddr ~sport data
+               | _ -> ()))
+    end
+
+  let close s =
+    if s.d_open then begin
+      s.d_open <- false;
+      let addr, port = s.d_local in
+      Hashtbl.remove s.dnet.dsockets (key addr port)
+    end
+
+  let local_addr s = fst s.d_local
+  let local_port s = snd s.d_local
+end

@@ -1,0 +1,106 @@
+type lsa = {
+  origin : Ipv4.t;
+  seq : int;
+  links : (Ipv4.t * int) list;
+  stubs : (Ipv4net.t * int) list;
+}
+
+type t =
+  | Hello of { router_id : Ipv4.t; heard : Ipv4.t list }
+  | Ls_update of lsa list
+
+let magic = 0x4C53 (* "LS" *)
+let ty_hello = 1
+let ty_lsupdate = 2
+
+let encode t =
+  let w = Wire.W.create () in
+  Wire.W.u16 w magic;
+  (match t with
+   | Hello { router_id; heard } ->
+     Wire.W.u8 w ty_hello;
+     Wire.W.ipv4 w router_id;
+     Wire.W.u16 w (List.length heard);
+     List.iter (Wire.W.ipv4 w) heard
+   | Ls_update lsas ->
+     Wire.W.u8 w ty_lsupdate;
+     Wire.W.u16 w (List.length lsas);
+     List.iter
+       (fun lsa ->
+          Wire.W.ipv4 w lsa.origin;
+          Wire.W.u32 w lsa.seq;
+          Wire.W.u16 w (List.length lsa.links);
+          List.iter
+            (fun (n, cost) ->
+               Wire.W.ipv4 w n;
+               Wire.W.u32 w cost)
+            lsa.links;
+          Wire.W.u16 w (List.length lsa.stubs);
+          List.iter
+            (fun (net, cost) ->
+               Wire.W.ipv4 w (Ipv4net.network net);
+               Wire.W.u8 w (Ipv4net.prefix_len net);
+               Wire.W.u32 w cost)
+            lsa.stubs)
+       lsas);
+  Wire.W.contents w
+
+let decode s =
+  try
+    let r = Wire.R.of_string s in
+    if Wire.R.u16 r <> magic then Error "bad magic"
+    else begin
+      let ty = Wire.R.u8 r in
+      if ty = ty_hello then begin
+        let router_id = Wire.R.ipv4 r in
+        let n = Wire.R.u16 r in
+        let heard = List.init n (fun _ -> Wire.R.ipv4 r) in
+        Ok (Hello { router_id; heard })
+      end
+      else if ty = ty_lsupdate then begin
+        let n = Wire.R.u16 r in
+        let lsas =
+          List.init n (fun _ ->
+              let origin = Wire.R.ipv4 r in
+              let seq = Wire.R.u32 r in
+              let nl = Wire.R.u16 r in
+              let links =
+                List.init nl (fun _ ->
+                    let n = Wire.R.ipv4 r in
+                    let cost = Wire.R.u32 r in
+                    (n, cost))
+              in
+              let ns = Wire.R.u16 r in
+              let stubs =
+                List.init ns (fun _ ->
+                    let a = Wire.R.ipv4 r in
+                    let len = Wire.R.u8 r in
+                    if len > 32 then failwith "bad prefix length";
+                    let cost = Wire.R.u32 r in
+                    (Ipv4net.make a len, cost))
+              in
+              { origin; seq; links; stubs })
+        in
+        Ok (Ls_update lsas)
+      end
+      else Error (Printf.sprintf "unknown packet type %d" ty)
+    end
+  with
+  | Wire.Truncated -> Error "truncated packet"
+  | Failure msg -> Error msg
+
+let to_string = function
+  | Hello { router_id; heard } ->
+    Printf.sprintf "HELLO from %s hears [%s]" (Ipv4.to_string router_id)
+      (String.concat " " (List.map Ipv4.to_string heard))
+  | Ls_update lsas ->
+    Printf.sprintf "LSUPDATE [%s]"
+      (String.concat "; "
+         (List.map
+            (fun lsa ->
+               Printf.sprintf "%s#%d %d links %d stubs"
+                 (Ipv4.to_string lsa.origin)
+                 lsa.seq (List.length lsa.links) (List.length lsa.stubs))
+            lsas))
+
+let lsa_newer a b = a > b

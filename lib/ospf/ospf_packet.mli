@@ -1,0 +1,31 @@
+(** Wire codec for the link-state protocol ("OSPF-lite").
+
+    A deliberately simplified cousin of OSPFv2 (RFC 2328) — the paper
+    lists OSPF as under development, and this implements the same
+    architecture class: hello-based adjacency, sequence-numbered LSA
+    flooding, and SPF. Simplifications versus the RFC are documented in
+    DESIGN.md (no areas, no designated routers, no checksum/age fields,
+    acknowledgement by periodic refresh instead of LSAck).
+
+    Packets: HELLO (adjacency keep-alive, carries the router id and the
+    neighbours it currently hears) and LSUPDATE (a batch of LSAs, each
+    with origin, sequence number, router links and stub prefixes). *)
+
+type lsa = {
+  origin : Ipv4.t;
+  seq : int;
+  links : (Ipv4.t * int) list;          (** (neighbour router id, cost) *)
+  stubs : (Ipv4net.t * int) list;       (** (prefix, cost) *)
+}
+
+type t =
+  | Hello of { router_id : Ipv4.t; heard : Ipv4.t list }
+  | Ls_update of lsa list
+
+val encode : t -> string
+val decode : string -> (t, string) result
+val to_string : t -> string
+
+val lsa_newer : int -> int -> bool
+(** [lsa_newer a b]: is sequence [a] strictly newer than [b]? (Plain
+    comparison; sequence wrap is out of scope at simulation scale.) *)

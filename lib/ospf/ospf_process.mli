@@ -1,0 +1,70 @@
+(** The link-state routing component ("OSPF-lite").
+
+    The paper lists OSPF support as under development (§4); this is
+    that protocol slot filled with a simplified but architecturally
+    faithful link-state IGP:
+
+    - hello-based adjacency with a dead interval (a neighbour is usable
+      only while its hellos keep arriving {e and} it reports hearing
+      us — the two-way check);
+    - sequence-numbered router LSAs flooded hop by hop, with periodic
+      refresh and origin-death flush;
+    - Dijkstra SPF ({!Spf}) over the link-state database, debounced so
+      an LSA burst triggers one computation;
+    - resulting routes offered to the RIB as protocol ["ospf"]
+      (administrative distance 110).
+
+    Like RIP, all datagrams travel through the FEA's UDP relay
+    ([fea_udp/1.0]), so the process remains sandboxable (§7).
+    Simplifications versus RFC 2328: no areas, no DR/BDR election, no
+    LSAck (reliability by refresh), no aging-based checksum. *)
+
+type neighbor_config = {
+  n_addr : Ipv4.t;    (** Neighbour's interface address. *)
+  n_id : Ipv4.t;      (** Neighbour's router id. *)
+  n_cost : int;       (** Our cost toward it. *)
+}
+
+type iface_config = {
+  o_addr : Ipv4.t;                 (** Local interface address. *)
+  o_neighbors : neighbor_config list;
+}
+
+type config = {
+  router_id : Ipv4.t;
+  ifaces : iface_config list;
+  stub_prefixes : (Ipv4net.t * int) list; (** Prefixes this router advertises. *)
+  hello_interval : float;          (** Default 5 s. *)
+  dead_interval : float;           (** Default 20 s. *)
+  refresh_interval : float;        (** LSA re-origination, default 60 s. *)
+  send_to_rib : bool;
+}
+
+val default_config :
+  router_id:Ipv4.t -> ifaces:iface_config list ->
+  ?stub_prefixes:(Ipv4net.t * int) list -> unit -> config
+
+type t
+
+val create : ?profiler:Profiler.t -> Finder.t -> Eventloop.t -> config -> t
+(** Registers component class ["ospf"]. *)
+
+val start : t -> unit
+
+val add_stub : t -> Ipv4net.t -> int -> unit
+(** Advertise another prefix; floods a new LSA. *)
+
+val remove_stub : t -> Ipv4net.t -> unit
+
+val adjacency_up : t -> Ipv4.t -> bool
+(** Is the adjacency with the given router id fully up (two-way)? *)
+
+val lsdb_size : t -> int
+val spf_runs : t -> int
+
+val route_table : t -> (Ipv4net.t * int * Ipv4.t) list
+(** Current SPF result: (prefix, cost, nexthop interface address);
+    excludes our own stubs. *)
+
+val instance_name : t -> string
+val shutdown : t -> unit

@@ -1,0 +1,132 @@
+type node = Ipv4.t
+type link = { to_node : node; cost : int }
+
+type lsa_view = {
+  origin : node;
+  links : link list;
+  stubs : (Ipv4net.t * int) list;
+}
+
+type path = { dist : int; first_hop : node }
+
+let node_key = Ipv4.to_int
+
+(* Adjacency map keeping only bidirectional links (cost taken from the
+   forward direction, as in OSPF). *)
+let build_adjacency lsas =
+  let by_origin = Hashtbl.create 64 in
+  List.iter (fun lsa -> Hashtbl.replace by_origin (node_key lsa.origin) lsa) lsas;
+  let advertises a b =
+    match Hashtbl.find_opt by_origin (node_key a) with
+    | Some lsa -> List.exists (fun l -> Ipv4.equal l.to_node b) lsa.links
+    | None -> false
+  in
+  let adj = Hashtbl.create 64 in
+  List.iter
+    (fun lsa ->
+       let usable =
+         List.filter (fun l -> advertises l.to_node lsa.origin) lsa.links
+       in
+       Hashtbl.replace adj (node_key lsa.origin) usable)
+    lsas;
+  adj
+
+let run ~root lsas =
+  let adj = build_adjacency lsas in
+  (* dist/first_hop maps; a simple priority queue via Minheap-like
+     sorted insertion is overkill here — use a scan over the frontier
+     (LSDBs are small relative to routing tables). *)
+  let dist : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let first_hop : (int, node) Hashtbl.t = Hashtbl.create 64 in
+  let visited : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.replace dist (node_key root) 0;
+  let node_of = Hashtbl.create 64 in
+  List.iter (fun lsa -> Hashtbl.replace node_of (node_key lsa.origin) lsa.origin) lsas;
+  Hashtbl.replace node_of (node_key root) root;
+  let pick_next () =
+    Hashtbl.fold
+      (fun key d best ->
+         if Hashtbl.mem visited key then best
+         else
+           match best with
+           | Some (bk, bd) when bd < d || (bd = d && bk < key) -> best
+           | _ -> Some (key, d))
+      dist None
+  in
+  let rec loop () =
+    match pick_next () with
+    | None -> ()
+    | Some (ukey, ud) ->
+      Hashtbl.replace visited ukey ();
+      let neighbours =
+        Option.value (Hashtbl.find_opt adj ukey) ~default:[]
+      in
+      List.iter
+        (fun { to_node; cost } ->
+           if cost >= 0 then begin
+             let vkey = node_key to_node in
+             Hashtbl.replace node_of vkey to_node;
+             let alt = ud + cost in
+             let fh =
+               if ukey = node_key root then to_node
+               else Hashtbl.find first_hop ukey
+             in
+             let better =
+               match Hashtbl.find_opt dist vkey with
+               | None -> true
+               | Some cur when alt < cur -> true
+               | Some cur when alt = cur ->
+                 (* deterministic tie-break: lower first hop *)
+                 (match Hashtbl.find_opt first_hop vkey with
+                  | Some cur_fh -> Ipv4.compare fh cur_fh < 0
+                  | None -> true)
+               | Some _ -> false
+             in
+             if better && not (Hashtbl.mem visited vkey) then begin
+               Hashtbl.replace dist vkey alt;
+               Hashtbl.replace first_hop vkey fh
+             end
+           end)
+        neighbours;
+      loop ()
+  in
+  loop ();
+  Hashtbl.fold
+    (fun key d acc ->
+       if key = node_key root then acc
+       else
+         (Hashtbl.find node_of key, { dist = d; first_hop = Hashtbl.find first_hop key })
+         :: acc)
+    dist []
+  |> List.sort (fun (a, _) (b, _) -> Ipv4.compare a b)
+
+let routes ~root lsas =
+  let paths = run ~root lsas in
+  let path_of n =
+    if Ipv4.equal n root then Some { dist = 0; first_hop = root }
+    else
+      List.find_map
+        (fun (m, p) -> if Ipv4.equal m n then Some p else None)
+        paths
+  in
+  let best : (Ipv4net.t, int * node) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun lsa ->
+       match path_of lsa.origin with
+       | None -> () (* unreachable island *)
+       | Some p ->
+         List.iter
+           (fun (net, stub_cost) ->
+              let total = p.dist + stub_cost in
+              let replace =
+                match Hashtbl.find_opt best net with
+                | None -> true
+                | Some (cur, cur_fh) ->
+                  total < cur
+                  || (total = cur && Ipv4.compare p.first_hop cur_fh < 0)
+              in
+              if replace then Hashtbl.replace best net (total, p.first_hop))
+           lsa.stubs)
+    lsas;
+  Hashtbl.fold (fun net (cost, fh) acc -> (net, cost, fh) :: acc) best []
+  |> List.sort (fun (a, _, _) (b, _, _) -> Ipv4net.compare a b)

@@ -1,0 +1,39 @@
+(** Shortest-path-first computation (Dijkstra) over a link-state
+    database — the core of the link-state protocol, kept pure for easy
+    testing.
+
+    Nodes are router identifiers (IPv4-shaped, as in OSPF). Links are
+    directed with integer costs; a link is only used if {e both}
+    directions are advertised (the bidirectionality check real OSPF
+    performs), guarding against half-dead adjacencies. *)
+
+type node = Ipv4.t
+(** Router identifier. *)
+
+type link = { to_node : node; cost : int }
+
+type lsa_view = {
+  origin : node;
+  links : link list;                     (** Adjacent routers. *)
+  stubs : (Ipv4net.t * int) list;        (** Attached prefixes with costs. *)
+}
+
+type path = {
+  dist : int;        (** Total cost from the root. *)
+  first_hop : node;  (** The root's neighbour on the shortest path;
+                         equals the destination for direct neighbours. *)
+}
+
+val run : root:node -> lsa_view list -> (node * path) list
+(** Shortest paths from [root] to every reachable router (excluding the
+    root itself). Deterministic: equal-cost ties resolve toward the
+    lower router id, both for the node relaxation order and the chosen
+    first hop. *)
+
+val routes :
+  root:node -> lsa_view list -> (Ipv4net.t * int * node) list
+(** Route table derived from {!run}: for every stub prefix in the
+    database, [(prefix, total cost, first hop)] — including the root's
+    own stubs with [first_hop = root] and cost as advertised. When
+    several routers advertise the same prefix, the cheapest (then
+    lowest-first-hop) wins. Sorted by prefix. *)

@@ -1,0 +1,295 @@
+type value =
+  | Int of int
+  | Str of string
+  | Bool of bool
+  | Addr of Ipv4.t
+  | Net of Ipv4net.t
+
+let value_to_string = function
+  | Int i -> string_of_int i
+  | Str s -> s
+  | Bool b -> string_of_bool b
+  | Addr a -> Ipv4.to_string a
+  | Net n -> Ipv4net.to_string n
+
+let value_equal a b =
+  match a, b with
+  | Int x, Int y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | Addr x, Addr y -> Ipv4.equal x y
+  | Net x, Net y -> Ipv4net.equal x y
+  | (Int _ | Str _ | Bool _ | Addr _ | Net _), _ -> false
+
+type verdict = Accept | Reject | Default
+
+type route_ctx = {
+  get_attr : string -> value option;
+  set_attr : string -> value -> (unit, string) result;
+}
+
+type instr =
+  | Push of value
+  | Load of string
+  | Store of string
+  | Dup
+  | Pop
+  | Swap
+  | Add
+  | Sub
+  | Mul
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+  | Not
+  | Within       (* net within net *)
+  | Contains     (* net contains (net|addr) *)
+  | Prefix_len   (* net -> int *)
+  | Jmp of int
+  | Jfalse of int
+  | Accept_i
+  | Reject_i
+
+type program = instr array
+
+let instruction_count p = Array.length p
+
+(* --- compiler ------------------------------------------------------- *)
+
+let compile source =
+  let exception Bad of int * string in
+  let fail line fmt = Printf.ksprintf (fun s -> raise (Bad (line, s))) fmt in
+  try
+    let lines = String.split_on_char '\n' source in
+    (* First pass: tokenize, collect labels. *)
+    let labels = Hashtbl.create 8 in
+    let raw = ref [] in (* (line_no, tokens) for real instructions *)
+    let count = ref 0 in
+    List.iteri
+      (fun idx line ->
+         let lineno = idx + 1 in
+         let line =
+           match String.index_opt line '#' with
+           | Some i -> String.sub line 0 i
+           | None -> line
+         in
+         let tokens =
+           String.split_on_char ' ' line
+           |> List.concat_map (String.split_on_char '\t')
+           |> List.filter (fun s -> s <> "")
+         in
+         match tokens with
+         | [] -> ()
+         | [ "label"; name ] ->
+           if Hashtbl.mem labels name then fail lineno "duplicate label %s" name;
+           Hashtbl.replace labels name !count
+         | "label" :: _ -> fail lineno "label takes exactly one name"
+         | tokens ->
+           raw := (lineno, tokens) :: !raw;
+           incr count)
+      lines;
+    let raw = List.rev !raw in
+    let resolve lineno name =
+      match Hashtbl.find_opt labels name with
+      | Some target -> target
+      | None -> fail lineno "unknown label %s" name
+    in
+    let parse_instr (lineno, tokens) =
+      match tokens with
+      | [ "push.u32"; v ] | [ "push.i32"; v ] ->
+        (match int_of_string_opt v with
+         | Some i -> Push (Int i)
+         | None -> fail lineno "bad integer %s" v)
+      | [ "push.str"; v ] -> Push (Str v)
+      | [ "push.bool"; "true" ] -> Push (Bool true)
+      | [ "push.bool"; "false" ] -> Push (Bool false)
+      | [ "push.bool"; v ] -> fail lineno "bad bool %s" v
+      | [ "push.addr"; v ] ->
+        (match Ipv4.of_string v with
+         | Some a -> Push (Addr a)
+         | None -> fail lineno "bad address %s" v)
+      | [ "push.net"; v ] ->
+        (match Ipv4net.of_string v with
+         | Some n -> Push (Net n)
+         | None -> fail lineno "bad prefix %s" v)
+      | [ "load"; attr ] -> Load attr
+      | [ "store"; attr ] -> Store attr
+      | [ "dup" ] -> Dup
+      | [ "pop" ] -> Pop
+      | [ "swap" ] -> Swap
+      | [ "add" ] -> Add
+      | [ "sub" ] -> Sub
+      | [ "mul" ] -> Mul
+      | [ "eq" ] -> Eq
+      | [ "ne" ] -> Ne
+      | [ "lt" ] -> Lt
+      | [ "le" ] -> Le
+      | [ "gt" ] -> Gt
+      | [ "ge" ] -> Ge
+      | [ "and" ] -> And
+      | [ "or" ] -> Or
+      | [ "not" ] -> Not
+      | [ "within" ] -> Within
+      | [ "contains" ] -> Contains
+      | [ "prefix_len" ] -> Prefix_len
+      | [ "jmp"; l ] -> Jmp (resolve lineno l)
+      | [ "jfalse"; l ] -> Jfalse (resolve lineno l)
+      | [ "accept" ] -> Accept_i
+      | [ "reject" ] -> Reject_i
+      | op :: _ -> fail lineno "unknown or malformed instruction %s" op
+      | [] -> assert false
+    in
+    Ok (Array.of_list (List.map parse_instr raw))
+  with Bad (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+
+(* --- VM ------------------------------------------------------------- *)
+
+let step_limit = 100_000
+
+let eval (prog : program) ctx =
+  let exception Fault of string in
+  let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt in
+  let stack = ref [] in
+  let push v = stack := v :: !stack in
+  let pop () =
+    match !stack with
+    | v :: rest ->
+      stack := rest;
+      v
+    | [] -> fault "stack underflow"
+  in
+  let pop_int () =
+    match pop () with Int i -> i | v -> fault "expected int, got %s" (value_to_string v)
+  in
+  let pop_bool () =
+    match pop () with Bool b -> b | v -> fault "expected bool, got %s" (value_to_string v)
+  in
+  let pop_net () =
+    match pop () with Net n -> n | v -> fault "expected prefix, got %s" (value_to_string v)
+  in
+  let compare_vals a b =
+    match a, b with
+    | Int x, Int y -> Int.compare x y
+    | Str x, Str y -> String.compare x y
+    | Addr x, Addr y -> Ipv4.compare x y
+    | Net x, Net y -> Ipv4net.compare x y
+    | Bool x, Bool y -> Bool.compare x y
+    | _ ->
+      fault "cannot compare %s with %s" (value_to_string a) (value_to_string b)
+  in
+  let n = Array.length prog in
+  try
+    let steps = ref 0 in
+    let pc = ref 0 in
+    let verdict = ref None in
+    while !verdict = None && !pc < n do
+      incr steps;
+      if !steps > step_limit then fault "step limit exceeded";
+      let i = !pc in
+      incr pc;
+      match prog.(i) with
+      | Push v -> push v
+      | Load attr ->
+        (match ctx.get_attr attr with
+         | Some v -> push v
+         | None -> fault "unknown attribute %s" attr)
+      | Store attr ->
+        let v = pop () in
+        (match ctx.set_attr attr v with
+         | Ok () -> ()
+         | Error msg -> fault "store %s: %s" attr msg)
+      | Dup ->
+        let v = pop () in
+        push v;
+        push v
+      | Pop -> ignore (pop ())
+      | Swap ->
+        let a = pop () in
+        let b = pop () in
+        push a;
+        push b
+      | Add ->
+        let b = pop_int () in
+        let a = pop_int () in
+        push (Int (a + b))
+      | Sub ->
+        let b = pop_int () in
+        let a = pop_int () in
+        push (Int (a - b))
+      | Mul ->
+        let b = pop_int () in
+        let a = pop_int () in
+        push (Int (a * b))
+      | Eq ->
+        let b = pop () in
+        let a = pop () in
+        push (Bool (value_equal a b))
+      | Ne ->
+        let b = pop () in
+        let a = pop () in
+        push (Bool (not (value_equal a b)))
+      | Lt ->
+        let b = pop () in
+        let a = pop () in
+        push (Bool (compare_vals a b < 0))
+      | Le ->
+        let b = pop () in
+        let a = pop () in
+        push (Bool (compare_vals a b <= 0))
+      | Gt ->
+        let b = pop () in
+        let a = pop () in
+        push (Bool (compare_vals a b > 0))
+      | Ge ->
+        let b = pop () in
+        let a = pop () in
+        push (Bool (compare_vals a b >= 0))
+      | And ->
+        let b = pop_bool () in
+        let a = pop_bool () in
+        push (Bool (a && b))
+      | Or ->
+        let b = pop_bool () in
+        let a = pop_bool () in
+        push (Bool (a || b))
+      | Not -> push (Bool (not (pop_bool ())))
+      | Within ->
+        let outer = pop_net () in
+        let inner = pop_net () in
+        push (Bool (Ipv4net.contains outer inner))
+      | Contains ->
+        let v = pop () in
+        let outer = pop_net () in
+        (match v with
+         | Net inner -> push (Bool (Ipv4net.contains outer inner))
+         | Addr a -> push (Bool (Ipv4net.contains_addr outer a))
+         | v -> fault "contains expects prefix or address, got %s" (value_to_string v))
+      | Prefix_len -> push (Int (Ipv4net.prefix_len (pop_net ())))
+      | Jmp target -> pc := target
+      | Jfalse target -> if not (pop_bool ()) then pc := target
+      | Accept_i -> verdict := Some Accept
+      | Reject_i -> verdict := Some Reject
+    done;
+    Ok (Option.value !verdict ~default:Default)
+  with Fault msg -> Error msg
+
+let always_accept : program = [| Accept_i |]
+let always_reject : program = [| Reject_i |]
+
+let ctx_of_table table ?(read_only = []) () =
+  {
+    get_attr = (fun name -> Hashtbl.find_opt table name);
+    set_attr =
+      (fun name v ->
+         if List.mem name read_only then Error "read-only attribute"
+         else if not (Hashtbl.mem table name) then Error "unknown attribute"
+         else begin
+           Hashtbl.replace table name v;
+           Ok ()
+         end);
+  }

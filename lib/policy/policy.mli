@@ -1,0 +1,87 @@
+(** The routing-policy stack language (paper §8.3).
+
+    XORP's policy framework adds stages to the BGP and RIB pipelines,
+    "each of which supports a common simple stack language for
+    operating on routes". This module is that language: a small,
+    protocol-agnostic stack VM. Protocols expose their routes to it
+    through a {!route_ctx} of named attributes, so the same compiled
+    program filters BGP routes, RIB redistributions, or any future
+    protocol's routes.
+
+    {2 Source syntax}
+
+    One instruction per line; [#] starts a comment. Example — set
+    localpref 200 on routes inside 10.0.0.0/8, reject 192.168.0.0/16,
+    accept the rest unchanged:
+
+    {v
+    # prefer our own space
+    load network
+    push.net 10.0.0.0/8
+    within
+    jfalse not_ours
+    push.u32 200
+    store localpref
+    accept
+    label not_ours
+    load network
+    push.net 192.168.0.0/16
+    within
+    jfalse done
+    reject
+    label done
+    v}
+
+    Instructions: [push.u32 N], [push.i32 N], [push.str S], [push.bool
+    B], [push.addr A], [push.net P], [load ATTR], [store ATTR], [dup],
+    [pop], [swap], arithmetic [add sub mul], comparisons [eq ne lt le
+    gt ge], boolean [and or not], prefix tests [within contains
+    prefix_len], [label L], [jmp L], [jfalse L], [accept], [reject].
+
+    A program that falls off the end yields {!verdict} [Default]:
+    the route passes unmodified (attribute stores that already ran are
+    kept — stores are applied to a scratch copy that the caller commits
+    only on [Accept] or [Default]). *)
+
+type value =
+  | Int of int
+  | Str of string
+  | Bool of bool
+  | Addr of Ipv4.t
+  | Net of Ipv4net.t
+
+val value_to_string : value -> string
+val value_equal : value -> value -> bool
+
+type verdict =
+  | Accept   (** Explicit accept; modifications apply. *)
+  | Reject   (** Drop the route; modifications are discarded. *)
+  | Default  (** Fell off the end: pass through with modifications. *)
+
+type route_ctx = {
+  get_attr : string -> value option;
+  set_attr : string -> value -> (unit, string) result;
+}
+(** How the VM sees a route. [get_attr] returns [None] for unknown
+    attributes (a load of an unknown attribute is a runtime error);
+    [set_attr] may refuse (read-only attribute, wrong type). *)
+
+type program
+
+val compile : string -> (program, string) result
+(** Compile source text. Errors carry a line number. *)
+
+val instruction_count : program -> int
+
+val eval : program -> route_ctx -> (verdict, string) result
+(** Run the program against a route. [Error] reports runtime faults
+    (stack underflow, type error, unknown attribute, step limit). The
+    VM is bounded to 100,000 steps, so a malicious filter cannot hang
+    the router — extensions run inside a budget. *)
+
+val always_accept : program
+val always_reject : program
+
+val ctx_of_table :
+  (string, value) Hashtbl.t -> ?read_only:string list -> unit -> route_ctx
+(** Convenience context backed by a mutable attribute table. *)

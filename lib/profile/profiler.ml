@@ -1,0 +1,52 @@
+type record = { time : float; point : string; payload : string }
+
+type point_state = { mutable on : bool; mutable count : int }
+
+type t = {
+  loop : Eventloop.t;
+  points : (string, point_state) Hashtbl.t;
+  mutable log : record list; (* newest first *)
+}
+
+let create loop = { loop; points = Hashtbl.create 32; log = [] }
+
+let state t name =
+  match Hashtbl.find_opt t.points name with
+  | Some s -> s
+  | None ->
+    let s = { on = false; count = 0 } in
+    Hashtbl.replace t.points name s;
+    s
+
+let define t name = ignore (state t name)
+let enable t name = (state t name).on <- true
+let disable t name = (state t name).on <- false
+let enabled t name = (state t name).on
+let enable_all t = Hashtbl.iter (fun _ s -> s.on <- true) t.points
+let disable_all t = Hashtbl.iter (fun _ s -> s.on <- false) t.points
+
+let record t point payload =
+  let s = state t point in
+  if s.on then begin
+    s.count <- s.count + 1;
+    t.log <- { time = Eventloop.now t.loop; point; payload } :: t.log
+  end
+
+let all_records t = List.rev t.log
+let records t point = List.filter (fun r -> r.point = point) (all_records t)
+
+let clear t =
+  t.log <- [];
+  Hashtbl.iter (fun _ s -> s.count <- 0) t.points
+
+let list_points t =
+  Hashtbl.fold (fun name s acc -> (name, s.on, s.count) :: acc) t.points []
+  |> List.sort compare
+
+let to_strings t =
+  List.map
+    (fun r ->
+       let secs = int_of_float r.time in
+       let usecs = int_of_float ((r.time -. float_of_int secs) *. 1e6) in
+       Printf.sprintf "%s %d %06d %s" r.point secs usecs r.payload)
+    (all_records t)

@@ -1,0 +1,51 @@
+(** The paper's profiling mechanism (§8.2).
+
+    Profiling points can be inserted anywhere in the code; each is
+    associated with a profiling variable that can be enabled and
+    disabled at runtime (in XORP, by the external [xorp_profiler]
+    program over XRLs). Enabling a point causes timestamped records to
+    be stored, e.g.
+
+    {v route_ribin 1097173928 664085 add 10.0.1.0/24 v}
+
+    Recording at a disabled point is a cheap no-op, so points can stay
+    in production code — this is how Figures 10–12 measure per-route
+    propagation latency through eight pipeline points. *)
+
+type t
+
+type record = { time : float; point : string; payload : string }
+
+val create : Eventloop.t -> t
+(** Timestamps come from the loop's clock (wall or simulated). *)
+
+val define : t -> string -> unit
+(** Declare a profiling point (idempotent). Points are auto-defined on
+    first {!record}, but declaring them makes {!list_points} useful
+    before any traffic flows. *)
+
+val enable : t -> string -> unit
+val disable : t -> string -> unit
+val enabled : t -> string -> bool
+val enable_all : t -> unit
+val disable_all : t -> unit
+
+val record : t -> string -> string -> unit
+(** [record t point payload] appends a timestamped record if [point] is
+    enabled; otherwise does nothing. *)
+
+val records : t -> string -> record list
+(** Records captured at one point, oldest first. *)
+
+val all_records : t -> record list
+(** Every record, in capture order across points. *)
+
+val clear : t -> unit
+(** Drop captured records (point definitions and enablement remain). *)
+
+val list_points : t -> (string * bool * int) list
+(** [(name, enabled, record_count)] sorted by name. *)
+
+val to_strings : t -> string list
+(** Render all records in the paper's textual format:
+    ["<point> <seconds> <microseconds> <payload>"]. *)

@@ -1,0 +1,332 @@
+let src = Logs.Src.create "xorp.rib" ~doc:"Routing Information Base"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let pp_arrived = "rib_arrived"
+let pp_queued_fea = "rib_queued_fea"
+let pp_sent_fea = "rib_sent_fea"
+
+type t = {
+  router : Xrl_router.t;
+  loop : Eventloop.t;
+  profiler : Profiler.t option;
+  origins : (string, Origin_table.origin_table) Hashtbl.t;
+  register : Register_table.register_table;
+  redist : Redist_table.redist_table;
+  send_to_fea : bool;
+}
+
+let profile t point payload =
+  match t.profiler with
+  | Some p -> Profiler.record p point payload
+  | None -> ()
+
+(* --- FEA sink ------------------------------------------------------- *)
+
+let send_fea t (op : [ `Add of Rib_route.t | `Delete of Rib_route.t ]) =
+  let r = match op with `Add r | `Delete r -> r in
+  let netstr = Ipv4net.to_string r.Rib_route.net in
+  profile t pp_queued_fea
+    ((match op with `Add _ -> "add " | `Delete _ -> "delete ") ^ netstr);
+  if t.send_to_fea then
+    (* Queue-then-send: the actual XRL goes out on the next loop
+       iteration, like a real outbound transmit queue. *)
+    Eventloop.defer t.loop (fun () ->
+        profile t pp_sent_fea
+          ((match op with `Add _ -> "add " | `Delete _ -> "delete ") ^ netstr);
+        let xrl =
+          match op with
+          | `Add r ->
+            Xrl.make ~target:"fea" ~interface:"fea" ~method_name:"add_route4"
+              [ Xrl_atom.ipv4net "net" r.Rib_route.net;
+                Xrl_atom.ipv4 "nexthop" r.nexthop;
+                Xrl_atom.txt "ifname" "";
+                Xrl_atom.txt "protocol" r.protocol ]
+          | `Delete r ->
+            Xrl.make ~target:"fea" ~interface:"fea"
+              ~method_name:"delete_route4"
+              [ Xrl_atom.ipv4net "net" r.Rib_route.net ]
+        in
+        Xrl_router.send t.router xrl (fun err _ ->
+            if not (Xrl_error.is_ok err) then
+              Log.warn (fun m ->
+                  m "FEA update for %s failed: %s" netstr
+                    (Xrl_error.to_string err))))
+
+(* --- client notifications ------------------------------------------- *)
+
+let notify_invalid router client valid =
+  let xrl =
+    Xrl.make ~target:client ~interface:"rib_client"
+      ~method_name:"route_info_invalid"
+      [ Xrl_atom.ipv4net "valid" valid ]
+  in
+  Xrl_router.send router xrl (fun err _ ->
+      if not (Xrl_error.is_ok err) then
+        Log.debug (fun m ->
+            m "invalidation to %s failed: %s" client (Xrl_error.to_string err)))
+
+(* --- assembly ------------------------------------------------------- *)
+
+let igp_protocols = [ "connected"; "static"; "ospf"; "rip" ]
+let egp_protocols = [ "ebgp"; "ibgp" ]
+
+let build_pipeline t_router loop =
+  let origin name = new Origin_table.origin_table ~name:("origin:" ^ name) ~protocol:name loop in
+  let origins = Hashtbl.create 8 in
+  List.iter
+    (fun p -> Hashtbl.replace origins p (origin p))
+    (igp_protocols @ egp_protocols);
+  let o p = (Hashtbl.find origins p :> Rib_table.table) in
+  let om p = Hashtbl.find origins p in
+  (* Internal chain: lower admin distance plumbed as the tie-winning
+     "a" side; ties cannot actually occur since distances differ. *)
+  let m1 = new Merge_table.merge_table ~name:"merge:connected+static" (o "connected") (o "static") in
+  Rib_table.plumb (om "connected") m1;
+  Rib_table.plumb (om "static") m1;
+  let m2 = new Merge_table.merge_table ~name:"merge:+ospf" (m1 :> Rib_table.table) (o "ospf") in
+  Rib_table.plumb m1 m2;
+  Rib_table.plumb (om "ospf") m2;
+  let m3 = new Merge_table.merge_table ~name:"merge:+rip" (m2 :> Rib_table.table) (o "rip") in
+  Rib_table.plumb m2 m3;
+  Rib_table.plumb (om "rip") m3;
+  let me = new Merge_table.merge_table ~name:"merge:ebgp+ibgp" (o "ebgp") (o "ibgp") in
+  Rib_table.plumb (om "ebgp") me;
+  Rib_table.plumb (om "ibgp") me;
+  let extint =
+    new Extint_table.extint_table ~name:"extint"
+      (me :> Rib_table.table)
+      (m3 :> Rib_table.table)
+  in
+  Rib_table.plumb me extint;
+  Rib_table.plumb m3 extint;
+  let register =
+    new Register_table.register_table ~name:"register"
+      ~notify:(fun client valid -> notify_invalid (t_router ()) client valid)
+      ()
+  in
+  Rib_table.plumb extint register;
+  let redist =
+    new Redist_table.redist_table ~name:"redist"
+      ~parent:(register :> Rib_table.table) ()
+  in
+  Rib_table.plumb register redist;
+  (origins, register, redist)
+
+(* --- direct API ------------------------------------------------------ *)
+
+let origin_of t protocol = Hashtbl.find_opt t.origins protocol
+
+let add_route t ~protocol ~net ~nexthop ?(metric = 0) () =
+  match origin_of t protocol with
+  | None -> Error (Printf.sprintf "unknown protocol %S" protocol)
+  | Some origin ->
+    let r = Rib_route.make ~net ~nexthop ~metric ~protocol () in
+    origin#originate r;
+    Ok ()
+
+let delete_route t ~protocol ~net =
+  match origin_of t protocol with
+  | None -> Error (Printf.sprintf "unknown protocol %S" protocol)
+  | Some origin ->
+    (match origin#lookup_route net with
+     | Some _ ->
+       origin#withdraw net;
+       Ok ()
+     | None ->
+       Error
+         (Printf.sprintf "%s has no route for %s" protocol
+            (Ipv4net.to_string net)))
+
+let lookup_best t addr = t.register#lookup_best addr
+let route_count t = t.register#route_count
+
+let register_interest t ~client addr = t.register#register_interest ~client addr
+
+let deregister_interest t ~client valid =
+  t.register#deregister_interest ~client valid
+
+let fold_winners t f init = t.register#fold f init
+
+let subscribe_redist t ~name ~policy ~on_add ~on_delete =
+  t.redist#subscribe
+    { Redist_table.sub_name = name; policy; on_add; on_delete };
+  (* Dump current winners through the new subscriber's filter. *)
+  fold_winners t
+    (fun r () ->
+       match Redist_table.apply_policy policy r with
+       | Some r' -> on_add r'
+       | None -> ())
+    ()
+
+let unsubscribe_redist t ~name = t.redist#unsubscribe name
+
+let protocols t =
+  Hashtbl.fold (fun p _ acc -> p :: acc) t.origins [] |> List.sort compare
+
+let origin_route_count t protocol =
+  match origin_of t protocol with
+  | Some origin -> origin#route_count
+  | None -> 0
+
+let flush_protocol t protocol =
+  match origin_of t protocol with
+  | Some origin ->
+    Log.info (fun m -> m "flushing %s routes in the background" protocol);
+    origin#clear_gradually ()
+  | None -> ()
+
+let xrl_router t = t.router
+let invalidations_sent t = t.register#invalidations_sent
+
+(* --- XRL interface --------------------------------------------------- *)
+
+let ok = Xrl_error.Ok_xrl
+
+let add_xrl_handlers t =
+  let r = t.router in
+  Xrl_router.add_handler r ~interface:"rib" ~method_name:"add_route"
+    (fun args reply ->
+       let protocol = Xrl_atom.get_txt args "protocol" in
+       let net = Xrl_atom.get_ipv4net args "net" in
+       let nexthop = Xrl_atom.get_ipv4 args "nexthop" in
+       let metric =
+         match Xrl_atom.find args "metric" with
+         | Some { value = U32 m; _ } -> m
+         | _ -> 0
+       in
+       profile t pp_arrived ("add " ^ Ipv4net.to_string net);
+       match add_route t ~protocol ~net ~nexthop ~metric () with
+       | Ok () -> reply ok []
+       | Error msg -> reply (Xrl_error.Command_failed msg) []);
+  Xrl_router.add_handler r ~interface:"rib" ~method_name:"delete_route"
+    (fun args reply ->
+       let protocol = Xrl_atom.get_txt args "protocol" in
+       let net = Xrl_atom.get_ipv4net args "net" in
+       profile t pp_arrived ("delete " ^ Ipv4net.to_string net);
+       match delete_route t ~protocol ~net with
+       | Ok () -> reply ok []
+       | Error msg -> reply (Xrl_error.Command_failed msg) []);
+  Xrl_router.add_handler r ~interface:"rib" ~method_name:"lookup_route_by_dest"
+    (fun args reply ->
+       let addr = Xrl_atom.get_ipv4 args "addr" in
+       match lookup_best t addr with
+       | Some route ->
+         reply ok
+           [ Xrl_atom.ipv4net "net" route.Rib_route.net;
+             Xrl_atom.ipv4 "nexthop" route.nexthop;
+             Xrl_atom.u32 "metric" route.metric;
+             Xrl_atom.u32 "admin_distance" route.admin_distance;
+             Xrl_atom.txt "protocol" route.protocol ]
+       | None ->
+         reply
+           (Xrl_error.Command_failed ("no route to " ^ Ipv4.to_string addr))
+           []);
+  Xrl_router.add_handler r ~interface:"rib" ~method_name:"register_interest"
+    (fun args reply ->
+       let client = Xrl_atom.get_txt args "client" in
+       let addr = Xrl_atom.get_ipv4 args "addr" in
+       let answer = register_interest t ~client addr in
+       let base =
+         [ Xrl_atom.boolean "resolves" (answer.Register_table.matched <> None);
+           Xrl_atom.ipv4net "valid" answer.Register_table.valid_subnet ]
+       in
+       let extra =
+         match answer.Register_table.matched with
+         | Some route ->
+           [ Xrl_atom.ipv4net "net" route.Rib_route.net;
+             Xrl_atom.ipv4 "nexthop" route.nexthop;
+             Xrl_atom.u32 "metric" route.metric;
+             Xrl_atom.txt "protocol" route.protocol ]
+         | None -> []
+       in
+       reply ok (base @ extra));
+  Xrl_router.add_handler r ~interface:"rib" ~method_name:"deregister_interest"
+    (fun args reply ->
+       let client = Xrl_atom.get_txt args "client" in
+       let valid = Xrl_atom.get_ipv4net args "valid" in
+       if deregister_interest t ~client valid then reply ok []
+       else
+         reply
+           (Xrl_error.Command_failed
+              ("no registration for " ^ Ipv4net.to_string valid))
+           []);
+  Xrl_router.add_handler r ~interface:"rib" ~method_name:"redist_subscribe"
+    (fun args reply ->
+       let target = Xrl_atom.get_txt args "target" in
+       let source = Xrl_atom.get_txt args "policy" in
+       match Policy.compile source with
+       | Error msg -> reply (Xrl_error.Command_failed ("bad policy: " ^ msg)) []
+       | Ok policy ->
+         let deliver method_name (route : Rib_route.t) =
+           let xrl =
+             Xrl.make ~target ~interface:"redist_client" ~method_name
+               [ Xrl_atom.txt "protocol" route.Rib_route.protocol;
+                 Xrl_atom.ipv4net "net" route.net;
+                 Xrl_atom.ipv4 "nexthop" route.nexthop;
+                 Xrl_atom.u32 "metric" route.metric;
+                 Xrl_atom.u32 "tag"
+                   (match route.tags with tag :: _ -> tag | [] -> 0) ]
+           in
+           Xrl_router.send t.router xrl (fun err _ ->
+               if not (Xrl_error.is_ok err) then
+                 Log.debug (fun m ->
+                     m "redist to %s failed: %s" target
+                       (Xrl_error.to_string err)))
+         in
+         subscribe_redist t ~name:target ~policy
+           ~on_add:(deliver "add_route") ~on_delete:(deliver "delete_route");
+         reply ok []);
+  Xrl_router.add_handler r ~interface:"rib" ~method_name:"redist_unsubscribe"
+    (fun args reply ->
+       let target = Xrl_atom.get_txt args "target" in
+       unsubscribe_redist t ~name:target;
+       reply ok []);
+  Xrl_router.add_handler r ~interface:"rib" ~method_name:"get_route_count"
+    (fun _ reply -> reply ok [ Xrl_atom.u32 "count" (route_count t) ])
+
+(* Watch protocol component classes; when the last instance of a class
+   dies, flush its origin tables in the background (§6.2's lifetime
+   notification put to use). *)
+let watch_protocol_deaths t finder =
+  let watch class_name protos =
+    Finder.watch_class finder class_name (fun event _instance ->
+        match event with
+        | Finder.Birth -> ()
+        | Finder.Death ->
+          if Finder.live_instances finder class_name = [] then
+            List.iter (fun p -> flush_protocol t p) protos)
+  in
+  watch "rip" [ "rip" ];
+  watch "bgp" [ "ebgp"; "ibgp" ];
+  watch "ospf" [ "ospf" ]
+
+let create ?families ?profiler ?(send_to_fea = true) finder loop () =
+  let router =
+    Xrl_router.create ?families finder loop ~class_name:"rib" ~sole:true ()
+  in
+  let t_ref = ref None in
+  let origins, register, redist =
+    build_pipeline (fun () -> Option.get !t_ref) loop
+  in
+  let t =
+    { router; loop; profiler; origins; register; redist; send_to_fea }
+  in
+  t_ref := Some router;
+  (match profiler with
+   | Some p ->
+     List.iter (Profiler.define p) [ pp_arrived; pp_queued_fea; pp_sent_fea ]
+   | None -> ());
+  (* Terminal sink: winners flow to the FEA. *)
+  let sink =
+    new Rib_table.sink ~name:"sink"
+      ~parent:(redist :> Rib_table.table)
+      ~on_add:(fun r -> send_fea t (`Add r))
+      ~on_delete:(fun r -> send_fea t (`Delete r))
+  in
+  Rib_table.plumb redist sink;
+  add_xrl_handlers t;
+  watch_protocol_deaths t finder;
+  t
+
+let shutdown t = Xrl_router.shutdown t.router

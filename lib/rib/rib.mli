@@ -1,0 +1,93 @@
+(** The RIB component: the staged Routing Information Base of paper
+    §5.2 (Figure 7), assembled and exposed over XRLs.
+
+    Pipeline (routes flow left to right):
+
+    {v
+    connected ─┐
+    static  ───┼ merge ─┐
+    ospf ──────┼ merge ─┼ merge ──────────── (internal)
+    rip ───────┘        │                        │
+    ebgp ──┬ merge ─────┴──── (external) ── ExtInt ── Register ── Redist ── sink → FEA
+    ibgp ──┘                                                 v}
+
+    Decisions are pairwise administrative-distance comparisons in the
+    merge stages; the ExtInt stage additionally gates BGP routes on
+    nexthop resolvability; the Register stage answers interest
+    registrations (§5.2.1); the Redist stage taps the winner stream for
+    policy-filtered redistribution; the sink pushes winners to the FEA
+    over XRLs.
+
+    XRL interface [rib/1.0]: [add_route], [delete_route],
+    [lookup_route_by_dest], [register_interest], [deregister_interest],
+    [redist_subscribe], [redist_unsubscribe], [get_route_count].
+    Interest clients must implement
+    [rib_client/1.0/route_info_invalid?valid:ipv4net]; redistribution
+    subscribers implement [redist_client/1.0/add_route] and
+    [delete_route]. *)
+
+type t
+
+val create :
+  ?families:Pf.family list ->
+  ?profiler:Profiler.t -> ?send_to_fea:bool ->
+  Finder.t -> Eventloop.t -> unit -> t
+(** Registers class ["rib"] (sole) with the Finder. With
+    [send_to_fea] (default true), winner changes are pushed to the
+    ["fea"] target. The RIB watches the ["bgp"], ["rip"] and ["ospf"]
+    component classes and gradually flushes their origin tables when
+    the last instance dies (Finder lifetime notification, §6.2). *)
+
+(** {1 Direct API} (same operations the XRLs expose; examples/tests) *)
+
+val add_route :
+  t -> protocol:string -> net:Ipv4net.t -> nexthop:Ipv4.t ->
+  ?metric:int -> unit -> (unit, string) result
+
+val delete_route :
+  t -> protocol:string -> net:Ipv4net.t -> (unit, string) result
+
+val lookup_best : t -> Ipv4.t -> Rib_route.t option
+(** The current winning route for an address, post-arbitration. *)
+
+val route_count : t -> int
+(** Number of winning routes (post-arbitration). *)
+
+val register_interest :
+  t -> client:string -> Ipv4.t -> Register_table.answer
+
+val deregister_interest : t -> client:string -> Ipv4net.t -> bool
+
+val subscribe_redist :
+  t -> name:string -> policy:Policy.program ->
+  on_add:(Rib_route.t -> unit) -> on_delete:(Rib_route.t -> unit) -> unit
+(** Attach a redistribution subscriber and synchronously dump the
+    current winners through its policy filter. *)
+
+val unsubscribe_redist : t -> name:string -> unit
+
+val fold_winners : t -> (Rib_route.t -> 'acc -> 'acc) -> 'acc -> 'acc
+
+val protocols : t -> string list
+(** Origin tables present. *)
+
+val origin_route_count : t -> string -> int
+(** Routes currently held by one protocol's origin table. *)
+
+val flush_protocol : t -> string -> unit
+(** Begin gradual background deletion of a protocol's routes. *)
+
+val xrl_router : t -> Xrl_router.t
+val invalidations_sent : t -> int
+val shutdown : t -> unit
+
+(** {1 Profile points (Figures 10–12)} *)
+
+val pp_arrived : string
+(** ["rib_arrived"] — arriving at the RIB. *)
+
+val pp_queued_fea : string
+(** ["rib_queued_fea"] — queued for transmission to the FEA. *)
+
+val pp_sent_fea : string
+(** ["rib_sent_fea"] — sent to the FEA. *)

@@ -1,0 +1,121 @@
+type command = Request | Response
+
+type entry = {
+  net : Ipv4net.t;
+  nexthop : Ipv4.t;
+  metric : int;
+  tag : int;
+}
+
+type t = { command : command; entries : entry list }
+
+let infinity_metric = 16
+let max_entries = 25
+let afi_inet = 2
+let rip_version = 2
+
+let whole_table_request =
+  { command = Request;
+    entries =
+      [ { net = Ipv4net.default; nexthop = Ipv4.zero;
+          metric = infinity_metric; tag = 0 } ] }
+
+(* RFC 2453 §3.9.1: a request with exactly one entry, AFI 0, metric 16
+   asks for the whole table. We encode AFI 0 as the default prefix. *)
+let is_whole_table_request t =
+  match t.command, t.entries with
+  | Request, [ e ] ->
+    e.metric = infinity_metric && Ipv4net.equal e.net Ipv4net.default
+  | _ -> false
+
+(* Netmask to prefix length; rejects non-contiguous masks. *)
+let prefix_len_of_mask m =
+  let v = Ipv4.to_int m in
+  let rec count l =
+    if l > 32 then None
+    else if Ipv4.to_int (Ipv4.mask_of_len l) = v then Some l
+    else count (l + 1)
+  in
+  count 0
+
+let encode t =
+  if List.length t.entries > max_entries then
+    invalid_arg "Rip_packet.encode: too many entries";
+  let w = Wire.W.create ~initial:(4 + (20 * List.length t.entries)) () in
+  Wire.W.u8 w (match t.command with Request -> 1 | Response -> 2);
+  Wire.W.u8 w rip_version;
+  Wire.W.u16 w 0;
+  List.iter
+    (fun e ->
+       let whole = Ipv4net.equal e.net Ipv4net.default && e.metric = infinity_metric
+                   && t.command = Request in
+       Wire.W.u16 w (if whole then 0 else afi_inet);
+       Wire.W.u16 w e.tag;
+       Wire.W.ipv4 w (Ipv4net.network e.net);
+       Wire.W.ipv4 w (Ipv4net.netmask e.net);
+       Wire.W.ipv4 w e.nexthop;
+       Wire.W.u32 w e.metric)
+    t.entries;
+  Wire.W.contents w
+
+let decode s =
+  try
+    let r = Wire.R.of_string s in
+    let command =
+      match Wire.R.u8 r with
+      | 1 -> Request
+      | 2 -> Response
+      | c -> failwith (Printf.sprintf "bad command %d" c)
+    in
+    let version = Wire.R.u8 r in
+    if version <> rip_version then
+      failwith (Printf.sprintf "unsupported version %d" version);
+    ignore (Wire.R.u16 r);
+    let rec entries acc =
+      if Wire.R.eof r then List.rev acc
+      else begin
+        let afi = Wire.R.u16 r in
+        let tag = Wire.R.u16 r in
+        let addr = Wire.R.ipv4 r in
+        let mask = Wire.R.ipv4 r in
+        let nexthop = Wire.R.ipv4 r in
+        let metric = Wire.R.u32 r in
+        if metric < 1 || metric > infinity_metric then
+          failwith (Printf.sprintf "bad metric %d" metric);
+        if afi <> afi_inet && afi <> 0 then
+          (* Unknown address families are skipped per RFC. *)
+          entries acc
+        else
+          match prefix_len_of_mask mask with
+          | None -> failwith "non-contiguous netmask"
+          | Some len ->
+            entries ({ net = Ipv4net.make addr len; nexthop; metric; tag } :: acc)
+      end
+    in
+    let entries = entries [] in
+    if List.length entries > max_entries then failwith "too many entries";
+    Ok { command; entries }
+  with
+  | Failure msg -> Error msg
+  | Wire.Truncated -> Error "truncated packet"
+
+let split command entries =
+  let rec go acc current n = function
+    | [] ->
+      let acc = if current = [] then acc else { command; entries = List.rev current } :: acc in
+      List.rev acc
+    | e :: rest ->
+      if n >= max_entries then
+        go ({ command; entries = List.rev current } :: acc) [ e ] 1 rest
+      else go acc (e :: current) (n + 1) rest
+  in
+  go [] [] 0 entries
+
+let to_string t =
+  Printf.sprintf "%s [%s]"
+    (match t.command with Request -> "request" | Response -> "response")
+    (String.concat "; "
+       (List.map
+          (fun e ->
+             Printf.sprintf "%s m%d" (Ipv4net.to_string e.net) e.metric)
+          t.entries))

@@ -1,0 +1,38 @@
+(** RIPv2 wire codec (RFC 2453).
+
+    Packets are a 4-byte header (command, version, zero) followed by up
+    to 25 twenty-byte route entries (AFI, route tag, address, mask,
+    nexthop, metric). *)
+
+type command = Request | Response
+
+type entry = {
+  net : Ipv4net.t;
+  nexthop : Ipv4.t;   (** 0.0.0.0: via the sender. *)
+  metric : int;       (** 1..16; 16 is infinity. *)
+  tag : int;
+}
+
+type t = { command : command; entries : entry list }
+
+val infinity_metric : int
+(** 16 *)
+
+val max_entries : int
+(** 25 entries per packet; longer tables are split across packets. *)
+
+val whole_table_request : t
+(** The special request (one entry, AFI 0, metric 16) asking for the
+    responder's entire routing table. *)
+
+val is_whole_table_request : t -> bool
+
+val encode : t -> string
+(** @raise Invalid_argument when entries exceed {!max_entries}. *)
+
+val decode : string -> (t, string) result
+
+val split : command -> entry list -> t list
+(** Pack an arbitrarily long entry list into maximal packets. *)
+
+val to_string : t -> string

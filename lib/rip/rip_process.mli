@@ -1,0 +1,72 @@
+(** The RIP component: RIPv2 (RFC 2453) over the FEA's UDP relay.
+
+    Faithful to the paper's sandboxing story (§7): RIP never touches
+    the network directly — datagrams go through
+    [fea_udp/1.0/udp_open]/[udp_send] XRLs and arrive back via the
+    [fea_client/1.0/recv] callback, so the process could run fully
+    sandboxed.
+
+    Implements periodic full updates (jittered), route timeout and
+    garbage-collection timers, split horizon with poisoned reverse,
+    triggered updates with suppression, whole-table and specific
+    requests, and route redistribution {e into} RIP via the RIB's
+    [redist_client/1.0] interface. Learned routes are offered to the
+    RIB (protocol ["rip"]).
+
+    Neighbors are configured explicitly per interface (RIPv2 unicast
+    mode): the simulated network has no multicast. *)
+
+type iface = {
+  if_addr : Ipv4.t;          (** Local interface address (bound via FEA). *)
+  if_neighbors : Ipv4.t list; (** RIP routers reachable on this interface. *)
+}
+
+type config = {
+  ifaces : iface list;
+  update_interval : float;   (** Default 30 s, jittered ±5 s. *)
+  timeout : float;           (** Route expiry, default 180 s. *)
+  gc_time : float;           (** Garbage collection, default 120 s. *)
+  triggered_delay : float;   (** Triggered-update suppression, default 1 s. *)
+  send_to_rib : bool;
+}
+
+val default_config : ifaces:iface list -> config
+
+type t
+
+val create :
+  ?profiler:Profiler.t -> ?seed:int ->
+  Finder.t -> Eventloop.t -> config -> t
+(** Registers component class ["rip"]. [seed] controls update jitter. *)
+
+val start : t -> unit
+(** Open FEA sockets, solicit neighbours' tables, start the periodic
+    update timer. *)
+
+val inject : t -> net:Ipv4net.t -> ?metric:int -> ?tag:int -> unit -> unit
+(** Originate a route into RIP locally (metric defaults to 1). Also
+    reachable over XRL [rip/1.0/add_static_route]. *)
+
+val retract : t -> Ipv4net.t -> unit
+(** Withdraw a locally originated route (advertised as metric 16). *)
+
+val subscribe_rib_redistribution : t -> policy:string -> unit
+(** Ask the RIB to redistribute matching routes into RIP
+    ([rib/1.0/redist_subscribe] with this component as the target). *)
+
+val route_count : t -> int
+(** Live (metric < 16) routes in the RIP database. *)
+
+val lookup : t -> Ipv4net.t -> (int * Ipv4.t) option
+(** [(metric, nexthop)] for an exact prefix, if live. *)
+
+val routes : t -> (Ipv4net.t * int * Ipv4.t) list
+(** All live routes: (net, metric, nexthop). *)
+
+val updates_sent : t -> int
+val updates_received : t -> int
+val triggered_updates_sent : t -> int
+val routes_expired : t -> int
+
+val instance_name : t -> string
+val shutdown : t -> unit

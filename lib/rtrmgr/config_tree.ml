@@ -1,0 +1,189 @@
+type t = {
+  name : string;
+  key : string option;
+  leaves : (string * string) list;
+  children : t list;
+}
+
+(* --- lexer ------------------------------------------------------------ *)
+
+exception Parse_error of int * string
+
+type token =
+  | Word of string
+  | Colon_value of string (* the rest of the line after ':' *)
+  | Lbrace
+  | Rbrace
+
+let tokenize source =
+  let tokens = ref [] in (* (line, token), reversed *)
+  let lines = String.split_on_char '\n' source in
+  List.iteri
+    (fun idx line ->
+       let lineno = idx + 1 in
+       let line =
+         match String.index_opt line '#' with
+         | Some i -> String.sub line 0 i
+         | None -> line
+       in
+       let n = String.length line in
+       let rec go i =
+         if i >= n then ()
+         else if line.[i] = ' ' || line.[i] = '\t' || line.[i] = '\r' then
+           go (i + 1)
+         else if line.[i] = '{' then begin
+           tokens := (lineno, Lbrace) :: !tokens;
+           go (i + 1)
+         end
+         else if line.[i] = '}' then begin
+           tokens := (lineno, Rbrace) :: !tokens;
+           go (i + 1)
+         end
+         else if line.[i] = ':' then begin
+           (* A value is a single word, or a double-quoted string
+              (which may contain spaces — policy programs use this).
+              The quote must close on the same line. *)
+           let j = ref (i + 1) in
+           while !j < n && (line.[!j] = ' ' || line.[!j] = '\t') do incr j done;
+           if !j >= n then raise (Parse_error (lineno, "missing value after ':'"));
+           if line.[!j] = '"' then begin
+             match String.index_from_opt line (!j + 1) '"' with
+             | None -> raise (Parse_error (lineno, "unterminated string"))
+             | Some close ->
+               let v = String.sub line (!j + 1) (close - !j - 1) in
+               tokens := (lineno, Colon_value v) :: !tokens;
+               go (close + 1)
+           end
+           else begin
+             let k = ref !j in
+             while
+               !k < n
+               && not (List.mem line.[!k] [ ' '; '\t'; '\r'; '{'; '}'; ':' ])
+             do
+               incr k
+             done;
+             if !k = !j then raise (Parse_error (lineno, "missing value after ':'"));
+             tokens := (lineno, Colon_value (String.sub line !j (!k - !j))) :: !tokens;
+             go !k
+           end
+         end
+         else begin
+           let j = ref i in
+           while
+             !j < n
+             && not
+                  (List.mem line.[!j] [ ' '; '\t'; '\r'; '{'; '}'; ':' ])
+           do
+             incr j
+           done;
+           tokens := (lineno, Word (String.sub line i (!j - i))) :: !tokens;
+           go !j
+         end
+       in
+       go 0)
+    lines;
+  List.rev !tokens
+
+(* --- parser ------------------------------------------------------------ *)
+
+let parse source =
+  let open struct exception Bad of int * string end in
+  try
+    let tokens = ref (tokenize source) in
+    let peek () = match !tokens with [] -> None | tok :: _ -> Some tok in
+    let advance () =
+      match !tokens with
+      | [] -> ()
+      | _ :: rest -> tokens := rest
+    in
+    (* Parse statements until Rbrace or end of input. *)
+    let rec stmts acc_leaves acc_children =
+      match peek () with
+      | None | Some (_, Rbrace) ->
+        (List.rev acc_leaves, List.rev acc_children)
+      | Some (line, Word name) ->
+        advance ();
+        (match peek () with
+         | Some (_, Colon_value v) ->
+           advance ();
+           stmts ((name, v) :: acc_leaves) acc_children
+         | Some (_, Lbrace) ->
+           advance ();
+           let node = block line name None in
+           stmts acc_leaves (node :: acc_children)
+         | Some (_, Word key) ->
+           advance ();
+           (match peek () with
+            | Some (_, Lbrace) ->
+              advance ();
+              let node = block line name (Some key) in
+              stmts acc_leaves (node :: acc_children)
+            | _ ->
+              raise
+                (Bad (line, Printf.sprintf "expected '{' after %s %s" name key)))
+         | Some (line', Rbrace) ->
+           raise (Bad (line', Printf.sprintf "dangling word %S" name))
+         | None -> raise (Bad (line, Printf.sprintf "dangling word %S" name)))
+      | Some (line, Lbrace) -> raise (Bad (line, "unexpected '{'"))
+      | Some (line, Colon_value _) -> raise (Bad (line, "unexpected ':'"))
+    and block line name key =
+      let leaves, children = stmts [] [] in
+      match peek () with
+      | Some (_, Rbrace) ->
+        advance ();
+        { name; key; leaves; children }
+      | _ -> raise (Bad (line, Printf.sprintf "unclosed block %S" name))
+    in
+    let leaves, children = stmts [] [] in
+    (match peek () with
+     | Some (line, Rbrace) -> raise (Bad (line, "unmatched '}'"))
+     | _ -> ());
+    Ok { name = "root"; key = None; leaves; children }
+  with
+  | Bad (line, msg) | Parse_error (line, msg) ->
+    Error (Printf.sprintf "line %d: %s" line msg)
+
+(* --- rendering ------------------------------------------------------------ *)
+
+let render root =
+  let buf = Buffer.create 256 in
+  let rec node indent t =
+    let pad = String.make indent ' ' in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s%s {\n" pad t.name
+         (match t.key with Some k -> " " ^ k | None -> ""));
+    List.iter
+      (fun (k, v) ->
+         Buffer.add_string buf
+           (Printf.sprintf "%s    %s: %s\n" pad k v))
+      t.leaves;
+    List.iter (node (indent + 4)) t.children;
+    Buffer.add_string buf (Printf.sprintf "%s}\n" pad)
+  in
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\n" k v))
+    root.leaves;
+  List.iter (node 0) root.children;
+  Buffer.contents buf
+
+(* --- navigation ------------------------------------------------------------ *)
+
+let child t name = List.find_opt (fun c -> c.name = name) t.children
+let children t name = List.filter (fun c -> c.name = name) t.children
+let leaf t name = List.assoc_opt name t.leaves
+
+let node_id t =
+  match t.key with Some k -> t.name ^ " " ^ k | None -> t.name
+
+let leaf_exn t name =
+  match leaf t name with
+  | Some v -> v
+  | None ->
+    failwith (Printf.sprintf "%s: missing required attribute %S" (node_id t) name)
+
+let rec path t = function
+  | [] -> Some t
+  | name :: rest ->
+    (match child t name with
+     | Some c -> path c rest
+     | None -> None)

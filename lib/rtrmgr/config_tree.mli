@@ -1,0 +1,51 @@
+(** Hierarchical router configuration (XORP-style syntax).
+
+    The Router Manager "holds the router configuration and starts,
+    configures, and stops protocols" (paper §3). Configurations are
+    trees written in a brace syntax:
+
+    {v
+    protocols {
+        bgp {
+            local-as: 65001
+            bgp-id: 1.1.1.1
+            peer 10.0.0.2 {
+                as: 65002
+                local-ip: 10.0.0.1
+            }
+        }
+    }
+    v}
+
+    A node has a name, an optional key argument ([peer 10.0.0.2]), leaf
+    attributes ([as: 65002]) and child nodes. [#] starts a comment. *)
+
+type t = {
+  name : string;
+  key : string option;
+  leaves : (string * string) list; (** In file order. *)
+  children : t list;               (** In file order. *)
+}
+
+val parse : string -> (t, string) result
+(** Parse a configuration file body into a synthetic root node (name
+    ["root"]). Errors carry a line number. *)
+
+val render : t -> string
+(** Pretty-print back to the brace syntax (root children only). *)
+
+val child : t -> string -> t option
+(** First child with the given name. *)
+
+val children : t -> string -> t list
+(** All children with the given name (e.g. every [peer] block). *)
+
+val leaf : t -> string -> string option
+val leaf_exn : t -> string -> string
+(** @raise Failure naming the missing attribute. *)
+
+val path : t -> string list -> t option
+(** Descend through named children. *)
+
+val node_id : t -> string
+(** ["name key"] or ["name"]; for error messages. *)

@@ -1,0 +1,411 @@
+let src = Logs.Src.create "xorp.rtrmgr" ~doc:"Router Manager"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  loop : Eventloop.t;
+  net : Netsim.t;
+  fndr : Finder.t;
+  prof : Profiler.t option;
+  fea_c : Fea.t;
+  rib_c : Rib.t;
+  bgp_c : Bgp_process.t option;
+  rip_c : Rip_process.t option;
+  ospf_c : Ospf_process.t option;
+  cfg : Config_tree.t;
+}
+
+let eventloop t = t.loop
+let netsim t = t.net
+let finder t = t.fndr
+let fea t = t.fea_c
+let rib t = t.rib_c
+let bgp t = t.bgp_c
+let rip t = t.rip_c
+let ospf t = t.ospf_c
+let profiler t = t.prof
+let config_text t = Config_tree.render t.cfg
+
+(* Policy attributes hold stack-language source with ';' as the line
+   separator (configurations are line-oriented). *)
+let compile_policy ~where source =
+  let source = String.concat "\n" (String.split_on_char ';' source) in
+  match Policy.compile source with
+  | Ok p -> Ok p
+  | Error e -> Error (Printf.sprintf "%s: bad policy: %s" where e)
+
+let leaves_all (cfg : Config_tree.t) name =
+  List.filter_map
+    (fun (k, v) -> if k = name then Some v else None)
+    cfg.Config_tree.leaves
+
+let exception_to_errors f =
+  try f () with
+  | Failure msg -> Error [ msg ]
+  | Invalid_argument msg -> Error [ msg ]
+
+(* --- component configuration ------------------------------------------- *)
+
+let configure_interfaces cfg =
+  match Config_tree.path cfg [ "interfaces" ] with
+  | None -> []
+  | Some ifs ->
+    List.map
+      (fun (iface : Config_tree.t) ->
+         let name = Option.value iface.Config_tree.key ~default:"?" in
+         (name, Ipv4.of_string_exn (Config_tree.leaf_exn iface "address")))
+      (Config_tree.children ifs "interface")
+
+let configure_static rib_c cfg =
+  match Config_tree.path cfg [ "protocols"; "static" ] with
+  | None -> Ok ()
+  | Some static ->
+    List.fold_left
+      (fun acc (route : Config_tree.t) ->
+         match acc with
+         | Error _ as e -> e
+         | Ok () ->
+           let net =
+             Ipv4net.of_string_exn (Option.get route.Config_tree.key)
+           in
+           let nexthop =
+             Ipv4.of_string_exn (Config_tree.leaf_exn route "nexthop")
+           in
+           let metric =
+             match Config_tree.leaf route "metric" with
+             | Some m -> int_of_string m
+             | None -> 0
+           in
+           (match
+              Rib.add_route rib_c ~protocol:"static" ~net ~nexthop ~metric ()
+            with
+            | Ok () -> Ok ()
+            | Error e -> Error [ "static route: " ^ e ]))
+      (Ok ())
+      (Config_tree.children static "route")
+
+let configure_bgp ?profiler fndr loop net cfg =
+  match Config_tree.path cfg [ "protocols"; "bgp" ] with
+  | None -> Ok None
+  | Some bgp_cfg ->
+    let local_as = int_of_string (Config_tree.leaf_exn bgp_cfg "local-as") in
+    let bgp_id = Ipv4.of_string_exn (Config_tree.leaf_exn bgp_cfg "bgp-id") in
+    let bgp_c =
+      Bgp_process.create ?profiler fndr loop ~netsim:net ~local_as ~bgp_id ()
+    in
+    let peer_result =
+      List.fold_left
+        (fun acc (peer : Config_tree.t) ->
+           match acc with
+           | Error _ as e -> e
+           | Ok () ->
+             let where = Config_tree.node_id peer in
+             let peer_addr =
+               Ipv4.of_string_exn (Option.get peer.Config_tree.key)
+             in
+             let local_addr =
+               Ipv4.of_string_exn (Config_tree.leaf_exn peer "local-ip")
+             in
+             let peer_as = int_of_string (Config_tree.leaf_exn peer "as") in
+             let base =
+               Bgp_process.default_peer_config ~peer_addr ~local_addr ~peer_as
+             in
+             let policies name =
+               match Config_tree.leaf peer name with
+               | None -> Ok []
+               | Some src ->
+                 (match compile_policy ~where src with
+                  | Ok p -> Ok [ p ]
+                  | Error e -> Error [ e ])
+             in
+             (match policies "import-policy", policies "export-policy" with
+              | Ok import_policies, Ok export_policies ->
+                let pc =
+                  { base with
+                    Bgp_process.hold_time =
+                      (match Config_tree.leaf peer "holdtime" with
+                       | Some h -> float_of_string h
+                       | None -> base.Bgp_process.hold_time);
+                    connect_retry =
+                      (match Config_tree.leaf peer "connect-retry" with
+                       | Some cr -> float_of_string cr
+                       | None -> base.Bgp_process.connect_retry);
+                    damping =
+                      (match Config_tree.leaf peer "damping" with
+                       | Some "true" -> Some Bgp_damping.default_params
+                       | _ -> None);
+                    checking_cache =
+                      Config_tree.leaf peer "checking-cache" = Some "true";
+                    import_policies;
+                    export_policies }
+                in
+                Bgp_process.add_peer bgp_c pc;
+                Ok ()
+              | Error e, _ | _, Error e -> Error e))
+        (Ok ())
+        (Config_tree.children bgp_cfg "peer")
+    in
+    (match peer_result with
+     | Error e ->
+       Bgp_process.shutdown bgp_c;
+       Error e
+     | Ok () ->
+       List.iter
+         (fun (network : Config_tree.t) ->
+            Bgp_process.originate bgp_c
+              (Ipv4net.of_string_exn (Option.get network.Config_tree.key)))
+         (Config_tree.children bgp_cfg "network");
+       Bgp_process.start bgp_c;
+       Ok (Some bgp_c))
+
+let configure_rip fndr loop cfg =
+  match Config_tree.path cfg [ "protocols"; "rip" ] with
+  | None -> Ok None
+  | Some rip_cfg ->
+    let ifaces =
+      List.map
+        (fun (iface : Config_tree.t) ->
+           { Rip_process.if_addr =
+               Ipv4.of_string_exn (Option.get iface.Config_tree.key);
+             if_neighbors =
+               List.map Ipv4.of_string_exn (leaves_all iface "neighbor") })
+        (Config_tree.children rip_cfg "interface")
+    in
+    let base = Rip_process.default_config ~ifaces in
+    let config =
+      { base with
+        Rip_process.update_interval =
+          (match Config_tree.leaf rip_cfg "update-interval" with
+           | Some v -> float_of_string v
+           | None -> base.Rip_process.update_interval);
+        timeout =
+          (match Config_tree.leaf rip_cfg "timeout" with
+           | Some v -> float_of_string v
+           | None -> base.Rip_process.timeout) }
+    in
+    let rip_c = Rip_process.create fndr loop config in
+    List.iter
+      (fun (route : Config_tree.t) ->
+         let metric =
+           match Config_tree.leaf route "metric" with
+           | Some m -> int_of_string m
+           | None -> 1
+         in
+         Rip_process.inject rip_c
+           ~net:(Ipv4net.of_string_exn (Option.get route.Config_tree.key))
+           ~metric ())
+      (Config_tree.children rip_cfg "route");
+    Rip_process.start rip_c;
+    (match Config_tree.leaf rip_cfg "redistribute" with
+     | Some src ->
+       (match compile_policy ~where:"rip redistribute" src with
+        | Ok _ ->
+          (* Pass the raw source; the RIB compiles it on subscription. *)
+          Rip_process.subscribe_rib_redistribution rip_c
+            ~policy:(String.concat "\n" (String.split_on_char ';' src));
+          Ok (Some rip_c)
+        | Error e ->
+          Rip_process.shutdown rip_c;
+          Error [ e ])
+     | None -> Ok (Some rip_c))
+
+let configure_ospf fndr loop cfg =
+  match Config_tree.path cfg [ "protocols"; "ospf" ] with
+  | None -> Ok None
+  | Some ospf_cfg ->
+    let router_id =
+      Ipv4.of_string_exn (Config_tree.leaf_exn ospf_cfg "router-id")
+    in
+    let ifaces =
+      List.map
+        (fun (iface : Config_tree.t) ->
+           { Ospf_process.o_addr =
+               Ipv4.of_string_exn (Option.get iface.Config_tree.key);
+             o_neighbors =
+               List.map
+                 (fun (n : Config_tree.t) ->
+                    { Ospf_process.n_addr =
+                        Ipv4.of_string_exn (Option.get n.Config_tree.key);
+                      n_id =
+                        Ipv4.of_string_exn (Config_tree.leaf_exn n "router-id");
+                      n_cost =
+                        (match Config_tree.leaf n "cost" with
+                         | Some c -> int_of_string c
+                         | None -> 1) })
+                 (Config_tree.children iface "neighbor") })
+        (Config_tree.children ospf_cfg "interface")
+    in
+    let stub_prefixes =
+      List.map
+        (fun (s : Config_tree.t) ->
+           ( Ipv4net.of_string_exn (Option.get s.Config_tree.key),
+             match Config_tree.leaf s "cost" with
+             | Some c -> int_of_string c
+             | None -> 1 ))
+        (Config_tree.children ospf_cfg "stub")
+    in
+    let base = Ospf_process.default_config ~router_id ~ifaces ~stub_prefixes () in
+    let config =
+      { base with
+        Ospf_process.hello_interval =
+          (match Config_tree.leaf ospf_cfg "hello-interval" with
+           | Some v -> float_of_string v
+           | None -> base.Ospf_process.hello_interval);
+        dead_interval =
+          (match Config_tree.leaf ospf_cfg "dead-interval" with
+           | Some v -> float_of_string v
+           | None -> base.Ospf_process.dead_interval) }
+    in
+    let ospf_c = Ospf_process.create fndr loop config in
+    Ospf_process.start ospf_c;
+    Ok (Some ospf_c)
+
+(* --- boot -------------------------------------------------------------------- *)
+
+let boot ?loop ?netsim:net ?finder:fndr ~config () =
+  let loop = match loop with Some l -> l | None -> Eventloop.create () in
+  let net = match net with Some n -> n | None -> Netsim.create loop in
+  let fndr = match fndr with Some f -> f | None -> Finder.create () in
+  match Config_tree.parse config with
+  | Error e -> Error [ e ]
+  | Ok cfg ->
+    (match Template.validate Template.builtin cfg with
+     | Error problems -> Error problems
+     | Ok () ->
+       exception_to_errors (fun () ->
+           let prof =
+             match Config_tree.path cfg [ "profiling" ] with
+             | Some p when Config_tree.leaf p "enabled" = Some "true" ->
+               Some (Profiler.create loop)
+             | _ -> None
+           in
+           let interfaces = configure_interfaces cfg in
+           let fea_c =
+             Fea.create ?profiler:prof ~interfaces ~netsim:net fndr loop ()
+           in
+           let rib_c = Rib.create ?profiler:prof fndr loop () in
+           (* Connected routes for each interface's /24. *)
+           List.iter
+             (fun (_, a) ->
+                match
+                  Rib.add_route rib_c ~protocol:"connected"
+                    ~net:(Ipv4net.make a 24) ~nexthop:Ipv4.zero ()
+                with
+                | Ok () -> ()
+                | Error e -> Log.warn (fun m -> m "connected route: %s" e))
+             interfaces;
+           match configure_static rib_c cfg with
+           | Error e ->
+             Rib.shutdown rib_c;
+             Fea.shutdown fea_c;
+             Error e
+           | Ok () ->
+             (match configure_bgp ?profiler:prof fndr loop net cfg with
+              | Error e ->
+                Rib.shutdown rib_c;
+                Fea.shutdown fea_c;
+                Error e
+              | Ok bgp_c ->
+                (match configure_rip fndr loop cfg with
+                 | Error e ->
+                   Option.iter Bgp_process.shutdown bgp_c;
+                   Rib.shutdown rib_c;
+                   Fea.shutdown fea_c;
+                   Error e
+                 | Ok rip_c ->
+                   (match configure_ospf fndr loop cfg with
+                    | Error e ->
+                      Option.iter Rip_process.shutdown rip_c;
+                      Option.iter Bgp_process.shutdown bgp_c;
+                      Rib.shutdown rib_c;
+                      Fea.shutdown fea_c;
+                      Error e
+                    | Ok ospf_c ->
+                      Log.info (fun m -> m "router booted");
+                      Ok
+                        { loop; net; fndr; prof; fea_c; rib_c; bgp_c; rip_c;
+                          ospf_c; cfg })))))
+
+(* --- show commands --------------------------------------------------------------- *)
+
+let show_routes t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "Destination          Nexthop          Metric Protocol\n";
+  Rib.fold_winners t.rib_c
+    (fun r () ->
+       Buffer.add_string buf
+         (Printf.sprintf "%-20s %-16s %6d %s\n"
+            (Ipv4net.to_string r.Rib_route.net)
+            (Ipv4.to_string r.nexthop)
+            r.metric r.protocol))
+    ();
+  Buffer.contents buf
+
+let show_fib t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "Destination          Nexthop          Iface Protocol\n";
+  List.iter
+    (fun (e : Fib.entry) ->
+       Buffer.add_string buf
+         (Printf.sprintf "%-20s %-16s %-5s %s\n"
+            (Ipv4net.to_string e.Fib.net)
+            (Ipv4.to_string e.nexthop)
+            e.ifname e.protocol))
+    (Fib.entries (Fea.fib t.fea_c));
+  Buffer.contents buf
+
+let show_bgp_peers t =
+  match t.bgp_c with
+  | None -> "BGP is not configured\n"
+  | Some bgp_c ->
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf "Peer             State        RibIn\n";
+    List.iter
+      (fun peer ->
+         Buffer.add_string buf
+           (Printf.sprintf "%-16s %-12s %5d\n" (Ipv4.to_string peer)
+              (match Bgp_process.peer_state bgp_c peer with
+               | Some st -> Peer_fsm.state_to_string st
+               | None -> "?")
+              (Bgp_process.ribin_count bgp_c peer)))
+      (Bgp_process.peer_addresses bgp_c);
+    Buffer.contents buf
+
+let show_rip t =
+  match t.rip_c with
+  | None -> "RIP is not configured\n"
+  | Some rip_c ->
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf "Destination          Metric Nexthop\n";
+    List.iter
+      (fun (net, metric, nexthop) ->
+         Buffer.add_string buf
+           (Printf.sprintf "%-20s %6d %s\n" (Ipv4net.to_string net) metric
+              (Ipv4.to_string nexthop)))
+      (Rip_process.routes rip_c);
+    Buffer.contents buf
+
+let show_ospf t =
+  match t.ospf_c with
+  | None -> "OSPF is not configured\n"
+  | Some ospf_c ->
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf
+      (Printf.sprintf "LSDB: %d LSAs, %d SPF runs\n"
+         (Ospf_process.lsdb_size ospf_c)
+         (Ospf_process.spf_runs ospf_c));
+    Buffer.add_string buf "Destination          Cost Nexthop\n";
+    List.iter
+      (fun (net, cost, nexthop) ->
+         Buffer.add_string buf
+           (Printf.sprintf "%-20s %4d %s\n" (Ipv4net.to_string net) cost
+              (Ipv4.to_string nexthop)))
+      (Ospf_process.route_table ospf_c);
+    Buffer.contents buf
+
+let shutdown t =
+  Option.iter Ospf_process.shutdown t.ospf_c;
+  Option.iter Rip_process.shutdown t.rip_c;
+  Option.iter Bgp_process.shutdown t.bgp_c;
+  Rib.shutdown t.rib_c;
+  Fea.shutdown t.fea_c

@@ -1,0 +1,49 @@
+(** The Router Manager: boots a complete router from a configuration
+    file (paper §3).
+
+    "The Router Manager holds the router configuration and starts,
+    configures, and stops protocols and other router functionality. It
+    hides the router's internal structure from the user, providing
+    operators with unified management interfaces."
+
+    [boot] parses and validates the configuration against the
+    {!Template.builtin} schema, then instantiates components in
+    dependency order — FEA, RIB, then protocols — on one event loop and
+    simulated network, wiring everything through a Finder. The [show_*]
+    operator commands render unified views without exposing which
+    component owns what.
+
+    Policy program attributes ([import-policy], [redistribute], ...)
+    hold stack-language source with [;] standing in for newlines. *)
+
+type t
+
+val boot :
+  ?loop:Eventloop.t -> ?netsim:Netsim.t -> ?finder:Finder.t ->
+  config:string -> unit -> (t, string list) result
+(** Build and start a router. Default loop is a fresh simulated-clock
+    loop. On [Error], nothing is left running. *)
+
+val eventloop : t -> Eventloop.t
+val netsim : t -> Netsim.t
+val finder : t -> Finder.t
+val fea : t -> Fea.t
+val rib : t -> Rib.t
+val bgp : t -> Bgp_process.t option
+val rip : t -> Rip_process.t option
+val ospf : t -> Ospf_process.t option
+val profiler : t -> Profiler.t option
+val config_text : t -> string
+(** The booted configuration, re-rendered. *)
+
+(** {1 Operator commands} *)
+
+val show_routes : t -> string
+(** The RIB's winning routes, one per line. *)
+
+val show_fib : t -> string
+val show_bgp_peers : t -> string
+val show_rip : t -> string
+val show_ospf : t -> string
+
+val shutdown : t -> unit

@@ -1,0 +1,41 @@
+(** Configuration templates: the schema a configuration tree must
+    follow.
+
+    XORP's Router Manager validates configurations against template
+    files that protocols install, which is how the CLI configuration
+    language is extended without changing the manager (paper §8.3,
+    which also notes this is where the original design needed rework).
+    Here templates are declarative OCaml values: node names, whether a
+    node takes a key, typed leaves, and which of them are mandatory. *)
+
+type leaf_type = T_u32 | T_txt | T_bool | T_ipv4 | T_ipv4net | T_float
+
+type leaf_spec = {
+  l_name : string;
+  l_type : leaf_type;
+  l_mandatory : bool;
+}
+
+type node_spec = {
+  n_name : string;
+  n_keyed : [ `No_key | `Key of leaf_type ];
+  n_leaves : leaf_spec list;
+  n_children : node_spec list;
+  n_multiple : bool; (** May appear more than once (e.g. [peer]). *)
+}
+
+val leaf : ?mandatory:bool -> string -> leaf_type -> leaf_spec
+
+val node :
+  ?keyed:[ `No_key | `Key of leaf_type ] -> ?multiple:bool ->
+  ?leaves:leaf_spec list -> ?children:node_spec list -> string -> node_spec
+
+val validate : node_spec list -> Config_tree.t -> (unit, string list) result
+(** Check a parsed configuration (the synthetic root) against a list of
+    allowed top-level nodes. Returns all problems found: unknown nodes
+    or attributes, missing mandatory attributes, type errors, duplicate
+    singleton nodes. *)
+
+val builtin : node_spec list
+(** The camlXORP router template: [interfaces], [protocols
+    { static, bgp, rip }], [policy]. *)

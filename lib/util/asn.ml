@@ -1,0 +1,25 @@
+type t = int
+
+let max_asn = 0xFFFF_FFFF
+
+let of_int v =
+  if v < 0 || v > max_asn then invalid_arg "Asn.of_int";
+  v
+
+let to_int v = v
+let as_trans = 23456
+let is_4byte v = v > 0xFFFF
+
+let is_private v =
+  (v >= 64512 && v <= 65534) || (v >= 4200000000 && v <= 4294967294)
+
+let compare = Int.compare
+let equal = Int.equal
+let to_string = string_of_int
+
+let of_string s =
+  match int_of_string_opt s with
+  | Some v when v >= 0 && v <= max_asn -> Some v
+  | _ -> None
+
+let pp fmt v = Format.pp_print_int fmt v

@@ -1,0 +1,23 @@
+(** Autonomous System numbers (32-bit, RFC 6793). *)
+
+type t
+
+val of_int : int -> t
+(** @raise Invalid_argument outside [0 .. 2{^32}-1]. *)
+
+val to_int : t -> int
+
+val as_trans : t
+(** AS 23456, the 16-bit placeholder for 4-byte AS numbers. *)
+
+val is_4byte : t -> bool
+(** True if the number does not fit in 16 bits. *)
+
+val is_private : t -> bool
+(** True for 64512–65534 and 4200000000–4294967294. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

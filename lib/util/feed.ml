@@ -1,0 +1,65 @@
+type entry = {
+  net : Ipv4net.t;
+  nexthop : Ipv4.t;
+  as_path : int list;
+  med : int;
+  localpref : int;
+}
+
+let paper_table_size = 146515
+
+(* Prefix-length distribution loosely matching public routing-table
+   statistics: /24 dominates, a tail of shorter aggregates. The weights
+   sum to 100 and are sampled by cumulative lookup. *)
+let len_dist = [| (24, 55); (23, 9); (22, 10); (21, 5); (20, 6);
+                  (19, 6); (18, 3); (17, 2); (16, 3); (15, 1) |]
+
+let sample_len rng =
+  let roll = Rng.int rng 100 in
+  let rec go i acc =
+    let len, w = len_dist.(i) in
+    if roll < acc + w || i = Array.length len_dist - 1 then len
+    else go (i + 1) (acc + w)
+  in
+  go 0 0
+
+let sample_nexthop rng =
+  (* A handful of peering-LAN addresses, as a real session would have. *)
+  Ipv4.of_octets 10 0 (Rng.int rng 4) (1 + Rng.int rng 8)
+
+let sample_as_path rng =
+  let hops = 1 + Rng.int rng 6 in
+  List.init hops (fun _ -> 1 + Rng.int rng 64000)
+
+let generate ?(seed = 42) n =
+  if n < 0 then invalid_arg "Feed.generate";
+  let rng = Rng.create seed in
+  let seen = Hashtbl.create (2 * n + 1) in
+  let fresh_prefix () =
+    let rec try_one () =
+      let len = sample_len rng in
+      (* Restrict to 1.0.0.0 .. 223.255.255.255 so we avoid reserved
+         space; host bits are zeroed by Ipv4net.make. *)
+      let hi = 1 + Rng.int rng 223 in
+      let addr = Ipv4.of_octets hi (Rng.int rng 256) (Rng.int rng 256) 0 in
+      let net = Ipv4net.make addr len in
+      if Hashtbl.mem seen net then try_one ()
+      else begin
+        Hashtbl.add seen net ();
+        net
+      end
+    in
+    try_one ()
+  in
+  Array.init n (fun _ ->
+      { net = fresh_prefix ();
+        nexthop = sample_nexthop rng;
+        as_path = sample_as_path rng;
+        med = Rng.int rng 100;
+        localpref = 100 })
+
+let nexthops entries =
+  let tbl = Hashtbl.create 16 in
+  Array.iter (fun e -> Hashtbl.replace tbl e.nexthop ()) entries;
+  Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+  |> List.sort Ipv4.compare

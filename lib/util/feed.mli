@@ -1,0 +1,25 @@
+(** Synthetic Internet route feed generator.
+
+    The paper's full-table experiments use a live backbone feed of
+    146,515 routes; we have no live peers, so this module produces a
+    deterministic synthetic substitute with a realistic prefix-length
+    distribution (dominated by /24s, per routing-table surveys) and
+    plausible AS paths. See DESIGN.md for the substitution rationale. *)
+
+type entry = {
+  net : Ipv4net.t;
+  nexthop : Ipv4.t;
+  as_path : int list;      (** Origin AS last; 1–6 hops. *)
+  med : int;
+  localpref : int;
+}
+
+val paper_table_size : int
+(** 146515 — the table size used throughout the paper's §8.2. *)
+
+val generate : ?seed:int -> int -> entry array
+(** [generate n] produces [n] entries with distinct prefixes. The same
+    [seed] yields the same feed. O(n) expected time. *)
+
+val nexthops : entry array -> Ipv4.t list
+(** Distinct nexthop addresses appearing in the feed, sorted. *)

@@ -1,0 +1,64 @@
+type t = int
+
+let mask32 = 0xFFFF_FFFF
+let zero = 0
+let broadcast = mask32
+let of_int v = v land mask32
+let to_int a = a
+
+let of_octets a b c d =
+  ((a land 0xFF) lsl 24) lor ((b land 0xFF) lsl 16)
+  lor ((c land 0xFF) lsl 8) lor (d land 0xFF)
+
+let to_octets a = ((a lsr 24) land 0xFF, (a lsr 16) land 0xFF,
+                   (a lsr 8) land 0xFF, a land 0xFF)
+
+let of_string s =
+  (* Hand-rolled parse: strict dotted quad, no leading/trailing junk. *)
+  let n = String.length s in
+  let rec octet i acc digits =
+    if i >= n then (i, acc, digits)
+    else match s.[i] with
+      | '0'..'9' when digits < 3 ->
+        octet (i + 1) ((acc * 10) + Char.code s.[i] - Char.code '0') (digits + 1)
+      | _ -> (i, acc, digits)
+  in
+  let rec go i part addr =
+    let i', v, digits = octet i 0 0 in
+    if digits = 0 || v > 255 then None
+    else
+      let addr = (addr lsl 8) lor v in
+      if part = 3 then (if i' = n then Some addr else None)
+      else if i' < n && s.[i'] = '.' then go (i' + 1) (part + 1) addr
+      else None
+  in
+  go 0 0 0
+
+let of_string_exn s =
+  match of_string s with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Ipv4.of_string_exn: %S" s)
+
+let to_string a =
+  let x, y, z, w = to_octets a in
+  Printf.sprintf "%d.%d.%d.%d" x y z w
+
+let compare = Int.compare
+let equal = Int.equal
+let hash a = Hashtbl.hash a
+let succ a = (a + 1) land mask32
+let logand a b = a land b
+let logor a b = a lor b
+let lognot a = lnot a land mask32
+
+let bit a i =
+  if i < 0 || i > 31 then invalid_arg "Ipv4.bit";
+  (a lsr (31 - i)) land 1 = 1
+
+let mask_of_len l =
+  if l < 0 || l > 32 then invalid_arg "Ipv4.mask_of_len";
+  if l = 0 then 0 else (mask32 lsl (32 - l)) land mask32
+
+let is_multicast a = a lsr 28 = 0xE
+let is_loopback a = a lsr 24 = 127
+let pp fmt a = Format.pp_print_string fmt (to_string a)

@@ -1,0 +1,66 @@
+(** IPv4 addresses.
+
+    Addresses are represented as OCaml [int]s in the range
+    [0 .. 2{^32}-1], which avoids [Int32] boxing on 64-bit platforms and
+    makes bit manipulation cheap. All functions maintain that range
+    invariant. *)
+
+type t
+(** An IPv4 address. Total ordering follows numeric (network byte
+    order) value. *)
+
+val zero : t
+(** [0.0.0.0] *)
+
+val broadcast : t
+(** [255.255.255.255] *)
+
+val of_int : int -> t
+(** [of_int v] masks [v] to 32 bits. *)
+
+val to_int : t -> int
+(** Numeric value in [0 .. 2{^32}-1]. *)
+
+val of_octets : int -> int -> int -> int -> t
+(** [of_octets a b c d] is the address [a.b.c.d]. Each octet is masked
+    to 8 bits. *)
+
+val to_octets : t -> int * int * int * int
+
+val of_string : string -> t option
+(** Parse dotted-quad notation. Returns [None] on malformed input. *)
+
+val of_string_exn : string -> t
+(** Like {!of_string}.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+(** Dotted-quad rendering, e.g. ["128.16.32.1"]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val succ : t -> t
+(** Next address, wrapping at [255.255.255.255]. *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val lognot : t -> t
+
+val bit : t -> int -> bool
+(** [bit a i] is bit [i] of [a], where bit 0 is the {e most} significant
+    bit (the convention used by prefix tries).
+    @raise Invalid_argument if [i] is outside [0..31]. *)
+
+val mask_of_len : int -> t
+(** [mask_of_len l] is the netmask with [l] leading one bits.
+    @raise Invalid_argument unless [0 <= l <= 32]. *)
+
+val is_multicast : t -> bool
+(** True for 224.0.0.0/4. *)
+
+val is_loopback : t -> bool
+(** True for 127.0.0.0/8. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+type t = { net : Ipv4.t; len : int }
+
+let make addr len =
+  if len < 0 || len > 32 then invalid_arg "Ipv4net.make";
+  { net = Ipv4.logand addr (Ipv4.mask_of_len len); len }
+
+let network t = t.net
+let prefix_len t = t.len
+let netmask t = Ipv4.mask_of_len t.len
+let default = { net = Ipv4.zero; len = 0 }
+let host a = { net = a; len = 32 }
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> Option.map host (Ipv4.of_string s)
+  | Some i ->
+    let addr = String.sub s 0 i in
+    let len = String.sub s (i + 1) (String.length s - i - 1) in
+    (match Ipv4.of_string addr, int_of_string_opt len with
+     | Some a, Some l when l >= 0 && l <= 32 -> Some (make a l)
+     | _ -> None)
+
+let of_string_exn s =
+  match of_string s with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Ipv4net.of_string_exn: %S" s)
+
+let to_string t = Printf.sprintf "%s/%d" (Ipv4.to_string t.net) t.len
+
+let contains_addr t a =
+  Ipv4.equal (Ipv4.logand a (Ipv4.mask_of_len t.len)) t.net
+
+let contains outer inner =
+  outer.len <= inner.len && contains_addr outer inner.net
+
+let overlaps a b = contains a b || contains b a
+
+let first_addr t = t.net
+let last_addr t = Ipv4.logor t.net (Ipv4.lognot (Ipv4.mask_of_len t.len))
+
+let split t =
+  if t.len >= 32 then None
+  else
+    let len = t.len + 1 in
+    let left = { net = t.net; len } in
+    let right_addr = Ipv4.of_int (Ipv4.to_int t.net lor (1 lsl (31 - t.len))) in
+    Some (left, { net = right_addr; len })
+
+let parent t =
+  if t.len = 0 then None else Some (make t.net (t.len - 1))
+
+let compare a b =
+  let c = Ipv4.compare a.net b.net in
+  if c <> 0 then c else Int.compare a.len b.len
+
+let equal a b = compare a b = 0
+let hash t = Hashtbl.hash (Ipv4.to_int t.net, t.len)
+let pp fmt t = Format.pp_print_string fmt (to_string t)

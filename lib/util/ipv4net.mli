@@ -1,0 +1,61 @@
+(** IPv4 network prefixes ("subnets").
+
+    A prefix is an address plus a mask length; the address is always
+    stored in canonical form (host bits zeroed), so structural equality
+    coincides with semantic equality. *)
+
+type t
+
+val make : Ipv4.t -> int -> t
+(** [make addr len] canonicalizes [addr] to [len] bits.
+    @raise Invalid_argument unless [0 <= len <= 32]. *)
+
+val network : t -> Ipv4.t
+(** Network address (host bits are zero). *)
+
+val prefix_len : t -> int
+
+val netmask : t -> Ipv4.t
+
+val default : t
+(** [0.0.0.0/0]. *)
+
+val host : Ipv4.t -> t
+(** [/32] prefix covering exactly one address. *)
+
+val of_string : string -> t option
+(** Parse ["a.b.c.d/len"]. A bare address parses as a /32. *)
+
+val of_string_exn : string -> t
+(** @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+(** e.g. ["128.16.0.0/18"]. *)
+
+val contains_addr : t -> Ipv4.t -> bool
+(** [contains_addr net a]: does [a] fall inside [net]? *)
+
+val contains : t -> t -> bool
+(** [contains outer inner]: is [inner] a subset of (or equal to)
+    [outer]? *)
+
+val overlaps : t -> t -> bool
+(** True iff one contains the other (IPv4 prefixes either nest or are
+    disjoint). *)
+
+val first_addr : t -> Ipv4.t
+val last_addr : t -> Ipv4.t
+
+val split : t -> (t * t) option
+(** Split into the two half-length-[+1] children; [None] for a /32. *)
+
+val parent : t -> t option
+(** The enclosing prefix one bit shorter; [None] for /0. *)
+
+val compare : t -> t -> int
+(** Orders by network address, then by prefix length (shorter first),
+    so a sorted list groups nested prefixes together. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

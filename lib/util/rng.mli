@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random number generator (splitmix64-based).
+
+    The benchmarks and the synthetic route feed must be reproducible
+    run-to-run and independent of the stdlib [Random] state, so we keep
+    our own explicitly-seeded generator. Not cryptographic. *)
+
+type t
+
+val create : int -> t
+(** [create seed]: generators with equal seeds produce equal streams. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0 .. bound-1].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.
+    @raise Invalid_argument on an empty array. *)
+
+val bytes : t -> int -> string
+(** [bytes t n] is [n] uniform random bytes (used for Finder keys). *)

@@ -1,0 +1,76 @@
+exception Truncated
+
+module W = struct
+  type t = Buffer.t
+
+  let create ?(initial = 64) () = Buffer.create initial
+  let u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+  let u16 b v =
+    u8 b (v lsr 8);
+    u8 b v
+
+  let u32 b v =
+    u16 b (v lsr 16);
+    u16 b v
+
+  let bytes = Buffer.add_string
+  let ipv4 b a = u32 b (Ipv4.to_int a)
+  let length = Buffer.length
+  let contents = Buffer.contents
+
+  let patch_u16 b off v =
+    if off < 0 || off + 2 > Buffer.length b then invalid_arg "Wire.W.patch_u16";
+    let s = Buffer.to_bytes b in
+    Bytes.set s off (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set s (off + 1) (Char.chr (v land 0xFF));
+    Buffer.clear b;
+    Buffer.add_bytes b s
+end
+
+module R = struct
+  type t = { src : string; limit : int; mutable pos : int }
+
+  let of_string ?(off = 0) ?len src =
+    let len = match len with Some l -> l | None -> String.length src - off in
+    if off < 0 || len < 0 || off + len > String.length src then
+      invalid_arg "Wire.R.of_string";
+    { src; limit = off + len; pos = off }
+
+  let need r n = if r.pos + n > r.limit then raise Truncated
+
+  let u8 r =
+    need r 1;
+    let v = Char.code r.src.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let u16 r =
+    let hi = u8 r in
+    let lo = u8 r in
+    (hi lsl 8) lor lo
+
+  let u32 r =
+    let hi = u16 r in
+    let lo = u16 r in
+    (hi lsl 16) lor lo
+
+  let bytes r n =
+    if n < 0 then invalid_arg "Wire.R.bytes";
+    need r n;
+    let s = String.sub r.src r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let ipv4 r = Ipv4.of_int (u32 r)
+  let remaining r = r.limit - r.pos
+  let eof r = r.pos >= r.limit
+  let pos r = r.pos
+
+  let sub r n =
+    if n < 0 then invalid_arg "Wire.R.sub";
+    need r n;
+    let inner = { src = r.src; limit = r.pos + n; pos = r.pos } in
+    r.pos <- r.pos + n;
+    inner
+end

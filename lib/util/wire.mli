@@ -1,0 +1,46 @@
+(** Big-endian byte-buffer readers and writers, used by all wire codecs
+    (BGP and RIP packets, XRL marshaling).
+
+    Writers append to an internal growable buffer; readers consume a
+    [string] with strict bounds checking. *)
+
+exception Truncated
+(** Raised by readers when the input runs out before a field ends. *)
+
+module W : sig
+  type t
+
+  val create : ?initial:int -> unit -> t
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  (** Values are masked to the field width. *)
+
+  val bytes : t -> string -> unit
+  val ipv4 : t -> Ipv4.t -> unit
+  val length : t -> int
+  val contents : t -> string
+
+  val patch_u16 : t -> int -> int -> unit
+  (** [patch_u16 w off v] overwrites the 16-bit field at byte offset
+      [off], used for length fields written before the body is known.
+      @raise Invalid_argument if out of range. *)
+end
+
+module R : sig
+  type t
+
+  val of_string : ?off:int -> ?len:int -> string -> t
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val bytes : t -> int -> string
+  val ipv4 : t -> Ipv4.t
+  val remaining : t -> int
+  val eof : t -> bool
+  val pos : t -> int
+
+  val sub : t -> int -> t
+  (** [sub r n] consumes [n] bytes and returns a reader scoped to
+      exactly those bytes — handy for length-delimited substructures. *)
+end

@@ -1,0 +1,29 @@
+let expose finder loop =
+  let router =
+    Xrl_router.create finder loop ~class_name:"finder" ~sole:true ()
+  in
+  let ok = Xrl_error.Ok_xrl in
+  Xrl_router.add_handler router ~interface:"finder" ~method_name:"resolve"
+    (fun args reply ->
+       let text = Xrl_atom.get_txt args "xrl" in
+       match Xrl.of_text text with
+       | Error e -> reply (Xrl_error.Bad_args ("malformed xrl: " ^ e)) []
+       | Ok xrl ->
+         (match Finder.resolve finder xrl with
+          | Ok r ->
+            reply ok
+              [ Xrl_atom.txt "family" r.Finder.family;
+                Xrl_atom.txt "address" r.Finder.address;
+                Xrl_atom.txt "keyed_method" r.Finder.keyed_method ]
+          | Error e -> reply e []));
+  Xrl_router.add_handler router ~interface:"finder"
+    ~method_name:"live_instances" (fun args reply ->
+        let cls = Xrl_atom.get_txt args "class" in
+        let instances =
+          List.map (fun i -> Xrl_atom.Txt i) (Finder.live_instances finder cls)
+        in
+        reply ok [ Xrl_atom.list "instances" instances ]);
+  Xrl_router.add_handler router ~interface:"finder"
+    ~method_name:"resolve_count" (fun _ reply ->
+        reply ok [ Xrl_atom.u32 "count" (Finder.resolve_count finder) ]);
+  router

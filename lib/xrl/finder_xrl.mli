@@ -1,0 +1,15 @@
+(** The Finder as an XRL target (paper §6.3: "There is also a special
+    Finder protocol family permitting the Finder to be addressable
+    through XRLs, just as any other XORP component").
+
+    [expose] registers a ["finder"] component whose methods let any
+    component — or an operator via [call_xrl] — query the broker:
+
+    - [finder/1.0/resolve?xrl:txt] → [family, address, keyed_method]:
+      resolve a textual generic XRL;
+    - [finder/1.0/live_instances?class:txt] → instance list;
+    - [finder/1.0/resolve_count] → resolutions served. *)
+
+val expose : Finder.t -> Eventloop.t -> Xrl_router.t
+(** Sole instance of class ["finder"].
+    @raise Failure if already exposed on this Finder. *)

@@ -1,0 +1,9 @@
+(** Intra-process protocol family.
+
+    For calls between components in the same process the XRL library
+    invokes direct method calls (paper §8.1) — no marshaling, no
+    copying, no event-loop round trip. Addresses look like
+    ["intra:<id>"] and resolve through a process-global registry, so a
+    restarted component gets a fresh id and stale senders fail cleanly. *)
+
+val family : Pf.family

@@ -1,0 +1,29 @@
+(** The kill protocol family (paper §6.3).
+
+    "Finally, there exists a kill protocol family, which is capable of
+    sending just one message type — a UNIX signal — to components
+    within a host."
+
+    A component becomes signalable by including {!family} in its
+    protocol families and calling {!make_signalable}; the Router
+    Manager (or anything else) then delivers signals through ordinary
+    Finder resolution with {!send_signal}. The family transports
+    nothing but signals: any other interface, any arguments, or an
+    unknown signal name are refused at the sending side, and the
+    receiving side still enforces the per-method key, so the Finder
+    cannot be bypassed. *)
+
+val family : Pf.family
+
+val known_signals : string list
+(** ["HUP"; "INT"; "TERM"; "USR1"; "USR2"] *)
+
+val make_signalable : Xrl_router.t -> on_signal:(string -> unit) -> unit
+(** Register the [signal/1.0/<name>] handlers that deliveries invoke. *)
+
+val send_signal :
+  Xrl_router.t -> target:string -> signal:string ->
+  (Xrl_error.t -> unit) -> unit
+(** Resolve [target] and deliver one signal. The sending router must
+    itself list {!family} among its protocol families and prefer it for
+    the delivery to travel over the kill transport. *)

@@ -1,0 +1,21 @@
+(** Simulated-network protocol family ("sim").
+
+    The paper (§1): the IPC mechanism "lets modules communicate with
+    each other independent of whether those modules are part of the
+    same process, or even on the same machine; this allows untrusted
+    processes to be run entirely sandboxed, or even on different
+    machines from the forwarding engine."
+
+    This family carries XRLs over {!Netsim} streams, so components of
+    one router can live on different {e simulated machines}: give each
+    component a sim family bound to its machine's address, and XRL
+    traffic crosses the simulated network with its latency — e.g. a
+    remote FEA, as the paper suggests. Works with the simulated clock
+    (unlike the real-socket TCP/UDP families).
+
+    Addresses look like ["sim:10.0.0.2:7001"]. *)
+
+val family : Netsim.t -> local_addr:Ipv4.t -> Pf.family
+(** A family instance for one simulated machine. Listeners bind
+    sequential ports on [local_addr]; senders connect across the
+    simulated network and pipeline requests like the TCP family. *)

@@ -1,0 +1,157 @@
+let src = Logs.Src.create "xorp.pf_tcp" ~doc:"XRL TCP protocol family"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let set_nodelay fd =
+  try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ()
+
+let require_real loop what =
+  if Eventloop.mode loop <> `Real then
+    invalid_arg (what ^ ": TCP protocol family needs a `Real event loop")
+
+let parse_address address =
+  match String.rindex_opt address ':' with
+  | None -> invalid_arg ("Pf_tcp: bad address " ^ address)
+  | Some i ->
+    let host = String.sub address 0 i in
+    let port = String.sub address (i + 1) (String.length address - i - 1) in
+    (match Ipv4.of_string host, int_of_string_opt port with
+     | Some _, Some port ->
+       (Unix.inet_addr_of_string host, port)
+     | _ -> invalid_arg ("Pf_tcp: bad address " ^ address))
+
+(* --- Listener ------------------------------------------------------ *)
+
+let make_listener loop (dispatch : Pf.dispatch) : Pf.listener =
+  require_real loop "Pf_tcp.make_listener";
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lfd 64;
+  Unix.set_nonblock lfd;
+  let port =
+    match Unix.getsockname lfd with
+    | Unix.ADDR_INET (_, port) -> port
+    | _ -> assert false
+  in
+  let conns : Sockbuf.t list ref = ref [] in
+  let serve_conn conn_ref frame =
+    match Xrl_wire.decode frame with
+    | Ok (Xrl_wire.Request { seq; xrl }) ->
+      dispatch xrl (fun error args ->
+          match !conn_ref with
+          | Some conn when Sockbuf.is_open conn ->
+            Sockbuf.send_frame conn
+              (Xrl_wire.encode (Xrl_wire.Reply { seq; error; args }))
+          | _ -> ())
+    | Ok (Xrl_wire.Reply _) ->
+      Log.warn (fun m -> m "listener got a stray reply; dropping")
+    | Error msg -> Log.warn (fun m -> m "undecodable request: %s" msg)
+  in
+  let accept_ready () =
+    let rec accept_all () =
+      match Unix.accept lfd with
+      | fd, _ ->
+        set_nodelay fd;
+        let conn_ref = ref None in
+        let conn =
+          Sockbuf.attach loop fd
+            ~on_frame:(fun frame -> serve_conn conn_ref frame)
+            ~on_close:(fun () ->
+                conns :=
+                  List.filter
+                    (fun c ->
+                       match !conn_ref with
+                       | Some mine -> not (c == mine)
+                       | None -> true)
+                    !conns)
+        in
+        conn_ref := Some conn;
+        conns := conn :: !conns;
+        accept_all ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        -> ()
+    in
+    accept_all ()
+  in
+  Eventloop.add_reader loop lfd accept_ready;
+  let shutdown () =
+    Eventloop.remove_reader loop lfd;
+    (try Unix.close lfd with Unix.Unix_error _ -> ());
+    List.iter Sockbuf.close !conns;
+    conns := []
+  in
+  { address = Printf.sprintf "127.0.0.1:%d" port; shutdown }
+
+(* --- Sender -------------------------------------------------------- *)
+
+type sender_state = {
+  outstanding : (int, Xrl_error.t -> Xrl_atom.t list -> unit) Hashtbl.t;
+  mutable seq : int;
+  mutable conn : Sockbuf.t option;
+}
+
+let make_sender loop address : Pf.sender =
+  require_real loop "Pf_tcp.make_sender";
+  let inet, port = parse_address address in
+  let st = { outstanding = Hashtbl.create 64; seq = 0; conn = None } in
+  let fail_all reason =
+    let cbs = Hashtbl.fold (fun _ cb acc -> cb :: acc) st.outstanding [] in
+    Hashtbl.reset st.outstanding;
+    List.iter (fun cb -> cb (Xrl_error.Send_failed reason) []) cbs
+  in
+  let on_frame frame =
+    match Xrl_wire.decode frame with
+    | Ok (Xrl_wire.Reply { seq; error; args }) ->
+      (match Hashtbl.find_opt st.outstanding seq with
+       | Some cb ->
+         Hashtbl.remove st.outstanding seq;
+         cb error args
+       | None -> Log.warn (fun m -> m "reply for unknown seq %d" seq))
+    | Ok (Xrl_wire.Request _) ->
+      Log.warn (fun m -> m "sender got a request; dropping")
+    | Error msg -> Log.warn (fun m -> m "undecodable reply: %s" msg)
+  in
+  let connect () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    set_nodelay fd;
+    Unix.set_nonblock fd;
+    (try Unix.connect fd (Unix.ADDR_INET (inet, port)) with
+     | Unix.Unix_error (Unix.EINPROGRESS, _, _) -> ()
+     | Unix.Unix_error _ as e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    st.conn <-
+      Some
+        (Sockbuf.attach loop fd ~on_frame ~on_close:(fun () ->
+             st.conn <- None;
+             fail_all "connection closed"))
+  in
+  let send_req xrl cb =
+    (match st.conn with
+     | Some conn when Sockbuf.is_open conn -> ()
+     | _ ->
+       (match connect () with
+        | () -> ()
+        | exception Unix.Unix_error (err, _, _) ->
+          cb (Xrl_error.Send_failed (Unix.error_message err)) [];
+          raise Exit));
+    match st.conn with
+    | Some conn ->
+      st.seq <- st.seq + 1;
+      let seq = st.seq in
+      Hashtbl.replace st.outstanding seq cb;
+      Sockbuf.send_frame conn (Xrl_wire.encode (Xrl_wire.Request { seq; xrl }))
+    | None -> cb (Xrl_error.Send_failed "not connected") []
+  in
+  let send_req xrl cb = try send_req xrl cb with Exit -> () in
+  let close_sender () =
+    (match st.conn with
+     | Some conn -> Sockbuf.close conn
+     | None -> ());
+    st.conn <- None;
+    fail_all "sender closed"
+  in
+  { send_req; close_sender; family_of_sender = "stcp" }
+
+let family : Pf.family = { family_name = "stcp"; make_listener; make_sender }

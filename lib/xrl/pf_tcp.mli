@@ -1,0 +1,11 @@
+(** TCP protocol family ("stcp"): XRLs over real loopback TCP sockets.
+
+    This is the family XORP uses by default between processes. Requests
+    are pipelined: a sender may have many outstanding requests on one
+    connection, matched to replies by sequence number — the property
+    that makes TCP competitive with intra-process calls in Figure 9.
+
+    Requires a [`Real]-mode event loop. Listener addresses are
+    ["127.0.0.1:<port>"] with a kernel-assigned port. *)
+
+val family : Pf.family

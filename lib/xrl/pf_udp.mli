@@ -1,0 +1,15 @@
+(** UDP protocol family ("sudp"): XRLs over real loopback UDP sockets.
+
+    Faithful to the paper's first XRL prototype (§8.1): requests are
+    {e not} pipelined — a sender keeps exactly one request outstanding
+    and queues the rest, which is why UDP performs markedly worse in
+    Figure 9 despite doing the same marshaling work as TCP. Kept for
+    exactly that comparison.
+
+    Requires a [`Real]-mode event loop. *)
+
+val family : Pf.family
+
+val request_timeout : float
+(** Seconds before an unanswered request fails with
+    [Reply_timed_out]. *)

@@ -1,0 +1,132 @@
+type t = {
+  loop : Eventloop.t;
+  fd : Unix.file_descr;
+  on_frame : string -> unit;
+  on_close : unit -> unit;
+  inbuf : Buffer.t;
+  outq : string Queue.t; (* head may be partially written: out_off *)
+  mutable out_off : int;
+  mutable out_bytes : int;
+  mutable writer_armed : bool;
+  mutable opened : bool;
+}
+
+let scratch_len = 65536
+let scratch = Bytes.create scratch_len
+
+let is_open t = t.opened
+let pending_bytes t = t.out_bytes - t.out_off
+
+let teardown t =
+  if t.opened then begin
+    t.opened <- false;
+    Eventloop.remove_reader t.loop t.fd;
+    if t.writer_armed then Eventloop.remove_writer t.loop t.fd;
+    (try Unix.close t.fd with Unix.Unix_error _ -> ())
+  end
+
+let close t = teardown t
+
+let remote_closed t =
+  if t.opened then begin
+    teardown t;
+    t.on_close ()
+  end
+
+(* Extract complete frames from the input buffer. *)
+let parse_frames t =
+  let data = Buffer.contents t.inbuf in
+  let n = String.length data in
+  let pos = ref 0 in
+  let frames = ref [] in
+  let continue = ref true in
+  while !continue do
+    if n - !pos >= 4 then begin
+      let len =
+        (Char.code data.[!pos] lsl 24)
+        lor (Char.code data.[!pos + 1] lsl 16)
+        lor (Char.code data.[!pos + 2] lsl 8)
+        lor Char.code data.[!pos + 3]
+      in
+      if n - !pos - 4 >= len then begin
+        frames := String.sub data (!pos + 4) len :: !frames;
+        pos := !pos + 4 + len
+      end
+      else continue := false
+    end
+    else continue := false
+  done;
+  if !pos > 0 then begin
+    Buffer.clear t.inbuf;
+    Buffer.add_substring t.inbuf data !pos (n - !pos)
+  end;
+  List.rev !frames
+
+let handle_readable t () =
+  if t.opened then
+    match Unix.read t.fd scratch 0 scratch_len with
+    | 0 -> remote_closed t
+    | n ->
+      Buffer.add_subbytes t.inbuf scratch 0 n;
+      let frames = parse_frames t in
+      List.iter (fun f -> if t.opened then t.on_frame f) frames
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      ()
+    | exception Unix.Unix_error (_, _, _) -> remote_closed t
+
+let rec flush t =
+  match Queue.peek_opt t.outq with
+  | None -> true (* fully drained *)
+  | Some head ->
+    let len = String.length head in
+    let remaining = len - t.out_off in
+    (match
+       Unix.write_substring t.fd head t.out_off remaining
+     with
+     | n ->
+       if n = remaining then begin
+         ignore (Queue.pop t.outq);
+         t.out_bytes <- t.out_bytes - len;
+         t.out_off <- 0;
+         flush t
+       end
+       else begin
+         t.out_off <- t.out_off + n;
+         false
+       end
+     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+       -> false
+     | exception Unix.Unix_error (_, _, _) ->
+       remote_closed t;
+       true)
+
+let handle_writable t () =
+  if t.opened then
+    if flush t && t.writer_armed then begin
+      t.writer_armed <- false;
+      Eventloop.remove_writer t.loop t.fd
+    end
+
+let send_frame t payload =
+  if t.opened then begin
+    let len = String.length payload in
+    let hdr =
+      String.init 4 (fun i -> Char.chr ((len lsr (8 * (3 - i))) land 0xFF))
+    in
+    Queue.push (hdr ^ payload) t.outq;
+    t.out_bytes <- t.out_bytes + len + 4;
+    if not (flush t) && t.opened && not t.writer_armed then begin
+      t.writer_armed <- true;
+      Eventloop.add_writer t.loop t.fd (fun () -> handle_writable t ())
+    end
+  end
+
+let attach loop fd ~on_frame ~on_close =
+  Unix.set_nonblock fd;
+  let t =
+    { loop; fd; on_frame; on_close; inbuf = Buffer.create 4096;
+      outq = Queue.create (); out_off = 0; out_bytes = 0;
+      writer_armed = false; opened = true }
+  in
+  Eventloop.add_reader loop fd (fun () -> handle_readable t ());
+  t

@@ -1,0 +1,27 @@
+(** Non-blocking framed stream connection bound to an event loop.
+
+    Frames are 4-byte big-endian length followed by the payload. Used
+    by the TCP protocol family on both the listening and sending side.
+    Requires a [`Real]-mode event loop (it registers file-descriptor
+    callbacks). *)
+
+type t
+
+val attach :
+  Eventloop.t -> Unix.file_descr ->
+  on_frame:(string -> unit) -> on_close:(unit -> unit) -> t
+(** Takes ownership of the descriptor (sets it non-blocking, closes it
+    on [close]). [on_close] fires on remote close or error, not on a
+    local {!close}. *)
+
+val send_frame : t -> string -> unit
+(** Queue a frame; writes are flushed opportunistically and the rest
+    drains via writability callbacks. Silently dropped when closed. *)
+
+val close : t -> unit
+(** Idempotent; deregisters callbacks and closes the descriptor. *)
+
+val is_open : t -> bool
+
+val pending_bytes : t -> int
+(** Bytes queued but not yet written (tests / flow control). *)

@@ -1,0 +1,78 @@
+type t = {
+  protocol : string;
+  target : string;
+  interface : string;
+  version : string;
+  method_name : string;
+  args : Xrl_atom.t list;
+}
+
+let field_ok ~allow_colon s =
+  s <> ""
+  && not
+       (String.exists
+          (fun c ->
+             c = '/' || c = '?' || c = '&' || c = ' '
+             || ((not allow_colon) && c = ':'))
+          s)
+
+let make ?(protocol = "finder") ~target ~interface ?(version = "1.0")
+    ~method_name args =
+  let check what ~allow_colon s =
+    if not (field_ok ~allow_colon s) then
+      invalid_arg (Printf.sprintf "Xrl.make: bad %s %S" what s)
+  in
+  check "protocol" ~allow_colon:false protocol;
+  check "target" ~allow_colon:true target;
+  check "interface" ~allow_colon:false interface;
+  check "version" ~allow_colon:true version;
+  check "method" ~allow_colon:true method_name;
+  { protocol; target; interface; version; method_name; args }
+
+let to_text t =
+  let base =
+    Printf.sprintf "%s://%s/%s/%s/%s" t.protocol t.target t.interface
+      t.version t.method_name
+  in
+  match t.args with
+  | [] -> base
+  | args ->
+    base ^ "?" ^ String.concat "&" (List.map Xrl_atom.to_text args)
+
+let ( let* ) = Result.bind
+
+let of_text s =
+  match Re.exec_opt (Re.Pcre.re {|^([^:/?]+)://([^/?]+)/([^/?]+)/([^/?]+)/([^?]+)(\?(.*))?$|} |> Re.compile) s with
+  | None -> Error (Printf.sprintf "malformed XRL %S" s)
+  | Some g ->
+    let protocol = Re.Group.get g 1 in
+    let target = Re.Group.get g 2 in
+    let interface = Re.Group.get g 3 in
+    let version = Re.Group.get g 4 in
+    let method_name = Re.Group.get g 5 in
+    let argstr = try Re.Group.get g 7 with Not_found -> "" in
+    let* args =
+      if argstr = "" then Ok []
+      else
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | piece :: rest ->
+            let* atom = Xrl_atom.of_text piece in
+            go (atom :: acc) rest
+        in
+        go [] (String.split_on_char '&' argstr)
+    in
+    (match make ~protocol ~target ~interface ~version ~method_name args with
+     | xrl -> Ok xrl
+     | exception Invalid_argument msg -> Error msg)
+
+let method_id t = Printf.sprintf "%s/%s/%s" t.interface t.version t.method_name
+let is_resolved t = t.protocol <> "finder"
+
+let equal a b =
+  a.protocol = b.protocol && a.target = b.target && a.interface = b.interface
+  && a.version = b.version && a.method_name = b.method_name
+  && List.length a.args = List.length b.args
+  && List.for_all2 Xrl_atom.equal a.args b.args
+
+let pp fmt t = Format.pp_print_string fmt (to_text t)

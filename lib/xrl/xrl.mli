@@ -1,0 +1,46 @@
+(** XORP Resource Locators (paper §6.1).
+
+    An XRL names a method on a component and carries typed arguments.
+    Its canonical form is textual and URL-like:
+
+    {v finder://bgp/bgp/1.0/set_local_as?as:u32=1777 v}
+
+    A {e generic} XRL addresses a component class (["bgp"]) through the
+    ["finder"] pseudo-protocol. The Finder resolves it to a {e resolved}
+    XRL naming a concrete transport and instance:
+
+    {v stcp://127.0.0.1:16878/bgp/1.0/set_local_as@3A09.../?as:u32=1777 v}
+
+    (the [@key] suffix is the per-method random key of §7). *)
+
+type t = {
+  protocol : string;  (** ["finder"] for generic XRLs, else a protocol
+                          family name such as ["stcp"]. *)
+  target : string;    (** Component class (generic) or transport address
+                          (resolved). *)
+  interface : string;
+  version : string;
+  method_name : string;
+  args : Xrl_atom.t list;
+}
+
+val make :
+  ?protocol:string -> target:string -> interface:string -> ?version:string ->
+  method_name:string -> Xrl_atom.t list -> t
+(** Generic XRL by default: [protocol] defaults to ["finder"],
+    [version] to ["1.0"].
+    @raise Invalid_argument on empty or reserved-character fields. *)
+
+val to_text : t -> string
+(** Canonical textual form (scriptable; parseable by {!of_text}). *)
+
+val of_text : string -> (t, string) result
+
+val method_id : t -> string
+(** ["interface/version/method"] — the Finder registration key. *)
+
+val is_resolved : t -> bool
+(** False iff [protocol] is ["finder"]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,237 @@
+type value =
+  | U32 of int
+  | I32 of int
+  | U64 of int64
+  | Txt of string
+  | Bool of bool
+  | Ipv4_v of Ipv4.t
+  | Ipv4net_v of Ipv4net.t
+  | Binary of string
+  | List of value list
+
+type t = { name : string; value : value }
+
+let reserved c =
+  match c with
+  | ':' | '=' | '&' | '?' | ',' | '/' | '%' | ' ' -> true
+  | _ -> false
+
+let make name value =
+  if name = "" || String.exists reserved name then
+    invalid_arg (Printf.sprintf "Xrl_atom.make: bad name %S" name);
+  let value = match value with U32 v -> U32 (v land 0xFFFF_FFFF) | v -> v in
+  { name; value }
+
+let u32 name v = make name (U32 v)
+let i32 name v = make name (I32 v)
+let u64 name v = make name (U64 v)
+let txt name v = make name (Txt v)
+let boolean name v = make name (Bool v)
+let ipv4 name v = make name (Ipv4_v v)
+let ipv4net name v = make name (Ipv4net_v v)
+let binary name v = make name (Binary v)
+let list name v = make name (List v)
+
+let type_name = function
+  | U32 _ -> "u32"
+  | I32 _ -> "i32"
+  | U64 _ -> "u64"
+  | Txt _ -> "txt"
+  | Bool _ -> "bool"
+  | Ipv4_v _ -> "ipv4"
+  | Ipv4net_v _ -> "ipv4net"
+  | Binary _ -> "binary"
+  | List _ -> "list"
+
+let same_type a b = type_name a = type_name b
+
+let hex = "0123456789ABCDEF"
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+       if reserved c || c < ' ' || c > '~' then begin
+         Buffer.add_char buf '%';
+         Buffer.add_char buf hex.[Char.code c lsr 4];
+         Buffer.add_char buf hex.[Char.code c land 0xF]
+       end
+       else Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unhex c =
+  match c with
+  | '0'..'9' -> Char.code c - Char.code '0'
+  | 'A'..'F' -> Char.code c - Char.code 'A' + 10
+  | 'a'..'f' -> Char.code c - Char.code 'a' + 10
+  | _ -> raise Exit
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Ok (Buffer.contents buf)
+    else if s.[i] = '%' then
+      if i + 2 < n then
+        match unhex s.[i + 1], unhex s.[i + 2] with
+        | hi, lo ->
+          Buffer.add_char buf (Char.chr ((hi lsl 4) lor lo));
+          go (i + 3)
+        | exception Exit -> Error "bad percent escape"
+      else Error "truncated percent escape"
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+let rec value_to_text v =
+  match v with
+  | U32 v -> string_of_int v
+  | I32 v -> string_of_int v
+  | U64 v -> Int64.to_string v
+  | Txt s -> escape s
+  | Bool b -> if b then "true" else "false"
+  | Ipv4_v a -> Ipv4.to_string a
+  | Ipv4net_v n -> escape (Ipv4net.to_string n)
+  | Binary s -> escape s
+  | List vs -> String.concat "," (List.map value_to_text vs)
+
+let rec value_to_string v =
+  match v with
+  | Txt s -> s
+  | Binary s -> Printf.sprintf "<%d bytes>" (String.length s)
+  | List vs -> "[" ^ String.concat ", " (List.map value_to_string vs) ^ "]"
+  | v -> value_to_text v
+
+let to_text t =
+  Printf.sprintf "%s:%s=%s" t.name (type_name t.value) (value_to_text t.value)
+
+let ( let* ) = Result.bind
+
+let parse_scalar ty raw =
+  let* s = unescape raw in
+  match ty with
+  | "u32" ->
+    (match int_of_string_opt s with
+     | Some v when v >= 0 && v <= 0xFFFF_FFFF -> Ok (U32 v)
+     | _ -> Error (Printf.sprintf "bad u32 %S" s))
+  | "i32" ->
+    (match int_of_string_opt s with
+     | Some v when v >= -0x8000_0000 && v <= 0x7FFF_FFFF -> Ok (I32 v)
+     | _ -> Error (Printf.sprintf "bad i32 %S" s))
+  | "u64" ->
+    (match Int64.of_string_opt s with
+     | Some v -> Ok (U64 v)
+     | None -> Error (Printf.sprintf "bad u64 %S" s))
+  | "txt" -> Ok (Txt s)
+  | "bool" ->
+    (match s with
+     | "true" -> Ok (Bool true)
+     | "false" -> Ok (Bool false)
+     | _ -> Error (Printf.sprintf "bad bool %S" s))
+  | "ipv4" ->
+    (match Ipv4.of_string s with
+     | Some a -> Ok (Ipv4_v a)
+     | None -> Error (Printf.sprintf "bad ipv4 %S" s))
+  | "ipv4net" ->
+    (match Ipv4net.of_string s with
+     | Some n -> Ok (Ipv4net_v n)
+     | None -> Error (Printf.sprintf "bad ipv4net %S" s))
+  | "binary" -> Ok (Binary s)
+  | ty -> Error (Printf.sprintf "unknown atom type %S" ty)
+
+let of_text s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "atom %S has no type separator" s)
+  | Some colon ->
+    let name = String.sub s 0 colon in
+    let rest = String.sub s (colon + 1) (String.length s - colon - 1) in
+    (match String.index_opt rest '=' with
+     | None -> Error (Printf.sprintf "atom %S has no value" s)
+     | Some eq ->
+       let ty = String.sub rest 0 eq in
+       let raw = String.sub rest (eq + 1) (String.length rest - eq - 1) in
+       if name = "" || String.exists reserved name then
+         Error (Printf.sprintf "bad atom name %S" name)
+       else if ty = "list" then begin
+         (* Textual lists are comma-separated scalars; each element
+            carries its own type as elemtype%3Dvalue?  We keep it
+            simpler: textual lists are lists of txt atoms. *)
+         let elems =
+           if raw = "" then []
+           else String.split_on_char ',' raw
+         in
+         let rec convert acc = function
+           | [] -> Ok (List (List.rev acc))
+           | e :: rest ->
+             let* s = unescape e in
+             convert (Txt s :: acc) rest
+         in
+         let* v = convert [] elems in
+         Ok { name; value = v }
+       end
+       else
+         let* v = parse_scalar ty raw in
+         Ok { name; value = v })
+
+let rec value_equal a b =
+  match a, b with
+  | U32 x, U32 y | I32 x, I32 y -> x = y
+  | U64 x, U64 y -> Int64.equal x y
+  | Txt x, Txt y | Binary x, Binary y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | Ipv4_v x, Ipv4_v y -> Ipv4.equal x y
+  | Ipv4net_v x, Ipv4net_v y -> Ipv4net.equal x y
+  | List x, List y ->
+    List.length x = List.length y && List.for_all2 value_equal x y
+  | (U32 _ | I32 _ | U64 _ | Txt _ | Bool _ | Ipv4_v _ | Ipv4net_v _
+    | Binary _ | List _), _ -> false
+
+let equal a b = String.equal a.name b.name && value_equal a.value b.value
+let pp fmt t = Format.pp_print_string fmt (to_text t)
+
+exception Bad_args of string
+
+let find args name = List.find_opt (fun a -> a.name = name) args
+
+let get args name descr extract =
+  match find args name with
+  | None -> raise (Bad_args (Printf.sprintf "missing argument %S" name))
+  | Some a ->
+    (match extract a.value with
+     | Some v -> v
+     | None ->
+       raise
+         (Bad_args
+            (Printf.sprintf "argument %S has type %s, expected %s" name
+               (type_name a.value) descr)))
+
+let get_u32 args name =
+  get args name "u32" (function U32 v -> Some v | _ -> None)
+
+let get_i32 args name =
+  get args name "i32" (function I32 v -> Some v | _ -> None)
+
+let get_u64 args name =
+  get args name "u64" (function U64 v -> Some v | _ -> None)
+
+let get_txt args name =
+  get args name "txt" (function Txt v -> Some v | _ -> None)
+
+let get_bool args name =
+  get args name "bool" (function Bool v -> Some v | _ -> None)
+
+let get_ipv4 args name =
+  get args name "ipv4" (function Ipv4_v v -> Some v | _ -> None)
+
+let get_ipv4net args name =
+  get args name "ipv4net" (function Ipv4net_v v -> Some v | _ -> None)
+
+let get_binary args name =
+  get args name "binary" (function Binary v -> Some v | _ -> None)
+
+let get_list args name =
+  get args name "list" (function List v -> Some v | _ -> None)

@@ -1,0 +1,74 @@
+(** XRL atoms: the typed arguments of XRL calls (paper §6.1).
+
+    Arguments are restricted to a small set of core types used
+    throughout the system: network addresses, numbers, strings,
+    booleans, binary arrays, and lists of these primitives.
+
+    The canonical textual form of an atom is [name:type=value] with
+    URL-style percent-escaping of reserved characters in values. Lists
+    render their elements comma-separated; nested lists are supported
+    by the binary wire form ({!Xrl_wire}) but not by the textual form. *)
+
+type value =
+  | U32 of int        (** masked to 32 bits *)
+  | I32 of int
+  | U64 of int64
+  | Txt of string
+  | Bool of bool
+  | Ipv4_v of Ipv4.t
+  | Ipv4net_v of Ipv4net.t
+  | Binary of string
+  | List of value list
+
+type t = { name : string; value : value }
+
+val make : string -> value -> t
+(** @raise Invalid_argument if [name] is empty or contains a reserved
+    character ([:=&?,/%]). *)
+
+(** Convenience constructors. *)
+
+val u32 : string -> int -> t
+val i32 : string -> int -> t
+val u64 : string -> int64 -> t
+val txt : string -> string -> t
+val boolean : string -> bool -> t
+val ipv4 : string -> Ipv4.t -> t
+val ipv4net : string -> Ipv4net.t -> t
+val binary : string -> string -> t
+val list : string -> value list -> t
+
+val type_name : value -> string
+(** ["u32"], ["txt"], ["ipv4net"], ... as used in the textual form. *)
+
+val same_type : value -> value -> bool
+(** Structural type equality (list element types are not compared —
+    lists are heterogeneous at the wire level). *)
+
+val to_text : t -> string
+(** Canonical [name:type=value] form. *)
+
+val of_text : string -> (t, string) result
+(** Parse the canonical form; [Error] explains the failure. *)
+
+val value_to_string : value -> string
+(** Unescaped human-readable value (no name/type prefix). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Typed projections, raising {!Bad_args} on type mismatch — used by
+    XRL method handlers to destructure their arguments. *)
+
+exception Bad_args of string
+
+val get_u32 : t list -> string -> int
+val get_i32 : t list -> string -> int
+val get_u64 : t list -> string -> int64
+val get_txt : t list -> string -> string
+val get_bool : t list -> string -> bool
+val get_ipv4 : t list -> string -> Ipv4.t
+val get_ipv4net : t list -> string -> Ipv4net.t
+val get_binary : t list -> string -> string
+val get_list : t list -> string -> value list
+val find : t list -> string -> t option

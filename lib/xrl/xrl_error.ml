@@ -1,0 +1,44 @@
+type t =
+  | Ok_xrl
+  | Resolve_failed of string
+  | No_such_method of string
+  | Bad_args of string
+  | Command_failed of string
+  | Send_failed of string
+  | Reply_timed_out of string
+  | Internal_error of string
+
+let is_ok = function Ok_xrl -> true | _ -> false
+
+let to_string = function
+  | Ok_xrl -> "OK"
+  | Resolve_failed s -> "resolve failed: " ^ s
+  | No_such_method s -> "no such method: " ^ s
+  | Bad_args s -> "bad arguments: " ^ s
+  | Command_failed s -> "command failed: " ^ s
+  | Send_failed s -> "send failed: " ^ s
+  | Reply_timed_out s -> "reply timed out: " ^ s
+  | Internal_error s -> "internal error: " ^ s
+
+let code = function
+  | Ok_xrl -> 0
+  | Resolve_failed _ -> 1
+  | No_such_method _ -> 2
+  | Bad_args _ -> 3
+  | Command_failed _ -> 4
+  | Send_failed _ -> 5
+  | Reply_timed_out _ -> 6
+  | Internal_error _ -> 7
+
+let of_code c note =
+  match c with
+  | 0 -> Ok_xrl
+  | 1 -> Resolve_failed note
+  | 2 -> No_such_method note
+  | 3 -> Bad_args note
+  | 4 -> Command_failed note
+  | 5 -> Send_failed note
+  | 6 -> Reply_timed_out note
+  | _ -> Internal_error note
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

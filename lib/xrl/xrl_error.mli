@@ -1,0 +1,22 @@
+(** XRL dispatch outcomes. *)
+
+type t =
+  | Ok_xrl                       (** Dispatch succeeded. *)
+  | Resolve_failed of string     (** The Finder knows no such target. *)
+  | No_such_method of string     (** Target exists, method does not. *)
+  | Bad_args of string           (** Argument name/type mismatch. *)
+  | Command_failed of string     (** Handler-reported failure. *)
+  | Send_failed of string        (** Transport-level failure. *)
+  | Reply_timed_out of string
+  | Internal_error of string
+
+val is_ok : t -> bool
+val to_string : t -> string
+val code : t -> int
+(** Stable numeric code used on the wire. *)
+
+val of_code : int -> string -> t
+(** Reconstruct from wire code + note; unknown codes map to
+    {!Internal_error}. *)
+
+val pp : Format.formatter -> t -> unit

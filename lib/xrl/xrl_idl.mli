@@ -1,0 +1,84 @@
+(** XRL interface definitions (the paper's IDL, §6.1).
+
+    "As with many other IPC mechanisms, we have an interface definition
+    language (IDL) that supports interface specification, automatic
+    stub code generation, and basic error checking."
+
+    Here interfaces are declarative OCaml values rather than a separate
+    compiler: an {!interface} lists its methods with typed argument and
+    return signatures. From a spec you get
+    - {b checked handlers}: {!wrap_handler} validates inbound arguments
+      against the spec before your handler runs, and validates your
+      reply atoms before they leave — so type errors surface at the
+      component boundary, not somewhere downstream;
+    - {b checked calls}: {!validate_call} rejects a malformed XRL
+      before it is sent;
+    - {b documentation}: {!to_string} renders the interface in the
+      XORP [.xif]-like form.
+
+    The interfaces of all built-in camlXORP components are collected in
+    {!builtin_interfaces}, and a test pins the implementations to their
+    specs. *)
+
+type arg_type = A_u32 | A_i32 | A_u64 | A_txt | A_bool | A_ipv4 | A_ipv4net | A_binary | A_list
+
+type arg_spec = {
+  a_name : string;
+  a_type : arg_type;
+  a_optional : bool;
+}
+
+type method_spec = {
+  m_name : string;
+  m_args : arg_spec list;
+  m_returns : arg_spec list;
+}
+
+type interface = {
+  i_name : string;
+  i_version : string;
+  i_methods : method_spec list;
+}
+
+val arg : ?optional:bool -> string -> arg_type -> arg_spec
+val meth : ?args:arg_spec list -> ?returns:arg_spec list -> string -> method_spec
+val iface : name:string -> ?version:string -> method_spec list -> interface
+
+val type_of_value : Xrl_atom.value -> arg_type
+
+val check_args :
+  what:string -> arg_spec list -> Xrl_atom.t list -> (unit, string) result
+(** Every non-optional spec present with the right type; no unknown
+    arguments. *)
+
+val find_method : interface -> string -> method_spec option
+
+val validate_call : interface -> Xrl.t -> (unit, string) result
+(** Interface/version match, method exists, arguments check. *)
+
+val wrap_handler :
+  interface -> method_name:string ->
+  (Xrl_atom.t list -> (Xrl_error.t -> Xrl_atom.t list -> unit) -> unit) ->
+  Xrl_atom.t list -> (Xrl_error.t -> Xrl_atom.t list -> unit) -> unit
+(** Argument- and reply-checking wrapper for {!Xrl_router.add_handler}.
+    Inbound violations reply [Bad_args] without invoking the handler;
+    a reply that violates the return spec is converted to
+    [Internal_error] (the handler broke its own contract).
+    @raise Invalid_argument if the method is not in the interface. *)
+
+val add_checked_handler :
+  Xrl_router.t -> interface -> method_name:string ->
+  Xrl_router.handler -> unit
+(** [add_handler] + {!wrap_handler} in one step, registering under the
+    interface's name and version. *)
+
+val to_string : interface -> string
+
+val builtin_interfaces : interface list
+(** Specs for the public interfaces of the built-in components:
+    [fea/1.0], [fea_udp/1.0], [fea_client/1.0], [rib/1.0],
+    [rib_client/1.0], [redist_client/1.0], [bgp/1.0], [rip/1.0],
+    [ospf/1.0]. *)
+
+val find_interface : string -> interface option
+(** Look up a builtin interface by name. *)

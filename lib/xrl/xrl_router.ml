@@ -1,0 +1,173 @@
+let src = Logs.Src.create "xorp.xrl_router" ~doc:"XRL router"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type handler =
+  Xrl_atom.t list -> (Xrl_error.t -> Xrl_atom.t list -> unit) -> unit
+
+type method_entry = { key : string; handler : handler }
+
+type t = {
+  loop : Eventloop.t;
+  fndr : Finder.t;
+  cls : string;
+  families : Pf.family list;
+  family_pref : string list;
+  target : Finder.target;
+  methods : (string, method_entry) Hashtbl.t; (* method_id -> entry *)
+  listeners : Pf.listener list;
+  senders : (string, Pf.sender) Hashtbl.t; (* family ^ "|" ^ address *)
+  rcache : (string, Finder.resolved) Hashtbl.t; (* target ^ "|" ^ method_id *)
+  mutable pending : int;
+  mutable live : bool;
+}
+
+let default_pref = [ "x-intra"; "stcp"; "sudp" ]
+
+let split_keyed_method name =
+  match String.rindex_opt name '@' with
+  | None -> (name, None)
+  | Some i ->
+    ( String.sub name 0 i,
+      Some (String.sub name (i + 1) (String.length name - i - 1)) )
+
+let dispatch_of t : Pf.dispatch =
+  fun xrl reply ->
+  let base, key = split_keyed_method xrl.Xrl.method_name in
+  let mid = Printf.sprintf "%s/%s/%s" xrl.Xrl.interface xrl.Xrl.version base in
+  match Hashtbl.find_opt t.methods mid with
+  | None -> reply (Xrl_error.No_such_method mid) []
+  | Some entry ->
+    if key <> Some entry.key then
+      reply
+        (Xrl_error.No_such_method
+           (mid ^ " (bad or missing dispatch key; resolve via the Finder)"))
+        []
+    else begin
+      match entry.handler xrl.Xrl.args reply with
+      | () -> ()
+      | exception Xrl_atom.Bad_args msg -> reply (Xrl_error.Bad_args msg) []
+      | exception exn ->
+        Log.err (fun m ->
+            m "handler %s raised %s" mid (Printexc.to_string exn));
+        reply (Xrl_error.Internal_error (Printexc.to_string exn)) []
+    end
+
+let create ?(families = [ Pf_intra.family ]) ?(family_pref = default_pref)
+    fndr loop ~class_name ?(sole = false) () =
+  let rec t =
+    lazy
+      (let listeners =
+         List.map
+           (fun (fam : Pf.family) ->
+              fam.make_listener loop (fun xrl reply ->
+                  dispatch_of (Lazy.force t) xrl reply))
+           families
+       in
+       let addresses =
+         List.map2
+           (fun (fam : Pf.family) (l : Pf.listener) ->
+              (fam.family_name, l.address))
+           families listeners
+       in
+       let target =
+         match Finder.register_target fndr ~class_name ~sole ~addresses () with
+         | Ok target -> target
+         | Error msg ->
+           List.iter (fun (l : Pf.listener) -> l.shutdown ()) listeners;
+           failwith ("Xrl_router.create: " ^ msg)
+       in
+       { loop; fndr; cls = class_name; families; family_pref; target;
+         methods = Hashtbl.create 32; listeners;
+         senders = Hashtbl.create 8; rcache = Hashtbl.create 64;
+         pending = 0; live = true })
+  in
+  let t = Lazy.force t in
+  (* Any registration change anywhere may invalidate cached
+     resolutions; resolution is cheap, so we drop the whole cache. *)
+  Finder.on_invalidate fndr (fun _cls -> Hashtbl.reset t.rcache);
+  t
+
+let add_handler t ~interface ?(version = "1.0") ~method_name handler =
+  let mid = Printf.sprintf "%s/%s/%s" interface version method_name in
+  let key = Finder.register_method t.fndr t.target ~method_id:mid in
+  Hashtbl.replace t.methods mid { key; handler }
+
+let sender_for t (resolved : Finder.resolved) =
+  let skey = resolved.family ^ "|" ^ resolved.address in
+  match Hashtbl.find_opt t.senders skey with
+  | Some sender -> sender
+  | None ->
+    (match
+       List.find_opt
+         (fun (fam : Pf.family) -> fam.family_name = resolved.family)
+         t.families
+     with
+     | None -> invalid_arg ("no such protocol family: " ^ resolved.family)
+     | Some fam ->
+       let sender = fam.make_sender t.loop resolved.address in
+       Hashtbl.replace t.senders skey sender;
+       sender)
+
+let send t (xrl : Xrl.t) cb =
+  if not t.live then cb (Xrl_error.Send_failed "router shut down") []
+  else begin
+    let resolved =
+      if Xrl.is_resolved xrl then
+        Ok
+          { Finder.family = xrl.protocol; address = xrl.target;
+            keyed_method = xrl.method_name }
+      else begin
+        let ckey = xrl.target ^ "|" ^ Xrl.method_id xrl in
+        match Hashtbl.find_opt t.rcache ckey with
+        | Some r -> Ok r
+        | None ->
+          (match
+             Finder.resolve t.fndr ~family_pref:t.family_pref
+               ~caller:(Finder.instance_name t.target) xrl
+           with
+           | Ok r ->
+             Hashtbl.replace t.rcache ckey r;
+             Ok r
+           | Error e -> Error e)
+      end
+    in
+    match resolved with
+    | Error e -> cb e []
+    | Ok r ->
+      let wire_xrl =
+        { xrl with Xrl.protocol = r.family; target = r.address;
+                   method_name = r.keyed_method }
+      in
+      (match sender_for t r with
+       | sender ->
+         t.pending <- t.pending + 1;
+         sender.send_req wire_xrl (fun err args ->
+             t.pending <- t.pending - 1;
+             cb err args)
+       | exception Invalid_argument msg -> cb (Xrl_error.Send_failed msg) [])
+  end
+
+let call_blocking t xrl =
+  let result = ref None in
+  send t xrl (fun err args -> result := Some (err, args));
+  Eventloop.run ~until:(fun () -> !result <> None) t.loop;
+  match !result with
+  | Some r -> r
+  | None -> (Xrl_error.Internal_error "event loop idle before reply", [])
+
+let instance_name t = Finder.instance_name t.target
+let class_name t = t.cls
+let finder t = t.fndr
+let eventloop t = t.loop
+let pending_sends t = t.pending
+
+let shutdown t =
+  if t.live then begin
+    t.live <- false;
+    Finder.unregister_target t.fndr t.target;
+    List.iter (fun (l : Pf.listener) -> l.shutdown ()) t.listeners;
+    Hashtbl.iter (fun _ (s : Pf.sender) -> s.close_sender ()) t.senders;
+    Hashtbl.reset t.senders;
+    Hashtbl.reset t.rcache
+  end

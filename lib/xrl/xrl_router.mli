@@ -1,0 +1,55 @@
+(** Per-component XRL endpoint: registration, dispatch, and sending.
+
+    Every camlXORP component (BGP, the RIB, the FEA, ...) owns one
+    [Xrl_router.t]. It instantiates the component's protocol-family
+    listeners, registers the component and its methods with the
+    {!Finder}, dispatches inbound calls to handlers (enforcing the
+    per-method random key of §7), and sends outbound XRLs — resolving
+    through the Finder with a resolution cache that the Finder
+    invalidates when registrations change. *)
+
+type t
+
+type handler =
+  Xrl_atom.t list -> (Xrl_error.t -> Xrl_atom.t list -> unit) -> unit
+(** A method implementation. It receives the request atoms and a reply
+    continuation that must be called exactly once; replies may be
+    immediate or deferred (asynchronous messaging, §6). Raising
+    {!Xrl_atom.Bad_args} replies with a [Bad_args] error. *)
+
+val create :
+  ?families:Pf.family list -> ?family_pref:string list ->
+  Finder.t -> Eventloop.t -> class_name:string -> ?sole:bool -> unit -> t
+(** Create a component endpoint of class [class_name]. [families]
+    (default: intra-process only) selects which transport listeners to
+    instantiate; TCP/UDP families require a [`Real]-mode loop.
+    [family_pref] (default intra, then TCP, then UDP) orders transport
+    choice when sending.
+    @raise Failure if [sole] is set and the class is already live. *)
+
+val add_handler :
+  t -> interface:string -> ?version:string -> method_name:string ->
+  handler -> unit
+(** Register a method. Its Finder key is generated here; inbound calls
+    whose keyed name does not match are rejected, preventing Finder
+    bypass. *)
+
+val send : t -> Xrl.t -> (Xrl_error.t -> Xrl_atom.t list -> unit) -> unit
+(** Send a generic (or already-resolved) XRL; the callback fires
+    exactly once with the outcome. Resolution results are cached. *)
+
+val call_blocking : t -> Xrl.t -> Xrl_error.t * Xrl_atom.t list
+(** Testing/scripting convenience: {!send}, then run the event loop
+    until the reply arrives. Must not be called from inside a handler. *)
+
+val instance_name : t -> string
+val class_name : t -> string
+val finder : t -> Finder.t
+val eventloop : t -> Eventloop.t
+
+val pending_sends : t -> int
+(** Outbound calls whose reply has not yet arrived. *)
+
+val shutdown : t -> unit
+(** Unregister from the Finder, close listeners and senders. Pending
+    replies fail with [Send_failed]. Idempotent. *)

@@ -1,0 +1,33 @@
+(** Binary wire encoding of XRL requests and replies.
+
+    The paper (§6.1): "The canonical form of an XRL is textual ...
+    Internally XRLs are encoded more efficiently." This module is that
+    efficient internal encoding, used by the networked protocol
+    families (TCP and UDP). Messages are length-delimited externally
+    (TCP framing adds a 4-byte length prefix; UDP datagrams are
+    self-delimiting).
+
+    Layout: 2-byte magic ["XO"], 1-byte version, 1-byte kind, 4-byte
+    sequence number, then kind-specific payload with 16-bit
+    length-prefixed strings and typed atoms. *)
+
+type message =
+  | Request of { seq : int; xrl : Xrl.t }
+  | Reply of {
+      seq : int;
+      error : Xrl_error.t;
+      args : Xrl_atom.t list;
+    }
+
+val encode : message -> string
+
+val decode : string -> (message, string) result
+(** Decodes one complete message; [Error] on malformed or truncated
+    input, or on an unsupported version. *)
+
+val encode_atoms : Wire.W.t -> Xrl_atom.t list -> unit
+(** Exposed for tests and for protocol families that embed atom lists
+    in their own framing. *)
+
+val decode_atoms : Wire.R.t -> Xrl_atom.t list
+(** @raise Wire.Truncated or [Failure] on malformed input. *)

@@ -1,0 +1,575 @@
+(* End-to-end BGP tests: full processes exchanging real RFC 4271
+   messages over the simulated network, with and without the RIB/FEA
+   stack underneath. *)
+
+let check = Alcotest.check
+let addr = Ipv4.of_string_exn
+let net = Ipv4net.of_string_exn
+
+(* A standalone BGP router (no RIB): nexthops assumed resolvable. *)
+let standalone_router ~loop ~netsim ~local_as ~bgp_id () =
+  let finder = Finder.create () in
+  Bgp_process.create ~send_to_rib:false ~nexthop_mode:`Assume_resolvable
+    finder loop ~netsim ~local_as ~bgp_id ()
+
+let run_for loop seconds =
+  Eventloop.run_until_time loop (Eventloop.now loop +. seconds)
+
+let peering ?import ?export ?damping ?(checking = true) a a_addr b b_addr
+    ~as_a ~as_b =
+  Bgp_process.add_peer a
+    { (Bgp_process.default_peer_config ~peer_addr:(addr b_addr)
+         ~local_addr:(addr a_addr) ~peer_as:as_b)
+      with Bgp_process.import_policies = Option.value import ~default:[];
+           checking_cache = checking };
+  Bgp_process.add_peer b
+    { (Bgp_process.default_peer_config ~peer_addr:(addr a_addr)
+         ~local_addr:(addr b_addr) ~peer_as:as_a)
+      with Bgp_process.export_policies = Option.value export ~default:[];
+           damping; checking_cache = checking }
+
+let two_routers ?import ?export ?damping () =
+  let loop = Eventloop.create () in
+  let netsim = Netsim.create loop in
+  let a = standalone_router ~loop ~netsim ~local_as:65001 ~bgp_id:(addr "1.1.1.1") () in
+  let b = standalone_router ~loop ~netsim ~local_as:65002 ~bgp_id:(addr "2.2.2.2") () in
+  peering ?import ?export ?damping a "10.0.0.1" b "10.0.0.2" ~as_a:65001 ~as_b:65002;
+  Bgp_process.start a;
+  Bgp_process.start b;
+  run_for loop 2.0;
+  (loop, a, b)
+
+let assert_established what p peer =
+  match Bgp_process.peer_state p (addr peer) with
+  | Some Peer_fsm.Established -> ()
+  | Some st ->
+    Alcotest.failf "%s: peer %s in state %s" what peer
+      (Peer_fsm.state_to_string st)
+  | None -> Alcotest.failf "%s: peer %s unknown" what peer
+
+let no_violations p =
+  match Bgp_process.cache_violations p with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "consistency violation: %s" v
+
+let test_session_establishment () =
+  let _, a, b = two_routers () in
+  assert_established "a" a "10.0.0.2";
+  assert_established "b" b "10.0.0.1";
+  check Alcotest.int "a count" 1 (Bgp_process.established_count a);
+  check Alcotest.int "b count" 1 (Bgp_process.established_count b)
+
+let test_route_propagation () =
+  let loop, a, b = two_routers () in
+  Bgp_process.originate a (net "128.16.0.0/16");
+  Bgp_process.originate a (net "172.20.0.0/14");
+  run_for loop 1.0;
+  check Alcotest.int "b learned both" 2 (Bgp_process.route_count b);
+  check Alcotest.int "b ribin holds them" 2
+    (Bgp_process.ribin_count b (addr "10.0.0.1"));
+  (* a's own table counts its local routes *)
+  check Alcotest.int "a has its own" 2 (Bgp_process.route_count a);
+  no_violations a;
+  no_violations b
+
+let test_withdrawal_propagation () =
+  let loop, a, b = two_routers () in
+  Bgp_process.originate a (net "128.16.0.0/16");
+  run_for loop 1.0;
+  check Alcotest.int "learned" 1 (Bgp_process.route_count b);
+  Bgp_process.withdraw a (net "128.16.0.0/16");
+  run_for loop 1.0;
+  check Alcotest.int "withdrawn" 0 (Bgp_process.route_count b);
+  no_violations b
+
+let test_routes_learned_before_establishment () =
+  (* Routes originated before the session comes up must be dumped to
+     the peer on establishment (background winner dump). *)
+  let loop = Eventloop.create () in
+  let netsim = Netsim.create loop in
+  let a = standalone_router ~loop ~netsim ~local_as:65001 ~bgp_id:(addr "1.1.1.1") () in
+  let b = standalone_router ~loop ~netsim ~local_as:65002 ~bgp_id:(addr "2.2.2.2") () in
+  for i = 0 to 299 do
+    Bgp_process.originate a
+      (Ipv4net.make (Ipv4.of_octets 130 (i / 200) (i mod 200) 0) 24)
+  done;
+  peering a "10.0.0.1" b "10.0.0.2" ~as_a:65001 ~as_b:65002;
+  Bgp_process.start a;
+  Bgp_process.start b;
+  run_for loop 5.0;
+  check Alcotest.int "full dump received" 300 (Bgp_process.route_count b);
+  no_violations a;
+  no_violations b
+
+let test_peering_flap_deletion_stage () =
+  let loop = Eventloop.create () in
+  let netsim = Netsim.create loop in
+  let a = standalone_router ~loop ~netsim ~local_as:65001 ~bgp_id:(addr "1.1.1.1") () in
+  let b = standalone_router ~loop ~netsim ~local_as:65002 ~bgp_id:(addr "2.2.2.2") () in
+  (* Slow deletion so the stage is observable. *)
+  Bgp_process.add_peer a
+    { (Bgp_process.default_peer_config ~peer_addr:(addr "10.0.0.2")
+         ~local_addr:(addr "10.0.0.1") ~peer_as:65002)
+      with Bgp_process.checking_cache = true };
+  Bgp_process.add_peer b
+    { (Bgp_process.default_peer_config ~peer_addr:(addr "10.0.0.1")
+         ~local_addr:(addr "10.0.0.2") ~peer_as:65001)
+      with Bgp_process.deletion_slice = 10; checking_cache = true };
+  Bgp_process.start a;
+  Bgp_process.start b;
+  run_for loop 2.0;
+  for i = 0 to 499 do
+    Bgp_process.originate a (Ipv4net.make (Ipv4.of_octets 130 (i / 2) ((i mod 2) * 128) 0) 17)
+  done;
+  run_for loop 5.0;
+  check Alcotest.int "b learned 500" 500 (Bgp_process.route_count b);
+  (* Kill the session from a's side: b sees it drop and spawns a
+     deletion stage; a redials and the session comes back. *)
+  Bgp_process.remove_peer a (addr "10.0.0.2");
+  (* Run just until the down event spawns the deletion stage, so we can
+     observe it mid-flight (background slices drain fast in sim time). *)
+  Eventloop.run
+    ~until:(fun () -> Bgp_process.deletion_stages b (addr "10.0.0.1") = 1)
+    loop;
+  check Alcotest.bool "b session dropped" true
+    (Bgp_process.peer_state b (addr "10.0.0.1") <> Some Peer_fsm.Established);
+  check Alcotest.int "deletion stage spawned" 1
+    (Bgp_process.deletion_stages b (addr "10.0.0.1"));
+  check Alcotest.int "ribin instantly empty" 0
+    (Bgp_process.ribin_count b (addr "10.0.0.1"));
+  (* a reappears as a freshly configured peer before deletion ends. *)
+  Bgp_process.add_peer a
+    { (Bgp_process.default_peer_config ~peer_addr:(addr "10.0.0.2")
+         ~local_addr:(addr "10.0.0.1") ~peer_as:65002)
+      with Bgp_process.checking_cache = true };
+  for i = 0 to 499 do
+    Bgp_process.originate a (Ipv4net.make (Ipv4.of_octets 130 (i / 2) ((i mod 2) * 128) 0) 17)
+  done;
+  run_for loop 30.0;
+  check Alcotest.int "relearned through the flap" 500 (Bgp_process.route_count b);
+  check Alcotest.int "deletion stages all unplumbed" 0
+    (Bgp_process.deletion_stages b (addr "10.0.0.1"));
+  no_violations b
+
+let test_silent_partition_hold_timer_recovery () =
+  (* Cut the wire without any close notification: only the hold timers
+     can notice. Both sides must tear down, flush via a deletion stage,
+     redial, and reconverge. *)
+  let loop = Eventloop.create () in
+  let netsim = Netsim.create loop in
+  let a = standalone_router ~loop ~netsim ~local_as:65001 ~bgp_id:(addr "1.1.1.1") () in
+  let b = standalone_router ~loop ~netsim ~local_as:65002 ~bgp_id:(addr "2.2.2.2") () in
+  let short cfg = { cfg with Bgp_process.hold_time = 9.0 } in
+  Bgp_process.add_peer a
+    (short
+       (Bgp_process.default_peer_config ~peer_addr:(addr "10.0.0.2")
+          ~local_addr:(addr "10.0.0.1") ~peer_as:65002));
+  Bgp_process.add_peer b
+    (short
+       (Bgp_process.default_peer_config ~peer_addr:(addr "10.0.0.1")
+          ~local_addr:(addr "10.0.0.2") ~peer_as:65001));
+  Bgp_process.start a;
+  Bgp_process.start b;
+  run_for loop 2.0;
+  Bgp_process.originate a (net "128.16.0.0/16");
+  run_for loop 2.0;
+  check Alcotest.int "converged" 1 (Bgp_process.route_count b);
+  (* Silent cut. *)
+  check Alcotest.bool "severed" true
+    (Bgp_process.sever_session a (addr "10.0.0.2"));
+  (* Within ~hold time both sides notice; b flushes. *)
+  Eventloop.run
+    ~until:(fun () ->
+        Bgp_process.peer_state b (addr "10.0.0.1") <> Some Peer_fsm.Established)
+    loop;
+  check Alcotest.bool "detected within hold + slack" true
+    (Eventloop.now loop < 25.0);
+  (* And recovery: the dialer retries; everything comes back. *)
+  Eventloop.run
+    ~until:(fun () -> Bgp_process.route_count b = 1 && Eventloop.now loop > 60.0)
+    loop;
+  check Alcotest.int "reconverged after partition" 1 (Bgp_process.route_count b);
+  check Alcotest.int "sessions re-established" 1
+    (Bgp_process.established_count b);
+  no_violations b
+
+let test_three_router_transit () =
+  let loop = Eventloop.create () in
+  let netsim = Netsim.create loop in
+  let a = standalone_router ~loop ~netsim ~local_as:65001 ~bgp_id:(addr "1.1.1.1") () in
+  let b = standalone_router ~loop ~netsim ~local_as:65002 ~bgp_id:(addr "2.2.2.2") () in
+  let c = standalone_router ~loop ~netsim ~local_as:65003 ~bgp_id:(addr "3.3.3.3") () in
+  peering a "10.0.1.1" b "10.0.1.2" ~as_a:65001 ~as_b:65002;
+  peering b "10.0.2.2" c "10.0.2.3" ~as_a:65002 ~as_b:65003;
+  Bgp_process.start a;
+  Bgp_process.start b;
+  Bgp_process.start c;
+  run_for loop 3.0;
+  Bgp_process.originate a (net "128.16.0.0/16");
+  run_for loop 2.0;
+  check Alcotest.int "b learned" 1 (Bgp_process.route_count b);
+  check Alcotest.int "c learned through transit" 1 (Bgp_process.route_count c);
+  no_violations a;
+  no_violations b;
+  no_violations c
+
+let test_import_policy_applied () =
+  let reject_10 =
+    Result.get_ok
+      (Policy.compile
+         "load network\npush.net 10.0.0.0/8\nwithin\njfalse keep\nreject\nlabel keep")
+  in
+  let loop, a, b = two_routers ~import:[] () in
+  ignore a;
+  ignore b;
+  ignore loop;
+  (* set the import policy on b's side dynamically *)
+  let ok = Bgp_process.set_import_policies b (addr "10.0.0.1") [ reject_10 ] in
+  check Alcotest.bool "policy installed" true ok;
+  Bgp_process.originate a (net "10.5.0.0/16");
+  Bgp_process.originate a (net "128.16.0.0/16");
+  run_for loop 2.0;
+  check Alcotest.int "one filtered, one learned" 1 (Bgp_process.route_count b)
+
+let test_policy_change_refilters () =
+  let loop, a, b = two_routers () in
+  Bgp_process.originate a (net "10.5.0.0/16");
+  Bgp_process.originate a (net "128.16.0.0/16");
+  run_for loop 2.0;
+  check Alcotest.int "both learned" 2 (Bgp_process.route_count b);
+  let reject_10 =
+    Result.get_ok
+      (Policy.compile
+         "load network\npush.net 10.0.0.0/8\nwithin\njfalse keep\nreject\nlabel keep")
+  in
+  ignore (Bgp_process.set_import_policies b (addr "10.0.0.1") [ reject_10 ]);
+  run_for loop 2.0;
+  check Alcotest.int "refilter withdrew 10/8 routes" 1
+    (Bgp_process.route_count b);
+  no_violations b
+
+(* --- full stack: BGP + RIB + FEA on the receiving router --------------- *)
+
+let full_stack_router ~loop ~netsim ~local_as ~bgp_id () =
+  let finder = Finder.create () in
+  let fea = Fea.create finder loop () in
+  let rib = Rib.create finder loop () in
+  let bgp =
+    Bgp_process.create ~send_to_rib:true ~nexthop_mode:`Rib finder loop
+      ~netsim ~local_as ~bgp_id ()
+  in
+  (finder, fea, rib, bgp)
+
+let test_full_stack_to_fib () =
+  let loop = Eventloop.create () in
+  let netsim = Netsim.create loop in
+  let a = standalone_router ~loop ~netsim ~local_as:65001 ~bgp_id:(addr "1.1.1.1") () in
+  let _, fea, rib, b =
+    full_stack_router ~loop ~netsim ~local_as:65002 ~bgp_id:(addr "2.2.2.2") ()
+  in
+  peering a "10.0.0.1" b "10.0.0.2" ~as_a:65001 ~as_b:65002;
+  (* b can reach the peering LAN: the BGP nexthop (10.0.0.1) resolves
+     via this connected route. *)
+  Result.get_ok
+    (Rib.add_route rib ~protocol:"connected" ~net:(net "10.0.0.0/24")
+       ~nexthop:Ipv4.zero ());
+  Bgp_process.start a;
+  Bgp_process.start b;
+  run_for loop 2.0;
+  Bgp_process.originate a (net "128.16.0.0/16");
+  run_for loop 2.0;
+  check Alcotest.int "bgp winner" 1 (Bgp_process.route_count b);
+  (* The route must have traveled BGP → RIB → FEA. *)
+  (match Rib.lookup_best rib (addr "128.16.5.5") with
+   | Some r ->
+     check Alcotest.string "protocol" "ebgp" r.Rib_route.protocol;
+     check Alcotest.string "nexthop is the peer" "10.0.0.1"
+       (Ipv4.to_string r.nexthop)
+   | None -> Alcotest.fail "not in RIB");
+  (match Fib.lookup (Fea.fib fea) (addr "128.16.5.5") with
+   | Some e -> check Alcotest.string "in FIB" "ebgp" e.Fib.protocol
+   | None -> Alcotest.fail "not in FIB");
+  (* Withdrawal cleans up all the way down. *)
+  Bgp_process.withdraw a (net "128.16.0.0/16");
+  run_for loop 2.0;
+  check Alcotest.bool "gone from FIB" true
+    (Fib.lookup (Fea.fib fea) (addr "128.16.5.5") = None)
+
+let test_full_stack_nexthop_gating () =
+  (* Without a route to the BGP nexthop, the decision process must
+     ignore the route; adding an IGP route to the nexthop range
+     activates it (via RIB interest registration + invalidation). *)
+  let loop = Eventloop.create () in
+  let netsim = Netsim.create loop in
+  let a = standalone_router ~loop ~netsim ~local_as:65001 ~bgp_id:(addr "1.1.1.1") () in
+  let _, fea, rib, b =
+    full_stack_router ~loop ~netsim ~local_as:65002 ~bgp_id:(addr "2.2.2.2") ()
+  in
+  ignore fea;
+  peering a "10.0.0.1" b "10.0.0.2" ~as_a:65001 ~as_b:65002;
+  Bgp_process.start a;
+  Bgp_process.start b;
+  run_for loop 2.0;
+  Bgp_process.originate a (net "128.16.0.0/16");
+  run_for loop 2.0;
+  (* Session is up but the nexthop 10.0.0.1 is unroutable on b. *)
+  assert_established "b" b "10.0.0.1";
+  check Alcotest.int "route not usable" 0 (Bgp_process.route_count b);
+  (* Now teach b how to reach the peering LAN. *)
+  Result.get_ok
+    (Rib.add_route rib ~protocol:"static" ~net:(net "10.0.0.0/24")
+       ~nexthop:Ipv4.zero ());
+  run_for loop 2.0;
+  check Alcotest.int "route became usable" 1 (Bgp_process.route_count b);
+  (* And remove it again: the invalidation must deactivate the route. *)
+  Result.get_ok (Rib.delete_route rib ~protocol:"static" ~net:(net "10.0.0.0/24"));
+  run_for loop 2.0;
+  check Alcotest.int "route unusable again" 0 (Bgp_process.route_count b)
+
+let test_redistribution_into_bgp () =
+  (* A static route in b's RIB is redistributed into b's BGP and
+     advertised to peer a with INCOMPLETE origin — the reverse of the
+     usual BGP->RIB flow, closing §3's redistribution loop. *)
+  let loop = Eventloop.create () in
+  let netsim = Netsim.create loop in
+  let a = standalone_router ~loop ~netsim ~local_as:65001 ~bgp_id:(addr "1.1.1.1") () in
+  let _, _fea, rib, b =
+    full_stack_router ~loop ~netsim ~local_as:65002 ~bgp_id:(addr "2.2.2.2") ()
+  in
+  peering a "10.0.0.1" b "10.0.0.2" ~as_a:65001 ~as_b:65002;
+  Result.get_ok
+    (Rib.add_route rib ~protocol:"connected" ~net:(net "10.0.0.0/24")
+       ~nexthop:Ipv4.zero ());
+  Bgp_process.start a;
+  Bgp_process.start b;
+  run_for loop 2.0;
+  Result.get_ok
+    (Rib.add_route rib ~protocol:"static" ~net:(net "203.0.113.0/24")
+       ~nexthop:(addr "10.0.0.254") ());
+  run_for loop 1.0;
+  (* Only static routes cross into BGP. *)
+  Bgp_process.subscribe_rib_redistribution b
+    ~policy:"load protocol\npush.str static\neq\njfalse no\naccept\nlabel no\nreject";
+  run_for loop 3.0;
+  check Alcotest.int "a learned the redistributed route" 1
+    (Bgp_process.route_count a);
+  (* Withdrawal flows too. *)
+  Result.get_ok
+    (Rib.delete_route rib ~protocol:"static" ~net:(net "203.0.113.0/24"));
+  run_for loop 3.0;
+  check Alcotest.int "withdrawn at a" 0 (Bgp_process.route_count a)
+
+let test_aggregation_end_to_end () =
+  (* b aggregates 100.64.0.0/10 toward... rather: a aggregates what it
+     sends to b: many /24s inside 100.64/10 leave a as one aggregate. *)
+  let loop = Eventloop.create () in
+  let netsim = Netsim.create loop in
+  let a = standalone_router ~loop ~netsim ~local_as:65001 ~bgp_id:(addr "1.1.1.1") () in
+  let b = standalone_router ~loop ~netsim ~local_as:65002 ~bgp_id:(addr "2.2.2.2") () in
+  Bgp_process.add_peer a
+    { (Bgp_process.default_peer_config ~peer_addr:(addr "10.0.0.2")
+         ~local_addr:(addr "10.0.0.1") ~peer_as:65002)
+      with Bgp_process.aggregates =
+             [ { Bgp_aggregation.agg_net = net "100.64.0.0/10";
+                 suppress_specifics = true } ] };
+  Bgp_process.add_peer b
+    (Bgp_process.default_peer_config ~peer_addr:(addr "10.0.0.1")
+       ~local_addr:(addr "10.0.0.2") ~peer_as:65001);
+  Bgp_process.start a;
+  Bgp_process.start b;
+  run_for loop 2.0;
+  for i = 0 to 19 do
+    Bgp_process.originate a (Ipv4net.make (Ipv4.of_octets 100 64 i 0) 24)
+  done;
+  Bgp_process.originate a (net "172.16.0.0/16");
+  run_for loop 2.0;
+  (* a holds 21 routes; b sees the aggregate plus the outsider. *)
+  check Alcotest.int "a's own table" 21 (Bgp_process.route_count a);
+  check Alcotest.int "b sees 2" 2 (Bgp_process.route_count b);
+  check Alcotest.int "b's ribin: aggregate + outsider" 2
+    (Bgp_process.ribin_count b (addr "10.0.0.1"));
+  (* Withdraw all components: the aggregate goes too. *)
+  for i = 0 to 19 do
+    Bgp_process.withdraw a (Ipv4net.make (Ipv4.of_octets 100 64 i 0) 24)
+  done;
+  run_for loop 2.0;
+  check Alcotest.int "only the outsider left" 1 (Bgp_process.route_count b)
+
+let test_ibgp_peer_removal_cleans_rib () =
+  (* Regression: after permanently removing an IBGP peer, its routes
+     must disappear from the RIB — the in-flight withdrawals must be
+     attributed to the "ibgp" origin even though the peer is gone. *)
+  let loop = Eventloop.create () in
+  let netsim = Netsim.create loop in
+  (* a is an IBGP neighbour of b (same AS). *)
+  let a = standalone_router ~loop ~netsim ~local_as:65002 ~bgp_id:(addr "1.1.1.1") () in
+  let _, _fea, rib, b =
+    full_stack_router ~loop ~netsim ~local_as:65002 ~bgp_id:(addr "2.2.2.2") ()
+  in
+  peering a "10.0.0.1" b "10.0.0.2" ~as_a:65002 ~as_b:65002;
+  Result.get_ok
+    (Rib.add_route rib ~protocol:"connected" ~net:(net "10.0.0.0/24")
+       ~nexthop:Ipv4.zero ());
+  (* IBGP keeps the originator's nexthop (its bgp-id); resolve it via a
+     static "IGP" route, as hot-potato routing requires. *)
+  Result.get_ok
+    (Rib.add_route rib ~protocol:"static" ~net:(net "1.1.1.0/24")
+       ~nexthop:(addr "10.0.0.1") ());
+  Bgp_process.start a;
+  Bgp_process.start b;
+  run_for loop 2.0;
+  Bgp_process.originate a (net "128.16.0.0/16");
+  run_for loop 2.0;
+  (match Rib.lookup_best rib (addr "128.16.1.1") with
+   | Some r -> check Alcotest.string "in RIB as ibgp" "ibgp" r.Rib_route.protocol
+   | None -> Alcotest.fail "route not in RIB");
+  Bgp_process.remove_peer b (addr "10.0.0.1");
+  run_for loop 10.0;
+  check Alcotest.bool "withdrawn from the RIB" true
+    (Rib.lookup_best rib (addr "128.16.1.1") = None)
+
+let test_damping_full_path () =
+  let params =
+    { Bgp_damping.default_params with
+      Bgp_damping.suppress_threshold = 1500.0 }
+  in
+  let loop, a, b = two_routers ~damping:params () in
+  (* Flap the prefix from a twice: b's damping stage suppresses it. *)
+  Bgp_process.originate a (net "128.16.0.0/16");
+  run_for loop 3.0;
+  check Alcotest.int "learned" 1 (Bgp_process.route_count b);
+  Bgp_process.withdraw a (net "128.16.0.0/16");
+  run_for loop 3.0;
+  Bgp_process.originate a (net "128.16.0.0/16");
+  run_for loop 3.0;
+  Bgp_process.withdraw a (net "128.16.0.0/16");
+  run_for loop 3.0;
+  Bgp_process.originate a (net "128.16.0.0/16");
+  run_for loop 3.0;
+  (* Two withdrawals -> penalty 2000 > 1500: suppressed. *)
+  check Alcotest.int "suppressed at b" 0 (Bgp_process.route_count b);
+  (* After enough decay it reappears without any BGP traffic. *)
+  run_for loop 3600.0;
+  check Alcotest.int "reused after decay" 1 (Bgp_process.route_count b)
+
+(* --- IBGP semantics -------------------------------------------------- *)
+
+let test_ibgp_no_reflection () =
+  (* a, b, c in AS 65001 (full mesh NOT configured: a-b and b-c only);
+     d in AS 65002 peered with b. A route learned by b from IBGP peer a
+     must reach EBGP peer d but must NOT be re-advertised to IBGP peer
+     c (we are not a route reflector). *)
+  let loop = Eventloop.create () in
+  let netsim = Netsim.create loop in
+  let mk as_ id = standalone_router ~loop ~netsim ~local_as:as_ ~bgp_id:(addr id) () in
+  let a = mk 65001 "1.1.1.1" in
+  let b = mk 65001 "2.2.2.2" in
+  let c = mk 65001 "3.3.3.3" in
+  let d = mk 65002 "4.4.4.4" in
+  peering a "10.0.1.1" b "10.0.1.2" ~as_a:65001 ~as_b:65001;
+  peering b "10.0.2.2" c "10.0.2.3" ~as_a:65001 ~as_b:65001;
+  peering b "10.0.3.2" d "10.0.3.4" ~as_a:65001 ~as_b:65002;
+  List.iter Bgp_process.start [ a; b; c; d ];
+  run_for loop 3.0;
+  check Alcotest.int "b has 3 sessions" 3 (Bgp_process.established_count b);
+  Bgp_process.originate a (net "128.16.0.0/16");
+  run_for loop 3.0;
+  check Alcotest.int "b learned over ibgp" 1 (Bgp_process.route_count b);
+  check Alcotest.int "d learned over ebgp" 1 (Bgp_process.route_count d);
+  check Alcotest.int "c did NOT (no reflection)" 0 (Bgp_process.route_count c);
+  no_violations b
+
+let test_ibgp_preserves_localpref () =
+  (* An import policy on b sets localpref 250; when b re-advertises to
+     IBGP peer... b is the only hop: check the winner's attrs at b. *)
+  let loop, a, b = two_routers () in
+  let set_lp =
+    Result.get_ok (Policy.compile "push.u32 250\nstore localpref\naccept")
+  in
+  ignore (Bgp_process.set_import_policies b (addr "10.0.0.1") [ set_lp ]);
+  Bgp_process.originate a (net "128.16.0.0/16");
+  run_for loop 2.0;
+  check Alcotest.int "learned" 1 (Bgp_process.route_count b);
+  no_violations b
+
+let test_bgp_xrl_interface () =
+  let loop, a, b = two_routers () in
+  ignore b;
+  (* Drive a's BGP through its own XRL interface, as the rtrmgr or a
+     script would. *)
+  let finder_caller = Bgp_process.xrl_router a in
+  let call method_name args =
+    Xrl_router.call_blocking finder_caller
+      (Xrl.make ~target:(Bgp_process.instance_name a) ~interface:"bgp"
+         ~method_name args)
+  in
+  let err, _ =
+    call "originate_route" [ Xrl_atom.ipv4net "net" (net "203.0.113.0/24") ]
+  in
+  check Alcotest.bool "originate ok" true (Xrl_error.is_ok err);
+  run_for loop 2.0;
+  check Alcotest.int "b learned it" 1 (Bgp_process.route_count b);
+  let err, args = call "get_route_count" [] in
+  check Alcotest.bool "count ok" true (Xrl_error.is_ok err);
+  check Alcotest.int "count" 1 (Xrl_atom.get_u32 args "count");
+  let err, args =
+    call "get_peer_state" [ Xrl_atom.ipv4 "peer" (addr "10.0.0.2") ]
+  in
+  check Alcotest.bool "state ok" true (Xrl_error.is_ok err);
+  check Alcotest.string "established" "Established"
+    (Xrl_atom.get_txt args "state");
+  let err, _ =
+    call "withdraw_route" [ Xrl_atom.ipv4net "net" (net "203.0.113.0/24") ]
+  in
+  check Alcotest.bool "withdraw ok" true (Xrl_error.is_ok err);
+  run_for loop 2.0;
+  check Alcotest.int "withdrawn at b" 0 (Bgp_process.route_count b)
+
+let () =
+  Alcotest.run "xorp_bgp_process"
+    [
+      ( "sessions",
+        [
+          Alcotest.test_case "establishment" `Quick test_session_establishment;
+          Alcotest.test_case "flap spawns deletion stage" `Quick
+            test_peering_flap_deletion_stage;
+          Alcotest.test_case "silent partition + hold timer" `Quick
+            test_silent_partition_hold_timer_recovery;
+        ] );
+      ( "routes",
+        [
+          Alcotest.test_case "propagation" `Quick test_route_propagation;
+          Alcotest.test_case "withdrawal" `Quick test_withdrawal_propagation;
+          Alcotest.test_case "pre-established dump" `Quick
+            test_routes_learned_before_establishment;
+          Alcotest.test_case "three-router transit" `Quick
+            test_three_router_transit;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "import filter" `Quick test_import_policy_applied;
+          Alcotest.test_case "policy change refilters" `Quick
+            test_policy_change_refilters;
+        ] );
+      ( "ibgp",
+        [
+          Alcotest.test_case "no ibgp reflection" `Quick test_ibgp_no_reflection;
+          Alcotest.test_case "localpref via policy" `Quick
+            test_ibgp_preserves_localpref;
+          Alcotest.test_case "bgp/1.0 xrl interface" `Quick
+            test_bgp_xrl_interface;
+        ] );
+      ( "full_stack",
+        [
+          Alcotest.test_case "BGP to FIB" `Quick test_full_stack_to_fib;
+          Alcotest.test_case "nexthop gating" `Quick
+            test_full_stack_nexthop_gating;
+          Alcotest.test_case "damping end to end" `Quick test_damping_full_path;
+          Alcotest.test_case "redistribution into BGP" `Quick
+            test_redistribution_into_bgp;
+          Alcotest.test_case "aggregation end to end" `Quick
+            test_aggregation_end_to_end;
+          Alcotest.test_case "ibgp peer removal cleans RIB" `Quick
+            test_ibgp_peer_removal_cleans_rib;
+        ] );
+    ]

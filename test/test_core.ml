@@ -1,0 +1,130 @@
+(* Tests for the umbrella API (Xorp) and the profiler module. *)
+
+let check = Alcotest.check
+let addr = Ipv4.of_string_exn
+let net = Ipv4net.of_string_exn
+
+let test_version () =
+  check Alcotest.bool "semver-ish" true
+    (String.length Xorp.version >= 5 && String.contains Xorp.version '.')
+
+let test_make_stack_wiring () =
+  let loop = Eventloop.create () in
+  let netsim = Netsim.create loop in
+  let stack =
+    Xorp.make_stack ~interfaces:[ ("eth0", addr "10.0.0.1") ] ~loop
+      ~net:netsim ()
+  in
+  Eventloop.run_until_idle loop;
+  (* Connected route present and installed. *)
+  (match Rib.lookup_best stack.Xorp.rib (addr "10.0.0.200") with
+   | Some r -> check Alcotest.string "connected" "connected" r.Rib_route.protocol
+   | None -> Alcotest.fail "no connected route");
+  check Alcotest.int "fib" 1 (Fib.size (Fea.fib stack.Xorp.fea));
+  check Alcotest.bool "no protocols yet" true
+    (stack.Xorp.bgp = None && stack.Xorp.rip = None);
+  Xorp.shutdown_stack stack
+
+let test_stack_with_protocols () =
+  let loop = Eventloop.create () in
+  let netsim = Netsim.create loop in
+  let s1 =
+    Xorp.make_stack ~interfaces:[ ("eth0", addr "10.0.0.1") ] ~loop
+      ~net:netsim ()
+  in
+  let s2 =
+    Xorp.make_stack ~interfaces:[ ("eth0", addr "10.0.0.2") ] ~loop
+      ~net:netsim ()
+  in
+  let bgp1 =
+    Xorp.add_bgp s1 ~local_as:65001 ~bgp_id:(addr "1.1.1.1")
+      ~peers:
+        [ Bgp_process.default_peer_config ~peer_addr:(addr "10.0.0.2")
+            ~local_addr:(addr "10.0.0.1") ~peer_as:65002 ]
+      ()
+  in
+  let bgp2 =
+    Xorp.add_bgp s2 ~local_as:65002 ~bgp_id:(addr "2.2.2.2")
+      ~peers:
+        [ Bgp_process.default_peer_config ~peer_addr:(addr "10.0.0.1")
+            ~local_addr:(addr "10.0.0.2") ~peer_as:65001 ]
+      ()
+  in
+  Xorp.run_stacks loop ~seconds:5.0;
+  check Alcotest.int "session up" 1 (Bgp_process.established_count bgp1);
+  Bgp_process.originate bgp1 (net "128.16.0.0/16");
+  Xorp.run_stacks loop ~seconds:5.0;
+  check Alcotest.int "route across" 1 (Bgp_process.route_count bgp2);
+  (* It used the RIB+FEA of stack 2 (nexthop resolves via the connected
+     /24). *)
+  (match Rib.lookup_best s2.Xorp.rib (addr "128.16.1.1") with
+   | Some r -> check Alcotest.string "in s2 rib" "ebgp" r.Rib_route.protocol
+   | None -> Alcotest.fail "not in s2's rib");
+  Xorp.shutdown_stack s1;
+  Xorp.shutdown_stack s2
+
+(* --- profiler unit tests ------------------------------------------------ *)
+
+let test_profiler_basics () =
+  let loop = Eventloop.create () in
+  let p = Profiler.create loop in
+  Profiler.define p "alpha";
+  Profiler.define p "beta";
+  Profiler.record p "alpha" "before enable"; (* dropped *)
+  Profiler.enable p "alpha";
+  check Alcotest.bool "alpha on" true (Profiler.enabled p "alpha");
+  check Alcotest.bool "beta off" false (Profiler.enabled p "beta");
+  Profiler.record p "alpha" "one";
+  Profiler.record p "beta" "invisible";
+  ignore (Eventloop.after loop 12.5 (fun () -> Profiler.record p "alpha" "two"));
+  Eventloop.run loop;
+  (match Profiler.records p "alpha" with
+   | [ r1; r2 ] ->
+     check Alcotest.string "payload 1" "one" r1.Profiler.payload;
+     check Alcotest.string "payload 2" "two" r2.Profiler.payload;
+     check (Alcotest.float 1e-9) "sim timestamp" 12.5 r2.Profiler.time
+   | l -> Alcotest.failf "expected 2 records, got %d" (List.length l));
+  check Alcotest.int "beta empty" 0 (List.length (Profiler.records p "beta"));
+  (* the paper's textual record format *)
+  (match Profiler.to_strings p with
+   | s :: _ ->
+     check Alcotest.bool "looks like 'alpha <s> <us> one'" true
+       (Astring.String.is_prefix ~affix:"alpha 0 000000 one" s)
+   | [] -> Alcotest.fail "no rendered records");
+  (match Profiler.list_points p with
+   | [ ("alpha", true, 2); ("beta", false, 0) ] -> ()
+   | l -> Alcotest.failf "unexpected point list (%d entries)" (List.length l));
+  Profiler.clear p;
+  check Alcotest.int "cleared" 0 (List.length (Profiler.all_records p));
+  check Alcotest.bool "enable state survives clear" true
+    (Profiler.enabled p "alpha")
+
+let test_profiler_enable_all () =
+  let loop = Eventloop.create () in
+  let p = Profiler.create loop in
+  Profiler.define p "a";
+  Profiler.define p "b";
+  Profiler.enable_all p;
+  Profiler.record p "a" "x";
+  Profiler.record p "b" "y";
+  check Alcotest.int "both recorded" 2 (List.length (Profiler.all_records p));
+  Profiler.disable_all p;
+  Profiler.record p "a" "z";
+  check Alcotest.int "no more" 2 (List.length (Profiler.all_records p))
+
+let () =
+  Alcotest.run "xorp_core"
+    [
+      ( "umbrella",
+        [
+          Alcotest.test_case "version" `Quick test_version;
+          Alcotest.test_case "make_stack wiring" `Quick test_make_stack_wiring;
+          Alcotest.test_case "two stacks with bgp" `Quick
+            test_stack_with_protocols;
+        ] );
+      ( "profiler",
+        [
+          Alcotest.test_case "basics" `Quick test_profiler_basics;
+          Alcotest.test_case "enable_all" `Quick test_profiler_enable_all;
+        ] );
+    ]

@@ -1,0 +1,314 @@
+(* Tests for the event loop: timers, deferred events, background
+   tasks, simulated-clock behaviour, and the real clock. *)
+
+let check = Alcotest.check
+
+let test_sim_clock_starts_at_zero () =
+  let loop = Eventloop.create () in
+  check (Alcotest.float 0.0) "t=0" 0.0 (Eventloop.now loop)
+
+let test_timer_fires_and_advances_clock () =
+  let loop = Eventloop.create () in
+  let fired_at = ref (-1.0) in
+  ignore (Eventloop.after loop 5.0 (fun () -> fired_at := Eventloop.now loop));
+  Eventloop.run loop;
+  check (Alcotest.float 1e-9) "fired at t=5" 5.0 !fired_at;
+  check (Alcotest.float 1e-9) "clock stopped at 5" 5.0 (Eventloop.now loop)
+
+let test_timer_order () =
+  let loop = Eventloop.create () in
+  let order = ref [] in
+  let mark tag () = order := tag :: !order in
+  ignore (Eventloop.after loop 3.0 (mark "c"));
+  ignore (Eventloop.after loop 1.0 (mark "a"));
+  ignore (Eventloop.after loop 2.0 (mark "b"));
+  Eventloop.run loop;
+  check (Alcotest.list Alcotest.string) "deadline order" [ "a"; "b"; "c" ]
+    (List.rev !order)
+
+let test_equal_deadline_fifo () =
+  let loop = Eventloop.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore (Eventloop.after loop 1.0 (fun () -> order := i :: !order))
+  done;
+  Eventloop.run loop;
+  check (Alcotest.list Alcotest.int) "fifo among equal deadlines"
+    [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_cancel () =
+  let loop = Eventloop.create () in
+  let fired = ref false in
+  let tm = Eventloop.after loop 1.0 (fun () -> fired := true) in
+  check Alcotest.bool "pending" true (Eventloop.timer_pending tm);
+  Eventloop.cancel tm;
+  check Alcotest.bool "not pending" false (Eventloop.timer_pending tm);
+  Eventloop.run loop;
+  check Alcotest.bool "never fired" false !fired
+
+let test_periodic () =
+  let loop = Eventloop.create () in
+  let count = ref 0 in
+  ignore
+    (Eventloop.periodic loop 2.0 (fun () ->
+         incr count;
+         !count < 4));
+  Eventloop.run loop;
+  check Alcotest.int "fired 4 times" 4 !count;
+  check (Alcotest.float 1e-9) "stopped at t=8" 8.0 (Eventloop.now loop)
+
+let test_periodic_cancel_mid_flight () =
+  let loop = Eventloop.create () in
+  let count = ref 0 in
+  let tm = ref None in
+  tm :=
+    Some
+      (Eventloop.periodic loop 1.0 (fun () ->
+           incr count;
+           if !count = 2 then Option.iter Eventloop.cancel !tm;
+           true));
+  Eventloop.run loop;
+  check Alcotest.int "stopped by cancel" 2 !count
+
+let test_defer_runs_before_timers () =
+  let loop = Eventloop.create () in
+  let order = ref [] in
+  ignore (Eventloop.after loop 0.0 (fun () -> order := "timer" :: !order));
+  Eventloop.defer loop (fun () -> order := "defer" :: !order);
+  Eventloop.run loop;
+  check (Alcotest.list Alcotest.string) "defer first" [ "defer"; "timer" ]
+    (List.rev !order)
+
+let test_self_defer_no_starvation () =
+  let loop = Eventloop.create () in
+  let defers = ref 0 in
+  let timer_fired = ref false in
+  let rec chain () =
+    incr defers;
+    if not !timer_fired && !defers < 1000 then Eventloop.defer loop chain
+  in
+  Eventloop.defer loop chain;
+  ignore (Eventloop.after loop 0.0 (fun () -> timer_fired := true));
+  Eventloop.run loop;
+  check Alcotest.bool "timer got through" true !timer_fired;
+  check Alcotest.bool "chain was cut short by the timer" true (!defers < 1000)
+
+let test_background_task_runs_when_idle () =
+  let loop = Eventloop.create () in
+  let slices = ref 0 in
+  ignore
+    (Eventloop.add_task loop (fun () ->
+         incr slices;
+         if !slices >= 10 then `Done else `Continue));
+  Eventloop.run loop;
+  check Alcotest.int "all slices ran" 10 !slices
+
+let test_background_task_yields_to_events () =
+  (* A long task must not delay timer events: timers keep firing while
+     the task chips away. *)
+  let loop = Eventloop.create () in
+  let slices = ref 0 in
+  let fire_times = ref [] in
+  ignore
+    (Eventloop.add_task loop (fun () ->
+         incr slices;
+         if !slices >= 10000 then `Done else `Continue));
+  ignore
+    (Eventloop.periodic loop 1.0 (fun () ->
+         fire_times := !slices :: !fire_times;
+         List.length !fire_times < 3));
+  Eventloop.run loop;
+  check Alcotest.int "task finished" 10000 !slices;
+  check Alcotest.int "timer fired thrice" 3 (List.length !fire_times)
+
+let test_task_remove () =
+  let loop = Eventloop.create () in
+  let slices = ref 0 in
+  let task = ref None in
+  task :=
+    Some
+      (Eventloop.add_task loop (fun () ->
+           incr slices;
+           if !slices = 3 then Option.iter Eventloop.remove_task !task;
+           `Continue));
+  Eventloop.run loop;
+  check Alcotest.int "self-removal honoured" 3 !slices
+
+let test_task_weights () =
+  let loop = Eventloop.create () in
+  let a = ref 0 and b = ref 0 in
+  let first_10 = ref [] in
+  let record tag = if List.length !first_10 < 12 then first_10 := tag :: !first_10 in
+  ignore
+    (Eventloop.add_task loop ~weight:3 (fun () ->
+         incr a; record "a";
+         if !a >= 9 then `Done else `Continue));
+  ignore
+    (Eventloop.add_task loop ~weight:1 (fun () ->
+         incr b; record "b";
+         if !b >= 3 then `Done else `Continue));
+  Eventloop.run loop;
+  check Alcotest.int "a total" 9 !a;
+  check Alcotest.int "b total" 3 !b;
+  (* weight 3 task runs 3 slices per turn *)
+  check (Alcotest.list Alcotest.string) "interleaving"
+    [ "a"; "a"; "a"; "b"; "a"; "a"; "a"; "b"; "a"; "a"; "a"; "b" ]
+    (List.rev !first_10)
+
+let test_run_until_time () =
+  let loop = Eventloop.create () in
+  let count = ref 0 in
+  ignore (Eventloop.periodic loop 10.0 (fun () -> incr count; true));
+  Eventloop.run_until_time loop 35.0;
+  check Alcotest.int "3 ticks by t=35" 3 !count;
+  check (Alcotest.float 1e-9) "clock exactly 35" 35.0 (Eventloop.now loop);
+  Eventloop.run_until_time loop 40.0;
+  check Alcotest.int "4th tick at t=40" 4 !count
+
+let test_run_until_time_no_timers () =
+  let loop = Eventloop.create () in
+  Eventloop.run_until_time loop 12.5;
+  check (Alcotest.float 1e-9) "clock advanced to target" 12.5
+    (Eventloop.now loop)
+
+let test_run_until_idle_leaves_future_timers () =
+  let loop = Eventloop.create () in
+  let fired = ref false in
+  let deferred = ref false in
+  ignore (Eventloop.after loop 100.0 (fun () -> fired := true));
+  Eventloop.defer loop (fun () -> deferred := true);
+  Eventloop.run_until_idle loop;
+  check Alcotest.bool "deferred ran" true !deferred;
+  check Alcotest.bool "future timer untouched" false !fired;
+  check (Alcotest.float 1e-9) "clock did not jump" 0.0 (Eventloop.now loop)
+
+let test_stop () =
+  let loop = Eventloop.create () in
+  let count = ref 0 in
+  ignore
+    (Eventloop.periodic loop 1.0 (fun () ->
+         incr count;
+         if !count = 5 then Eventloop.stop loop;
+         true));
+  Eventloop.run loop;
+  check Alcotest.int "stopped at 5" 5 !count
+
+let test_exception_in_callback_does_not_kill_loop () =
+  let loop = Eventloop.create () in
+  let after = ref false in
+  ignore (Eventloop.after loop 1.0 (fun () -> failwith "boom"));
+  ignore (Eventloop.after loop 2.0 (fun () -> after := true));
+  Eventloop.run loop;
+  check Alcotest.bool "later timer still fired" true !after
+
+let test_real_mode_timer () =
+  let loop = Eventloop.create ~mode:`Real () in
+  let fired = ref false in
+  let t0 = Unix.gettimeofday () in
+  ignore (Eventloop.after loop 0.05 (fun () -> fired := true));
+  Eventloop.run ~until:(fun () -> !fired) loop;
+  let dt = Unix.gettimeofday () -. t0 in
+  check Alcotest.bool "fired" true !fired;
+  if dt < 0.04 || dt > 2.0 then Alcotest.failf "wall delay off: %.3fs" dt
+
+let test_real_mode_fd () =
+  let loop = Eventloop.create ~mode:`Real () in
+  let r, w = Unix.pipe () in
+  let got = ref "" in
+  Eventloop.add_reader loop r (fun () ->
+      let buf = Bytes.create 16 in
+      let n = Unix.read r buf 0 16 in
+      got := Bytes.sub_string buf 0 n;
+      Eventloop.remove_reader loop r);
+  ignore (Eventloop.after loop 0.01 (fun () ->
+      ignore (Unix.write_substring w "ping" 0 4)));
+  Eventloop.run ~until:(fun () -> !got <> "") loop;
+  check Alcotest.string "read the ping" "ping" !got;
+  Unix.close r;
+  Unix.close w
+
+(* Minheap, directly. *)
+let test_minheap () =
+  let h = Minheap.create () in
+  check Alcotest.bool "empty" true (Minheap.is_empty h);
+  List.iter (fun (p, v) -> Minheap.push h p v)
+    [ (3.0, "c"); (1.0, "a"); (2.0, "b"); (1.0, "a2") ];
+  check Alcotest.int "size" 4 (Minheap.size h);
+  let order = ref [] in
+  let rec drain () =
+    match Minheap.pop h with
+    | Some (_, v) -> order := v :: !order; drain ()
+    | None -> ()
+  in
+  drain ();
+  check (Alcotest.list Alcotest.string) "sorted, stable"
+    [ "a"; "a2"; "b"; "c" ] (List.rev !order)
+
+let prop_minheap_sorts =
+  QCheck.Test.make ~name:"minheap pops in sorted order" ~count:300
+    QCheck.(list (pair (float_bound_exclusive 1000.0) small_int))
+    (fun items ->
+       let h = Minheap.create () in
+       List.iter (fun (p, v) -> Minheap.push h p v) items;
+       let rec drain acc =
+         match Minheap.pop h with
+         | Some (p, _) -> drain (p :: acc)
+         | None -> List.rev acc
+       in
+       let popped = drain [] in
+       List.length popped = List.length items
+       && popped = List.sort compare (List.map fst items))
+
+let () =
+  Alcotest.run "xorp_eventloop"
+    [
+      ( "timers",
+        [
+          Alcotest.test_case "sim clock starts at 0" `Quick
+            test_sim_clock_starts_at_zero;
+          Alcotest.test_case "fires and advances clock" `Quick
+            test_timer_fires_and_advances_clock;
+          Alcotest.test_case "deadline order" `Quick test_timer_order;
+          Alcotest.test_case "equal deadlines are FIFO" `Quick
+            test_equal_deadline_fifo;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "periodic" `Quick test_periodic;
+          Alcotest.test_case "cancel periodic mid-flight" `Quick
+            test_periodic_cancel_mid_flight;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "defer before timers" `Quick
+            test_defer_runs_before_timers;
+          Alcotest.test_case "self-defer cannot starve timers" `Quick
+            test_self_defer_no_starvation;
+          Alcotest.test_case "exceptions contained" `Quick
+            test_exception_in_callback_does_not_kill_loop;
+        ] );
+      ( "tasks",
+        [
+          Alcotest.test_case "runs when idle" `Quick
+            test_background_task_runs_when_idle;
+          Alcotest.test_case "yields to events" `Quick
+            test_background_task_yields_to_events;
+          Alcotest.test_case "removal" `Quick test_task_remove;
+          Alcotest.test_case "weights" `Quick test_task_weights;
+        ] );
+      ( "running",
+        [
+          Alcotest.test_case "run_until_time" `Quick test_run_until_time;
+          Alcotest.test_case "run_until_time without timers" `Quick
+            test_run_until_time_no_timers;
+          Alcotest.test_case "run_until_idle" `Quick
+            test_run_until_idle_leaves_future_timers;
+          Alcotest.test_case "stop" `Quick test_stop;
+        ] );
+      ( "real_mode",
+        [
+          Alcotest.test_case "wall-clock timer" `Quick test_real_mode_timer;
+          Alcotest.test_case "fd readability" `Quick test_real_mode_fd;
+        ] );
+      ( "minheap",
+        Alcotest.test_case "basic" `Quick test_minheap
+        :: List.map QCheck_alcotest.to_alcotest [ prop_minheap_sorts ] );
+    ]

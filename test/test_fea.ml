@@ -1,0 +1,236 @@
+(* Tests for the Forwarding Engine Abstraction: the FIB proper, the
+   XRL interface, the UDP relay, and profile points. *)
+
+let check = Alcotest.check
+let addr = Ipv4.of_string_exn
+let net = Ipv4net.of_string_exn
+
+let setup ?profiler () =
+  let loop = Eventloop.create () in
+  let finder = Finder.create () in
+  let netsim = Netsim.create loop in
+  let fea =
+    Fea.create ?profiler
+      ~interfaces:[ ("eth0", addr "10.0.0.1"); ("eth1", addr "10.1.0.1") ]
+      ~netsim finder loop ()
+  in
+  let caller = Xrl_router.create finder loop ~class_name:"test" () in
+  (loop, finder, netsim, fea, caller)
+
+let call caller xrl =
+  let err, args = Xrl_router.call_blocking caller xrl in
+  if not (Xrl_error.is_ok err) then
+    Alcotest.failf "XRL failed: %s" (Xrl_error.to_string err);
+  args
+
+let fea_xrl method_name args =
+  Xrl.make ~target:"fea" ~interface:"fea" ~method_name args
+
+(* --- Fib proper ------------------------------------------------------ *)
+
+let test_fib_basics () =
+  let fib = Fib.create () in
+  Fib.add fib { Fib.net = net "10.0.0.0/8"; nexthop = addr "192.0.2.1";
+                ifname = "eth0"; protocol = "static" };
+  Fib.add fib { Fib.net = net "10.1.0.0/16"; nexthop = addr "192.0.2.2";
+                ifname = "eth1"; protocol = "rip" };
+  check Alcotest.int "size" 2 (Fib.size fib);
+  (match Fib.lookup fib (addr "10.1.2.3") with
+   | Some e -> check Alcotest.string "most specific wins" "eth1" e.Fib.ifname
+   | None -> Alcotest.fail "no match");
+  (match Fib.lookup fib (addr "10.2.0.1") with
+   | Some e -> check Alcotest.string "/8 covers" "eth0" e.Fib.ifname
+   | None -> Alcotest.fail "no match");
+  check Alcotest.bool "lookup miss" true (Fib.lookup fib (addr "11.0.0.1") = None);
+  check Alcotest.bool "delete" true (Fib.delete fib (net "10.1.0.0/16"));
+  check Alcotest.bool "double delete" false (Fib.delete fib (net "10.1.0.0/16"));
+  check Alcotest.int "lookup counter" 3 (Fib.lookups_performed fib)
+
+(* --- XRL interface --------------------------------------------------- *)
+
+let test_xrl_add_lookup_delete () =
+  let _, _, _, fea, caller = setup () in
+  ignore
+    (call caller
+       (fea_xrl "add_route4"
+          [ Xrl_atom.ipv4net "net" (net "172.16.0.0/12");
+            Xrl_atom.ipv4 "nexthop" (addr "10.0.0.254");
+            Xrl_atom.txt "ifname" "eth0";
+            Xrl_atom.txt "protocol" "static" ]));
+  check Alcotest.int "installed" 1 (Fea.routes_installed fea);
+  let args =
+    call caller (fea_xrl "lookup_route4" [ Xrl_atom.ipv4 "addr" (addr "172.16.5.5") ])
+  in
+  check Alcotest.string "nexthop" "10.0.0.254"
+    (Ipv4.to_string (Xrl_atom.get_ipv4 args "nexthop"));
+  let args = call caller (fea_xrl "get_fib_size" []) in
+  check Alcotest.int "fib size" 1 (Xrl_atom.get_u32 args "size");
+  ignore
+    (call caller
+       (fea_xrl "delete_route4" [ Xrl_atom.ipv4net "net" (net "172.16.0.0/12") ]));
+  let err, _ =
+    Xrl_router.call_blocking caller
+      (fea_xrl "lookup_route4" [ Xrl_atom.ipv4 "addr" (addr "172.16.5.5") ])
+  in
+  check Alcotest.bool "lookup now fails" false (Xrl_error.is_ok err)
+
+let test_xrl_delete_missing () =
+  let _, _, _, _, caller = setup () in
+  let err, _ =
+    Xrl_router.call_blocking caller
+      (fea_xrl "delete_route4" [ Xrl_atom.ipv4net "net" (net "9.9.9.0/24") ])
+  in
+  match err with
+  | Xrl_error.Command_failed _ -> ()
+  | e -> Alcotest.failf "expected Command_failed, got %s" (Xrl_error.to_string e)
+
+let test_get_interfaces () =
+  let _, _, _, _, caller = setup () in
+  let args = call caller (fea_xrl "get_interfaces" []) in
+  match Xrl_atom.get_list args "interfaces" with
+  | [ Txt "eth0"; Txt "10.0.0.1"; Txt "eth1"; Txt "10.1.0.1" ] -> ()
+  | l -> Alcotest.failf "unexpected interface list (%d entries)" (List.length l)
+
+(* --- profile points --------------------------------------------------- *)
+
+let test_profile_points () =
+  let loop = Eventloop.create () in
+  let profiler = Profiler.create loop in
+  let finder = Finder.create () in
+  let fea = Fea.create ~profiler finder loop () in
+  ignore fea;
+  Profiler.enable_all profiler;
+  let caller = Xrl_router.create finder loop ~class_name:"test" () in
+  ignore
+    (call caller
+       (fea_xrl "add_route4"
+          [ Xrl_atom.ipv4net "net" (net "10.0.0.0/8");
+            Xrl_atom.ipv4 "nexthop" (addr "192.0.2.1") ]));
+  let points = List.map (fun r -> r.Profiler.point) (Profiler.all_records profiler) in
+  check (Alcotest.list Alcotest.string) "arrived then kernel"
+    [ Fea.pp_arrived; Fea.pp_kernel ] points;
+  (match Profiler.all_records profiler with
+   | { payload = "add 10.0.0.0/8"; _ } :: _ -> ()
+   | r :: _ -> Alcotest.failf "payload %S" r.Profiler.payload
+   | [] -> Alcotest.fail "no records")
+
+let test_profile_disabled_is_noop () =
+  let loop = Eventloop.create () in
+  let profiler = Profiler.create loop in
+  let finder = Finder.create () in
+  ignore (Fea.create ~profiler finder loop ());
+  let caller = Xrl_router.create finder loop ~class_name:"test" () in
+  ignore
+    (call caller
+       (fea_xrl "add_route4"
+          [ Xrl_atom.ipv4net "net" (net "10.0.0.0/8");
+            Xrl_atom.ipv4 "nexthop" (addr "192.0.2.1") ]));
+  check Alcotest.int "no records" 0 (List.length (Profiler.all_records profiler))
+
+(* --- UDP relay -------------------------------------------------------- *)
+
+let test_udp_relay_roundtrip () =
+  let loop, finder, _, _, caller = setup () in
+  (* A fake protocol client that records datagrams relayed to it. *)
+  let got = ref [] in
+  let client = Xrl_router.create finder loop ~class_name:"fakeproto" () in
+  Xrl_router.add_handler client ~interface:"fea_client" ~method_name:"recv"
+    (fun args reply ->
+       got :=
+         ( Xrl_atom.get_u32 args "sockid",
+           Ipv4.to_string (Xrl_atom.get_ipv4 args "src"),
+           Xrl_atom.get_u32 args "sport",
+           Xrl_atom.get_binary args "payload" )
+         :: !got;
+       reply Xrl_error.Ok_xrl []);
+  let open_sock addr_s port =
+    let args =
+      call caller
+        (Xrl.make ~target:"fea" ~interface:"fea_udp" ~method_name:"udp_open"
+           [ Xrl_atom.txt "client_target" (Xrl_router.instance_name client);
+             Xrl_atom.ipv4 "addr" (addr addr_s);
+             Xrl_atom.u32 "port" port ])
+    in
+    Xrl_atom.get_u32 args "sockid"
+  in
+  let s1 = open_sock "10.0.0.1" 520 in
+  let s2 = open_sock "10.1.0.1" 520 in
+  check Alcotest.bool "distinct sockids" true (s1 <> s2);
+  (* Send from socket 1 to socket 2's address through the relay. *)
+  ignore
+    (call caller
+       (Xrl.make ~target:"fea" ~interface:"fea_udp" ~method_name:"udp_send"
+          [ Xrl_atom.u32 "sockid" s1;
+            Xrl_atom.ipv4 "dst" (addr "10.1.0.1");
+            Xrl_atom.u32 "dport" 520;
+            Xrl_atom.binary "payload" "\x02\x02RIPv2" ]));
+  Eventloop.run loop;
+  (match !got with
+   | [ (sockid, src, sport, payload) ] ->
+     check Alcotest.int "delivered to socket 2" s2 sockid;
+     check Alcotest.string "src addr" "10.0.0.1" src;
+     check Alcotest.int "src port" 520 sport;
+     check Alcotest.string "payload" "\x02\x02RIPv2" payload
+   | l -> Alcotest.failf "expected 1 delivery, got %d" (List.length l));
+  (* Close and verify sends now fail. *)
+  ignore
+    (call caller
+       (Xrl.make ~target:"fea" ~interface:"fea_udp" ~method_name:"udp_close"
+          [ Xrl_atom.u32 "sockid" s1 ]));
+  let err, _ =
+    Xrl_router.call_blocking caller
+      (Xrl.make ~target:"fea" ~interface:"fea_udp" ~method_name:"udp_send"
+         [ Xrl_atom.u32 "sockid" s1;
+           Xrl_atom.ipv4 "dst" (addr "10.1.0.1");
+           Xrl_atom.u32 "dport" 520;
+           Xrl_atom.binary "payload" "x" ])
+  in
+  check Alcotest.bool "send on closed socket fails" false (Xrl_error.is_ok err)
+
+let test_udp_open_bad_addr () =
+  let _, _, _, _, caller = setup () in
+  let err, _ =
+    Xrl_router.call_blocking caller
+      (Xrl.make ~target:"fea" ~interface:"fea_udp" ~method_name:"udp_open"
+         [ Xrl_atom.txt "client_target" "whoever";
+           Xrl_atom.ipv4 "addr" (addr "203.0.113.1");
+           Xrl_atom.u32 "port" 520 ])
+  in
+  match err with
+  | Xrl_error.Command_failed msg ->
+    check Alcotest.bool "mentions interface" true
+      (Astring.String.is_infix ~affix:"interface" msg)
+  | e -> Alcotest.failf "expected Command_failed, got %s" (Xrl_error.to_string e)
+
+let test_sole_instance () =
+  let loop = Eventloop.create () in
+  let finder = Finder.create () in
+  ignore (Fea.create finder loop ());
+  match Fea.create finder loop () with
+  | _ -> Alcotest.fail "second FEA accepted"
+  | exception Failure _ -> ()
+
+let () =
+  Alcotest.run "xorp_fea"
+    [
+      ("fib", [ Alcotest.test_case "basics" `Quick test_fib_basics ]);
+      ( "xrl",
+        [
+          Alcotest.test_case "add/lookup/delete" `Quick
+            test_xrl_add_lookup_delete;
+          Alcotest.test_case "delete missing" `Quick test_xrl_delete_missing;
+          Alcotest.test_case "get_interfaces" `Quick test_get_interfaces;
+          Alcotest.test_case "sole instance" `Quick test_sole_instance;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "points recorded" `Quick test_profile_points;
+          Alcotest.test_case "disabled is no-op" `Quick
+            test_profile_disabled_is_noop;
+        ] );
+      ( "udp_relay",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_udp_relay_roundtrip;
+          Alcotest.test_case "bad local address" `Quick test_udp_open_bad_addr;
+        ] );
+    ]

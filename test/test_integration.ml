@@ -1,0 +1,283 @@
+(* Whole-router integration tests: multiple routers booted from
+   configuration files running several protocols at once, route
+   redistribution across protocols, component death and recovery,
+   determinism of the simulated world, and end-to-end consistency
+   between BGP, the RIB and the FIB. *)
+
+let check = Alcotest.check
+let addr = Ipv4.of_string_exn
+let _net = Ipv4net.of_string_exn
+
+let boot ~loop ~netsim name config =
+  match Rtrmgr.boot ~loop ~netsim ~config () with
+  | Ok r -> r
+  | Error problems ->
+    Alcotest.failf "%s rejected: %s" name (String.concat "; " problems)
+
+let run_for loop s = Eventloop.run_until_time loop (Eventloop.now loop +. s)
+
+(* Topology: an ISP speaking BGP to a border router that runs OSPF
+   into a core router; the core also speaks RIP to a legacy box.
+
+     isp (AS 65100) --eBGP-- border (AS 65001, OSPF) --OSPF-- core
+                                                       core --RIP-- legacy
+*)
+
+let isp_config = {|
+interfaces {
+    interface eth0 { address: 10.0.0.9 }
+}
+protocols {
+    bgp {
+        local-as: 65100
+        bgp-id: 9.9.9.9
+        network 128.16.0.0/16 { }
+        network 128.17.0.0/16 { }
+        network 128.18.0.0/16 { }
+        peer 10.0.0.1 { as: 65001 local-ip: 10.0.0.9 }
+    }
+}
+|}
+
+let border_config = {|
+interfaces {
+    interface eth0 { address: 10.0.0.1 }
+    interface eth1 { address: 10.0.1.1 }
+}
+protocols {
+    bgp {
+        local-as: 65001
+        bgp-id: 1.1.1.1
+        peer 10.0.0.9 { as: 65100 local-ip: 10.0.0.1 }
+    }
+    ospf {
+        router-id: 1.1.1.1
+        interface 10.0.1.1 {
+            neighbor 10.0.1.2 { router-id: 2.2.2.2 }
+        }
+        stub 172.20.0.0/16 { cost: 1 }
+    }
+}
+|}
+
+let core_config = {|
+interfaces {
+    interface eth0 { address: 10.0.1.2 }
+    interface eth1 { address: 10.0.2.2 }
+}
+protocols {
+    ospf {
+        router-id: 2.2.2.2
+        interface 10.0.1.2 {
+            neighbor 10.0.1.1 { router-id: 1.1.1.1 }
+        }
+        stub 172.21.0.0/16 { cost: 1 }
+    }
+    rip {
+        interface 10.0.2.2 { neighbor: 10.0.2.3 }
+        redistribute: "load protocol; push.str ospf; eq; jfalse no; accept; label no; reject"
+    }
+}
+|}
+
+let legacy_config = {|
+interfaces {
+    interface eth0 { address: 10.0.2.3 }
+}
+protocols {
+    rip {
+        interface 10.0.2.3 { neighbor: 10.0.2.2 }
+        route 192.168.77.0/24 { metric: 1 }
+    }
+}
+|}
+
+let build_world () =
+  let loop = Eventloop.create () in
+  let netsim = Netsim.create loop in
+  let isp = boot ~loop ~netsim "isp" isp_config in
+  let border = boot ~loop ~netsim "border" border_config in
+  let core = boot ~loop ~netsim "core" core_config in
+  let legacy = boot ~loop ~netsim "legacy" legacy_config in
+  (loop, isp, border, core, legacy)
+
+let proto_at router a =
+  match Rib.lookup_best (Rtrmgr.rib router) (addr a) with
+  | Some r -> r.Rib_route.protocol
+  | None -> "unroutable"
+
+let test_multiprotocol_world () =
+  let loop, _isp, border, core, legacy = build_world () in
+  run_for loop 60.0;
+  (* BGP at the border. *)
+  check Alcotest.string "ISP route via ebgp at border" "ebgp"
+    (proto_at border "128.16.5.5");
+  (* OSPF between border and core, both directions. *)
+  check Alcotest.string "core's stub at border via ospf" "ospf"
+    (proto_at border "172.21.3.3");
+  check Alcotest.string "border's stub at core via ospf" "ospf"
+    (proto_at core "172.20.3.3");
+  (* RIP between core and legacy. *)
+  check Alcotest.string "legacy route at core via rip" "rip"
+    (proto_at core "192.168.77.9");
+  (* Redistribution: the core leaks OSPF routes into RIP, so the legacy
+     box can reach the border's stub. *)
+  check Alcotest.string "ospf-redistributed route at legacy" "rip"
+    (proto_at legacy "172.20.3.3");
+  (* ...but not BGP routes (the filter only accepts protocol ospf), and
+     the border's BGP routes were never in OSPF anyway. *)
+  check Alcotest.string "no ISP route at legacy" "unroutable"
+    (proto_at legacy "128.16.5.5");
+  (* FIB consistency: every RIB winner is installed. *)
+  List.iter
+    (fun router ->
+       let rib_count = Rib.route_count (Rtrmgr.rib router) in
+       let fib_count = Fib.size (Fea.fib (Rtrmgr.fea router)) in
+       check Alcotest.int "FIB matches RIB" rib_count fib_count)
+    [ border; core; legacy ]
+
+let test_show_commands_everywhere () =
+  let loop, _isp, border, core, _legacy = build_world () in
+  run_for loop 60.0;
+  let infix = Astring.String.is_infix in
+  check Alcotest.bool "border shows ebgp" true
+    (infix ~affix:"ebgp" (Rtrmgr.show_routes border));
+  check Alcotest.bool "border shows Established" true
+    (infix ~affix:"Established" (Rtrmgr.show_bgp_peers border));
+  check Alcotest.bool "core shows ospf table" true
+    (infix ~affix:"172.20.0.0/16" (Rtrmgr.show_ospf core));
+  check Alcotest.bool "core shows rip" true
+    (infix ~affix:"192.168.77.0/24" (Rtrmgr.show_rip core))
+
+let test_bgp_death_flushes_rib () =
+  let loop, isp, border, _core, _legacy = build_world () in
+  run_for loop 60.0;
+  check Alcotest.string "route present" "ebgp" (proto_at border "128.16.5.5");
+  (* The ISP's whole BGP process dies. The border's BGP sees the
+     session drop and withdraws; even if it didn't, the Finder death
+     notification would flush the origin tables. *)
+  Bgp_process.shutdown (Option.get (Rtrmgr.bgp isp));
+  run_for loop 30.0;
+  check Alcotest.string "flushed from RIB" "unroutable"
+    (proto_at border "128.16.5.5");
+  check Alcotest.bool "flushed from FIB" true
+    (Fib.lookup (Fea.fib (Rtrmgr.fea border)) (addr "128.16.5.5") = None);
+  (* OSPF unaffected. *)
+  check Alcotest.string "ospf still fine" "ospf" (proto_at border "172.21.3.3")
+
+let test_ospf_link_death_reconverges () =
+  let loop, _isp, border, core, legacy = build_world () in
+  run_for loop 60.0;
+  check Alcotest.string "present before" "rip" (proto_at legacy "172.20.3.3");
+  (* The border's OSPF dies; the core must withdraw its routes and the
+     redistribution into RIP must poison them at the legacy box. *)
+  Ospf_process.shutdown (Option.get (Rtrmgr.ospf border));
+  run_for loop 120.0;
+  check Alcotest.string "withdrawn at core" "unroutable"
+    (proto_at core "172.20.3.3");
+  check Alcotest.string "poisoned through RIP" "unroutable"
+    (proto_at legacy "172.20.3.3")
+
+let test_determinism () =
+  (* The whole four-router world is deterministic under the simulated
+     clock: two runs dispatch exactly the same number of events and end
+     in identical route tables. *)
+  let snapshot () =
+    let loop, _isp, border, core, legacy = build_world () in
+    run_for loop 90.0;
+    let dump router =
+      Rib.fold_winners (Rtrmgr.rib router)
+        (fun r acc -> Rib_route.to_string r :: acc)
+        []
+      |> List.sort compare
+    in
+    (Eventloop.events_dispatched loop, dump border, dump core, dump legacy)
+  in
+  let d1, b1, c1, l1 = snapshot () in
+  let d2, b2, c2, l2 = snapshot () in
+  check Alcotest.int "same event count" d1 d2;
+  check (Alcotest.list Alcotest.string) "same border RIB" b1 b2;
+  check (Alcotest.list Alcotest.string) "same core RIB" c1 c2;
+  check (Alcotest.list Alcotest.string) "same legacy RIB" l1 l2
+
+let test_xrl_scripting_against_world () =
+  (* The paper's scriptability claim, exercised against a live router:
+     textual XRLs parsed and dispatched from "outside". *)
+  let loop, _isp, border, _core, _legacy = build_world () in
+  run_for loop 60.0;
+  let caller = Rib.xrl_router (Rtrmgr.rib border) in
+  let call text =
+    match Xrl.of_text text with
+    | Error e -> Alcotest.failf "parse %s: %s" text e
+    | Ok xrl ->
+      let err, args = Xrl_router.call_blocking caller xrl in
+      if not (Xrl_error.is_ok err) then
+        Alcotest.failf "%s failed: %s" text (Xrl_error.to_string err);
+      args
+  in
+  let args = call "finder://rib/rib/1.0/get_route_count" in
+  check Alcotest.bool "routes present" true (Xrl_atom.get_u32 args "count" > 3);
+  let args =
+    call "finder://rib/rib/1.0/lookup_route_by_dest?addr:ipv4=128.16.5.5"
+  in
+  check Alcotest.string "scripted lookup" "ebgp" (Xrl_atom.get_txt args "protocol");
+  let args = call "finder://fea/fea/1.0/get_fib_size" in
+  check Alcotest.bool "fib size sane" true (Xrl_atom.get_u32 args "size" > 3);
+  let args = call "finder://bgp/bgp/1.0/get_peer_state?peer:ipv4=10.0.0.9" in
+  check Alcotest.string "peer state" "Established" (Xrl_atom.get_txt args "state")
+
+let test_churn_consistency () =
+  (* Hammer the border's RIB from several "protocols" while BGP traffic
+     flows; at every quiescent point the FIB must equal the RIB. *)
+  let loop, isp, border, _core, _legacy = build_world () in
+  run_for loop 60.0;
+  let rib = Rtrmgr.rib border in
+  let rng = Rng.create 99 in
+  for round = 1 to 20 do
+    for i = 1 to 20 do
+      let p =
+        Ipv4net.make (Ipv4.of_octets 203 (round mod 4) i 0) 24
+      in
+      if Rng.bool rng then
+        ignore
+          (Rib.add_route rib ~protocol:"static" ~net:p
+             ~nexthop:(addr "10.0.0.9") ())
+      else ignore (Rib.delete_route rib ~protocol:"static" ~net:p)
+    done;
+    (* BGP-side churn too. *)
+    let bgp_isp = Option.get (Rtrmgr.bgp isp) in
+    Bgp_process.originate bgp_isp (Ipv4net.make (Ipv4.of_octets 129 round 0 0) 16);
+    if round mod 3 = 0 then
+      Bgp_process.withdraw bgp_isp
+        (Ipv4net.make (Ipv4.of_octets 129 (round - 1) 0 0) 16);
+    run_for loop 2.0
+  done;
+  run_for loop 10.0;
+  check Alcotest.int "FIB matches RIB after churn"
+    (Rib.route_count rib)
+    (Fib.size (Fea.fib (Rtrmgr.fea border)))
+
+let () =
+  Alcotest.run "xorp_integration"
+    [
+      ( "world",
+        [
+          Alcotest.test_case "multi-protocol routing" `Slow
+            test_multiprotocol_world;
+          Alcotest.test_case "show commands" `Slow test_show_commands_everywhere;
+          Alcotest.test_case "xrl scripting" `Slow
+            test_xrl_scripting_against_world;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "bgp death flushes rib" `Slow
+            test_bgp_death_flushes_rib;
+          Alcotest.test_case "ospf death reconverges" `Slow
+            test_ospf_link_death_reconverges;
+        ] );
+      ( "properties",
+        [
+          Alcotest.test_case "determinism" `Slow test_determinism;
+          Alcotest.test_case "churn consistency" `Slow test_churn_consistency;
+        ] );
+    ]

@@ -1,0 +1,244 @@
+(* Tests for the simulated network: stream connect/data/close
+   semantics, latency, ordering, and datagram delivery/loss. *)
+
+let check = Alcotest.check
+let addr = Ipv4.of_string_exn
+
+let setup () =
+  let loop = Eventloop.create () in
+  (loop, Netsim.create loop)
+
+let test_connect_and_exchange () =
+  let loop, net = setup () in
+  let server_ep = ref None in
+  let client_ep = ref None in
+  let got_at_server = ref [] in
+  let got_at_client = ref [] in
+  ignore
+    (Netsim.Stream.listen net ~addr:(addr "10.0.0.2") ~port:179 (fun ep ->
+         server_ep := Some ep;
+         Netsim.Stream.on_receive ep (fun data ->
+             got_at_server := data :: !got_at_server;
+             Netsim.Stream.send ep ("echo:" ^ data))));
+  Netsim.Stream.connect net ~src:(addr "10.0.0.1") ~dst:(addr "10.0.0.2")
+    ~port:179 (fun ep -> client_ep := ep);
+  Eventloop.run loop;
+  (match !client_ep with
+   | None -> Alcotest.fail "connect failed"
+   | Some ep ->
+     Netsim.Stream.on_receive ep (fun data ->
+         got_at_client := data :: !got_at_client);
+     Netsim.Stream.send ep "hello";
+     Netsim.Stream.send ep "world");
+  Eventloop.run loop;
+  check (Alcotest.list Alcotest.string) "server got both, in order"
+    [ "hello"; "world" ] (List.rev !got_at_server);
+  check (Alcotest.list Alcotest.string) "client got echoes, in order"
+    [ "echo:hello"; "echo:world" ] (List.rev !got_at_client)
+
+let test_connect_refused () =
+  let loop, net = setup () in
+  let result = ref `Pending in
+  Netsim.Stream.connect net ~src:(addr "10.0.0.1") ~dst:(addr "10.0.0.9")
+    ~port:179 (fun ep ->
+        result := (match ep with None -> `Refused | Some _ -> `Connected));
+  Eventloop.run loop;
+  check Alcotest.bool "refused" true (!result = `Refused)
+
+let test_latency () =
+  let loop = Eventloop.create () in
+  let net = Netsim.create ~default_latency:0.010 loop in
+  let connected_at = ref (-1.0) in
+  let received_at = ref (-1.0) in
+  ignore
+    (Netsim.Stream.listen net ~addr:(addr "10.0.0.2") ~port:179 (fun ep ->
+         Netsim.Stream.on_receive ep (fun _ -> received_at := Eventloop.now loop)));
+  Netsim.Stream.connect net ~src:(addr "10.0.0.1") ~dst:(addr "10.0.0.2")
+    ~port:179 (fun ep ->
+        connected_at := Eventloop.now loop;
+        match ep with
+        | Some ep -> Netsim.Stream.send ep "x"
+        | None -> Alcotest.fail "refused");
+  Eventloop.run loop;
+  (* connect: SYN (10ms) + SYN-ACK (10ms) = 20ms; data: one more 10ms. *)
+  check (Alcotest.float 1e-9) "connect takes one RTT" 0.020 !connected_at;
+  check (Alcotest.float 1e-9) "data takes one latency more" 0.030 !received_at
+
+let test_close_notifies_peer () =
+  let loop, net = setup () in
+  let server_closed = ref false in
+  let server = ref None in
+  ignore
+    (Netsim.Stream.listen net ~addr:(addr "10.0.0.2") ~port:179 (fun ep ->
+         server := Some ep;
+         Netsim.Stream.on_close ep (fun () -> server_closed := true)));
+  let client = ref None in
+  Netsim.Stream.connect net ~src:(addr "10.0.0.1") ~dst:(addr "10.0.0.2")
+    ~port:179 (fun ep -> client := ep);
+  Eventloop.run loop;
+  (match !client with
+   | Some ep ->
+     check Alcotest.bool "open before close" true (Netsim.Stream.is_open ep);
+     Netsim.Stream.close ep;
+     Netsim.Stream.close ep (* idempotent *)
+   | None -> Alcotest.fail "no client");
+  Eventloop.run loop;
+  check Alcotest.bool "peer notified" true !server_closed;
+  (match !server with
+   | Some ep -> check Alcotest.bool "peer now closed" false (Netsim.Stream.is_open ep)
+   | None -> Alcotest.fail "no server")
+
+let test_send_after_close_dropped () =
+  let loop, net = setup () in
+  let got = ref 0 in
+  ignore
+    (Netsim.Stream.listen net ~addr:(addr "10.0.0.2") ~port:179 (fun ep ->
+         Netsim.Stream.on_receive ep (fun _ -> incr got)));
+  let client = ref None in
+  Netsim.Stream.connect net ~src:(addr "10.0.0.1") ~dst:(addr "10.0.0.2")
+    ~port:179 (fun ep -> client := ep);
+  Eventloop.run loop;
+  (match !client with
+   | Some ep ->
+     Netsim.Stream.close ep;
+     Netsim.Stream.send ep "late"
+   | None -> Alcotest.fail "no client");
+  Eventloop.run loop;
+  check Alcotest.int "nothing delivered" 0 !got
+
+let test_double_bind_rejected () =
+  let _, net = setup () in
+  ignore (Netsim.Stream.listen net ~addr:(addr "10.0.0.2") ~port:179 (fun _ -> ()));
+  (try
+     ignore (Netsim.Stream.listen net ~addr:(addr "10.0.0.2") ~port:179 (fun _ -> ()));
+     Alcotest.fail "double listen accepted"
+   with Invalid_argument _ -> ())
+
+let test_unlisten_frees_port () =
+  let _, net = setup () in
+  let l = Netsim.Stream.listen net ~addr:(addr "10.0.0.2") ~port:179 (fun _ -> ()) in
+  Netsim.Stream.unlisten l;
+  ignore (Netsim.Stream.listen net ~addr:(addr "10.0.0.2") ~port:179 (fun _ -> ()))
+
+let test_addresses () =
+  let loop, net = setup () in
+  let client = ref None in
+  ignore (Netsim.Stream.listen net ~addr:(addr "10.0.0.2") ~port:179 (fun _ -> ()));
+  Netsim.Stream.connect net ~src:(addr "10.0.0.1") ~dst:(addr "10.0.0.2")
+    ~port:179 (fun ep -> client := ep);
+  Eventloop.run loop;
+  match !client with
+  | Some ep ->
+    check Alcotest.string "local" "10.0.0.1"
+      (Ipv4.to_string (Netsim.Stream.local_addr ep));
+    check Alcotest.string "remote" "10.0.0.2"
+      (Ipv4.to_string (Netsim.Stream.remote_addr ep))
+  | None -> Alcotest.fail "no client"
+
+(* --- datagrams ------------------------------------------------------ *)
+
+let test_dgram_delivery () =
+  let loop, net = setup () in
+  let a = Netsim.Dgram.bind net ~addr:(addr "10.0.0.1") ~port:520 in
+  let b = Netsim.Dgram.bind net ~addr:(addr "10.0.0.2") ~port:520 in
+  let got = ref [] in
+  Netsim.Dgram.on_receive b (fun ~src ~sport data ->
+      got := (Ipv4.to_string src, sport, data) :: !got);
+  Netsim.Dgram.sendto a ~dst:(addr "10.0.0.2") ~dport:520 "update1";
+  Netsim.Dgram.sendto a ~dst:(addr "10.0.0.2") ~dport:520 "update2";
+  Eventloop.run loop;
+  check
+    (Alcotest.list (Alcotest.triple Alcotest.string Alcotest.int Alcotest.string))
+    "both delivered with source"
+    [ ("10.0.0.1", 520, "update1"); ("10.0.0.1", 520, "update2") ]
+    (List.rev !got)
+
+let test_dgram_to_nowhere () =
+  let loop, net = setup () in
+  let a = Netsim.Dgram.bind net ~addr:(addr "10.0.0.1") ~port:520 in
+  Netsim.Dgram.sendto a ~dst:(addr "10.9.9.9") ~dport:520 "void";
+  Eventloop.run loop (* must not raise *)
+
+let test_dgram_loss () =
+  let loop, net = setup () in
+  Netsim.set_loss_seed net 11;
+  let a = Netsim.Dgram.bind net ~addr:(addr "10.0.0.1") ~port:520 in
+  let b = Netsim.Dgram.bind net ~addr:(addr "10.0.0.2") ~port:520 in
+  let got = ref 0 in
+  Netsim.Dgram.on_receive b (fun ~src:_ ~sport:_ _ -> incr got);
+  for _ = 1 to 1000 do
+    Netsim.Dgram.sendto a ~loss:0.5 ~dst:(addr "10.0.0.2") ~dport:520 "x"
+  done;
+  Eventloop.run loop;
+  if !got < 350 || !got > 650 then
+    Alcotest.failf "50%% loss delivered %d of 1000" !got
+
+let test_dgram_close () =
+  let loop, net = setup () in
+  let a = Netsim.Dgram.bind net ~addr:(addr "10.0.0.1") ~port:520 in
+  let b = Netsim.Dgram.bind net ~addr:(addr "10.0.0.2") ~port:520 in
+  let got = ref 0 in
+  Netsim.Dgram.on_receive b (fun ~src:_ ~sport:_ _ -> incr got);
+  Netsim.Dgram.close b;
+  Netsim.Dgram.sendto a ~dst:(addr "10.0.0.2") ~dport:520 "x";
+  Eventloop.run loop;
+  check Alcotest.int "closed socket gets nothing" 0 !got;
+  (* port is free again *)
+  ignore (Netsim.Dgram.bind net ~addr:(addr "10.0.0.2") ~port:520)
+
+let test_determinism () =
+  (* Two identical runs produce identical event timings. *)
+  let run () =
+    let loop = Eventloop.create () in
+    let net = Netsim.create ~default_latency:0.003 loop in
+    let stamps = ref [] in
+    ignore
+      (Netsim.Stream.listen net ~addr:(addr "10.0.0.2") ~port:179 (fun ep ->
+           Netsim.Stream.on_receive ep (fun data ->
+               stamps := (data, Eventloop.now loop) :: !stamps)));
+    Netsim.Stream.connect net ~src:(addr "10.0.0.1") ~dst:(addr "10.0.0.2")
+      ~port:179 (fun ep ->
+          match ep with
+          | Some ep ->
+            for i = 1 to 5 do
+              ignore
+                (Eventloop.after loop (float_of_int i)
+                   (fun () -> Netsim.Stream.send ep (string_of_int i)))
+            done
+          | None -> ());
+    Eventloop.run loop;
+    List.rev !stamps
+  in
+  let a = run () and b = run () in
+  check (Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.float 0.0)))
+    "identical timelines" a b
+
+let () =
+  Alcotest.run "xorp_netsim"
+    [
+      ( "stream",
+        [
+          Alcotest.test_case "connect and exchange" `Quick
+            test_connect_and_exchange;
+          Alcotest.test_case "connect refused" `Quick test_connect_refused;
+          Alcotest.test_case "latency model" `Quick test_latency;
+          Alcotest.test_case "close notifies peer" `Quick
+            test_close_notifies_peer;
+          Alcotest.test_case "send after close dropped" `Quick
+            test_send_after_close_dropped;
+          Alcotest.test_case "double bind rejected" `Quick
+            test_double_bind_rejected;
+          Alcotest.test_case "unlisten frees port" `Quick
+            test_unlisten_frees_port;
+          Alcotest.test_case "endpoint addresses" `Quick test_addresses;
+        ] );
+      ( "dgram",
+        [
+          Alcotest.test_case "delivery" `Quick test_dgram_delivery;
+          Alcotest.test_case "to nowhere" `Quick test_dgram_to_nowhere;
+          Alcotest.test_case "bernoulli loss" `Quick test_dgram_loss;
+          Alcotest.test_case "close" `Quick test_dgram_close;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "identical runs" `Quick test_determinism ] );
+    ]

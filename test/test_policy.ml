@@ -1,0 +1,266 @@
+(* Tests for the policy stack language: compilation, the VM, verdicts,
+   attribute modification, error containment. *)
+
+let check = Alcotest.check
+
+let compile_ok src =
+  match Policy.compile src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "compile failed: %s" e
+
+let table kvs =
+  let t = Hashtbl.create 8 in
+  List.iter (fun (k, v) -> Hashtbl.replace t k v) kvs;
+  t
+
+let eval_ok prog ctx =
+  match Policy.eval prog ctx with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "eval failed: %s" e
+
+let verdict =
+  Alcotest.testable
+    (fun fmt v ->
+       Format.pp_print_string fmt
+         (match v with
+          | Policy.Accept -> "accept"
+          | Policy.Reject -> "reject"
+          | Policy.Default -> "default"))
+    ( = )
+
+let test_empty_program () =
+  let p = compile_ok "" in
+  check Alcotest.int "no instructions" 0 (Policy.instruction_count p);
+  let ctx = Policy.ctx_of_table (table []) () in
+  check verdict "falls through" Policy.Default (eval_ok p ctx)
+
+let test_accept_reject () =
+  let ctx = Policy.ctx_of_table (table []) () in
+  check verdict "accept" Policy.Accept (eval_ok Policy.always_accept ctx);
+  check verdict "reject" Policy.Reject (eval_ok Policy.always_reject ctx)
+
+let test_comments_and_blank_lines () =
+  let p = compile_ok "# a comment\n\n   \naccept # trailing\n" in
+  check Alcotest.int "one instruction" 1 (Policy.instruction_count p)
+
+let test_arith_and_comparison () =
+  let src = {|
+push.u32 2
+push.u32 3
+mul
+push.u32 1
+add
+push.u32 7
+eq
+jfalse bad
+accept
+label bad
+reject
+|} in
+  let ctx = Policy.ctx_of_table (table []) () in
+  check verdict "2*3+1=7" Policy.Accept (eval_ok (compile_ok src) ctx)
+
+let test_load_store () =
+  let tbl = table [ ("localpref", Policy.Int 100) ] in
+  let ctx = Policy.ctx_of_table tbl () in
+  let src = {|
+load localpref
+push.u32 50
+add
+store localpref
+accept
+|} in
+  check verdict "accept" Policy.Accept (eval_ok (compile_ok src) ctx);
+  check Alcotest.bool "localpref bumped" true
+    (Hashtbl.find tbl "localpref" = Policy.Int 150)
+
+let test_prefix_ops () =
+  let tbl = table [ ("network", Policy.Net (Ipv4net.of_string_exn "10.1.2.0/24")) ] in
+  let ctx = Policy.ctx_of_table tbl () in
+  let src = {|
+load network
+push.net 10.0.0.0/8
+within
+jfalse no
+load network
+prefix_len
+push.u32 24
+eq
+jfalse no
+accept
+label no
+reject
+|} in
+  check verdict "within and prefix_len" Policy.Accept
+    (eval_ok (compile_ok src) ctx)
+
+let test_contains_addr () =
+  let ctx = Policy.ctx_of_table (table []) () in
+  let src = {|
+push.net 192.168.0.0/16
+push.addr 192.168.4.4
+contains
+jfalse no
+accept
+label no
+reject
+|} in
+  check verdict "contains addr" Policy.Accept (eval_ok (compile_ok src) ctx)
+
+let test_boolean_ops () =
+  let ctx = Policy.ctx_of_table (table []) () in
+  let src = {|
+push.bool true
+push.bool false
+or
+push.bool true
+and
+not
+jfalse good
+reject
+label good
+accept
+|} in
+  check verdict "(true||false)&&true, negated, jfalse" Policy.Accept
+    (eval_ok (compile_ok src) ctx)
+
+let test_jump_forward_and_back () =
+  (* Loop: count down from 3 using an attribute, then accept. Exercises
+     backward jumps. *)
+  let tbl = table [ ("n", Policy.Int 3) ] in
+  let ctx = Policy.ctx_of_table tbl () in
+  let src = {|
+label top
+load n
+push.u32 0
+eq
+jfalse decr
+accept
+label decr
+load n
+push.u32 1
+sub
+store n
+jmp top
+|} in
+  check verdict "loop terminates" Policy.Accept (eval_ok (compile_ok src) ctx);
+  check Alcotest.bool "counted down" true (Hashtbl.find tbl "n" = Policy.Int 0)
+
+let test_step_limit () =
+  let ctx = Policy.ctx_of_table (table []) () in
+  let src = "label spin\njmp spin\n" in
+  match Policy.eval (compile_ok src) ctx with
+  | Error msg ->
+    check Alcotest.bool "mentions limit" true
+      (Astring.String.is_infix ~affix:"limit" msg
+       || String.length msg > 0)
+  | Ok _ -> Alcotest.fail "infinite loop terminated?"
+
+let test_compile_errors () =
+  List.iter
+    (fun (src, what) ->
+       match Policy.compile src with
+       | Ok _ -> Alcotest.failf "accepted bad program (%s)" what
+       | Error msg ->
+         check Alcotest.bool
+           (Printf.sprintf "error has line number (%s): %s" what msg)
+           true
+           (String.length msg > 5 && String.sub msg 0 5 = "line "))
+    [ ("frobnicate", "unknown op");
+      ("push.u32 banana", "bad int");
+      ("jmp nowhere", "unknown label");
+      ("push.net 10.0.0.0/40", "bad prefix");
+      ("label a\nlabel a", "duplicate label");
+      ("push.bool maybe", "bad bool") ]
+
+let test_runtime_errors () =
+  let ctx = Policy.ctx_of_table (table []) () in
+  List.iter
+    (fun (src, what) ->
+       match Policy.eval (compile_ok src) ctx with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.failf "no fault for %s" what)
+    [ ("add", "stack underflow");
+      ("push.bool true\npush.u32 1\nadd", "type error");
+      ("load nonexistent", "unknown attribute");
+      ("push.u32 1\njfalse x\nlabel x", "jfalse on int") ]
+
+let test_read_only_attrs () =
+  let tbl = table [ ("network", Policy.Net (Ipv4net.of_string_exn "10.0.0.0/8")) ] in
+  let ctx = Policy.ctx_of_table tbl ~read_only:[ "network" ] () in
+  match Policy.eval (compile_ok "push.net 1.0.0.0/8\nstore network") ctx with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrote a read-only attribute"
+
+let test_swap_dup_pop () =
+  let ctx = Policy.ctx_of_table (table []) () in
+  let src = {|
+push.u32 1
+push.u32 2
+swap
+pop
+push.u32 2
+eq
+jfalse bad
+accept
+label bad
+reject
+|} in
+  check verdict "swap/pop semantics" Policy.Accept (eval_ok (compile_ok src) ctx)
+
+(* A couple of properties: compile/eval never raises. *)
+let prop_compile_never_raises =
+  QCheck.Test.make ~name:"compile never raises" ~count:500
+    QCheck.(string_gen_of_size (Gen.int_bound 60) Gen.printable)
+    (fun src ->
+       match Policy.compile src with Ok _ | Error _ -> true)
+
+let prop_eval_never_raises =
+  QCheck.Test.make ~name:"eval of random int programs never raises" ~count:300
+    QCheck.(list_of_size (Gen.int_bound 20) (int_bound 5))
+    (fun ops ->
+       let src =
+         String.concat "\n"
+           (List.map
+              (function
+                | 0 -> "push.u32 1"
+                | 1 -> "add"
+                | 2 -> "dup"
+                | 3 -> "pop"
+                | 4 -> "eq"
+                | _ -> "swap")
+              ops)
+       in
+       match Policy.compile src with
+       | Error _ -> true
+       | Ok p ->
+         let ctx = Policy.ctx_of_table (Hashtbl.create 1) () in
+         (match Policy.eval p ctx with Ok _ | Error _ -> true))
+
+let () =
+  Alcotest.run "xorp_policy"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "empty program" `Quick test_empty_program;
+          Alcotest.test_case "accept/reject" `Quick test_accept_reject;
+          Alcotest.test_case "comments" `Quick test_comments_and_blank_lines;
+          Alcotest.test_case "arithmetic" `Quick test_arith_and_comparison;
+          Alcotest.test_case "load/store" `Quick test_load_store;
+          Alcotest.test_case "prefix ops" `Quick test_prefix_ops;
+          Alcotest.test_case "contains addr" `Quick test_contains_addr;
+          Alcotest.test_case "boolean ops" `Quick test_boolean_ops;
+          Alcotest.test_case "jumps and loops" `Quick test_jump_forward_and_back;
+          Alcotest.test_case "swap/dup/pop" `Quick test_swap_dup_pop;
+        ] );
+      ( "safety",
+        [
+          Alcotest.test_case "step limit" `Quick test_step_limit;
+          Alcotest.test_case "compile errors" `Quick test_compile_errors;
+          Alcotest.test_case "runtime errors" `Quick test_runtime_errors;
+          Alcotest.test_case "read-only attributes" `Quick test_read_only_attrs;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_compile_never_raises; prop_eval_never_raises ] );
+    ]

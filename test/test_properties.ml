@@ -1,0 +1,277 @@
+(* Cross-cutting property-based tests: the BGP decision ladder is a
+   strict order, damping decay is monotone, the whole staged RIB agrees
+   with a flat reference model under random churn, and the fanout queue
+   preserves per-reader order and filtering under random traffic. *)
+
+let addr = Ipv4.of_string_exn
+
+(* --- BGP decision ladder ------------------------------------------------ *)
+
+let gen_route_info =
+  QCheck.Gen.(
+    let* peer_id = int_range 1 5 in
+    let* lp = int_range 90 110 in
+    let* plen = int_range 1 4 in
+    let* path = list_repeat plen (int_range 1 9) in
+    let* origin = oneofl [ Bgp_types.IGP; Bgp_types.EGP; Bgp_types.INCOMPLETE ] in
+    let* med = int_range 0 3 in
+    let* kind = oneofl [ Bgp_types.Ebgp; Bgp_types.Ibgp ] in
+    let* igp = int_range 0 3 in
+    let* netoct = int_range 1 200 in
+    let info =
+      { Bgp_types.peer_id;
+        peer_addr = Ipv4.of_octets 10 0 0 peer_id;
+        peer_as = 65000 + peer_id;
+        kind;
+        peer_bgp_id = Ipv4.of_octets peer_id peer_id peer_id peer_id }
+    in
+    let route =
+      { Bgp_types.net = Ipv4net.make (Ipv4.of_octets netoct 0 0 0) 16;
+        attrs =
+          { (Bgp_types.default_attrs ~nexthop:(Ipv4.of_octets 10 9 0 peer_id)) with
+            Bgp_types.aspath = [ Aspath.Seq path ];
+            localpref = Some lp;
+            med = Some med;
+            origin };
+        peer_id;
+        igp_metric = Some igp }
+    in
+    return (route, info))
+
+let arb_route_info = QCheck.make gen_route_info
+
+let prop_decision_irreflexive =
+  QCheck.Test.make ~name:"decision: nothing beats itself" ~count:500
+    arb_route_info (fun (r, i) -> not (Bgp_decision.better r i r i))
+
+let prop_decision_asymmetric =
+  QCheck.Test.make ~name:"decision: asymmetry" ~count:500
+    (QCheck.pair arb_route_info arb_route_info)
+    (fun ((a, ia), (b, ib)) ->
+       not (Bgp_decision.better a ia b ib && Bgp_decision.better b ib a ia))
+
+let prop_decision_transitive =
+  QCheck.Test.make ~name:"decision: transitivity" ~count:500
+    (QCheck.triple arb_route_info arb_route_info arb_route_info)
+    (fun ((a, ia), (b, ib), (c, ic)) ->
+       if Bgp_decision.better a ia b ib && Bgp_decision.better b ib c ic then
+         Bgp_decision.better a ia c ic
+       else true)
+
+let prop_decision_total_across_peers =
+  (* Two routes from different peer addresses are always strictly
+     ordered one way or the other: no silent ties that would make the
+     decision unstable. *)
+  QCheck.Test.make ~name:"decision: totality across distinct peers" ~count:500
+    (QCheck.pair arb_route_info arb_route_info)
+    (fun ((a, ia), (b, ib)) ->
+       if Ipv4.equal ia.Bgp_types.peer_addr ib.Bgp_types.peer_addr then true
+       else Bgp_decision.better a ia b ib || Bgp_decision.better b ib a ia)
+
+(* --- damping decay -------------------------------------------------------- *)
+
+let prop_damping_decay_monotone =
+  QCheck.Test.make ~name:"damping: penalty decays monotonically" ~count:50
+    QCheck.(pair (int_range 1 5) (int_range 1 600))
+    (fun (flaps, dt) ->
+       let loop = Eventloop.create () in
+       let ribin = new Bgp_ribin.rib_in ~name:"in" ~peer_id:1 loop in
+       let damp =
+         new Bgp_damping.damping_table ~name:"d"
+           ~parent:(ribin :> Bgp_table.table)
+           loop
+       in
+       Bgp_table.plumb ribin damp;
+       let net = Ipv4net.make (Ipv4.of_octets 10 0 0 0) 8 in
+       let route =
+         { Bgp_types.net;
+           attrs = Bgp_types.default_attrs ~nexthop:(addr "10.0.0.1");
+           peer_id = 1; igp_metric = None }
+       in
+       for _ = 1 to flaps do
+         ribin#add_route route;
+         ribin#delete_route route
+       done;
+       match damp#penalty_of net with
+       | None -> flaps = 0
+       | Some p0 ->
+         Eventloop.run_until_time loop (Eventloop.now loop +. float_of_int dt);
+         (match damp#penalty_of net with
+          | None -> true (* forgiven entirely *)
+          | Some p1 -> p1 <= p0 +. 1e-9))
+
+(* --- staged RIB vs flat model ---------------------------------------------- *)
+
+type model_op = M_add of string * int * int | M_del of string * int
+(* protocol index, /16 third octet for prefix variety, op *)
+
+let protocols = [| "connected"; "static"; "ospf"; "rip" |]
+
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_range 1 120)
+      (let* proto = int_range 0 3 in
+       let* oct = int_range 0 7 in
+       let* len = oneofl [ 8; 16; 24 ] in
+       let* is_add = bool in
+       return
+         (if is_add then M_add (protocols.(proto), oct, len)
+          else M_del (protocols.(proto), oct))))
+
+let arb_ops =
+  QCheck.make gen_ops
+    ~print:(fun ops ->
+        String.concat ";"
+          (List.map
+             (function
+               | M_add (p, o, l) -> Printf.sprintf "+%s/10.%d/%d" p o l
+               | M_del (p, o) -> Printf.sprintf "-%s/10.%d" p o)
+             ops))
+
+let prop_rib_matches_flat_model =
+  QCheck.Test.make ~name:"staged RIB agrees with a flat model" ~count:100
+    arb_ops (fun ops ->
+        let loop = Eventloop.create () in
+        let finder = Finder.create () in
+        let rib = Rib.create ~send_to_fea:false finder loop () in
+        (* Flat model: (protocol, net) -> route. *)
+        let model : (string * Ipv4net.t, Rib_route.t) Hashtbl.t =
+          Hashtbl.create 64
+        in
+        let net_of oct len = Ipv4net.make (Ipv4.of_octets 10 oct 0 0) len in
+        List.iteri
+          (fun i op ->
+             match op with
+             | M_add (proto, oct, len) ->
+               let n = net_of oct len in
+               ignore
+                 (Rib.add_route rib ~protocol:proto ~net:n
+                    ~nexthop:(Ipv4.of_octets 192 0 2 (1 + (i mod 200))) ());
+               Hashtbl.replace model (proto, n)
+                 (Rib_route.make ~net:n
+                    ~nexthop:(Ipv4.of_octets 192 0 2 (1 + (i mod 200)))
+                    ~protocol:proto ())
+             | M_del (proto, oct) ->
+               (* delete whichever lengths exist for this prefix family *)
+               List.iter
+                 (fun len ->
+                    let n = net_of oct len in
+                    if Hashtbl.mem model (proto, n) then begin
+                      ignore (Rib.delete_route rib ~protocol:proto ~net:n);
+                      Hashtbl.remove model (proto, n)
+                    end)
+                 [ 8; 16; 24 ])
+          ops;
+        Eventloop.run_until_idle loop;
+        (* Reference lookup: longest prefix, then lowest admin
+           distance. *)
+        let reference a =
+          Hashtbl.fold
+            (fun (_, n) r best ->
+               if Ipv4net.contains_addr n a then
+                 match best with
+                 | None -> Some r
+                 | Some b ->
+                   let ln = Ipv4net.prefix_len n
+                   and lb = Ipv4net.prefix_len b.Rib_route.net in
+                   if ln > lb then Some r
+                   else if ln = lb
+                           && r.Rib_route.admin_distance < b.Rib_route.admin_distance
+                   then Some r
+                   else best
+               else best)
+            model None
+        in
+        (* Probe a grid of addresses. *)
+        List.for_all
+          (fun oct ->
+             let probe = Ipv4.of_octets 10 oct 1 1 in
+             match Rib.lookup_best rib probe, reference probe with
+             | None, None -> true
+             | Some got, Some want ->
+               Ipv4net.equal got.Rib_route.net want.Rib_route.net
+               && got.Rib_route.admin_distance = want.Rib_route.admin_distance
+             | Some _, None | None, Some _ -> false)
+          [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+
+(* --- fanout ordering --------------------------------------------------------- *)
+
+let prop_fanout_order_and_filtering =
+  QCheck.Test.make ~name:"fanout: per-reader order and no echo" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 200) (pair (int_range 1 3) (int_range 0 50)))
+    (fun stream ->
+       let loop = Eventloop.create () in
+       let infos = Hashtbl.create 4 in
+       let fanout =
+         new Bgp_fanout.fanout_table ~name:"f" ~batch:7
+           ~peer_info_of:(fun id -> Hashtbl.find_opt infos id)
+           loop
+       in
+       let seen : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 4 in
+       List.iter
+         (fun id ->
+            let info =
+              { Bgp_types.peer_id = id;
+                peer_addr = Ipv4.of_octets 10 0 0 id;
+                peer_as = 65000 + id; kind = Bgp_types.Ebgp;
+                peer_bgp_id = Ipv4.of_octets id id id id }
+            in
+            Hashtbl.replace infos id info;
+            let log = ref [] in
+            Hashtbl.replace seen id log;
+            let parent =
+              (new Bgp_ribin.rib_in ~name:"null" ~peer_id:99 loop
+                :> Bgp_table.table)
+            in
+            let sink =
+              new Bgp_table.sink ~name:"s" ~parent
+                ~on_add:(fun r ->
+                    log :=
+                      ( r.Bgp_types.peer_id,
+                        Ipv4.to_int (Ipv4net.network r.Bgp_types.net) )
+                      :: !log)
+                ~on_delete:(fun _ -> ())
+            in
+            fanout#add_reader ~info (sink :> Bgp_table.table))
+         [ 1; 2; 3 ];
+       List.iter
+         (fun (from_peer, tag) ->
+            fanout#add_route
+              { Bgp_types.net = Ipv4net.make (Ipv4.of_octets 10 1 tag 0) 24;
+                attrs = Bgp_types.default_attrs ~nexthop:(addr "10.0.0.9");
+                peer_id = from_peer; igp_metric = Some 0 })
+         stream;
+       Eventloop.run loop;
+       (* Each reader must have received exactly the stream minus its
+          own contributions, in order. *)
+       List.for_all
+         (fun id ->
+            let expect =
+              List.filter_map
+                (fun (from_peer, tag) ->
+                   if from_peer = id then None
+                   else
+                     Some
+                       ( from_peer,
+                         Ipv4.to_int
+                           (Ipv4net.network (Ipv4net.make (Ipv4.of_octets 10 1 tag 0) 24)) ))
+                stream
+            in
+            List.rev !(Hashtbl.find seen id) = expect)
+         [ 1; 2; 3 ])
+
+let () =
+  Alcotest.run "xorp_properties"
+    [
+      ( "decision_order",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_decision_irreflexive; prop_decision_asymmetric;
+            prop_decision_transitive; prop_decision_total_across_peers ] );
+      ( "damping",
+        List.map QCheck_alcotest.to_alcotest [ prop_damping_decay_monotone ] );
+      ( "rib_model",
+        List.map QCheck_alcotest.to_alcotest [ prop_rib_matches_flat_model ] );
+      ( "fanout",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_fanout_order_and_filtering ] );
+    ]

@@ -1,0 +1,122 @@
+(* Direct tests for the framed non-blocking connection used by the TCP
+   protocol family: frame reassembly across arbitrary segmentation,
+   large frames, write buffering, and close semantics — over a real
+   socketpair on a real-clock loop. *)
+
+let check = Alcotest.check
+
+let run_until loop pred what =
+  let t0 = Unix.gettimeofday () in
+  Eventloop.run
+    ~until:(fun () -> pred () || Unix.gettimeofday () -. t0 > 10.0)
+    loop;
+  if not (pred ()) then Alcotest.failf "timed out waiting for %s" what
+
+let pair loop =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let got_a = ref [] and got_b = ref [] in
+  let closed_a = ref false and closed_b = ref false in
+  let ca =
+    Sockbuf.attach loop a
+      ~on_frame:(fun f -> got_a := f :: !got_a)
+      ~on_close:(fun () -> closed_a := true)
+  in
+  let cb =
+    Sockbuf.attach loop b
+      ~on_frame:(fun f -> got_b := f :: !got_b)
+      ~on_close:(fun () -> closed_b := true)
+  in
+  (ca, cb, got_a, got_b, closed_a, closed_b)
+
+let test_roundtrip () =
+  let loop = Eventloop.create ~mode:`Real () in
+  let ca, cb, got_a, got_b, _, _ = pair loop in
+  Sockbuf.send_frame ca "hello";
+  Sockbuf.send_frame ca "";
+  Sockbuf.send_frame cb "world";
+  run_until loop
+    (fun () -> List.length !got_b >= 2 && List.length !got_a >= 1)
+    "frames";
+  check (Alcotest.list Alcotest.string) "b got both, in order"
+    [ "hello"; "" ] (List.rev !got_b);
+  check (Alcotest.list Alcotest.string) "a got one" [ "world" ] (List.rev !got_a);
+  Sockbuf.close ca;
+  Sockbuf.close cb
+
+let test_large_frames_and_buffering () =
+  (* Frames far larger than the 64k read scratch and kernel socket
+     buffers: exercises partial reads, partial writes and the
+     writability callback path. *)
+  let loop = Eventloop.create ~mode:`Real () in
+  let ca, cb, _, got_b, _, _ = pair loop in
+  let big = String.init 1_000_000 (fun i -> Char.chr (i land 0xFF)) in
+  Sockbuf.send_frame ca big;
+  Sockbuf.send_frame ca "tail";
+  check Alcotest.bool "write queued beyond socket buffer" true
+    (Sockbuf.pending_bytes ca > 0);
+  run_until loop (fun () -> List.length !got_b >= 2) "large frame";
+  (match List.rev !got_b with
+   | [ f1; f2 ] ->
+     check Alcotest.int "megabyte frame intact" 1_000_000 (String.length f1);
+     check Alcotest.bool "content intact" true (String.equal f1 big);
+     check Alcotest.string "framing preserved" "tail" f2
+   | l -> Alcotest.failf "expected 2 frames, got %d" (List.length l));
+  check Alcotest.int "sender fully drained" 0 (Sockbuf.pending_bytes ca);
+  Sockbuf.close ca;
+  Sockbuf.close cb
+
+let test_many_small_frames () =
+  let loop = Eventloop.create ~mode:`Real () in
+  let ca, cb, _, got_b, _, _ = pair loop in
+  for i = 1 to 500 do
+    Sockbuf.send_frame ca (Printf.sprintf "frame-%d" i)
+  done;
+  run_until loop (fun () -> List.length !got_b >= 500) "500 frames";
+  let frames = List.rev !got_b in
+  check Alcotest.int "count" 500 (List.length frames);
+  List.iteri
+    (fun i f -> check Alcotest.string "order" (Printf.sprintf "frame-%d" (i + 1)) f)
+    frames;
+  Sockbuf.close ca;
+  Sockbuf.close cb
+
+let test_remote_close_notifies () =
+  let loop = Eventloop.create ~mode:`Real () in
+  let ca, cb, _, _, _closed_a, closed_b = pair loop in
+  check Alcotest.bool "open" true (Sockbuf.is_open cb);
+  Sockbuf.close ca;
+  run_until loop (fun () -> !closed_b) "remote close";
+  check Alcotest.bool "b notified" true !closed_b;
+  check Alcotest.bool "b closed" false (Sockbuf.is_open cb)
+
+let test_local_close_is_silent_and_idempotent () =
+  let loop = Eventloop.create ~mode:`Real () in
+  let ca, cb, _, _, closed_a, _ = pair loop in
+  Sockbuf.close ca;
+  Sockbuf.close ca; (* idempotent *)
+  check Alcotest.bool "local close does not self-notify" false !closed_a;
+  check Alcotest.bool "closed" false (Sockbuf.is_open ca);
+  (* Sends after close are silently dropped. *)
+  Sockbuf.send_frame ca "late";
+  Eventloop.run_until_idle loop;
+  Sockbuf.close cb
+
+let () =
+  Alcotest.run "xorp_sockbuf"
+    [
+      ( "framing",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "large frames + buffering" `Quick
+            test_large_frames_and_buffering;
+          Alcotest.test_case "500 small frames in order" `Quick
+            test_many_small_frames;
+        ] );
+      ( "close",
+        [
+          Alcotest.test_case "remote close notifies" `Quick
+            test_remote_close_notifies;
+          Alcotest.test_case "local close silent + idempotent" `Quick
+            test_local_close_is_silent_and_idempotent;
+        ] );
+    ]

@@ -1,0 +1,328 @@
+(* Unit and property tests for xorp_util: addresses, prefixes, wire
+   buffers, the deterministic RNG and the synthetic route feed. *)
+
+let check = Alcotest.check
+let ipv4 = Alcotest.testable Ipv4.pp Ipv4.equal
+let ipv4net = Alcotest.testable Ipv4net.pp Ipv4net.equal
+
+(* --- Ipv4 ----------------------------------------------------------- *)
+
+let test_ipv4_parse () =
+  check ipv4 "dotted quad" (Ipv4.of_octets 128 16 32 1)
+    (Ipv4.of_string_exn "128.16.32.1");
+  check ipv4 "zero" Ipv4.zero (Ipv4.of_string_exn "0.0.0.0");
+  check ipv4 "broadcast" Ipv4.broadcast (Ipv4.of_string_exn "255.255.255.255")
+
+let test_ipv4_parse_rejects () =
+  let bad = [ ""; "1.2.3"; "1.2.3.4.5"; "256.1.1.1"; "1.2.3.4 "; " 1.2.3.4";
+              "1..2.3"; "a.b.c.d"; "1.2.3.4/8"; "01.2.3.4567" ] in
+  List.iter
+    (fun s ->
+       check Alcotest.bool (Printf.sprintf "reject %S" s) true
+         (Ipv4.of_string s = None))
+    bad
+
+let test_ipv4_roundtrip () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let a = Ipv4.of_int (Rng.int rng 0x40000000 * 4 + Rng.int rng 4) in
+    check ipv4 "to_string/of_string roundtrip"
+      a (Ipv4.of_string_exn (Ipv4.to_string a))
+  done
+
+let test_ipv4_bits () =
+  let a = Ipv4.of_string_exn "128.0.0.1" in
+  check Alcotest.bool "msb set" true (Ipv4.bit a 0);
+  check Alcotest.bool "bit 1 clear" false (Ipv4.bit a 1);
+  check Alcotest.bool "lsb set" true (Ipv4.bit a 31);
+  check ipv4 "mask 0" Ipv4.zero (Ipv4.mask_of_len 0);
+  check ipv4 "mask 32" Ipv4.broadcast (Ipv4.mask_of_len 32);
+  check ipv4 "mask 8" (Ipv4.of_octets 255 0 0 0) (Ipv4.mask_of_len 8);
+  check ipv4 "mask 17" (Ipv4.of_octets 255 255 128 0) (Ipv4.mask_of_len 17)
+
+let test_ipv4_succ_wraps () =
+  check ipv4 "succ wraps" Ipv4.zero (Ipv4.succ Ipv4.broadcast);
+  check ipv4 "succ carries"
+    (Ipv4.of_string_exn "10.1.0.0")
+    (Ipv4.succ (Ipv4.of_string_exn "10.0.255.255"))
+
+let test_ipv4_classes () =
+  check Alcotest.bool "multicast" true
+    (Ipv4.is_multicast (Ipv4.of_string_exn "224.0.0.9"));
+  check Alcotest.bool "not multicast" false
+    (Ipv4.is_multicast (Ipv4.of_string_exn "192.0.0.9"));
+  check Alcotest.bool "loopback" true
+    (Ipv4.is_loopback (Ipv4.of_string_exn "127.0.0.1"))
+
+(* --- Ipv4net -------------------------------------------------------- *)
+
+let net = Ipv4net.of_string_exn
+
+let test_net_canonical () =
+  check ipv4net "host bits dropped" (net "10.1.0.0/16") (net "10.1.2.3/16");
+  check Alcotest.int "len" 16 (Ipv4net.prefix_len (net "10.1.2.3/16"));
+  check ipv4net "bare addr is /32" (net "1.2.3.4/32") (net "1.2.3.4")
+
+let test_net_contains () =
+  check Alcotest.bool "contains addr" true
+    (Ipv4net.contains_addr (net "128.16.0.0/18") (Ipv4.of_string_exn "128.16.32.1"));
+  check Alcotest.bool "excludes addr" false
+    (Ipv4net.contains_addr (net "128.16.0.0/18") (Ipv4.of_string_exn "128.16.160.1"));
+  check Alcotest.bool "nested" true
+    (Ipv4net.contains (net "128.16.0.0/16") (net "128.16.192.0/18"));
+  check Alcotest.bool "not nested" false
+    (Ipv4net.contains (net "128.16.192.0/18") (net "128.16.0.0/16"));
+  check Alcotest.bool "self" true
+    (Ipv4net.contains (net "10.0.0.0/8") (net "10.0.0.0/8"))
+
+let test_net_split_parent () =
+  (match Ipv4net.split (net "128.16.128.0/17") with
+   | Some (l, r) ->
+     check ipv4net "left half" (net "128.16.128.0/18") l;
+     check ipv4net "right half" (net "128.16.192.0/18") r
+   | None -> Alcotest.fail "split /17 gave None");
+  check Alcotest.bool "no split of /32" true (Ipv4net.split (net "1.2.3.4/32") = None);
+  (match Ipv4net.parent (net "128.16.192.0/18") with
+   | Some p -> check ipv4net "parent" (net "128.16.128.0/17") p
+   | None -> Alcotest.fail "parent of /18 gave None");
+  check Alcotest.bool "no parent of /0" true (Ipv4net.parent Ipv4net.default = None)
+
+let test_net_last_addr () =
+  check ipv4 "last addr"
+    (Ipv4.of_string_exn "128.16.63.255")
+    (Ipv4net.last_addr (net "128.16.0.0/18"))
+
+let test_net_overlaps () =
+  check Alcotest.bool "nested overlap" true
+    (Ipv4net.overlaps (net "10.0.0.0/8") (net "10.1.0.0/16"));
+  check Alcotest.bool "reverse too" true
+    (Ipv4net.overlaps (net "10.1.0.0/16") (net "10.0.0.0/8"));
+  check Alcotest.bool "disjoint" false
+    (Ipv4net.overlaps (net "10.0.0.0/16") (net "10.1.0.0/16"));
+  check Alcotest.bool "self" true
+    (Ipv4net.overlaps (net "10.0.0.0/8") (net "10.0.0.0/8"))
+
+(* --- Asn ------------------------------------------------------------ *)
+
+let test_asn () =
+  check Alcotest.int "roundtrip" 65001 (Asn.to_int (Asn.of_int 65001));
+  check Alcotest.int "as_trans" 23456 (Asn.to_int Asn.as_trans);
+  check Alcotest.bool "4-byte" true (Asn.is_4byte (Asn.of_int 70000));
+  check Alcotest.bool "2-byte" false (Asn.is_4byte (Asn.of_int 65535));
+  check Alcotest.bool "private 16-bit" true (Asn.is_private (Asn.of_int 64512));
+  check Alcotest.bool "private 32-bit" true
+    (Asn.is_private (Asn.of_int 4200000000));
+  check Alcotest.bool "public" false (Asn.is_private (Asn.of_int 3356));
+  check Alcotest.bool "of_string ok" true (Asn.of_string "1777" <> None);
+  check Alcotest.bool "of_string range" true (Asn.of_string "4294967296" = None);
+  check Alcotest.bool "of_string junk" true (Asn.of_string "banana" = None);
+  (try
+     ignore (Asn.of_int (-1));
+     Alcotest.fail "negative accepted"
+   with Invalid_argument _ -> ());
+  check Alcotest.string "to_string" "70000" (Asn.to_string (Asn.of_int 70000))
+
+(* --- Wire ----------------------------------------------------------- *)
+
+let test_wire_roundtrip () =
+  let w = Wire.W.create () in
+  Wire.W.u8 w 0xAB;
+  Wire.W.u16 w 0xCDEF;
+  Wire.W.u32 w 0xDEADBEEF;
+  Wire.W.bytes w "hello";
+  Wire.W.ipv4 w (Ipv4.of_string_exn "10.0.0.1");
+  let r = Wire.R.of_string (Wire.W.contents w) in
+  check Alcotest.int "u8" 0xAB (Wire.R.u8 r);
+  check Alcotest.int "u16" 0xCDEF (Wire.R.u16 r);
+  check Alcotest.int "u32" 0xDEADBEEF (Wire.R.u32 r);
+  check Alcotest.string "bytes" "hello" (Wire.R.bytes r 5);
+  check ipv4 "ipv4" (Ipv4.of_string_exn "10.0.0.1") (Wire.R.ipv4 r);
+  check Alcotest.bool "eof" true (Wire.R.eof r)
+
+let test_wire_truncated () =
+  let r = Wire.R.of_string "\x01\x02" in
+  ignore (Wire.R.u8 r);
+  Alcotest.check_raises "u32 past end" Wire.Truncated (fun () ->
+      ignore (Wire.R.u32 r))
+
+let test_wire_patch () =
+  let w = Wire.W.create () in
+  Wire.W.u16 w 0;
+  Wire.W.bytes w "abc";
+  Wire.W.patch_u16 w 0 (Wire.W.length w);
+  let r = Wire.R.of_string (Wire.W.contents w) in
+  check Alcotest.int "patched length" 5 (Wire.R.u16 r)
+
+let test_wire_sub () =
+  let w = Wire.W.create () in
+  Wire.W.bytes w "abcdef";
+  let r = Wire.R.of_string (Wire.W.contents w) in
+  let inner = Wire.R.sub r 4 in
+  check Alcotest.string "inner reads its scope" "abcd" (Wire.R.bytes inner 4);
+  Alcotest.check_raises "inner is bounded" Wire.Truncated (fun () ->
+      ignore (Wire.R.u8 inner));
+  check Alcotest.string "outer continues after sub" "ef" (Wire.R.bytes r 2)
+
+(* --- Rng ------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 99 and b = Rng.create 99 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Rng.int a 1000000) (Rng.int b 1000000)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10000 do
+    let v = Rng.int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_rng_bytes () =
+  let rng = Rng.create 5 in
+  check Alcotest.int "length" 16 (String.length (Rng.bytes rng 16));
+  let rng2 = Rng.create 5 in
+  check Alcotest.string "deterministic" (Rng.bytes rng2 16)
+    (Rng.bytes (Rng.create 5) 16)
+
+(* --- Feed ----------------------------------------------------------- *)
+
+let test_feed_unique_prefixes () =
+  let feed = Feed.generate ~seed:1 20000 in
+  let tbl = Hashtbl.create 40000 in
+  Array.iter
+    (fun (e : Feed.entry) ->
+       if Hashtbl.mem tbl e.net then
+         Alcotest.failf "duplicate prefix %s" (Ipv4net.to_string e.net);
+       Hashtbl.add tbl e.net ())
+    feed;
+  check Alcotest.int "count" 20000 (Array.length feed)
+
+let test_feed_deterministic () =
+  let a = Feed.generate ~seed:7 500 and b = Feed.generate ~seed:7 500 in
+  Array.iteri
+    (fun i (e : Feed.entry) ->
+       check ipv4net "same prefix" e.net b.(i).Feed.net)
+    a
+
+let test_feed_shape () =
+  let feed = Feed.generate ~seed:2 50000 in
+  let count24 =
+    Array.fold_left
+      (fun acc (e : Feed.entry) ->
+         if Ipv4net.prefix_len e.net = 24 then acc + 1 else acc)
+      0 feed
+  in
+  (* /24s should dominate: roughly 55% by construction. *)
+  if count24 < 25000 || count24 > 32000 then
+    Alcotest.failf "/24 share off: %d of 50000" count24;
+  Array.iter
+    (fun (e : Feed.entry) ->
+       if e.Feed.as_path = [] then Alcotest.fail "empty AS path";
+       let l = Ipv4net.prefix_len e.Feed.net in
+       if l < 8 || l > 24 then Alcotest.failf "odd prefix length %d" l)
+    feed
+
+let test_feed_nexthops () =
+  let feed = Feed.generate ~seed:3 1000 in
+  let nhs = Feed.nexthops feed in
+  check Alcotest.bool "a few distinct nexthops" true (List.length nhs > 1);
+  let sorted = List.sort Ipv4.compare nhs in
+  check (Alcotest.list ipv4) "sorted" sorted nhs
+
+(* --- qcheck properties ---------------------------------------------- *)
+
+let arb_addr =
+  QCheck.map
+    (fun i -> Ipv4.of_int (i land 0xFFFF_FFFF))
+    QCheck.(int_bound 0x3FFFFFFF)
+
+let arb_net =
+  QCheck.map
+    (fun (i, len) -> Ipv4net.make (Ipv4.of_int (i * 7919)) (len mod 33))
+    QCheck.(pair (int_bound 0x3FFFFFFF) (int_bound 32))
+
+let prop_ipv4_roundtrip =
+  QCheck.Test.make ~name:"ipv4 text roundtrip" ~count:500 arb_addr (fun a ->
+      Ipv4.equal a (Ipv4.of_string_exn (Ipv4.to_string a)))
+
+let prop_net_roundtrip =
+  QCheck.Test.make ~name:"ipv4net text roundtrip" ~count:500 arb_net (fun n ->
+      Ipv4net.equal n (Ipv4net.of_string_exn (Ipv4net.to_string n)))
+
+let prop_net_contains_first_last =
+  QCheck.Test.make ~name:"net contains its first and last address" ~count:500
+    arb_net (fun n ->
+        Ipv4net.contains_addr n (Ipv4net.first_addr n)
+        && Ipv4net.contains_addr n (Ipv4net.last_addr n))
+
+let prop_split_partitions =
+  QCheck.Test.make ~name:"split halves partition the parent" ~count:500 arb_net
+    (fun n ->
+       match Ipv4net.split n with
+       | None -> Ipv4net.prefix_len n = 32
+       | Some (l, r) ->
+         Ipv4net.contains n l && Ipv4net.contains n r
+         && (not (Ipv4net.overlaps l r))
+         && Ipv4.equal (Ipv4.succ (Ipv4net.last_addr l)) (Ipv4net.first_addr r))
+
+let prop_mask_len =
+  QCheck.Test.make ~name:"netmask has prefix_len leading ones" ~count:100
+    QCheck.(int_bound 32)
+    (fun l ->
+       let m = Ipv4.to_int (Ipv4.mask_of_len l) in
+       let rec ones i = if i >= 32 then 32
+         else if (m lsr (31 - i)) land 1 = 1 then ones (i + 1) else i in
+       ones 0 = l)
+
+let () =
+  Alcotest.run "xorp_util"
+    [
+      ( "ipv4",
+        [
+          Alcotest.test_case "parse" `Quick test_ipv4_parse;
+          Alcotest.test_case "parse rejects junk" `Quick test_ipv4_parse_rejects;
+          Alcotest.test_case "roundtrip" `Quick test_ipv4_roundtrip;
+          Alcotest.test_case "bits and masks" `Quick test_ipv4_bits;
+          Alcotest.test_case "succ wraps" `Quick test_ipv4_succ_wraps;
+          Alcotest.test_case "address classes" `Quick test_ipv4_classes;
+        ] );
+      ( "ipv4net",
+        [
+          Alcotest.test_case "canonical form" `Quick test_net_canonical;
+          Alcotest.test_case "containment" `Quick test_net_contains;
+          Alcotest.test_case "split and parent" `Quick test_net_split_parent;
+          Alcotest.test_case "last addr" `Quick test_net_last_addr;
+          Alcotest.test_case "overlaps" `Quick test_net_overlaps;
+        ] );
+      ("asn", [ Alcotest.test_case "basics" `Quick test_asn ]);
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "truncated raises" `Quick test_wire_truncated;
+          Alcotest.test_case "patch_u16" `Quick test_wire_patch;
+          Alcotest.test_case "sub reader scoping" `Quick test_wire_sub;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "bytes" `Quick test_rng_bytes;
+        ] );
+      ( "feed",
+        [
+          Alcotest.test_case "unique prefixes" `Quick test_feed_unique_prefixes;
+          Alcotest.test_case "deterministic" `Quick test_feed_deterministic;
+          Alcotest.test_case "realistic shape" `Quick test_feed_shape;
+          Alcotest.test_case "nexthops" `Quick test_feed_nexthops;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_ipv4_roundtrip;
+            prop_net_roundtrip;
+            prop_net_contains_first_last;
+            prop_split_partitions;
+            prop_mask_len;
+          ] );
+    ]
