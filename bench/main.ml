@@ -45,6 +45,8 @@ let experiments =
      Ablations.run_stages);
     ("ablation-slices", "A3: deletion slice size vs event latency",
      Ablations.run_slices);
+    ("telemetry", "telemetry on/off overhead through the BGP pipeline",
+     Telemetry_overhead.run);
     ("micro", "Bechamel micro-benchmarks of hot primitives", Micro.run) ]
 
 let list_them () =

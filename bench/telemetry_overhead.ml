@@ -1,0 +1,106 @@
+(* Telemetry overhead: what instrumentation costs on the hot path.
+
+   Pushes adds + deletes through the real per-peer BGP pipeline
+   (PeerIn -> filters -> resolver -> decision -> sink) — every stage of
+   which carries Telemetry.time wrappers — first with telemetry
+   disabled, then enabled. The difference is the full cost of metrics:
+   with telemetry off the wrappers are a single ref read, so the
+   disabled run doubles as the "uninstrumented" baseline.
+
+   Documented bound (asserted below): enabling telemetry costs less
+   than 5 us per route operation through the five-stage pipeline —
+   i.e. ~10 clock reads plus histogram updates. Typical measured cost
+   is well under 1 us. *)
+
+open Bench_util
+
+let overhead_bound_us = 5.0
+
+let mkroute i =
+  { Bgp_types.net =
+      Ipv4net.make
+        (Ipv4.of_octets (10 + (i / 65536)) ((i / 256) mod 256) (i mod 256) 0)
+        24;
+    attrs =
+      { (Bgp_types.default_attrs ~nexthop:(addr "10.0.0.11")) with
+        Bgp_types.aspath = [ Aspath.Seq [ 65100; 200 + (i mod 7) ] ] };
+    peer_id = 1;
+    igp_metric = None }
+
+(* The A2 staged pipeline, fresh per measurement run. *)
+let make_pipeline loop =
+  let ribin = new Bgp_ribin.rib_in ~name:"in" ~peer_id:1 loop in
+  let filter =
+    new Bgp_filter.filter_table ~name:"f"
+      ~parent:(ribin :> Bgp_table.table)
+      ~local_as:65000 ~peer_as:65100 ~programs:[] ()
+  in
+  Bgp_table.plumb ribin filter;
+  let nht =
+    new Bgp_nexthop.nexthop_table ~name:"nh"
+      ~resolve:(fun nh cb ->
+          cb
+            { Bgp_nexthop.resolvable = true; metric = 0;
+              valid = Ipv4net.host nh })
+      ()
+  in
+  Bgp_table.plumb filter nht;
+  let decision = new Bgp_decision.decision_table ~name:"d" () in
+  Bgp_table.plumb nht decision;
+  decision#add_parent
+    ~info:
+      { Bgp_types.peer_id = 1; peer_addr = addr "10.0.0.11"; peer_as = 65100;
+        kind = Bgp_types.Ebgp; peer_bgp_id = addr "10.0.0.11" }
+    (nht :> Bgp_table.table);
+  let sink =
+    new Bgp_table.sink ~name:"sink"
+      ~parent:(decision :> Bgp_table.table)
+      ~on_add:(fun _ -> ())
+      ~on_delete:(fun _ -> ())
+  in
+  decision#set_next (Some (sink :> Bgp_table.table));
+  ribin
+
+let run_once routes =
+  let loop = Eventloop.create () in
+  let ribin = make_pipeline loop in
+  let t0 = Unix.gettimeofday () in
+  Array.iter (fun r -> ribin#add_route r) routes;
+  Array.iter (fun r -> ribin#delete_route r) routes;
+  Unix.gettimeofday () -. t0
+
+let run () =
+  header "Telemetry: instrumentation overhead on the BGP pipeline";
+  paper_note
+    [ "Not in the paper; bounds what the xorp_telemetry subsystem may";
+      "cost. Disabled-mode wrappers are one ref read, so disabled ~=";
+      "uninstrumented. Asserted: enabling costs < 5 us per route op." ];
+  let was_enabled = Telemetry.is_enabled () in
+  let n = 50_000 in
+  let routes = Array.init n mkroute in
+  let ops = float_of_int (2 * n) in
+  (* Warm up allocators and the stage metric instances. *)
+  Telemetry.set_enabled false;
+  ignore (run_once routes);
+  let measure enabled =
+    Telemetry.set_enabled enabled;
+    (* Best of 3: per-run noise dominates sub-us effects. *)
+    List.fold_left min infinity
+      (List.init 3 (fun _ -> run_once routes))
+  in
+  let off = measure false in
+  let on = measure true in
+  Telemetry.set_enabled was_enabled;
+  let per_op_us dt = dt /. ops *. 1e6 in
+  let overhead_us = per_op_us on -. per_op_us off in
+  pf "\n%-10s %10s %14s %14s\n" "telemetry" "time" "routes/sec" "us/route-op";
+  pf "%-10s %9.3fs %14.0f %14.3f\n" "off" off (ops /. off) (per_op_us off);
+  pf "%-10s %9.3fs %14.0f %14.3f\n" "on" on (ops /. on) (per_op_us on);
+  pf "\nshape: telemetry adds %.3f us per route op (bound: %.1f us)\n"
+    overhead_us overhead_bound_us;
+  if overhead_us >= overhead_bound_us then
+    failwith
+      (Printf.sprintf
+         "telemetry overhead %.3f us/op exceeds the documented %.1f us bound"
+         overhead_us overhead_bound_us);
+  pf "bound ok\n%!"

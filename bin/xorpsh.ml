@@ -16,6 +16,7 @@ open Cmdliner
 
 let help_text = {|commands:
   show routes | fib | bgp peers | rip | ospf | config | version
+  show telemetry       metrics, stage latencies and trace spans
   run <seconds>        advance the clock
   xrl <textual-xrl>    dispatch an XRL and print the reply
   help                 this text
@@ -59,6 +60,9 @@ let execute router line =
     true
   | [ "show"; "ospf" ] ->
     print_string (Rtrmgr.show_ospf router);
+    true
+  | [ "show"; "telemetry" ] ->
+    print_string (Rtrmgr.show_telemetry router);
     true
   | [ "show"; "config" ] ->
     print_string (Rtrmgr.config_text router);

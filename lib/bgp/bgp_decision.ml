@@ -72,6 +72,8 @@ let better (a : Bgp_types.route) (ia : Bgp_types.peer_info)
 class decision_table ~name () =
   object (self)
     inherit Bgp_table.base name
+    val h_add = Telemetry.histogram ("bgp." ^ name ^ ".add_us")
+    val h_del = Telemetry.histogram ("bgp." ^ name ^ ".delete_us")
     val mutable parents : (int * Bgp_table.table) list = []
     val infos : (int, Bgp_types.peer_info) Hashtbl.t = Hashtbl.create 16
     val winners : Bgp_types.route Ptree.t = Ptree.create ()
@@ -121,8 +123,11 @@ class decision_table ~name () =
         self#push_delete o;
         self#push_add w
 
-    method add_route r = self#reevaluate r.Bgp_types.net
-    method delete_route r = self#reevaluate r.Bgp_types.net
+    method add_route r =
+      Telemetry.time h_add (fun () -> self#reevaluate r.Bgp_types.net)
+
+    method delete_route r =
+      Telemetry.time h_del (fun () -> self#reevaluate r.Bgp_types.net)
     method lookup_route net = Ptree.find winners net
 
     method fold_winners

@@ -14,7 +14,15 @@
    advertisement rules: never echo to the originating peer, and no
    IBGP-to-IBGP re-advertisement (we are not a route reflector). *)
 
-type entry = { op : [ `Add | `Delete ]; route : Bgp_types.route }
+(* Entries remember the trace context that was ambient when they were
+   queued: the drain runs in a later event-loop pass, so the context
+   must travel with the entry for spans emitted downstream (output
+   branches, the RIB branch) to stay linked to the originating update. *)
+type entry = {
+  op : [ `Add | `Delete ];
+  route : Bgp_types.route;
+  trace : Telemetry.Trace.ctx option;
+}
 
 type reader = {
   r_peer : Bgp_types.peer_info;
@@ -26,6 +34,8 @@ class fanout_table ~name ?(batch = 500)
     ~(peer_info_of : int -> Bgp_types.peer_info option) (loop : Eventloop.t) =
   object (self)
     inherit Bgp_table.base name
+    val h_add = Telemetry.histogram ("bgp." ^ name ^ ".add_us")
+    val h_del = Telemetry.histogram ("bgp." ^ name ^ ".delete_us")
     val mutable entries : entry array = [||] (* ring-less growable log *)
     val mutable base = 0      (* absolute index of entries.(0) *)
     val mutable count = 0     (* live entries *)
@@ -79,9 +89,10 @@ class fanout_table ~name ?(batch = 500)
              r.cursor <- r.cursor + 1;
              decr budget;
              if self#should_send r e then
-               match e.op with
-               | `Add -> r.r_branch#add_route e.route
-               | `Delete -> r.r_branch#delete_route e.route
+               Telemetry.Trace.with_ctx e.trace (fun () ->
+                   match e.op with
+                   | `Add -> r.r_branch#add_route e.route
+                   | `Delete -> r.r_branch#delete_route e.route)
            done;
            if r.cursor < tail then more := true)
         readers;
@@ -100,8 +111,15 @@ class fanout_table ~name ?(batch = 500)
         base <- min_cursor
       end
 
-    method add_route route = self#append { op = `Add; route }
-    method delete_route route = self#append { op = `Delete; route }
+    method add_route route =
+      Telemetry.time h_add (fun () ->
+          self#append
+            { op = `Add; route; trace = Telemetry.Trace.current () })
+
+    method delete_route route =
+      Telemetry.time h_del (fun () ->
+          self#append
+            { op = `Delete; route; trace = Telemetry.Trace.current () })
 
     (* Pulls pass through to the decision stage upstream. The fanout
        has no store of its own. *)

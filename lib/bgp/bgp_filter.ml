@@ -102,6 +102,8 @@ class filter_table ~name ~(parent : Bgp_table.table) ~(local_as : int)
     ~(peer_as : int) ?(programs : Policy.program list = []) () =
   object (self)
     inherit Bgp_table.base name
+    val h_add = Telemetry.histogram ("bgp." ^ name ^ ".add_us")
+    val h_del = Telemetry.histogram ("bgp." ^ name ^ ".delete_us")
     val mutable programs = programs
     val mutable refilter_task : Eventloop.task option = None
 
@@ -110,11 +112,13 @@ class filter_table ~name ~(parent : Bgp_table.table) ~(local_as : int)
     method private apply r = apply_programs ~local_as ~peer_as programs r
 
     method add_route r =
+      Telemetry.time h_add @@ fun () ->
       match self#apply r with
       | Some r' -> self#push_add r'
       | None -> ()
 
     method delete_route r =
+      Telemetry.time h_del @@ fun () ->
       match self#apply r with
       | Some r' -> self#push_delete r'
       | None -> ()

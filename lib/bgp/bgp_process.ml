@@ -63,7 +63,7 @@ type t = {
   fanout : Bgp_fanout.fanout_table;
   local_ribin : Bgp_ribin.rib_in;
   listeners : (int, Netsim.Stream.listener) Hashtbl.t; (* by local addr *)
-  rib_q : (string * Bgp_types.route) Queue.t;
+  rib_q : (string * Bgp_types.route * Telemetry.Trace.ctx option) Queue.t;
   mutable rib_flush_scheduled : bool;
   mutable started : bool;
 }
@@ -83,37 +83,47 @@ let schedule_rib_flush t =
     t.rib_flush_scheduled <- true;
     Eventloop.defer t.loop (fun () ->
         t.rib_flush_scheduled <- false;
+        (* Each queue entry re-enters the trace context captured when
+           it was queued; the bgp.rib_send span covers just that
+           entry's XRL construction and send, not the whole drain. *)
+        let send_one (op, route, trace) =
+          Telemetry.Trace.with_ctx trace @@ fun () ->
+          Telemetry.Trace.span_sync ~name:"bgp.rib_send"
+            ~clock:(fun () -> Eventloop.now t.loop)
+          @@ fun () ->
+          let netstr = Ipv4net.to_string route.Bgp_types.net in
+          profile t pp_sent_rib (op ^ " " ^ netstr);
+          let protocol =
+            match Hashtbl.find_opt t.peer_kinds route.Bgp_types.peer_id with
+            | Some Bgp_types.Ibgp -> "ibgp"
+            | _ -> "ebgp"
+          in
+          let xrl =
+            if op = "add" then
+              Xrl.make ~target:"rib" ~interface:"rib"
+                ~method_name:"add_route"
+                [ Xrl_atom.txt "protocol" protocol;
+                  Xrl_atom.ipv4net "net" route.Bgp_types.net;
+                  Xrl_atom.ipv4 "nexthop" route.Bgp_types.attrs.nexthop;
+                  Xrl_atom.u32 "metric"
+                    (Option.value route.Bgp_types.attrs.med ~default:0) ]
+            else
+              Xrl.make ~target:"rib" ~interface:"rib"
+                ~method_name:"delete_route"
+                [ Xrl_atom.txt "protocol" protocol;
+                  Xrl_atom.ipv4net "net" route.Bgp_types.net ]
+          in
+          Xrl_router.send t.router xrl (fun err _ ->
+              if not (Xrl_error.is_ok err) then
+                Log.warn (fun m ->
+                    m "RIB %s for %s failed: %s" op netstr
+                      (Xrl_error.to_string err)))
+        in
         let rec drain () =
           match Queue.take_opt t.rib_q with
           | None -> ()
-          | Some (op, route) ->
-            let netstr = Ipv4net.to_string route.Bgp_types.net in
-            profile t pp_sent_rib (op ^ " " ^ netstr);
-            let protocol =
-              match Hashtbl.find_opt t.peer_kinds route.Bgp_types.peer_id with
-              | Some Bgp_types.Ibgp -> "ibgp"
-              | _ -> "ebgp"
-            in
-            let xrl =
-              if op = "add" then
-                Xrl.make ~target:"rib" ~interface:"rib"
-                  ~method_name:"add_route"
-                  [ Xrl_atom.txt "protocol" protocol;
-                    Xrl_atom.ipv4net "net" route.Bgp_types.net;
-                    Xrl_atom.ipv4 "nexthop" route.Bgp_types.attrs.nexthop;
-                    Xrl_atom.u32 "metric"
-                      (Option.value route.Bgp_types.attrs.med ~default:0) ]
-              else
-                Xrl.make ~target:"rib" ~interface:"rib"
-                  ~method_name:"delete_route"
-                  [ Xrl_atom.txt "protocol" protocol;
-                    Xrl_atom.ipv4net "net" route.Bgp_types.net ]
-            in
-            Xrl_router.send t.router xrl (fun err _ ->
-                if not (Xrl_error.is_ok err) then
-                  Log.warn (fun m ->
-                      m "RIB %s for %s failed: %s" op netstr
-                        (Xrl_error.to_string err)));
+          | Some entry ->
+            send_one entry;
             drain ()
         in
         drain ())
@@ -125,7 +135,7 @@ let make_rib_branch t : Bgp_table.table =
   let on op (route : Bgp_types.route) =
     if route.Bgp_types.peer_id <> 0 && t.send_to_rib then begin
       profile t pp_queued_rib (op ^ " " ^ Ipv4net.to_string route.net);
-      Queue.push (op, route) t.rib_q;
+      Queue.push (op, route, Telemetry.Trace.current ()) t.rib_q;
       schedule_rib_flush t
     end
   in
@@ -207,6 +217,16 @@ let start_winner_dump t peer =
 let handle_update t peer (msg : Bgp_packet.msg) =
   match msg with
   | Bgp_packet.Update { withdrawn; attrs; nlri } ->
+    (* The whole UPDATE is one root span; per-prefix work downstream
+       (fanout entries, rib_q entries, the RIB and FEA handlers) links
+       back to it through the captured contexts. *)
+    Telemetry.Trace.span_sync ~name:"bgp.update"
+      ~note:
+        (Printf.sprintf "%s +%d -%d"
+           (Ipv4.to_string peer.cfg.peer_addr)
+           (List.length nlri) (List.length withdrawn))
+      ~clock:(fun () -> Eventloop.now t.loop)
+    @@ fun () ->
     (* One record per prefix, so per-route latency can be traced
        through all eight profile points of §8.2. *)
     List.iter

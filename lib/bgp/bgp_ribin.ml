@@ -11,6 +11,8 @@
 class rib_in ~name ~(peer_id : int) (loop : Eventloop.t) =
   object (self)
     inherit Bgp_table.base name
+    val h_add = Telemetry.histogram ("bgp." ^ name ^ ".add_us")
+    val h_del = Telemetry.histogram ("bgp." ^ name ^ ".delete_us")
     val mutable store : Bgp_types.route Ptree.t = Ptree.create ()
     val mutable deletions : Bgp_deletion.deletion_table list = []
 
@@ -20,6 +22,7 @@ class rib_in ~name ~(peer_id : int) (loop : Eventloop.t) =
 
     (* Entry points for the session side. *)
     method add_route (r : Bgp_types.route) =
+      Telemetry.time h_add @@ fun () ->
       assert (r.Bgp_types.peer_id = peer_id);
       match Ptree.insert store r.Bgp_types.net r with
       | Some old ->
@@ -29,6 +32,7 @@ class rib_in ~name ~(peer_id : int) (loop : Eventloop.t) =
       | None -> self#push_add r
 
     method delete_route (r : Bgp_types.route) =
+      Telemetry.time h_del @@ fun () ->
       match Ptree.remove store r.Bgp_types.net with
       | Some old -> self#push_delete old
       | None -> () (* withdrawal of something never announced: ignore *)

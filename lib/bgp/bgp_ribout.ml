@@ -23,6 +23,8 @@ class rib_out ~name ~(info : Bgp_types.peer_info) ~(local_as : int)
     (loop : Eventloop.t) =
   object (self)
     inherit Bgp_table.base name
+    val h_add = Telemetry.histogram ("bgp." ^ name ^ ".add_us")
+    val h_del = Telemetry.histogram ("bgp." ^ name ^ ".delete_us")
     val adv : Bgp_types.route Ptree.t = Ptree.create () (* Adj-RIB-Out *)
     val pending : change Queue.t = Queue.create ()
     val mutable flush_scheduled = false
@@ -63,6 +65,7 @@ class rib_out ~name ~(info : Bgp_types.peer_info) ~(local_as : int)
       end
 
     method add_route r =
+      Telemetry.time h_add @@ fun () ->
       (match self#transform r with
        | Some r' ->
          ignore (Ptree.insert adv r'.Bgp_types.net r');
@@ -75,6 +78,7 @@ class rib_out ~name ~(info : Bgp_types.peer_info) ~(local_as : int)
       self#schedule_flush
 
     method delete_route r =
+      Telemetry.time h_del @@ fun () ->
       match Ptree.remove adv r.Bgp_types.net with
       | Some _ ->
         Queue.push (Withdraw r.Bgp_types.net) pending;

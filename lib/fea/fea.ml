@@ -51,14 +51,29 @@ let add_fib_handlers t =
          | _ -> "unknown"
        in
        profile t pp_arrived (Printf.sprintf "add %s" (Ipv4net.to_string net));
-       Fib.add t.fib { Fib.net; nexthop; ifname; protocol };
-       t.installed <- t.installed + 1;
+       Telemetry.Trace.span_sync ~name:"fea.install"
+         ~note:(Ipv4net.to_string net)
+         ~clock:(fun () -> Eventloop.now (Xrl_router.eventloop t.router))
+         (fun () ->
+            Telemetry.time
+              (Telemetry.histogram "fea.install.latency_us")
+              (fun () ->
+                 Fib.add t.fib { Fib.net; nexthop; ifname; protocol };
+                 t.installed <- t.installed + 1));
        profile t pp_kernel (Printf.sprintf "add %s" (Ipv4net.to_string net));
        reply ok []);
   Xrl_router.add_handler r ~interface:"fea" ~method_name:"delete_route4"
     (fun args reply ->
        let net = Xrl_atom.get_ipv4net args "net" in
-       let existed = Fib.delete t.fib net in
+       let existed =
+         Telemetry.Trace.span_sync ~name:"fea.uninstall"
+           ~note:(Ipv4net.to_string net)
+           ~clock:(fun () -> Eventloop.now (Xrl_router.eventloop t.router))
+           (fun () ->
+              Telemetry.time
+                (Telemetry.histogram "fea.install.latency_us")
+                (fun () -> Fib.delete t.fib net))
+       in
        profile t pp_kernel (Printf.sprintf "delete %s" (Ipv4net.to_string net));
        if existed then reply ok []
        else

@@ -5,10 +5,15 @@ type point_state = { mutable on : bool; mutable count : int }
 type t = {
   loop : Eventloop.t;
   points : (string, point_state) Hashtbl.t;
-  mutable log : record list; (* newest first *)
+  log : record Telemetry_ring.t;
 }
 
-let create loop = { loop; points = Hashtbl.create 32; log = [] }
+let default_capacity = 65536
+
+let create ?(capacity = default_capacity) loop =
+  { loop;
+    points = Hashtbl.create 32;
+    log = Telemetry_ring.create ~capacity }
 
 let state t name =
   match Hashtbl.find_opt t.points name with
@@ -29,14 +34,19 @@ let record t point payload =
   let s = state t point in
   if s.on then begin
     s.count <- s.count + 1;
-    t.log <- { time = Eventloop.now t.loop; point; payload } :: t.log
+    Telemetry_ring.push t.log { time = Eventloop.now t.loop; point; payload }
   end
 
-let all_records t = List.rev t.log
-let records t point = List.filter (fun r -> r.point = point) (all_records t)
+let all_records t = Telemetry_ring.to_list t.log
+
+let records t point =
+  Telemetry_ring.fold
+    (fun acc r -> if r.point = point then r :: acc else acc)
+    [] t.log
+  |> List.rev
 
 let clear t =
-  t.log <- [];
+  Telemetry_ring.clear t.log;
   Hashtbl.iter (fun _ s -> s.count <- 0) t.points
 
 let list_points t =
@@ -44,9 +54,20 @@ let list_points t =
   |> List.sort compare
 
 let to_strings t =
-  List.map
-    (fun r ->
+  Telemetry_ring.fold
+    (fun acc r ->
        let secs = int_of_float r.time in
-       let usecs = int_of_float ((r.time -. float_of_int secs) *. 1e6) in
-       Printf.sprintf "%s %d %06d %s" r.point secs usecs r.payload)
-    (all_records t)
+       (* Round to the nearest microsecond, carrying into the seconds
+          field: truncation would render e.g. 3.9999999 as "3 999999"
+          when the clock really read 4.0, and plain rounding could
+          print the out-of-range "1000000". *)
+       let usecs =
+         int_of_float (Float.round ((r.time -. float_of_int secs) *. 1e6))
+       in
+       let secs, usecs =
+         if usecs >= 1_000_000 then (secs + 1, usecs - 1_000_000)
+         else (secs, usecs)
+       in
+       Printf.sprintf "%s %d %06d %s" r.point secs usecs r.payload :: acc)
+    [] t.log
+  |> List.rev

@@ -16,8 +16,12 @@ type t
 
 type record = { time : float; point : string; payload : string }
 
-val create : Eventloop.t -> t
-(** Timestamps come from the loop's clock (wall or simulated). *)
+val create : ?capacity:int -> Eventloop.t -> t
+(** Timestamps come from the loop's clock (wall or simulated).
+    Records live in a bounded ring ({!Telemetry_ring}) of [capacity]
+    entries (default 65536); once full, each new record overwrites the
+    oldest, so a forgotten enabled point cannot grow memory without
+    bound. *)
 
 val define : t -> string -> unit
 (** Declare a profiling point (idempotent). Points are auto-defined on

@@ -23,6 +23,8 @@ let resolves_via (int_ : Rib_table.table) (nexthop : Ipv4.t) =
 class extint_table ~name (ext : Rib_table.table) (int_ : Rib_table.table) =
   object (self)
     inherit Rib_table.base name
+    val h_add = Telemetry.histogram ("rib." ^ name ^ ".add_us")
+    val h_del = Telemetry.histogram ("rib." ^ name ^ ".delete_us")
     val propagated : Rib_route.t Ptree.t = Ptree.create ()
     val ext_state : (Rib_route.t * bool ref) Ptree.t = Ptree.create ()
     (* nexthop -> set of external nets using it; inner hashtable so
@@ -103,6 +105,7 @@ class extint_table ~name (ext : Rib_table.table) (int_ : Rib_table.table) =
         touched
 
     method add_route src (r : Rib_route.t) =
+      Telemetry.time h_add @@ fun () ->
       if src == ext then begin
         let resolved = ref (resolves_via int_ r.nexthop) in
         (match Ptree.insert ext_state r.net (r, resolved) with
@@ -117,6 +120,7 @@ class extint_table ~name (ext : Rib_table.table) (int_ : Rib_table.table) =
       end
 
     method delete_route src (r : Rib_route.t) =
+      Telemetry.time h_del @@ fun () ->
       if src == ext then begin
         (match Ptree.remove ext_state r.net with
          | Some (old, _) -> self#index_remove old.Rib_route.nexthop old.net

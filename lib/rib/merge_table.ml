@@ -13,6 +13,8 @@ let better (x : Rib_route.t) (y : Rib_route.t) ~x_wins_ties =
 class merge_table ~name (a : Rib_table.table) (b : Rib_table.table) =
   object (self)
     inherit Rib_table.base name
+    val h_add = Telemetry.histogram ("rib." ^ name ^ ".add_us")
+    val h_del = Telemetry.histogram ("rib." ^ name ^ ".delete_us")
 
     method private other_of src : Rib_table.table * bool =
       (* Returns (other parent, [src was the tie-winning side]). *)
@@ -21,6 +23,7 @@ class merge_table ~name (a : Rib_table.table) (b : Rib_table.table) =
       else invalid_arg (name ^ ": add from unknown parent " ^ src#tbl_name)
 
     method add_route src (r : Rib_route.t) =
+      Telemetry.time h_add @@ fun () ->
       let other, from_a = self#other_of src in
       match other#lookup_route r.net with
       | None -> self#push_add r
@@ -32,6 +35,7 @@ class merge_table ~name (a : Rib_table.table) (b : Rib_table.table) =
         end
 
     method delete_route src (r : Rib_route.t) =
+      Telemetry.time h_del @@ fun () ->
       let other, from_a = self#other_of src in
       match other#lookup_route r.net with
       | None -> self#push_delete r

@@ -14,12 +14,16 @@ class origin_table ~name ~protocol (loop : Eventloop.t) =
     val store : (int * Rib_route.t) Ptree.t = Ptree.create ()
     val mutable generation = 0
     val mutable clearing = false
+    val h_add = Telemetry.histogram ("rib." ^ name ^ ".add_us")
+    val h_del = Telemetry.histogram ("rib." ^ name ^ ".delete_us")
 
     method protocol : string = protocol
     method route_count = Ptree.size store
 
-    (* Entry point for the owning protocol. *)
+    (* Entry point for the owning protocol; timed here (not in
+       add_route) because Rib.add_route calls originate directly. *)
     method originate (r : Rib_route.t) =
+      Telemetry.time h_add @@ fun () ->
       match Ptree.insert store r.Rib_route.net (generation, r) with
       | Some (_, old) ->
         self#push_delete old;
@@ -27,6 +31,7 @@ class origin_table ~name ~protocol (loop : Eventloop.t) =
       | None -> self#push_add r
 
     method withdraw (net : Ipv4net.t) =
+      Telemetry.time h_del @@ fun () ->
       match Ptree.remove store net with
       | Some (_, old) -> self#push_delete old
       | None -> ()

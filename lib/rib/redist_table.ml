@@ -70,6 +70,8 @@ let apply_policy (prog : Policy.program) (r : Rib_route.t) :
 class redist_table ~name ~(parent : Rib_table.table) () =
   object (self)
     inherit Rib_table.base name
+    val h_add = Telemetry.histogram ("rib." ^ name ^ ".add_us")
+    val h_del = Telemetry.histogram ("rib." ^ name ^ ".delete_us")
     val mutable subscribers : subscriber list = []
 
     method subscribe (s : subscriber) =
@@ -89,10 +91,12 @@ class redist_table ~name ~(parent : Rib_table.table) () =
         subscribers
 
     method add_route _src r =
+      Telemetry.time h_add @@ fun () ->
       self#tap (fun s r' -> s.on_add r') r;
       self#push_add r
 
     method delete_route _src r =
+      Telemetry.time h_del @@ fun () ->
       self#tap (fun s r' -> s.on_delete r') r;
       self#push_delete r
 

@@ -25,6 +25,8 @@ type answer = {
 class register_table ~name ~(notify : string -> Ipv4net.t -> unit) () =
   object (self)
     inherit Rib_table.base name
+    val h_add = Telemetry.histogram ("rib." ^ name ^ ".add_us")
+    val h_del = Telemetry.histogram ("rib." ^ name ^ ".delete_us")
     val winners : Rib_route.t Ptree.t = Ptree.create ()
     val regs : registration Ptree.t = Ptree.create ()
     val mutable invalidations_sent = 0
@@ -72,11 +74,13 @@ class register_table ~name ~(notify : string -> Ipv4net.t -> unit) () =
         overlapping
 
     method add_route _src (r : Rib_route.t) =
+      Telemetry.time h_add @@ fun () ->
       ignore (Ptree.insert winners r.net r);
       self#invalidate_overlapping r.net;
       self#push_add r
 
     method delete_route _src (r : Rib_route.t) =
+      Telemetry.time h_del @@ fun () ->
       ignore (Ptree.remove winners r.net);
       self#invalidate_overlapping r.net;
       self#push_delete r

@@ -28,10 +28,17 @@ let send_fea t (op : [ `Add of Rib_route.t | `Delete of Rib_route.t ]) =
   let netstr = Ipv4net.to_string r.Rib_route.net in
   profile t pp_queued_fea
     ((match op with `Add _ -> "add " | `Delete _ -> "delete ") ^ netstr);
-  if t.send_to_fea then
+  if t.send_to_fea then begin
     (* Queue-then-send: the actual XRL goes out on the next loop
-       iteration, like a real outbound transmit queue. *)
+       iteration, like a real outbound transmit queue. The deferral
+       would lose the ambient trace context, so capture it into the
+       closure and reinstate it around the send. *)
+    let ctx = Telemetry.Trace.current () in
     Eventloop.defer t.loop (fun () ->
+        Telemetry.Trace.with_ctx ctx @@ fun () ->
+        Telemetry.Trace.span_sync ~name:"rib.fea_send" ~note:netstr
+          ~clock:(fun () -> Eventloop.now t.loop)
+        @@ fun () ->
         profile t pp_sent_fea
           ((match op with `Add _ -> "add " | `Delete _ -> "delete ") ^ netstr);
         let xrl =
@@ -52,6 +59,7 @@ let send_fea t (op : [ `Add of Rib_route.t | `Delete of Rib_route.t ]) =
               Log.warn (fun m ->
                   m "FEA update for %s failed: %s" netstr
                     (Xrl_error.to_string err))))
+  end
 
 (* --- client notifications ------------------------------------------- *)
 
@@ -196,7 +204,12 @@ let add_xrl_handlers t =
          | _ -> 0
        in
        profile t pp_arrived ("add " ^ Ipv4net.to_string net);
-       match add_route t ~protocol ~net ~nexthop ~metric () with
+       match
+         Telemetry.Trace.span_sync ~name:"rib.route_add"
+           ~note:(Ipv4net.to_string net)
+           ~clock:(fun () -> Eventloop.now t.loop)
+           (fun () -> add_route t ~protocol ~net ~nexthop ~metric ())
+       with
        | Ok () -> reply ok []
        | Error msg -> reply (Xrl_error.Command_failed msg) []);
   Xrl_router.add_handler r ~interface:"rib" ~method_name:"delete_route"
@@ -204,7 +217,12 @@ let add_xrl_handlers t =
        let protocol = Xrl_atom.get_txt args "protocol" in
        let net = Xrl_atom.get_ipv4net args "net" in
        profile t pp_arrived ("delete " ^ Ipv4net.to_string net);
-       match delete_route t ~protocol ~net with
+       match
+         Telemetry.Trace.span_sync ~name:"rib.route_delete"
+           ~note:(Ipv4net.to_string net)
+           ~clock:(fun () -> Eventloop.now t.loop)
+           (fun () -> delete_route t ~protocol ~net)
+       with
        | Ok () -> reply ok []
        | Error msg -> reply (Xrl_error.Command_failed msg) []);
   Xrl_router.add_handler r ~interface:"rib" ~method_name:"lookup_route_by_dest"

@@ -7,6 +7,7 @@ type t = {
   net : Netsim.t;
   fndr : Finder.t;
   prof : Profiler.t option;
+  tel_r : Xrl_router.t;
   fea_c : Fea.t;
   rib_c : Rib.t;
   bgp_c : Bgp_process.t option;
@@ -279,6 +280,14 @@ let boot ?loop ?netsim:net ?finder:fndr ~config () =
                Some (Profiler.create loop)
              | _ -> None
            in
+           (* Telemetry defaults on for a booted router (stage timings,
+              trace spans, per-family XRL counters); [telemetry {
+              enabled: false }] turns it off for overhead-sensitive
+              deployments. *)
+           (match Config_tree.path cfg [ "telemetry" ] with
+            | Some p when Config_tree.leaf p "enabled" = Some "false" ->
+              Telemetry.set_enabled false
+            | _ -> Telemetry.set_enabled true);
            let interfaces = configure_interfaces cfg in
            let fea_c =
              Fea.create ?profiler:prof ~interfaces ~netsim:net fndr loop ()
@@ -321,10 +330,14 @@ let boot ?loop ?netsim:net ?finder:fndr ~config () =
                       Fea.shutdown fea_c;
                       Error e
                     | Ok ospf_c ->
+                      (* The telemetry/0.1 service rides its own sole
+                         router so xorp_top and call_xrl reach it by
+                         class name, like any other component. *)
+                      let tel_r = Telemetry_xrl.expose fndr loop in
                       Log.info (fun m -> m "router booted");
                       Ok
-                        { loop; net; fndr; prof; fea_c; rib_c; bgp_c; rip_c;
-                          ospf_c; cfg })))))
+                        { loop; net; fndr; prof; tel_r; fea_c; rib_c;
+                          bgp_c; rip_c; ospf_c; cfg })))))
 
 (* --- show commands --------------------------------------------------------------- *)
 
@@ -403,7 +416,12 @@ let show_ospf t =
       (Ospf_process.route_table ospf_c);
     Buffer.contents buf
 
+let show_telemetry _t = Telemetry.render_table ()
+
+let telemetry_router t = t.tel_r
+
 let shutdown t =
+  Xrl_router.shutdown t.tel_r;
   Option.iter Ospf_process.shutdown t.ospf_c;
   Option.iter Rip_process.shutdown t.rip_c;
   Option.iter Bgp_process.shutdown t.bgp_c;

@@ -33,6 +33,11 @@ val bgp : t -> Bgp_process.t option
 val rip : t -> Rip_process.t option
 val ospf : t -> Ospf_process.t option
 val profiler : t -> Profiler.t option
+val telemetry_router : t -> Xrl_router.t
+(** The sole router serving the [telemetry/0.1] XRL interface.
+    Telemetry is enabled on boot unless the configuration says
+    [telemetry { enabled: false }]. *)
+
 val config_text : t -> string
 (** The booted configuration, re-rendered. *)
 
@@ -45,5 +50,9 @@ val show_fib : t -> string
 val show_bgp_peers : t -> string
 val show_rip : t -> string
 val show_ospf : t -> string
+
+val show_telemetry : t -> string
+(** Counters, gauges, latency histograms (count/p50/p90/p99/max) and
+    the span-ring occupancy, rendered as aligned text tables. *)
 
 val shutdown : t -> unit

@@ -1,0 +1,178 @@
+(** Cross-component telemetry: metrics, distributed tracing, and
+    snapshot export.
+
+    The paper's evaluation (§8.2) follows a route's journey across
+    component boundaries with profile points; this subsystem
+    generalises that into a process-wide observability layer:
+
+    - {b metrics}: counters, gauges, and fixed-bucket log-linear
+      latency histograms with p50/p90/p99 extraction, registered under
+      hierarchical dotted names ([bgp.decision.add_us],
+      [xrl.tcp.bytes_tx]);
+    - {b tracing}: trace contexts (trace id + span id) carried across
+      XRL calls as an extra argument, with completed spans recorded in
+      a bounded ring ({!Telemetry_ring});
+    - {b exposure}: a JSON snapshot and a rendered table, served over
+      the [telemetry/0.1] XRL interface (see [Telemetry_xrl]) and by
+      [xorpsh]'s [show telemetry] / the [xorp_top] binary.
+
+    Everything records into a {e registry}; the default is a single
+    process-wide {!global} registry, matching the repo's
+    components-in-one-process substitution for XORP's processes.
+    Recording is guarded by one global {!set_enabled} flag so
+    instrumentation can stay in production code (the same contract as
+    profile points); the disabled cost is a single [ref] read. *)
+
+val set_enabled : bool -> unit
+(** Default [true]. When disabled, counters, histograms, and spans
+    record nothing (registration still works). *)
+
+val is_enabled : unit -> bool
+
+(** {1 Metrics} *)
+
+type counter
+type gauge
+
+module Histogram : sig
+  (** Fixed-bucket log-linear histogram. Bucket upper bounds run
+      1,2,…,9,10,20,…,90,100,… up to 9e8, plus one overflow bucket —
+      so any two values in a bucket are within a factor of two, which
+      bounds quantile error. Intended unit: microseconds. *)
+
+  type t
+
+  val bucket_count : int
+  val bucket_upper_bound : int -> float
+  (** Upper bound of bucket [i]; [infinity] for the overflow bucket. *)
+
+  val bucket_index : float -> int
+  (** Bucket a value falls into; values [<= 1.0] (including zero and
+      negatives) land in bucket 0. *)
+
+  val count : t -> int
+  val sum : t -> float
+  val max_observed : t -> float
+  val counts : t -> int array
+  (** Per-bucket counts (a copy). *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] for [q] in [0,1]: an upper estimate of the [q]th
+      quantile — the upper bound of the bucket holding the rank
+      [ceil q*n] value (the max observed value for the overflow
+      bucket). [0.0] when empty. The estimate lands in the same bucket
+      as the true quantile, so it is at most 2x the true value. *)
+
+  val clear : t -> unit
+end
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of Histogram.t
+
+type registry
+
+val global : registry
+(** The process-wide registry used by all instrumentation. *)
+
+val create_registry : ?span_capacity:int -> unit -> registry
+(** A private registry (tests). [span_capacity] defaults to 8192. *)
+
+(** Get-or-create. Names are hierarchical dotted paths.
+    @raise Invalid_argument if the name exists with another kind. *)
+
+val counter : ?registry:registry -> string -> counter
+val gauge : ?registry:registry -> string -> gauge
+val histogram : ?registry:registry -> string -> Histogram.t
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : Histogram.t -> float -> unit
+
+val time : Histogram.t -> (unit -> 'a) -> 'a
+(** Run the thunk, observing its wall-clock duration in microseconds.
+    When telemetry is disabled this is just the call. *)
+
+val find_metric : ?registry:registry -> string -> metric option
+val list_metrics : ?registry:registry -> unit -> (string * metric) list
+(** Sorted by name. *)
+
+val reset : ?registry:registry -> unit -> unit
+(** Zero every metric and drop recorded spans (registrations remain). *)
+
+(** {1 Distributed tracing} *)
+
+module Trace : sig
+  type ctx = { trace_id : int; span_id : int }
+
+  type span = {
+    sp_trace : int;
+    sp_span : int;
+    sp_parent : int option; (* parent span id within the same trace *)
+    sp_name : string;
+    sp_start : float;
+    mutable sp_stop : float;
+    mutable sp_note : string;
+  }
+
+  val current : unit -> ctx option
+  (** The ambient context of the code currently running, if any. *)
+
+  val with_ctx : ctx option -> (unit -> 'a) -> 'a
+  (** Run the thunk with the given ambient context; always restores
+      the previous context (also on exceptions). *)
+
+  val start :
+    ?registry:registry -> ?parent:ctx -> name:string -> now:float -> unit ->
+    span
+  (** Open a span. The parent defaults to {!current}; a span without a
+      parent roots a fresh trace, otherwise it joins the parent's
+      trace. Timestamps are supplied by the caller (event-loop clock,
+      so simulated time works). *)
+
+  val finish : ?registry:registry -> ?note:string -> now:float -> span -> unit
+  (** Close the span and record it in the registry's span ring. *)
+
+  val ctx : span -> ctx
+
+  val span_sync :
+    ?registry:registry -> ?note:string -> name:string ->
+    clock:(unit -> float) -> (unit -> 'a) -> 'a
+  (** Wrap a synchronous computation in a span: parent from ambient,
+      ambient set to the new span inside the thunk, finished on return
+      (and on exceptions). When telemetry is disabled this is just the
+      call. *)
+
+  val spans : ?registry:registry -> unit -> span list
+  (** Recorded (finished) spans, oldest first. *)
+
+  val spans_recorded : ?registry:registry -> unit -> int
+  (** Lifetime count, including spans that fell off the ring. *)
+
+  val ctx_to_string : ctx -> string
+  (** Wire form ["<trace>.<span>"], used as the value of the
+      {!trace_atom_name} XRL argument. *)
+
+  val ctx_of_string : string -> ctx option
+
+  val trace_atom_name : string
+  (** The reserved XRL argument name carrying a trace context
+      ([_xorp_trace]); injected by senders and stripped before
+      dispatch, so method handlers never see it. *)
+end
+
+(** {1 Export} *)
+
+val snapshot_json : ?registry:registry -> unit -> string
+(** Every metric plus the recorded spans, as one JSON object:
+    [{"metrics": {...}, "spans": [...]}]. *)
+
+val render_table : ?registry:registry -> unit -> string
+(** Operator-facing text: counters and gauges, then histograms sorted
+    hottest (highest count) first with p50/p90/p99, then span totals. *)

@@ -1,0 +1,39 @@
+type 'a t = {
+  cap : int;
+  mutable buf : 'a array; (* [||] until the first push *)
+  mutable head : int;     (* next write index *)
+  mutable len : int;      (* live entries *)
+  mutable pushed : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Telemetry_ring.create: capacity < 1";
+  { cap = capacity; buf = [||]; head = 0; len = 0; pushed = 0 }
+
+let capacity t = t.cap
+let length t = t.len
+let total_pushed t = t.pushed
+
+let push t x =
+  if Array.length t.buf = 0 then t.buf <- Array.make t.cap x;
+  t.buf.(t.head) <- x;
+  t.head <- (t.head + 1) mod t.cap;
+  if t.len < t.cap then t.len <- t.len + 1;
+  t.pushed <- t.pushed + 1
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0
+
+let iter f t =
+  let start = (t.head - t.len + t.cap * 2) mod t.cap in
+  for i = 0 to t.len - 1 do
+    f t.buf.((start + i) mod t.cap)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)

@@ -19,6 +19,8 @@ let parse_address address =
 let make_sender _loop address : Pf.sender =
   let id = parse_address address in
   let send_req xrl cb =
+    if Telemetry.is_enabled () then
+      Telemetry.incr (Telemetry.counter "xrl.intra.calls");
     (* Looked up per call: the receiver may have shut down since the
        sender was created. *)
     match Hashtbl.find_opt registry id with

@@ -24,6 +24,8 @@ let make_listener netsim ~local_addr _loop (dispatch : Pf.dispatch) :
         Netsim.Stream.on_receive ep (fun data ->
             match Xrl_wire.decode data with
             | Ok (Xrl_wire.Request { seq; xrl }) ->
+              if Telemetry.is_enabled () then
+                Telemetry.incr (Telemetry.counter "xrl.sim.requests_rx");
               dispatch xrl (fun error args ->
                   if Netsim.Stream.is_open ep then
                     Netsim.Stream.send ep
@@ -58,6 +60,8 @@ let make_sender netsim ~local_addr _loop address : Pf.sender =
     Queue.clear st.pending
   in
   let transmit ep xrl cb =
+    if Telemetry.is_enabled () then
+      Telemetry.incr (Telemetry.counter "xrl.sim.requests_tx");
     st.seq <- st.seq + 1;
     Hashtbl.replace st.outstanding st.seq cb;
     Netsim.Stream.send ep (Xrl_wire.encode (Xrl_wire.Request { seq = st.seq; xrl }))

@@ -5,6 +5,12 @@ module Log = (val Logs.src_log src : Logs.LOG)
 let set_nodelay fd =
   try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ()
 
+let count_bytes name n =
+  if Telemetry.is_enabled () then Telemetry.add (Telemetry.counter name) n
+
+let count name =
+  if Telemetry.is_enabled () then Telemetry.incr (Telemetry.counter name)
+
 let require_real loop what =
   if Eventloop.mode loop <> `Real then
     invalid_arg (what ^ ": TCP protocol family needs a `Real event loop")
@@ -36,13 +42,16 @@ let make_listener loop (dispatch : Pf.dispatch) : Pf.listener =
   in
   let conns : Sockbuf.t list ref = ref [] in
   let serve_conn conn_ref frame =
+    count_bytes "xrl.tcp.bytes_rx" (String.length frame);
     match Xrl_wire.decode frame with
     | Ok (Xrl_wire.Request { seq; xrl }) ->
+      count "xrl.tcp.requests_rx";
       dispatch xrl (fun error args ->
           match !conn_ref with
           | Some conn when Sockbuf.is_open conn ->
-            Sockbuf.send_frame conn
-              (Xrl_wire.encode (Xrl_wire.Reply { seq; error; args }))
+            let reply = Xrl_wire.encode (Xrl_wire.Reply { seq; error; args }) in
+            count_bytes "xrl.tcp.bytes_tx" (String.length reply);
+            Sockbuf.send_frame conn reply
           | _ -> ())
     | Ok (Xrl_wire.Reply _) ->
       Log.warn (fun m -> m "listener got a stray reply; dropping")
@@ -101,6 +110,7 @@ let make_sender loop address : Pf.sender =
     List.iter (fun cb -> cb (Xrl_error.Send_failed reason) []) cbs
   in
   let on_frame frame =
+    count_bytes "xrl.tcp.bytes_rx" (String.length frame);
     match Xrl_wire.decode frame with
     | Ok (Xrl_wire.Reply { seq; error; args }) ->
       (match Hashtbl.find_opt st.outstanding seq with
@@ -141,7 +151,10 @@ let make_sender loop address : Pf.sender =
       st.seq <- st.seq + 1;
       let seq = st.seq in
       Hashtbl.replace st.outstanding seq cb;
-      Sockbuf.send_frame conn (Xrl_wire.encode (Xrl_wire.Request { seq; xrl }))
+      let payload = Xrl_wire.encode (Xrl_wire.Request { seq; xrl }) in
+      count "xrl.tcp.requests_tx";
+      count_bytes "xrl.tcp.bytes_tx" (String.length payload);
+      Sockbuf.send_frame conn payload
     | None -> cb (Xrl_error.Send_failed "not connected") []
   in
   let send_req xrl cb = try send_req xrl cb with Exit -> () in

@@ -5,6 +5,12 @@ module Log = (val Logs.src_log src : Logs.LOG)
 let request_timeout = 3.0
 let max_dgram = 65000
 
+let count_bytes name n =
+  if Telemetry.is_enabled () then Telemetry.add (Telemetry.counter name) n
+
+let count name =
+  if Telemetry.is_enabled () then Telemetry.incr (Telemetry.counter name)
+
 let require_real loop what =
   if Eventloop.mode loop <> `Real then
     invalid_arg (what ^ ": UDP protocol family needs a `Real event loop")
@@ -24,12 +30,15 @@ let make_listener loop (dispatch : Pf.dispatch) : Pf.listener =
     let rec drain () =
       match Unix.recvfrom fd buf 0 max_dgram [] with
       | n, peer ->
+        count_bytes "xrl.udp.bytes_rx" n;
         (match Xrl_wire.decode (Bytes.sub_string buf 0 n) with
          | Ok (Xrl_wire.Request { seq; xrl }) ->
+           count "xrl.udp.requests_rx";
            dispatch xrl (fun error args ->
                let reply =
                  Xrl_wire.encode (Xrl_wire.Reply { seq; error; args })
                in
+               count_bytes "xrl.udp.bytes_tx" (String.length reply);
                try
                  ignore
                    (Unix.sendto fd (Bytes.of_string reply) 0
@@ -89,6 +98,8 @@ let make_sender loop address : Pf.sender =
         incr seq;
         let this_seq = !seq in
         let payload = Xrl_wire.encode (Xrl_wire.Request { seq = this_seq; xrl }) in
+        count "xrl.udp.requests_tx";
+        count_bytes "xrl.udp.bytes_tx" (String.length payload);
         (match
            Unix.sendto fd (Bytes.of_string payload) 0 (String.length payload)
              [] dest
@@ -112,6 +123,7 @@ let make_sender loop address : Pf.sender =
     let rec drain () =
       match Unix.recvfrom fd buf 0 max_dgram [] with
       | n, _ ->
+        count_bytes "xrl.udp.bytes_rx" n;
         (match Xrl_wire.decode (Bytes.sub_string buf 0 n) with
          | Ok (Xrl_wire.Reply { seq = rseq; error; args }) ->
            (match !inflight with

@@ -1,0 +1,90 @@
+let ok = Xrl_error.Ok_xrl
+
+let fstr = Printf.sprintf "%.6f"
+
+(* '|' is the field separator, so it cannot appear inside a field. *)
+let sanitize s = String.map (fun c -> if c = '|' then '/' else c) s
+
+let span_to_string (s : Telemetry.Trace.span) =
+  Printf.sprintf "%d|%d|%s|%s|%s|%s|%s" s.Telemetry.Trace.sp_trace
+    s.Telemetry.Trace.sp_span
+    (match s.Telemetry.Trace.sp_parent with
+     | Some p -> string_of_int p
+     | None -> "")
+    (sanitize s.Telemetry.Trace.sp_name)
+    (fstr s.Telemetry.Trace.sp_start)
+    (fstr s.Telemetry.Trace.sp_stop)
+    (sanitize s.Telemetry.Trace.sp_note)
+
+let span_of_string s =
+  match String.split_on_char '|' s with
+  | [ trace; span; parent; name; start; stop; note ] ->
+    (match
+       ( int_of_string_opt trace,
+         int_of_string_opt span,
+         (if parent = "" then Some None
+          else Option.map Option.some (int_of_string_opt parent)),
+         float_of_string_opt start,
+         float_of_string_opt stop )
+     with
+     | Some tr, Some sp, Some parent, Some start, Some stop ->
+       Some
+         { Telemetry.Trace.sp_trace = tr; sp_span = sp; sp_parent = parent;
+           sp_name = name; sp_start = start; sp_stop = stop; sp_note = note }
+     | _ -> None)
+  | _ -> None
+
+let metric_kind = function
+  | Telemetry.Counter _ -> "counter"
+  | Telemetry.Gauge _ -> "gauge"
+  | Telemetry.Histogram _ -> "histogram"
+
+let add_handlers router =
+  let i = Xrl_idl.telemetry_interface in
+  let handle name h = Xrl_idl.add_checked_handler router i ~method_name:name h in
+  handle "list" (fun _args reply ->
+      let names =
+        Telemetry.list_metrics ()
+        |> List.map (fun (n, m) -> Xrl_atom.Txt (n ^ "|" ^ metric_kind m))
+      in
+      reply ok [ Xrl_atom.list "metrics" names ]);
+  handle "get" (fun args reply ->
+      let name = Xrl_atom.get_txt args "name" in
+      match Telemetry.find_metric name with
+      | None -> reply (Xrl_error.Command_failed ("no such metric: " ^ name)) []
+      | Some (Telemetry.Counter c) ->
+        reply ok
+          [ Xrl_atom.txt "type" "counter";
+            Xrl_atom.txt "value" (string_of_int (Telemetry.counter_value c)) ]
+      | Some (Telemetry.Gauge g) ->
+        reply ok
+          [ Xrl_atom.txt "type" "gauge";
+            Xrl_atom.txt "value" (fstr (Telemetry.gauge_value g)) ]
+      | Some (Telemetry.Histogram h) ->
+        let q p = fstr (Telemetry.Histogram.quantile h p) in
+        reply ok
+          [ Xrl_atom.txt "type" "histogram";
+            Xrl_atom.u32 "count" (Telemetry.Histogram.count h land 0xFFFF_FFFF);
+            Xrl_atom.txt "sum" (fstr (Telemetry.Histogram.sum h));
+            Xrl_atom.txt "max" (fstr (Telemetry.Histogram.max_observed h));
+            Xrl_atom.txt "p50" (q 0.5);
+            Xrl_atom.txt "p90" (q 0.9);
+            Xrl_atom.txt "p99" (q 0.99) ]);
+  handle "spans" (fun _args reply ->
+      let spans =
+        Telemetry.Trace.spans ()
+        |> List.map (fun s -> Xrl_atom.Txt (span_to_string s))
+      in
+      reply ok [ Xrl_atom.list "spans" spans ]);
+  handle "snapshot" (fun _args reply ->
+      reply ok [ Xrl_atom.txt "json" (Telemetry.snapshot_json ()) ]);
+  handle "reset" (fun _args reply ->
+      Telemetry.reset ();
+      reply ok [])
+
+let expose fndr loop =
+  let router =
+    Xrl_router.create fndr loop ~class_name:"telemetry" ~sole:true ()
+  in
+  add_handlers router;
+  router

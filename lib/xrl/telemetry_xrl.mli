@@ -1,0 +1,30 @@
+(** The [telemetry/0.1] XRL service: exposes the process-wide
+    {!Telemetry.global} registry over IPC, so external observers
+    ([xorp_top], [xorpsh], [call_xrl]) read metrics the same way every
+    other component interaction happens — through the Finder.
+
+    Methods:
+    - [list]: all metric names, as a list of txt atoms
+      ["<name>|<kind>"];
+    - [get?name]: one metric's current value — counters and gauges as
+      a [value] txt atom, histograms as [count]/[sum]/[max]/p50/p90/p99
+      (floats are txt atoms: XRLs have no float type);
+    - [spans]: the recorded trace spans, one txt atom
+      ["trace|span|parent|name|start|stop|note"] each (parent empty
+      for a root span);
+    - [snapshot]: everything as one JSON document;
+    - [reset]: zero all metrics and drop recorded spans. *)
+
+val span_to_string : Telemetry.Trace.span -> string
+val span_of_string : string -> Telemetry.Trace.span option
+(** The [spans] wire encoding. [span_of_string] is what pollers
+    ([xorp_top], tests) use. ['|'] is the field separator, so names
+    and notes have any ['|'] replaced by ['/'] at encode time. *)
+
+val add_handlers : Xrl_router.t -> unit
+(** Register the [telemetry/0.1] methods on an existing router. *)
+
+val expose : Finder.t -> Eventloop.t -> Xrl_router.t
+(** Create a dedicated sole router of class ["telemetry"] serving the
+    interface (the [Finder_xrl.expose] pattern). Shut it down with
+    [Xrl_router.shutdown]. *)

@@ -240,10 +240,29 @@ let ospf_interface =
       meth "add_stub"
         ~args:[ arg "net" A_ipv4net; arg ~optional:true "cost" A_u32 ] ]
 
+let telemetry_interface =
+  (* Quantiles and other float-valued fields travel as txt atoms:
+     the XRL atom vocabulary has no float type. *)
+  iface ~name:"telemetry" ~version:"0.1"
+    [ meth "list" ~returns:[ arg "metrics" A_list ];
+      meth "get" ~args:[ arg "name" A_txt ]
+        ~returns:
+          [ arg "type" A_txt;
+            arg ~optional:true "value" A_txt;
+            arg ~optional:true "count" A_u32;
+            arg ~optional:true "sum" A_txt;
+            arg ~optional:true "max" A_txt;
+            arg ~optional:true "p50" A_txt;
+            arg ~optional:true "p90" A_txt;
+            arg ~optional:true "p99" A_txt ];
+      meth "spans" ~returns:[ arg "spans" A_list ];
+      meth "snapshot" ~returns:[ arg "json" A_txt ];
+      meth "reset" ]
+
 let builtin_interfaces =
   [ fea_interface; fea_udp_interface; fea_client_interface; rib_interface;
     rib_client_interface; redist_client_interface; bgp_interface;
-    rip_interface; ospf_interface ]
+    rip_interface; ospf_interface; telemetry_interface ]
 
 let find_interface name =
   List.find_opt (fun i -> i.i_name = name) builtin_interfaces

@@ -74,11 +74,15 @@ val add_checked_handler :
 
 val to_string : interface -> string
 
+val telemetry_interface : interface
+(** [telemetry/0.1]: list/get/spans/snapshot/reset against the global
+    telemetry registry (served by [Telemetry_xrl]). *)
+
 val builtin_interfaces : interface list
 (** Specs for the public interfaces of the built-in components:
     [fea/1.0], [fea_udp/1.0], [fea_client/1.0], [rib/1.0],
     [rib_client/1.0], [redist_client/1.0], [bgp/1.0], [rip/1.0],
-    [ospf/1.0]. *)
+    [ospf/1.0], [telemetry/0.1]. *)
 
 val find_interface : string -> interface option
 (** Look up a builtin interface by name. *)

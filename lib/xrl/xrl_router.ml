@@ -31,6 +31,19 @@ let split_keyed_method name =
     ( String.sub name 0 i,
       Some (String.sub name (i + 1) (String.length name - i - 1)) )
 
+(* The trace context rides in a reserved argument (appended by [send]
+   below). Peel it off before the handler — and before any IDL arg
+   checking — sees the call, and make it the ambient context for the
+   handler's duration so spans opened inside join the caller's trace. *)
+let split_trace_arg args =
+  let tname = Telemetry.Trace.trace_atom_name in
+  match
+    List.partition (fun (a : Xrl_atom.t) -> a.Xrl_atom.name = tname) args
+  with
+  | [ { Xrl_atom.value = Xrl_atom.Txt s; _ } ], rest ->
+    (Telemetry.Trace.ctx_of_string s, rest)
+  | _, rest -> (None, rest)
+
 let dispatch_of t : Pf.dispatch =
   fun xrl reply ->
   let base, key = split_keyed_method xrl.Xrl.method_name in
@@ -44,7 +57,10 @@ let dispatch_of t : Pf.dispatch =
            (mid ^ " (bad or missing dispatch key; resolve via the Finder)"))
         []
     else begin
-      match entry.handler xrl.Xrl.args reply with
+      let trace_ctx, args = split_trace_arg xrl.Xrl.args in
+      match
+        Telemetry.Trace.with_ctx trace_ctx (fun () -> entry.handler args reply)
+      with
       | () -> ()
       | exception Xrl_atom.Bad_args msg -> reply (Xrl_error.Bad_args msg) []
       | exception exn ->
@@ -135,16 +151,41 @@ let send t (xrl : Xrl.t) cb =
     match resolved with
     | Error e -> cb e []
     | Ok r ->
+      (* Propagate the ambient trace context on the wire, and keep it
+         ambient in the reply callback: replies arrive asynchronously,
+         so callers chaining further sends from their callbacks would
+         otherwise fall out of the trace. *)
+      let ctx = Telemetry.Trace.current () in
+      let wire_args =
+        if Telemetry.is_enabled () then
+          match ctx with
+          | Some c ->
+            xrl.Xrl.args
+            @ [ Xrl_atom.txt Telemetry.Trace.trace_atom_name
+                  (Telemetry.Trace.ctx_to_string c) ]
+          | None -> xrl.Xrl.args
+        else xrl.Xrl.args
+      in
       let wire_xrl =
         { xrl with Xrl.protocol = r.family; target = r.address;
-                   method_name = r.keyed_method }
+                   method_name = r.keyed_method; args = wire_args }
       in
       (match sender_for t r with
        | sender ->
          t.pending <- t.pending + 1;
+         let t0 =
+           if Telemetry.is_enabled () then Unix.gettimeofday () else nan
+         in
          sender.send_req wire_xrl (fun err args ->
              t.pending <- t.pending - 1;
-             cb err args)
+             if not (Float.is_nan t0) then begin
+               Telemetry.incr
+                 (Telemetry.counter ("xrl." ^ r.family ^ ".calls"));
+               Telemetry.observe
+                 (Telemetry.histogram ("xrl." ^ r.family ^ ".rtt_us"))
+                 ((Unix.gettimeofday () -. t0) *. 1e6)
+             end;
+             Telemetry.Trace.with_ctx ctx (fun () -> cb err args))
        | exception Invalid_argument msg -> cb (Xrl_error.Send_failed msg) [])
   end
 

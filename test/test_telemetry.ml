@@ -1,0 +1,489 @@
+(* Tests for the xorp_telemetry subsystem: the bounded ring, histogram
+   bucketing and quantiles (property-checked against a sorted
+   reference), metric registries, ambient trace contexts, trace
+   propagation across real XRL transports (intra and TCP), the
+   telemetry/0.1 XRL service, and the end-to-end route_add trace chain
+   RIB -> FEA on a booted router. Also covers the profiler's ring
+   backend and its microsecond rounding carry. *)
+
+let check = Alcotest.check
+let ok = Xrl_error.Ok_xrl
+
+(* --- Telemetry_ring ----------------------------------------------------- *)
+
+let test_ring () =
+  let r = Telemetry_ring.create ~capacity:3 in
+  check Alcotest.int "capacity" 3 (Telemetry_ring.capacity r);
+  check Alcotest.int "empty" 0 (Telemetry_ring.length r);
+  Telemetry_ring.push r 1;
+  Telemetry_ring.push r 2;
+  check (Alcotest.list Alcotest.int) "partial, oldest first" [ 1; 2 ]
+    (Telemetry_ring.to_list r);
+  Telemetry_ring.push r 3;
+  Telemetry_ring.push r 4;
+  Telemetry_ring.push r 5;
+  check (Alcotest.list Alcotest.int) "wrapped keeps newest" [ 3; 4; 5 ]
+    (Telemetry_ring.to_list r);
+  check Alcotest.int "length capped" 3 (Telemetry_ring.length r);
+  check Alcotest.int "lifetime pushes" 5 (Telemetry_ring.total_pushed r);
+  check Alcotest.int "fold order" 345
+    (Telemetry_ring.fold (fun acc v -> (acc * 10) + v) 0 r);
+  Telemetry_ring.clear r;
+  check Alcotest.int "cleared" 0 (Telemetry_ring.length r);
+  check Alcotest.int "pushes survive clear" 5 (Telemetry_ring.total_pushed r);
+  (try
+     ignore (Telemetry_ring.create ~capacity:0);
+     Alcotest.fail "capacity 0 accepted"
+   with Invalid_argument _ -> ())
+
+(* --- Histogram buckets -------------------------------------------------- *)
+
+let test_histogram_buckets () =
+  let module H = Telemetry.Histogram in
+  check Alcotest.int "small values -> bucket 0" 0 (H.bucket_index 0.5);
+  check Alcotest.int "1.0 -> bucket 0" 0 (H.bucket_index 1.0);
+  check Alcotest.int "zero -> bucket 0" 0 (H.bucket_index 0.0);
+  check (Alcotest.float 0.0) "bucket 0 bound" 1.0 (H.bucket_upper_bound 0);
+  check (Alcotest.float 0.0) "overflow bound" infinity
+    (H.bucket_upper_bound (H.bucket_count - 1));
+  (* Bounds strictly increase; every value lands in the bucket whose
+     bound first covers it. *)
+  for i = 0 to H.bucket_count - 3 do
+    if not (H.bucket_upper_bound i < H.bucket_upper_bound (i + 1)) then
+      Alcotest.failf "bounds not increasing at %d" i
+  done;
+  List.iter
+    (fun v ->
+       let i = H.bucket_index v in
+       if H.bucket_upper_bound i < v then
+         Alcotest.failf "value %g above its bucket bound" v;
+       if i > 0 && H.bucket_upper_bound (i - 1) >= v then
+         Alcotest.failf "value %g fits the previous bucket" v)
+    [ 0.1; 1.0; 1.5; 2.0; 9.0; 9.1; 10.0; 95.0; 100.0; 12345.0; 8.9e8; 1e10 ];
+  check Alcotest.int "huge -> overflow" (H.bucket_count - 1)
+    (H.bucket_index 1e10)
+
+let test_histogram_stats () =
+  Telemetry.set_enabled true;
+  let reg = Telemetry.create_registry () in
+  let h = Telemetry.histogram ~registry:reg "h" in
+  check (Alcotest.float 0.0) "empty quantile" 0.0
+    (Telemetry.Histogram.quantile h 0.5);
+  List.iter (Telemetry.observe h) [ 3.0; 7.0; 50.0 ];
+  check Alcotest.int "count" 3 (Telemetry.Histogram.count h);
+  check (Alcotest.float 1e-9) "sum" 60.0 (Telemetry.Histogram.sum h);
+  check (Alcotest.float 0.0) "max" 50.0 (Telemetry.Histogram.max_observed h);
+  (* rank of q=0.5 over 3 samples is 2 -> 7.0, whose bucket bound is 7 *)
+  check (Alcotest.float 0.0) "p50" 7.0 (Telemetry.Histogram.quantile h 0.5);
+  check (Alcotest.float 0.0) "p100" 50.0 (Telemetry.Histogram.quantile h 1.0);
+  (* overflow-bucket quantile reports the max observed *)
+  let h2 = Telemetry.histogram ~registry:reg "h2" in
+  Telemetry.observe h2 1e10;
+  Telemetry.observe h2 2e10;
+  check (Alcotest.float 0.0) "overflow quantile = max" 2e10
+    (Telemetry.Histogram.quantile h2 0.9);
+  Telemetry.Histogram.clear h;
+  check Alcotest.int "cleared" 0 (Telemetry.Histogram.count h)
+
+(* quantile estimate vs a sorted reference: same bucket, hence within
+   2x above the true value (generator stays below the overflow
+   bucket's 9e8 lower edge, where that contract holds). *)
+let prop_quantile =
+  let gen =
+    QCheck.Gen.(list_size (int_range 1 200)
+                  (map (fun n -> float_of_int n /. 7.0) (int_range 0 2_000_000)))
+  in
+  QCheck.Test.make ~name:"histogram quantile brackets sorted reference"
+    ~count:200 (QCheck.make gen) (fun values ->
+      Telemetry.set_enabled true;
+      let reg = Telemetry.create_registry () in
+      let h = Telemetry.histogram ~registry:reg "q" in
+      List.iter (Telemetry.observe h) values;
+      let sorted = List.sort compare values in
+      let n = List.length values in
+      List.for_all
+        (fun q ->
+           let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+           let reference = List.nth sorted (rank - 1) in
+           let est = Telemetry.Histogram.quantile h q in
+           reference <= est && est <= 2.0 *. Float.max reference 1.0)
+        [ 0.5; 0.9; 0.99; 1.0 ])
+
+(* --- counters, gauges, registry ----------------------------------------- *)
+
+let test_metrics_registry () =
+  Telemetry.set_enabled true;
+  let reg = Telemetry.create_registry () in
+  let c = Telemetry.counter ~registry:reg "xrl.calls" in
+  Telemetry.incr c;
+  Telemetry.add c 4;
+  check Alcotest.int "counter" 5 (Telemetry.counter_value c);
+  check Alcotest.int "get-or-create shares state" 5
+    (Telemetry.counter_value (Telemetry.counter ~registry:reg "xrl.calls"));
+  let g = Telemetry.gauge ~registry:reg "queue.depth" in
+  Telemetry.set_gauge g 17.0;
+  check (Alcotest.float 0.0) "gauge" 17.0 (Telemetry.gauge_value g);
+  (try
+     ignore (Telemetry.histogram ~registry:reg "xrl.calls");
+     Alcotest.fail "kind mismatch accepted"
+   with Invalid_argument _ -> ());
+  check
+    (Alcotest.list Alcotest.string)
+    "list sorted" [ "queue.depth"; "xrl.calls" ]
+    (List.map fst (Telemetry.list_metrics ~registry:reg ()));
+  (match Telemetry.find_metric ~registry:reg "queue.depth" with
+   | Some (Telemetry.Gauge _) -> ()
+   | _ -> Alcotest.fail "find_metric");
+  Telemetry.reset ~registry:reg ();
+  check Alcotest.int "reset zeroes" 0 (Telemetry.counter_value c);
+  check Alcotest.int "registrations survive reset" 2
+    (List.length (Telemetry.list_metrics ~registry:reg ()))
+
+let test_disabled_is_noop () =
+  let reg = Telemetry.create_registry () in
+  let c = Telemetry.counter ~registry:reg "c" in
+  let h = Telemetry.histogram ~registry:reg "h" in
+  Telemetry.set_enabled false;
+  Telemetry.incr c;
+  Telemetry.observe h 5.0;
+  let ran = ref false in
+  let v =
+    Telemetry.Trace.span_sync ~registry:reg ~name:"s" ~clock:(fun () -> 0.0)
+      (fun () -> ran := true; 42)
+  in
+  Telemetry.set_enabled true;
+  check Alcotest.int "thunk still runs" 42 v;
+  check Alcotest.bool "ran" true !ran;
+  check Alcotest.int "counter untouched" 0 (Telemetry.counter_value c);
+  check Alcotest.int "histogram untouched" 0 (Telemetry.Histogram.count h);
+  check Alcotest.int "no span recorded" 0
+    (List.length (Telemetry.Trace.spans ~registry:reg ()))
+
+(* --- tracing ------------------------------------------------------------ *)
+
+let test_trace_ambient () =
+  let c = { Telemetry.Trace.trace_id = 7; span_id = 3 } in
+  check Alcotest.bool "no ambient ctx" true (Telemetry.Trace.current () = None);
+  Telemetry.Trace.with_ctx (Some c) (fun () ->
+      check Alcotest.bool "ctx visible" true
+        (Telemetry.Trace.current () = Some c);
+      Telemetry.Trace.with_ctx None (fun () ->
+          check Alcotest.bool "nested clear" true
+            (Telemetry.Trace.current () = None));
+      check Alcotest.bool "restored after nest" true
+        (Telemetry.Trace.current () = Some c));
+  (try
+     Telemetry.Trace.with_ctx (Some c) (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check Alcotest.bool "restored after exception" true
+    (Telemetry.Trace.current () = None)
+
+let test_trace_spans_and_ring () =
+  Telemetry.set_enabled true;
+  let reg = Telemetry.create_registry ~span_capacity:2 () in
+  let root = Telemetry.Trace.start ~registry:reg ~name:"root" ~now:1.0 () in
+  check Alcotest.bool "root has no parent" true (root.sp_parent = None);
+  let child =
+    Telemetry.Trace.with_ctx
+      (Some (Telemetry.Trace.ctx root))
+      (fun () -> Telemetry.Trace.start ~registry:reg ~name:"child" ~now:2.0 ())
+  in
+  check Alcotest.bool "child joins the trace" true
+    (child.sp_trace = root.sp_trace
+     && child.sp_parent = Some root.sp_span);
+  Telemetry.Trace.finish ~registry:reg ~now:3.0 child;
+  Telemetry.Trace.finish ~registry:reg ~note:"done" ~now:4.0 root;
+  (match Telemetry.Trace.spans ~registry:reg () with
+   | [ a; b ] ->
+     check Alcotest.string "oldest first" "child" a.Telemetry.Trace.sp_name;
+     check Alcotest.string "note recorded" "done" b.Telemetry.Trace.sp_note
+   | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l));
+  (* a third finished span wraps the capacity-2 ring *)
+  let extra = Telemetry.Trace.start ~registry:reg ~name:"extra" ~now:5.0 () in
+  Telemetry.Trace.finish ~registry:reg ~now:6.0 extra;
+  check Alcotest.int "ring capped" 2
+    (List.length (Telemetry.Trace.spans ~registry:reg ()));
+  check Alcotest.int "lifetime count" 3
+    (Telemetry.Trace.spans_recorded ~registry:reg ());
+  check Alcotest.bool "oldest fell off" true
+    (List.for_all
+       (fun s -> s.Telemetry.Trace.sp_name <> "child")
+       (Telemetry.Trace.spans ~registry:reg ()))
+
+let test_ctx_wire () =
+  let c = { Telemetry.Trace.trace_id = 12; span_id = 34 } in
+  check Alcotest.string "to_string" "12.34" (Telemetry.Trace.ctx_to_string c);
+  check Alcotest.bool "round trip" true
+    (Telemetry.Trace.ctx_of_string "12.34" = Some c);
+  List.iter
+    (fun s ->
+       if Telemetry.Trace.ctx_of_string s <> None then
+         Alcotest.failf "parsed garbage %S" s)
+    [ ""; "12"; "a.b"; "1.2.3" ]
+
+let test_span_wire () =
+  let s =
+    { Telemetry.Trace.sp_trace = 3; sp_span = 9; sp_parent = Some 4;
+      sp_name = "rib.route|add"; sp_start = 1.25; sp_stop = 1.5;
+      sp_note = "10.0.0.0/24" }
+  in
+  (match Telemetry_xrl.span_of_string (Telemetry_xrl.span_to_string s) with
+   | None -> Alcotest.fail "wire round trip failed"
+   | Some s' ->
+     check Alcotest.string "separator sanitized" "rib.route/add"
+       s'.Telemetry.Trace.sp_name;
+     check Alcotest.bool "fields preserved" true
+       (s'.sp_trace = 3 && s'.sp_span = 9 && s'.sp_parent = Some 4
+        && s'.sp_stop = 1.5 && s'.sp_note = "10.0.0.0/24"));
+  let root = { s with Telemetry.Trace.sp_parent = None; sp_name = "n" } in
+  (match Telemetry_xrl.span_of_string (Telemetry_xrl.span_to_string root) with
+   | Some { Telemetry.Trace.sp_parent = None; _ } -> ()
+   | _ -> Alcotest.fail "rootless parent round trip");
+  check Alcotest.bool "garbage rejected" true
+    (Telemetry_xrl.span_of_string "not|enough|fields" = None)
+
+(* --- trace propagation across transports -------------------------------- *)
+
+(* A caller under an ambient context calls a probe target; the handler
+   must observe exactly that context (carried by the _xorp_trace
+   argument and stripped before dispatch), and the reply callback must
+   run under the sender's context again. *)
+let run_propagation_scenario ~families ~pref ~mode () =
+  Telemetry.set_enabled true;
+  let loop = Eventloop.create ~mode () in
+  let finder = Finder.create () in
+  let target =
+    Xrl_router.create ~families finder loop ~class_name:"probe" ()
+  in
+  let seen = ref None in
+  Xrl_router.add_handler target ~interface:"probe" ~method_name:"ctx"
+    (fun _args reply ->
+       seen := Telemetry.Trace.current ();
+       reply ok []);
+  let caller =
+    Xrl_router.create ~families ~family_pref:pref finder loop
+      ~class_name:"caller" ()
+  in
+  let root = Telemetry.Trace.start ~name:"client" ~now:0.0 () in
+  let root_ctx = Telemetry.Trace.ctx root in
+  let reply_ctx = ref None in
+  let got = ref false in
+  Telemetry.Trace.with_ctx (Some root_ctx) (fun () ->
+      Xrl_router.send caller
+        (Xrl.make ~target:"probe" ~interface:"probe" ~method_name:"ctx" [])
+        (fun err _ ->
+           check Alcotest.bool "call ok" true (Xrl_error.is_ok err);
+           reply_ctx := Telemetry.Trace.current ();
+           got := true));
+  Eventloop.run ~until:(fun () -> !got) loop;
+  Telemetry.Trace.finish ~now:1.0 root;
+  check Alcotest.bool "handler saw the caller's context" true
+    (!seen = Some root_ctx);
+  check Alcotest.bool "reply ran under the caller's context" true
+    (!reply_ctx = Some root_ctx);
+  Xrl_router.shutdown caller;
+  Xrl_router.shutdown target
+
+let test_propagation_intra () =
+  run_propagation_scenario ~families:[ Pf_intra.family ]
+    ~pref:[ "x-intra" ] ~mode:`Sim ()
+
+let test_propagation_tcp () =
+  run_propagation_scenario ~families:[ Pf_tcp.family ] ~pref:[ "stcp" ]
+    ~mode:`Real ()
+
+(* --- the telemetry/0.1 XRL service -------------------------------------- *)
+
+let telemetry_xrl method_name args =
+  Xrl.make ~target:"telemetry" ~interface:"telemetry" ~version:"0.1"
+    ~method_name args
+
+let test_telemetry_xrl_service () =
+  Telemetry.set_enabled true;
+  let loop = Eventloop.create () in
+  let finder = Finder.create () in
+  let service = Telemetry_xrl.expose finder loop in
+  let caller = Xrl_router.create finder loop ~class_name:"caller" () in
+  let c = Telemetry.counter "svc.test.counter" in
+  Telemetry.incr c;
+  Telemetry.incr c;
+  Telemetry.observe (Telemetry.histogram "svc.test.hist") 5.0;
+  let sp = Telemetry.Trace.start ~name:"svc.test.span" ~now:1.0 () in
+  Telemetry.Trace.finish ~note:"n" ~now:2.0 sp;
+  let call xrl = Xrl_router.call_blocking caller xrl in
+  (* list *)
+  let err, reply = call (telemetry_xrl "list" []) in
+  check Alcotest.bool "list ok" true (Xrl_error.is_ok err);
+  let listed =
+    Xrl_atom.get_list reply "metrics"
+    |> List.filter_map (function Xrl_atom.Txt s -> Some s | _ -> None)
+  in
+  check Alcotest.bool "counter listed" true
+    (List.mem "svc.test.counter|counter" listed);
+  check Alcotest.bool "histogram listed" true
+    (List.mem "svc.test.hist|histogram" listed);
+  (* get *)
+  let err, reply =
+    call (telemetry_xrl "get" [ Xrl_atom.txt "name" "svc.test.counter" ])
+  in
+  check Alcotest.bool "get ok" true (Xrl_error.is_ok err);
+  check Alcotest.string "counter kind" "counter"
+    (Xrl_atom.get_txt reply "type");
+  check Alcotest.string "counter value" "2" (Xrl_atom.get_txt reply "value");
+  let err, reply =
+    call (telemetry_xrl "get" [ Xrl_atom.txt "name" "svc.test.hist" ])
+  in
+  check Alcotest.bool "get hist ok" true (Xrl_error.is_ok err);
+  check Alcotest.int "hist count" 1 (Xrl_atom.get_u32 reply "count");
+  check (Alcotest.float 1e-9) "hist p50 (bucket bound of 5.0)" 5.0
+    (float_of_string (Xrl_atom.get_txt reply "p50"));
+  let err, _ =
+    call (telemetry_xrl "get" [ Xrl_atom.txt "name" "no.such.metric" ])
+  in
+  check Alcotest.bool "missing metric errors" false (Xrl_error.is_ok err);
+  (* spans *)
+  let err, reply = call (telemetry_xrl "spans" []) in
+  check Alcotest.bool "spans ok" true (Xrl_error.is_ok err);
+  let spans =
+    Xrl_atom.get_list reply "spans"
+    |> List.filter_map (function
+      | Xrl_atom.Txt s -> Telemetry_xrl.span_of_string s
+      | _ -> None)
+  in
+  check Alcotest.bool "recorded span served" true
+    (List.exists
+       (fun s -> s.Telemetry.Trace.sp_name = "svc.test.span")
+       spans);
+  (* snapshot + reset *)
+  let err, reply = call (telemetry_xrl "snapshot" []) in
+  check Alcotest.bool "snapshot ok" true (Xrl_error.is_ok err);
+  let json = Xrl_atom.get_txt reply "json" in
+  check Alcotest.bool "snapshot mentions metrics" true
+    (Astring.String.is_infix ~affix:"\"metrics\"" json);
+  check Alcotest.bool "snapshot mentions the counter" true
+    (Astring.String.is_infix ~affix:"svc.test.counter" json);
+  let err, _ = call (telemetry_xrl "reset" []) in
+  check Alcotest.bool "reset ok" true (Xrl_error.is_ok err);
+  check Alcotest.int "reset zeroed the counter" 0 (Telemetry.counter_value c);
+  Xrl_router.shutdown caller;
+  Xrl_router.shutdown service
+
+(* --- end-to-end: one route_add, >= 3 causally linked spans -------------- *)
+
+let test_route_add_trace_chain () =
+  let config =
+    "interfaces { interface eth0 { address: 10.0.0.1 } }\n"
+  in
+  match Rtrmgr.boot ~config () with
+  | Error e -> Alcotest.failf "boot failed: %s" (String.concat "; " e)
+  | Ok router ->
+    let loop = Rtrmgr.eventloop router in
+    let caller = Rib.xrl_router (Rtrmgr.rib router) in
+    Eventloop.run_until_time loop 1.0;
+    (* Drop boot-time noise so the chain below is unambiguous. *)
+    let err, _ =
+      Xrl_router.call_blocking caller (telemetry_xrl "reset" [])
+    in
+    check Alcotest.bool "reset ok" true (Xrl_error.is_ok err);
+    let err, _ =
+      Xrl_router.call_blocking caller
+        (Xrl.make ~target:"rib" ~interface:"rib" ~method_name:"add_route"
+           [ Xrl_atom.txt "protocol" "static";
+             Xrl_atom.ipv4net "net" (Ipv4net.of_string_exn "10.9.9.0/24");
+             Xrl_atom.ipv4 "nexthop" (Ipv4.of_string_exn "10.0.0.254") ])
+    in
+    check Alcotest.bool "add_route ok" true (Xrl_error.is_ok err);
+    (* The RIB->FEA send is deferred; let it happen. *)
+    Eventloop.run_until_time loop (Eventloop.now loop +. 1.0);
+    let err, reply =
+      Xrl_router.call_blocking caller (telemetry_xrl "spans" [])
+    in
+    check Alcotest.bool "spans ok" true (Xrl_error.is_ok err);
+    let spans =
+      Xrl_atom.get_list reply "spans"
+      |> List.filter_map (function
+        | Xrl_atom.Txt s -> Telemetry_xrl.span_of_string s
+        | _ -> None)
+    in
+    let find name parent =
+      List.find_opt
+        (fun (s : Telemetry.Trace.span) ->
+           s.sp_name = name
+           &&
+           match parent with
+           | None -> s.sp_parent = None
+           | Some (p : Telemetry.Trace.span) ->
+             s.sp_trace = p.sp_trace && s.sp_parent = Some p.sp_span)
+        spans
+    in
+    (match find "rib.route_add" None with
+     | None -> Alcotest.fail "no rib.route_add root span"
+     | Some root ->
+       check Alcotest.string "root span notes the prefix" "10.9.9.0/24"
+         root.Telemetry.Trace.sp_note;
+       (match find "rib.fea_send" (Some root) with
+        | None -> Alcotest.fail "no rib.fea_send child span"
+        | Some send ->
+          (match find "fea.install" (Some send) with
+           | None -> Alcotest.fail "no fea.install grandchild span"
+           | Some install ->
+             check Alcotest.string "install notes the prefix" "10.9.9.0/24"
+               install.Telemetry.Trace.sp_note)));
+    Rtrmgr.shutdown router
+
+(* --- profiler ring backend ---------------------------------------------- *)
+
+let test_profiler_ring () =
+  let loop = Eventloop.create () in
+  let p = Profiler.create ~capacity:3 loop in
+  Profiler.define p "pt";
+  Profiler.enable p "pt";
+  List.iter (Profiler.record p "pt") [ "1"; "2"; "3"; "4"; "5" ];
+  check
+    (Alcotest.list Alcotest.string)
+    "ring keeps the newest records" [ "3"; "4"; "5" ]
+    (List.map (fun r -> r.Profiler.payload) (Profiler.records p "pt"))
+
+let test_profiler_usec_carry () =
+  let loop = Eventloop.create () in
+  let p = Profiler.create loop in
+  Profiler.define p "pt";
+  Profiler.enable p "pt";
+  (* 1.9999996s rounds to 2_000_000 us past second 1: must carry into
+     "2 000000", never render as "1 1000000". *)
+  ignore (Eventloop.after loop 1.9999996 (fun () -> Profiler.record p "pt" "x"));
+  Eventloop.run loop;
+  (match Profiler.to_strings p with
+   | [ s ] ->
+     check Alcotest.bool ("carry in " ^ s) true
+       (Astring.String.is_prefix ~affix:"pt 2 000000 x" s)
+   | l -> Alcotest.failf "expected 1 record, got %d" (List.length l))
+
+let () =
+  Alcotest.run "xorp_telemetry"
+    [ ("ring", [ Alcotest.test_case "bounded ring" `Quick test_ring ]);
+      ("histogram",
+       [ Alcotest.test_case "bucket layout" `Quick test_histogram_buckets;
+         Alcotest.test_case "stats and quantiles" `Quick test_histogram_stats;
+         QCheck_alcotest.to_alcotest prop_quantile ]);
+      ("metrics",
+       [ Alcotest.test_case "registry" `Quick test_metrics_registry;
+         Alcotest.test_case "disabled is a no-op" `Quick test_disabled_is_noop ]);
+      ("tracing",
+       [ Alcotest.test_case "ambient context" `Quick test_trace_ambient;
+         Alcotest.test_case "spans and ring" `Quick test_trace_spans_and_ring;
+         Alcotest.test_case "ctx wire form" `Quick test_ctx_wire;
+         Alcotest.test_case "span wire form" `Quick test_span_wire ]);
+      ("propagation",
+       [ Alcotest.test_case "across pf_intra" `Quick test_propagation_intra;
+         Alcotest.test_case "across pf_tcp" `Quick test_propagation_tcp ]);
+      ("xrl-service",
+       [ Alcotest.test_case "telemetry/0.1 round trip" `Quick
+           test_telemetry_xrl_service ]);
+      ("end-to-end",
+       [ Alcotest.test_case "route_add trace chain" `Quick
+           test_route_add_trace_chain ]);
+      ("profiler",
+       [ Alcotest.test_case "ring backend" `Quick test_profiler_ring;
+         Alcotest.test_case "usec rounding carry" `Quick
+           test_profiler_usec_carry ]) ]
