@@ -8,7 +8,15 @@
    does not pipeline (it is the paper's early prototype, kept to show
    the cost), so its window degenerates to 1. Transports are real
    loopback sockets on a real select loop; intra-process is a direct
-   call. *)
+   call.
+
+   On top of the paper's three series this adds:
+   - a "tcp+batch" series: the same transaction with sender-side
+     request batching on (sends made in one event-loop turn coalesce
+     into one frame), quantifying what the fast path buys;
+   - a RIB-to-FEA route-install benchmark comparing per-route XRLs
+     against the bulk add_routes4 transfer;
+   - machine-readable output in BENCH_xrl.json. *)
 
 open Bench_util
 
@@ -31,12 +39,13 @@ let make_xrl nargs =
    call, as a real caller would, so every family pays the per-argument
    cost (this is what makes the intra/TCP gap close as argument counts
    grow, as in the paper). *)
-let run_transaction ~loop ~caller ~nargs ~window () =
+let run_transaction ?(size = transaction_size) ~loop ~caller ~nargs ~window ()
+  =
   let completed = ref 0 in
   let launched = ref 0 in
   let failed = ref 0 in
   let rec fire () =
-    if !launched < transaction_size then begin
+    if !launched < size then begin
       incr launched;
       Xrl_router.send caller (make_xrl nargs) (fun err _ ->
           if not (Xrl_error.is_ok err) then incr failed;
@@ -47,11 +56,11 @@ let run_transaction ~loop ~caller ~nargs ~window () =
   let t0 = Unix.gettimeofday () in
   for _ = 1 to window do fire () done;
   run_real_until loop
-    (fun () -> !completed >= transaction_size)
+    (fun () -> !completed >= size)
     ~timeout_s:120.0 "xrl transaction";
   let dt = Unix.gettimeofday () -. t0 in
   if !failed > 0 then failwith (Printf.sprintf "%d XRLs failed" !failed);
-  float_of_int transaction_size /. dt
+  float_of_int size /. dt
 
 let family_of = function
   | "intra" -> (Pf_intra.family, "x-intra")
@@ -59,14 +68,17 @@ let family_of = function
   | "udp" -> (Pf_udp.family, "sudp")
   | f -> invalid_arg f
 
-let measure_family fam_name nargs_list =
+(* [batching] defaults to off so the three classic series measure the
+   paper's frame-per-request path unchanged; the "tcp+batch" series
+   turns it on. *)
+let measure_family ?(batching = false) ?size fam_name nargs_list =
   let fam, pref = family_of fam_name in
   let loop = Eventloop.create ~mode:`Real () in
   let finder = Finder.create () in
   let target = make_target finder loop [ fam ] in
   let caller =
-    Xrl_router.create ~families:[ fam ] ~family_pref:[ pref ] finder loop
-      ~class_name:"benchcaller" ()
+    Xrl_router.create ~families:[ fam ] ~family_pref:[ pref ] ~batching
+      finder loop ~class_name:"benchcaller" ()
   in
   (* UDP has no pipelining: its sender serializes, so the effective
      window is 1 no matter what we submit; submit with the standard
@@ -74,13 +86,104 @@ let measure_family fam_name nargs_list =
   let results =
     List.map
       (fun nargs ->
-         let rate = run_transaction ~loop ~caller ~nargs ~window () in
+         let rate = run_transaction ?size ~loop ~caller ~nargs ~window () in
          (nargs, rate))
       nargs_list
   in
   Xrl_router.shutdown caller;
   Xrl_router.shutdown target;
   results
+
+(* --- RIB -> FEA route install --------------------------------------- *)
+
+(* Originate [n] statics into a RIB wired to a FEA over TCP and time
+   until they are all in the FIB. [bulk] selects the fast path (route
+   coalescing + add_routes4 + frame batching) vs the legacy one XRL
+   per route. *)
+let measure_rib_fea ~bulk n =
+  let loop = Eventloop.create ~mode:`Real () in
+  let finder = Finder.create () in
+  let fea = Fea.create ~families:[ Pf_tcp.family ] finder loop () in
+  let rib =
+    Rib.create ~families:[ Pf_tcp.family ] ~batching:bulk ~bulk_fea:bulk
+      finder loop ()
+  in
+  (* Originate first (identical pipeline cost in both modes, all
+     updates land in the RIB's outbound FEA queue), then time the
+     install leg: flush, wire transfer, FEA dispatch, FIB insert. *)
+  for i = 0 to n - 1 do
+    match
+      Rib.add_route rib ~protocol:"static"
+        ~net:(Ipv4net.make (Ipv4.of_int ((10 lsl 24) lor (i lsl 8))) 24)
+        ~nexthop:(addr "192.0.2.1") ()
+    with
+    | Ok () -> ()
+    | Error e -> failwith e
+  done;
+  let t0 = Unix.gettimeofday () in
+  run_real_until loop
+    (fun () -> Fib.size (Fea.fib fea) >= n)
+    ~timeout_s:120.0 "rib->fea install";
+  let dt = Unix.gettimeofday () -. t0 in
+  Rib.shutdown rib;
+  Fea.shutdown fea;
+  float_of_int n /. dt
+
+(* --- machine-readable output ----------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* series: (family, batching, (nargs, rate) list) list
+   install: (mode, routes, rate) list *)
+let emit_json ~path ~size ~window series install =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"transaction_size\": %d,\n  \"window\": %d,\n  \"series\": [\n"
+       size window);
+  List.iteri
+    (fun i (fam, batching, points) ->
+       if i > 0 then Buffer.add_string buf ",\n";
+       Buffer.add_string buf
+         (Printf.sprintf
+            "    {\"family\": \"%s\", \"batching\": %b, \"points\": ["
+            (json_escape fam) batching);
+       List.iteri
+         (fun j (nargs, rate) ->
+            if j > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf
+              (Printf.sprintf "{\"nargs\": %d, \"xrls_per_sec\": %.1f}" nargs
+                 rate))
+         points;
+       Buffer.add_string buf "]}")
+    series;
+  Buffer.add_string buf "\n  ],\n  \"rib_fea_install\": [\n";
+  List.iteri
+    (fun i (mode, routes, rate) ->
+       if i > 0 then Buffer.add_string buf ",\n";
+       Buffer.add_string buf
+         (Printf.sprintf
+            "    {\"mode\": \"%s\", \"routes\": %d, \"routes_per_sec\": %.1f}"
+            (json_escape mode) routes rate))
+    install;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  pf "\nwrote %s\n" path
+
+(* --- entry points ----------------------------------------------------- *)
 
 let run () =
   header "Figure 9: XRL performance for various communication families";
@@ -95,11 +198,15 @@ let run () =
       (fun fam -> (fam, measure_family fam points))
       [ "intra"; "tcp"; "udp" ]
   in
-  pf "\n%-6s %12s %12s %12s  (XRLs/second)\n" "#args" "Intra" "TCP" "UDP";
+  let tcp_batch = measure_family ~batching:true "tcp" points in
+  pf "\n%-6s %12s %12s %12s %12s  (XRLs/second)\n" "#args" "Intra" "TCP"
+    "TCP+batch" "UDP";
   List.iter
     (fun nargs ->
        let rate fam = List.assoc nargs (List.assoc fam all) in
-       pf "%-6d %12.0f %12.0f %12.0f\n" nargs (rate "intra") (rate "tcp")
+       pf "%-6d %12.0f %12.0f %12.0f %12.0f\n" nargs (rate "intra")
+         (rate "tcp")
+         (List.assoc nargs tcp_batch)
          (rate "udp"))
     points;
   (* Shape checks, mirroring the paper's qualitative claims. *)
@@ -109,4 +216,44 @@ let run () =
   pf "shape: intra/tcp ratio at 25 args: %.2fx (paper: ~1, gap closes)\n"
     (r "intra" 25 /. r "tcp" 25);
   pf "shape: tcp/udp ratio at 0 args:    %.2fx (paper: >>1, pipelining wins)\n"
-    (r "tcp" 0 /. r "udp" 0)
+    (r "tcp" 0 /. r "udp" 0);
+  pf "shape: batch/tcp ratio at 0 args:  %.2fx (batching amortizes frames)\n"
+    (List.assoc 0 tcp_batch /. r "tcp" 0);
+  let n_routes = 20_000 in
+  pf "\nRIB -> FEA install, %d routes over TCP:\n" n_routes;
+  let per_route = measure_rib_fea ~bulk:false n_routes in
+  let bulk = measure_rib_fea ~bulk:true n_routes in
+  pf "  per-route XRLs:   %10.0f routes/s\n" per_route;
+  pf "  bulk add_routes4: %10.0f routes/s\n" bulk;
+  pf "  speedup:          %10.2fx (target: >= 3x)\n" (bulk /. per_route);
+  emit_json ~path:"BENCH_xrl.json" ~size:transaction_size ~window
+    (List.map (fun (fam, pts) -> (fam, false, pts)) all
+     @ [ ("tcp", true, tcp_batch) ])
+    [ ("per_route", n_routes, per_route); ("bulk", n_routes, bulk) ]
+
+(* Short CI variant: one TCP transaction each way plus a small bulk
+   install, with sanity bounds loose enough for shared runners. *)
+let smoke () =
+  header "Smoke: short fig9 transaction + batched transports";
+  let size = 2_000 in
+  let points = [ 0; 10 ] in
+  let tcp = measure_family ~size "tcp" points in
+  let tcp_batch = measure_family ~size ~batching:true "tcp" points in
+  pf "%-6s %12s %12s  (XRLs/second, %d-XRL transaction)\n" "#args" "TCP"
+    "TCP+batch" size;
+  List.iter
+    (fun nargs ->
+       pf "%-6d %12.0f %12.0f\n" nargs (List.assoc nargs tcp)
+         (List.assoc nargs tcp_batch))
+    points;
+  let n_routes = 5_000 in
+  let per_route = measure_rib_fea ~bulk:false n_routes in
+  let bulk = measure_rib_fea ~bulk:true n_routes in
+  pf "RIB -> FEA, %d routes: per-route %.0f/s, bulk %.0f/s (%.2fx)\n"
+    n_routes per_route bulk (bulk /. per_route);
+  emit_json ~path:"BENCH_xrl.json" ~size ~window
+    [ ("tcp", false, tcp); ("tcp", true, tcp_batch) ]
+    [ ("per_route", n_routes, per_route); ("bulk", n_routes, bulk) ];
+  if bulk < per_route then
+    failwith "smoke: bulk route install slower than per-route XRLs";
+  pf "smoke ok\n%!"

@@ -47,7 +47,9 @@ let experiments =
      Ablations.run_slices);
     ("telemetry", "telemetry on/off overhead through the BGP pipeline",
      Telemetry_overhead.run);
-    ("micro", "Bechamel micro-benchmarks of hot primitives", Micro.run) ]
+    ("micro", "Bechamel micro-benchmarks of hot primitives", Micro.run);
+    ("smoke", "CI smoke: short fig9 transaction + batched transports",
+     Fig9.smoke) ]
 
 let list_them () =
   Printf.printf "available experiments:\n";
@@ -70,7 +72,8 @@ let () =
   match Array.to_list Sys.argv with
   | _ :: [] | _ :: "all" :: _ ->
     List.iter
-      (fun (name, _, f) -> if name <> "latency" then (ignore name; f ()))
+      (fun (name, _, f) ->
+         if name <> "latency" && name <> "smoke" then (ignore name; f ()))
       experiments
   | _ :: "list" :: _ -> list_them ()
   | _ :: names -> List.iter run_one names

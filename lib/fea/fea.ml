@@ -81,6 +81,46 @@ let add_fib_handlers t =
            (Xrl_error.Command_failed
               ("no FIB entry for " ^ Ipv4net.to_string net))
            []);
+  (* Bulk variants: one XRL carries a Route_pack-packed list. Profile
+     points are still recorded per route so the pipeline-latency
+     methodology (§8.2) sees every route, batched or not. *)
+  Xrl_router.add_handler r ~interface:"fea" ~method_name:"add_routes4"
+    (fun args reply ->
+       let packed = Xrl_atom.get_binary args "routes" in
+       match Route_pack.unpack_adds packed with
+       | Error msg -> reply (Xrl_error.Bad_args ("routes: " ^ msg)) []
+       | Ok adds ->
+         let n = List.length adds in
+         Telemetry.Trace.span_sync ~name:"fea.install_bulk"
+           ~note:(string_of_int n ^ " routes")
+           ~clock:(fun () -> Eventloop.now (Xrl_router.eventloop t.router))
+           (fun () ->
+              List.iter
+                (fun { Route_pack.net; nexthop; ifname; protocol } ->
+                   profile t pp_arrived ("add " ^ Ipv4net.to_string net);
+                   Fib.add t.fib { Fib.net; nexthop; ifname; protocol };
+                   t.installed <- t.installed + 1;
+                   profile t pp_kernel ("add " ^ Ipv4net.to_string net))
+                adds);
+         reply ok [ Xrl_atom.u32 "count" n ]);
+  Xrl_router.add_handler r ~interface:"fea" ~method_name:"delete_routes4"
+    (fun args reply ->
+       let packed = Xrl_atom.get_binary args "routes" in
+       match Route_pack.unpack_deletes packed with
+       | Error msg -> reply (Xrl_error.Bad_args ("routes: " ^ msg)) []
+       | Ok nets ->
+         let n = List.length nets in
+         Telemetry.Trace.span_sync ~name:"fea.uninstall_bulk"
+           ~note:(string_of_int n ^ " routes")
+           ~clock:(fun () -> Eventloop.now (Xrl_router.eventloop t.router))
+           (fun () ->
+              List.iter
+                (fun net ->
+                   profile t pp_arrived ("delete " ^ Ipv4net.to_string net);
+                   ignore (Fib.delete t.fib net);
+                   profile t pp_kernel ("delete " ^ Ipv4net.to_string net))
+                nets);
+         reply ok [ Xrl_atom.u32 "count" n ]);
   Xrl_router.add_handler r ~interface:"fea" ~method_name:"lookup_route4"
     (fun args reply ->
        let addr = Xrl_atom.get_ipv4 args "addr" in

@@ -6,6 +6,8 @@ let pp_arrived = "rib_arrived"
 let pp_queued_fea = "rib_queued_fea"
 let pp_sent_fea = "rib_sent_fea"
 
+type fea_op = [ `Add of Rib_route.t | `Delete of Rib_route.t ]
+
 type t = {
   router : Xrl_router.t;
   loop : Eventloop.t;
@@ -14,6 +16,13 @@ type t = {
   register : Register_table.register_table;
   redist : Redist_table.redist_table;
   send_to_fea : bool;
+  bulk_fea : bool;
+  (* Outbound transmit queue towards the FEA: route changes made
+     within one event-loop turn coalesce here and flush together on
+     the next iteration. Each entry carries the trace context that was
+     ambient when it was queued. *)
+  fea_q : (fea_op * Telemetry.Trace.ctx option) Queue.t;
+  mutable fea_flush_armed : bool;
 }
 
 let profile t point payload =
@@ -23,42 +32,122 @@ let profile t point payload =
 
 (* --- FEA sink ------------------------------------------------------- *)
 
-let send_fea t (op : [ `Add of Rib_route.t | `Delete of Rib_route.t ]) =
-  let r = match op with `Add r | `Delete r -> r in
-  let netstr = Ipv4net.to_string r.Rib_route.net in
-  profile t pp_queued_fea
-    ((match op with `Add _ -> "add " | `Delete _ -> "delete ") ^ netstr);
+let op_net (op : fea_op) = match op with `Add r | `Delete r -> r.Rib_route.net
+let op_verb (op : fea_op) = match op with `Add _ -> "add " | `Delete _ -> "delete "
+let op_is_add (op : fea_op) = match op with `Add _ -> true | `Delete _ -> false
+
+(* Legacy per-route XRL; also the path taken when a flush holds a
+   single route, so the unbatched pipeline (and its profile-point
+   sequence) is byte-for-byte what it was before bulk transfer. *)
+let send_one t (op : fea_op) ctx =
+  let netstr = Ipv4net.to_string (op_net op) in
+  Telemetry.Trace.with_ctx ctx @@ fun () ->
+  Telemetry.Trace.span_sync ~name:"rib.fea_send" ~note:netstr
+    ~clock:(fun () -> Eventloop.now t.loop)
+  @@ fun () ->
+  profile t pp_sent_fea (op_verb op ^ netstr);
+  let xrl =
+    match op with
+    | `Add r ->
+      Xrl.make ~target:"fea" ~interface:"fea" ~method_name:"add_route4"
+        [ Xrl_atom.ipv4net "net" r.Rib_route.net;
+          Xrl_atom.ipv4 "nexthop" r.nexthop;
+          Xrl_atom.txt "ifname" "";
+          Xrl_atom.txt "protocol" r.protocol ]
+    | `Delete r ->
+      Xrl.make ~target:"fea" ~interface:"fea"
+        ~method_name:"delete_route4"
+        [ Xrl_atom.ipv4net "net" r.Rib_route.net ]
+  in
+  Xrl_router.send t.router xrl (fun err _ ->
+      if not (Xrl_error.is_ok err) then
+        Log.warn (fun m ->
+            m "FEA update for %s failed: %s" netstr
+              (Xrl_error.to_string err)))
+
+(* A run of consecutive same-kind ops leaves as one bulk XRL carrying
+   a Route_pack-packed list. Profile points stay per route. The run's
+   first trace context parents the send span and the reply. *)
+let send_run t (ops : (fea_op * Telemetry.Trace.ctx option) list) =
+  match ops with
+  | [] -> ()
+  | [ (op, ctx) ] -> send_one t op ctx
+  | (first_op, first_ctx) :: _ ->
+    let n = List.length ops in
+    let is_add = op_is_add first_op in
+    List.iter
+      (fun (op, ctx) ->
+         Telemetry.Trace.with_ctx ctx (fun () ->
+             profile t pp_sent_fea (op_verb op ^ Ipv4net.to_string (op_net op))))
+      ops;
+    Telemetry.Trace.with_ctx first_ctx @@ fun () ->
+    Telemetry.Trace.span_sync ~name:"rib.fea_send"
+      ~note:(string_of_int n ^ " routes")
+      ~clock:(fun () -> Eventloop.now t.loop)
+    @@ fun () ->
+    let packed, method_name =
+      if is_add then
+        ( Route_pack.pack_adds
+            (List.map
+               (fun (op, _) ->
+                  match op with
+                  | `Add r ->
+                    { Route_pack.net = r.Rib_route.net; nexthop = r.nexthop;
+                      ifname = ""; protocol = r.protocol }
+                  | `Delete _ -> assert false)
+               ops),
+          "add_routes4" )
+      else
+        ( Route_pack.pack_deletes (List.map (fun (op, _) -> op_net op) ops),
+          "delete_routes4" )
+    in
+    let xrl =
+      Xrl.make ~target:"fea" ~interface:"fea" ~method_name
+        [ Xrl_atom.binary "routes" packed ]
+    in
+    Xrl_router.send t.router xrl (fun err _ ->
+        if not (Xrl_error.is_ok err) then
+          Log.warn (fun m ->
+              m "bulk FEA update (%d routes) failed: %s" n
+                (Xrl_error.to_string err)))
+
+let flush_fea t =
+  t.fea_flush_armed <- false;
+  if t.bulk_fea then begin
+    (* Group consecutive same-kind ops into runs, preserving overall
+       order (an add/delete alternation must reach the FIB in
+       sequence). *)
+    let flush_run run = send_run t (List.rev run) in
+    let run =
+      Queue.fold
+        (fun run ((op, _) as item) ->
+           match run with
+           | [] -> [ item ]
+           | (prev, _) :: _ when op_is_add prev = op_is_add op -> item :: run
+           | _ ->
+             flush_run run;
+             [ item ])
+        [] t.fea_q
+    in
+    flush_run run
+  end
+  else Queue.iter (fun (op, ctx) -> send_one t op ctx) t.fea_q;
+  Queue.clear t.fea_q
+
+let send_fea t (op : fea_op) =
+  let netstr = Ipv4net.to_string (op_net op) in
+  profile t pp_queued_fea (op_verb op ^ netstr);
   if t.send_to_fea then begin
     (* Queue-then-send: the actual XRL goes out on the next loop
-       iteration, like a real outbound transmit queue. The deferral
-       would lose the ambient trace context, so capture it into the
-       closure and reinstate it around the send. *)
-    let ctx = Telemetry.Trace.current () in
-    Eventloop.defer t.loop (fun () ->
-        Telemetry.Trace.with_ctx ctx @@ fun () ->
-        Telemetry.Trace.span_sync ~name:"rib.fea_send" ~note:netstr
-          ~clock:(fun () -> Eventloop.now t.loop)
-        @@ fun () ->
-        profile t pp_sent_fea
-          ((match op with `Add _ -> "add " | `Delete _ -> "delete ") ^ netstr);
-        let xrl =
-          match op with
-          | `Add r ->
-            Xrl.make ~target:"fea" ~interface:"fea" ~method_name:"add_route4"
-              [ Xrl_atom.ipv4net "net" r.Rib_route.net;
-                Xrl_atom.ipv4 "nexthop" r.nexthop;
-                Xrl_atom.txt "ifname" "";
-                Xrl_atom.txt "protocol" r.protocol ]
-          | `Delete r ->
-            Xrl.make ~target:"fea" ~interface:"fea"
-              ~method_name:"delete_route4"
-              [ Xrl_atom.ipv4net "net" r.Rib_route.net ]
-        in
-        Xrl_router.send t.router xrl (fun err _ ->
-            if not (Xrl_error.is_ok err) then
-              Log.warn (fun m ->
-                  m "FEA update for %s failed: %s" netstr
-                    (Xrl_error.to_string err))))
+       iteration, like a real outbound transmit queue — and everything
+       queued within this turn flushes together (one bulk XRL per
+       same-kind run). The deferral would lose the ambient trace
+       context, so capture it per entry and reinstate it at send. *)
+    Queue.push (op, Telemetry.Trace.current ()) t.fea_q;
+    if not t.fea_flush_armed then begin
+      t.fea_flush_armed <- true;
+      Eventloop.defer t.loop (fun () -> flush_fea t)
+    end
   end
 
 (* --- client notifications ------------------------------------------- *)
@@ -319,16 +408,19 @@ let watch_protocol_deaths t finder =
   watch "bgp" [ "ebgp"; "ibgp" ];
   watch "ospf" [ "ospf" ]
 
-let create ?families ?profiler ?(send_to_fea = true) finder loop () =
+let create ?families ?batching ?profiler ?(send_to_fea = true)
+    ?(bulk_fea = true) finder loop () =
   let router =
-    Xrl_router.create ?families finder loop ~class_name:"rib" ~sole:true ()
+    Xrl_router.create ?families ?batching finder loop ~class_name:"rib"
+      ~sole:true ()
   in
   let t_ref = ref None in
   let origins, register, redist =
     build_pipeline (fun () -> Option.get !t_ref) loop
   in
   let t =
-    { router; loop; profiler; origins; register; redist; send_to_fea }
+    { router; loop; profiler; origins; register; redist; send_to_fea;
+      bulk_fea; fea_q = Queue.create (); fea_flush_armed = false }
   in
   t_ref := Some router;
   (match profiler with

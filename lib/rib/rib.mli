@@ -29,14 +29,19 @@
 type t
 
 val create :
-  ?families:Pf.family list ->
-  ?profiler:Profiler.t -> ?send_to_fea:bool ->
+  ?families:Pf.family list -> ?batching:bool ->
+  ?profiler:Profiler.t -> ?send_to_fea:bool -> ?bulk_fea:bool ->
   Finder.t -> Eventloop.t -> unit -> t
 (** Registers class ["rib"] (sole) with the Finder. With
     [send_to_fea] (default true), winner changes are pushed to the
-    ["fea"] target. The RIB watches the ["bgp"], ["rip"] and ["ospf"]
-    component classes and gradually flushes their origin tables when
-    the last instance dies (Finder lifetime notification, §6.2). *)
+    ["fea"] target: changes made within one event-loop turn coalesce
+    and, with [bulk_fea] (default true), each consecutive same-kind
+    run of two or more leaves as one bulk [add_routes4] /
+    [delete_routes4] XRL (single routes keep the per-route XRL).
+    [batching] is passed to the underlying {!Xrl_router.create}. The
+    RIB watches the ["bgp"], ["rip"] and ["ospf"] component classes
+    and gradually flushes their origin tables when the last instance
+    dies (Finder lifetime notification, §6.2). *)
 
 (** {1 Direct API} (same operations the XRLs expose; examples/tests) *)
 

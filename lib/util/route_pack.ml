@@ -1,0 +1,78 @@
+(* Binary packing of IPv4 route lists for the bulk FEA XRLs
+   (fea/add_routes4 and fea/delete_routes4). A packed list rides in a
+   single binary XRL atom, so a whole RIB flush crosses the IPC
+   boundary as one marshalled call instead of one call per route. *)
+
+type add = {
+  net : Ipv4net.t;
+  nexthop : Ipv4.t;
+  ifname : string;
+  protocol : string;
+}
+
+let max_count = 1 lsl 20
+
+let put_str w s =
+  if String.length s > 0xFFFF then invalid_arg "Route_pack: string too long";
+  Wire.W.u16 w (String.length s);
+  Wire.W.bytes w s
+
+let get_str r =
+  let n = Wire.R.u16 r in
+  Wire.R.bytes r n
+
+let put_net w net =
+  Wire.W.ipv4 w (Ipv4net.network net);
+  Wire.W.u8 w (Ipv4net.prefix_len net)
+
+let get_net r =
+  let a = Wire.R.ipv4 r in
+  let l = Wire.R.u8 r in
+  if l > 32 then failwith "Route_pack: bad prefix length";
+  Ipv4net.make a l
+
+let pack_adds adds =
+  let n = List.length adds in
+  let w = Wire.W.create ~initial:(8 + (24 * n)) () in
+  Wire.W.u32 w n;
+  List.iter
+    (fun a ->
+       put_net w a.net;
+       Wire.W.ipv4 w a.nexthop;
+       put_str w a.ifname;
+       put_str w a.protocol)
+    adds;
+  Wire.W.contents w
+
+let pack_deletes nets =
+  let n = List.length nets in
+  let w = Wire.W.create ~initial:(8 + (5 * n)) () in
+  Wire.W.u32 w n;
+  List.iter (put_net w) nets;
+  Wire.W.contents w
+
+let unpack s decode_one =
+  try
+    let r = Wire.R.of_string s in
+    let n = Wire.R.u32 r in
+    if n > max_count then Error (Printf.sprintf "route list too long (%d)" n)
+    else begin
+      let out = ref [] in
+      for _ = 1 to n do out := decode_one r :: !out done;
+      if not (Wire.R.eof r) then Error "trailing bytes after route list"
+      else Ok (List.rev !out)
+    end
+  with
+  | Wire.Truncated -> Error "truncated route list"
+  | Failure msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let unpack_adds s =
+  unpack s (fun r ->
+      let net = get_net r in
+      let nexthop = Wire.R.ipv4 r in
+      let ifname = get_str r in
+      let protocol = get_str r in
+      { net; nexthop; ifname; protocol })
+
+let unpack_deletes s = unpack s get_net

@@ -1,0 +1,24 @@
+(** Binary packing of IPv4 route lists for the bulk FEA XRLs.
+
+    A packed list travels inside a single [binary] XRL atom, so a whole
+    flush of routes crosses the IPC boundary as one marshalled call.
+    Layout: 32-bit count, then per entry the network (address + prefix
+    length) and, for adds, the nexthop plus 16-bit length-prefixed
+    [ifname] and [protocol] strings. *)
+
+type add = {
+  net : Ipv4net.t;
+  nexthop : Ipv4.t;
+  ifname : string;
+  protocol : string;
+}
+
+val pack_adds : add list -> string
+val unpack_adds : string -> (add list, string) result
+
+val pack_deletes : Ipv4net.t list -> string
+val unpack_deletes : string -> (Ipv4net.t list, string) result
+
+val max_count : int
+(** Decode-side bound on the entry count (rejects absurd lengths before
+    allocating). *)

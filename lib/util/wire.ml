@@ -1,31 +1,74 @@
 exception Truncated
 
 module W = struct
-  type t = Buffer.t
+  (* Growable byte buffer with in-place patching. [Buffer.t] cannot
+     patch without a full copy (its storage is private), which made
+     length back-patching O(n); keeping our own [Bytes] makes
+     [patch_u16]/[patch_u32] O(1) and lets framing layers reserve a
+     header up front and fill it in after the payload is written. *)
+  type t = { mutable buf : Bytes.t; mutable len : int }
 
-  let create ?(initial = 64) () = Buffer.create initial
-  let u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+  let create ?(initial = 64) () =
+    { buf = Bytes.create (max initial 16); len = 0 }
 
-  let u16 b v =
-    u8 b (v lsr 8);
-    u8 b v
+  let reserve t n =
+    let needed = t.len + n in
+    let cap = Bytes.length t.buf in
+    if needed > cap then begin
+      let cap' = ref (cap * 2) in
+      while needed > !cap' do cap' := !cap' * 2 done;
+      let buf' = Bytes.create !cap' in
+      Bytes.blit t.buf 0 buf' 0 t.len;
+      t.buf <- buf'
+    end
 
-  let u32 b v =
-    u16 b (v lsr 16);
-    u16 b v
+  let u8 t v =
+    reserve t 1;
+    Bytes.unsafe_set t.buf t.len (Char.unsafe_chr (v land 0xFF));
+    t.len <- t.len + 1
 
-  let bytes = Buffer.add_string
-  let ipv4 b a = u32 b (Ipv4.to_int a)
-  let length = Buffer.length
-  let contents = Buffer.contents
+  let u16 t v =
+    reserve t 2;
+    Bytes.unsafe_set t.buf t.len (Char.unsafe_chr ((v lsr 8) land 0xFF));
+    Bytes.unsafe_set t.buf (t.len + 1) (Char.unsafe_chr (v land 0xFF));
+    t.len <- t.len + 2
 
-  let patch_u16 b off v =
-    if off < 0 || off + 2 > Buffer.length b then invalid_arg "Wire.W.patch_u16";
-    let s = Buffer.to_bytes b in
-    Bytes.set s off (Char.chr ((v lsr 8) land 0xFF));
-    Bytes.set s (off + 1) (Char.chr (v land 0xFF));
-    Buffer.clear b;
-    Buffer.add_bytes b s
+  let u32 t v =
+    reserve t 4;
+    Bytes.unsafe_set t.buf t.len (Char.unsafe_chr ((v lsr 24) land 0xFF));
+    Bytes.unsafe_set t.buf (t.len + 1) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+    Bytes.unsafe_set t.buf (t.len + 2) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+    Bytes.unsafe_set t.buf (t.len + 3) (Char.unsafe_chr (v land 0xFF));
+    t.len <- t.len + 4
+
+  let bytes t s =
+    let n = String.length s in
+    reserve t n;
+    Bytes.blit_string s 0 t.buf t.len n;
+    t.len <- t.len + n
+
+  let ipv4 t a = u32 t (Ipv4.to_int a)
+  let length t = t.len
+  let contents t = Bytes.sub_string t.buf 0 t.len
+
+  let patch_u16 t off v =
+    if off < 0 || off + 2 > t.len then invalid_arg "Wire.W.patch_u16";
+    Bytes.unsafe_set t.buf off (Char.unsafe_chr ((v lsr 8) land 0xFF));
+    Bytes.unsafe_set t.buf (off + 1) (Char.unsafe_chr (v land 0xFF))
+
+  let patch_u32 t off v =
+    if off < 0 || off + 4 > t.len then invalid_arg "Wire.W.patch_u32";
+    Bytes.unsafe_set t.buf off (Char.unsafe_chr ((v lsr 24) land 0xFF));
+    Bytes.unsafe_set t.buf (off + 1) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+    Bytes.unsafe_set t.buf (off + 2) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+    Bytes.unsafe_set t.buf (off + 3) (Char.unsafe_chr (v land 0xFF))
+
+  let clear t = t.len <- 0
+
+  let blit t ~dst ~dst_off =
+    if dst_off < 0 || dst_off + t.len > Bytes.length dst then
+      invalid_arg "Wire.W.blit";
+    Bytes.blit t.buf 0 dst dst_off t.len
 end
 
 module R = struct

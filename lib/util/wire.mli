@@ -1,8 +1,10 @@
 (** Big-endian byte-buffer readers and writers, used by all wire codecs
     (BGP and RIP packets, XRL marshaling).
 
-    Writers append to an internal growable buffer; readers consume a
-    [string] with strict bounds checking. *)
+    Writers append to an internal growable [Bytes] buffer and support
+    O(1) in-place patching of already-written fields (length fields
+    written before the body is known); readers consume a [string] with
+    strict bounds checking. *)
 
 exception Truncated
 (** Raised by readers when the input runs out before a field ends. *)
@@ -23,8 +25,20 @@ module W : sig
 
   val patch_u16 : t -> int -> int -> unit
   (** [patch_u16 w off v] overwrites the 16-bit field at byte offset
-      [off], used for length fields written before the body is known.
+      [off] in place (O(1)), used for length fields written before the
+      body is known.
       @raise Invalid_argument if out of range. *)
+
+  val patch_u32 : t -> int -> int -> unit
+  (** 32-bit variant of {!patch_u16}; used by frame headers. *)
+
+  val clear : t -> unit
+  (** Reset to empty, keeping the underlying storage for reuse. *)
+
+  val blit : t -> dst:Bytes.t -> dst_off:int -> unit
+  (** Copy the written bytes into [dst] at [dst_off] without building
+      an intermediate string.
+      @raise Invalid_argument if [dst] is too small. *)
 end
 
 module R : sig

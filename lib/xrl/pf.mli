@@ -9,8 +9,19 @@ type dispatch = Xrl.t -> (Xrl_error.t -> Xrl_atom.t list -> unit) -> unit
 (** The receiving component's demultiplexer: the callback must be
     invoked exactly once per request with the outcome. *)
 
+type reply_cb = Xrl_error.t -> Xrl_atom.t list -> unit
+
 type sender = {
-  send_req : Xrl.t -> (Xrl_error.t -> Xrl_atom.t list -> unit) -> unit;
+  send_req : Xrl.t -> reply_cb -> unit;
+  send_batch : ((Xrl.t * reply_cb) list -> unit) option;
+  (** Transport-level coalescing: send many requests as one
+      {!Xrl_wire.Batch} frame. Each request keeps its own sequence
+      number and callback — replies and errors stay per-request, and
+      FIFO order within the batch is preserved. [None] for families
+      where frame boundaries are free (intra-process) or that
+      deliberately do not pipeline (UDP, the paper's early prototype).
+      {!Xrl_router} coalesces same-destination sends within one
+      event-loop turn onto this path when present. *)
   close_sender : unit -> unit;
   family_of_sender : string;
 }

@@ -18,16 +18,21 @@ let parse_address address =
 
 let make_sender _loop address : Pf.sender =
   let id = parse_address address in
+  (* Metric handle resolved once per sender, not per call. *)
+  let calls = Telemetry.counter "xrl.intra.calls" in
   let send_req xrl cb =
-    if Telemetry.is_enabled () then
-      Telemetry.incr (Telemetry.counter "xrl.intra.calls");
+    if Telemetry.is_enabled () then Telemetry.incr calls;
     (* Looked up per call: the receiver may have shut down since the
        sender was created. *)
     match Hashtbl.find_opt registry id with
     | Some dispatch -> dispatch xrl cb
     | None -> cb (Xrl_error.Send_failed ("intra target gone: " ^ address)) []
   in
-  { send_req; close_sender = (fun () -> ()); family_of_sender = "x-intra" }
+  (* No send_batch: calls are direct function invocations, so there is
+     no frame boundary to amortize — and deferring them would break the
+     family's synchronous dispatch. *)
+  { send_req; send_batch = None; close_sender = (fun () -> ());
+    family_of_sender = "x-intra" }
 
 let family : Pf.family =
   { family_name = "x-intra"; make_listener; make_sender }

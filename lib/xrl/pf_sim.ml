@@ -30,6 +30,9 @@ let make_listener netsim ~local_addr _loop (dispatch : Pf.dispatch) :
                   if Netsim.Stream.is_open ep then
                     Netsim.Stream.send ep
                       (Xrl_wire.encode (Xrl_wire.Reply { seq; error; args })))
+            | Ok (Xrl_wire.Batch _) ->
+              (* Sim senders never batch (send_batch = None). *)
+              Log.warn (fun m -> m "unexpected batched frame")
             | Ok (Xrl_wire.Reply _) ->
               Log.warn (fun m -> m "listener got a stray reply")
             | Error msg -> Log.warn (fun m -> m "undecodable request: %s" msg)))
@@ -59,9 +62,9 @@ let make_sender netsim ~local_addr _loop address : Pf.sender =
     Queue.iter (fun (_, cb) -> cb (Xrl_error.Send_failed reason) []) st.pending;
     Queue.clear st.pending
   in
+  let requests_tx = Telemetry.counter "xrl.sim.requests_tx" in
   let transmit ep xrl cb =
-    if Telemetry.is_enabled () then
-      Telemetry.incr (Telemetry.counter "xrl.sim.requests_tx");
+    if Telemetry.is_enabled () then Telemetry.incr requests_tx;
     st.seq <- st.seq + 1;
     Hashtbl.replace st.outstanding st.seq cb;
     Netsim.Stream.send ep (Xrl_wire.encode (Xrl_wire.Request { seq = st.seq; xrl }))
@@ -74,6 +77,8 @@ let make_sender netsim ~local_addr _loop address : Pf.sender =
          Hashtbl.remove st.outstanding seq;
          cb error args
        | None -> Log.warn (fun m -> m "reply for unknown seq %d" seq))
+    | Ok (Xrl_wire.Batch _) ->
+      Log.warn (fun m -> m "unexpected batched reply")
     | Ok (Xrl_wire.Request _) -> Log.warn (fun m -> m "sender got a request")
     | Error msg -> Log.warn (fun m -> m "undecodable reply: %s" msg)
   in
@@ -108,7 +113,7 @@ let make_sender netsim ~local_addr _loop address : Pf.sender =
     st.ep <- None;
     fail_all "sender closed"
   in
-  { send_req; close_sender; family_of_sender = "sim" }
+  { send_req; send_batch = None; close_sender; family_of_sender = "sim" }
 
 let family netsim ~local_addr : Pf.family =
   {

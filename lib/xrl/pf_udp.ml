@@ -5,11 +5,14 @@ module Log = (val Logs.src_log src : Logs.LOG)
 let request_timeout = 3.0
 let max_dgram = 65000
 
-let count_bytes name n =
-  if Telemetry.is_enabled () then Telemetry.add (Telemetry.counter name) n
+(* Metric handles resolved once at module load, not per call. *)
+let c_bytes_rx = Telemetry.counter "xrl.udp.bytes_rx"
+let c_bytes_tx = Telemetry.counter "xrl.udp.bytes_tx"
+let c_requests_rx = Telemetry.counter "xrl.udp.requests_rx"
+let c_requests_tx = Telemetry.counter "xrl.udp.requests_tx"
 
-let count name =
-  if Telemetry.is_enabled () then Telemetry.incr (Telemetry.counter name)
+let count_bytes c n = if Telemetry.is_enabled () then Telemetry.add c n
+let count c = if Telemetry.is_enabled () then Telemetry.incr c
 
 let require_real loop what =
   if Eventloop.mode loop <> `Real then
@@ -26,24 +29,51 @@ let make_listener loop (dispatch : Pf.dispatch) : Pf.listener =
     | _ -> assert false
   in
   let buf = Bytes.create max_dgram in
+  let send_to peer msg =
+    let reply = Xrl_wire.encode msg in
+    count_bytes c_bytes_tx (String.length reply);
+    try
+      ignore
+        (Unix.sendto fd (Bytes.of_string reply) 0 (String.length reply) []
+           peer)
+    with Unix.Unix_error _ -> ()
+  in
+  let serve_request peer ?gather seq xrl =
+    count c_requests_rx;
+    dispatch xrl (fun error args ->
+        let reply = Xrl_wire.Reply { seq; error; args } in
+        match gather with
+        | Some acc when !acc <> None -> acc := Some (reply :: Option.get !acc)
+        | _ -> send_to peer reply)
+  in
   let readable () =
     let rec drain () =
       match Unix.recvfrom fd buf 0 max_dgram [] with
       | n, peer ->
-        count_bytes "xrl.udp.bytes_rx" n;
+        count_bytes c_bytes_rx n;
         (match Xrl_wire.decode (Bytes.sub_string buf 0 n) with
-         | Ok (Xrl_wire.Request { seq; xrl }) ->
-           count "xrl.udp.requests_rx";
-           dispatch xrl (fun error args ->
-               let reply =
-                 Xrl_wire.encode (Xrl_wire.Reply { seq; error; args })
-               in
-               count_bytes "xrl.udp.bytes_tx" (String.length reply);
-               try
-                 ignore
-                   (Unix.sendto fd (Bytes.of_string reply) 0
-                      (String.length reply) [] peer)
-               with Unix.Unix_error _ -> ())
+         | Ok (Xrl_wire.Request { seq; xrl }) -> serve_request peer seq xrl
+         | Ok (Xrl_wire.Batch msgs) ->
+           (* Batched requests are answered in one datagram where the
+              replies complete synchronously; late replies fall back to
+              a datagram each. Errors stay per-request. *)
+           let acc = ref (Some []) in
+           List.iter
+             (fun m ->
+                match m with
+                | Xrl_wire.Request { seq; xrl } ->
+                  serve_request peer ~gather:acc seq xrl
+                | Xrl_wire.Reply _ | Xrl_wire.Batch _ ->
+                  Log.warn (fun m -> m "non-request inside a batch"))
+             msgs;
+           (match !acc with
+            | Some gathered ->
+              acc := None;
+              (match List.rev gathered with
+               | [] -> ()
+               | [ one ] -> send_to peer one
+               | many -> send_to peer (Xrl_wire.Batch many))
+            | None -> ())
          | Ok (Xrl_wire.Reply _) ->
            Log.warn (fun m -> m "listener got a stray reply")
          | Error msg -> Log.warn (fun m -> m "undecodable request: %s" msg));
@@ -98,8 +128,8 @@ let make_sender loop address : Pf.sender =
         incr seq;
         let this_seq = !seq in
         let payload = Xrl_wire.encode (Xrl_wire.Request { seq = this_seq; xrl }) in
-        count "xrl.udp.requests_tx";
-        count_bytes "xrl.udp.bytes_tx" (String.length payload);
+        count c_requests_tx;
+        count_bytes c_bytes_tx (String.length payload);
         (match
            Unix.sendto fd (Bytes.of_string payload) 0 (String.length payload)
              [] dest
@@ -123,7 +153,7 @@ let make_sender loop address : Pf.sender =
     let rec drain () =
       match Unix.recvfrom fd buf 0 max_dgram [] with
       | n, _ ->
-        count_bytes "xrl.udp.bytes_rx" n;
+        count_bytes c_bytes_rx n;
         (match Xrl_wire.decode (Bytes.sub_string buf 0 n) with
          | Ok (Xrl_wire.Reply { seq = rseq; error; args }) ->
            (match !inflight with
@@ -133,6 +163,10 @@ let make_sender loop address : Pf.sender =
               f.if_cb error args;
               send_next ()
             | _ -> Log.warn (fun m -> m "reply for unknown seq %d" rseq))
+         | Ok (Xrl_wire.Batch _) ->
+           (* This sender never batches (window 1, the paper's early
+              prototype), so a batched reply cannot match anything. *)
+           Log.warn (fun m -> m "unexpected batched reply")
          | Ok (Xrl_wire.Request _) ->
            Log.warn (fun m -> m "sender got a request")
          | Error msg -> Log.warn (fun m -> m "undecodable reply: %s" msg));
@@ -165,6 +199,8 @@ let make_sender loop address : Pf.sender =
       Queue.clear queue
     end
   in
-  { send_req; close_sender; family_of_sender = "sudp" }
+  (* Deliberately no send_batch: UDP is kept as the paper's
+     unpipelined early prototype to preserve the fig9 comparison. *)
+  { send_req; send_batch = None; close_sender; family_of_sender = "sudp" }
 
 let family : Pf.family = { family_name = "sudp"; make_listener; make_sender }

@@ -107,19 +107,38 @@ let handle_writable t () =
       Eventloop.remove_writer t.loop t.fd
     end
 
+let enqueue t framed =
+  Queue.push framed t.outq;
+  t.out_bytes <- t.out_bytes + String.length framed;
+  if not (flush t) && t.opened && not t.writer_armed then begin
+    t.writer_armed <- true;
+    Eventloop.add_writer t.loop t.fd (fun () -> handle_writable t ())
+  end
+
 let send_frame t payload =
   if t.opened then begin
     let len = String.length payload in
     let hdr =
       String.init 4 (fun i -> Char.chr ((len lsr (8 * (3 - i))) land 0xFF))
     in
-    Queue.push (hdr ^ payload) t.outq;
-    t.out_bytes <- t.out_bytes + len + 4;
-    if not (flush t) && t.opened && not t.writer_armed then begin
-      t.writer_armed <- true;
-      Eventloop.add_writer t.loop t.fd (fun () -> handle_writable t ())
-    end
+    enqueue t (hdr ^ payload)
   end
+
+(* Encode straight into the output path: the 4-byte length header is
+   reserved up front and patched once the payload is written, so the
+   frame is built in a single buffer — no payload string, no header
+   string, no concatenation. *)
+let send_frame_into t encode =
+  if t.opened then begin
+    let w = Wire.W.create ~initial:256 () in
+    Wire.W.u32 w 0;
+    encode w;
+    let payload_len = Wire.W.length w - 4 in
+    Wire.W.patch_u32 w 0 payload_len;
+    enqueue t (Wire.W.contents w);
+    payload_len
+  end
+  else 0
 
 let attach loop fd ~on_frame ~on_close =
   Unix.set_nonblock fd;

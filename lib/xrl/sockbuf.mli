@@ -18,6 +18,13 @@ val send_frame : t -> string -> unit
 (** Queue a frame; writes are flushed opportunistically and the rest
     drains via writability callbacks. Silently dropped when closed. *)
 
+val send_frame_into : t -> (Wire.W.t -> unit) -> int
+(** [send_frame_into t encode] reserves the 4-byte length header,
+    runs [encode] against the output writer, and patches the header in
+    place — the frame is built in one buffer with no intermediate
+    payload string or concatenation. Returns the payload length queued
+    (telemetry); dropped with return [0] when closed. *)
+
 val close : t -> unit
 (** Idempotent; deregisters callbacks and closes the descriptor. *)
 

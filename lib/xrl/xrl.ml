@@ -66,7 +66,9 @@ let of_text s =
      | xrl -> Ok xrl
      | exception Invalid_argument msg -> Error msg)
 
-let method_id t = Printf.sprintf "%s/%s/%s" t.interface t.version t.method_name
+(* Hot path (resolution-cache key on every send): plain concatenation,
+   no format-string interpretation. *)
+let method_id t = t.interface ^ "/" ^ t.version ^ "/" ^ t.method_name
 let is_resolved t = t.protocol <> "finder"
 
 let equal a b =

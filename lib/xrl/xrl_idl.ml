@@ -157,6 +157,12 @@ let fea_interface =
             arg ~optional:true "ifname" A_txt;
             arg ~optional:true "protocol" A_txt ];
       meth "delete_route4" ~args:[ arg "net" A_ipv4net ];
+      (* Bulk variants: many routes per call, packed with Route_pack.
+         The u32 return is the number of routes applied. *)
+      meth "add_routes4" ~args:[ arg "routes" A_binary ]
+        ~returns:[ arg "count" A_u32 ];
+      meth "delete_routes4" ~args:[ arg "routes" A_binary ]
+        ~returns:[ arg "count" A_u32 ];
       meth "lookup_route4" ~args:[ arg "addr" A_ipv4 ]
         ~returns:[ arg "net" A_ipv4net; arg "nexthop" A_ipv4; arg "ifname" A_txt ];
       meth "get_fib_size" ~returns:[ arg "size" A_u32 ];

@@ -7,22 +7,39 @@ type handler =
 
 type method_entry = { key : string; handler : handler }
 
+(* One per (family, address) destination. Telemetry handles are
+   resolved once here instead of per reply, and the batch queue
+   collects sends made within one event-loop turn so transports that
+   support it (TCP) can ship them as a single frame. *)
+type sender_entry = {
+  sender : Pf.sender;
+  calls : Telemetry.counter;
+  rtt : Telemetry.Histogram.t;
+  batchq : (Xrl.t * Pf.reply_cb) Queue.t;
+  mutable flush_armed : bool;
+}
+
 type t = {
   loop : Eventloop.t;
   fndr : Finder.t;
   cls : string;
   families : Pf.family list;
   family_pref : string list;
+  batching : bool;
   target : Finder.target;
   methods : (string, method_entry) Hashtbl.t; (* method_id -> entry *)
   listeners : Pf.listener list;
-  senders : (string, Pf.sender) Hashtbl.t; (* family ^ "|" ^ address *)
+  senders : (string, sender_entry) Hashtbl.t; (* family ^ "|" ^ address *)
   rcache : (string, Finder.resolved) Hashtbl.t; (* target ^ "|" ^ method_id *)
   mutable pending : int;
   mutable live : bool;
 }
 
 let default_pref = [ "x-intra"; "stcp"; "sudp" ]
+
+(* Xrl_wire caps a batch's element count at a u16; stay well under it
+   so a pathological turn still produces sane frame sizes. *)
+let max_batch_chunk = 4096
 
 let split_keyed_method name =
   match String.rindex_opt name '@' with
@@ -34,20 +51,31 @@ let split_keyed_method name =
 (* The trace context rides in a reserved argument (appended by [send]
    below). Peel it off before the handler — and before any IDL arg
    checking — sees the call, and make it the ambient context for the
-   handler's duration so spans opened inside join the caller's trace. *)
+   handler's duration so spans opened inside join the caller's trace.
+   The common case (no trace arg) must not allocate: check with
+   [List.exists] before partitioning. *)
 let split_trace_arg args =
   let tname = Telemetry.Trace.trace_atom_name in
-  match
-    List.partition (fun (a : Xrl_atom.t) -> a.Xrl_atom.name = tname) args
-  with
-  | [ { Xrl_atom.value = Xrl_atom.Txt s; _ } ], rest ->
-    (Telemetry.Trace.ctx_of_string s, rest)
-  | _, rest -> (None, rest)
+  if not (List.exists (fun (a : Xrl_atom.t) -> a.Xrl_atom.name = tname) args)
+  then (None, args)
+  else
+    match
+      List.partition (fun (a : Xrl_atom.t) -> a.Xrl_atom.name = tname) args
+    with
+    | [ { Xrl_atom.value = Xrl_atom.Txt s; _ } ], rest ->
+      (Telemetry.Trace.ctx_of_string s, rest)
+    | _, rest -> (None, rest)
+
+let method_id_of ~interface ~version ~name =
+  interface ^ "/" ^ version ^ "/" ^ name
 
 let dispatch_of t : Pf.dispatch =
   fun xrl reply ->
   let base, key = split_keyed_method xrl.Xrl.method_name in
-  let mid = Printf.sprintf "%s/%s/%s" xrl.Xrl.interface xrl.Xrl.version base in
+  let mid =
+    method_id_of ~interface:xrl.Xrl.interface ~version:xrl.Xrl.version
+      ~name:base
+  in
   match Hashtbl.find_opt t.methods mid with
   | None -> reply (Xrl_error.No_such_method mid) []
   | Some entry ->
@@ -69,8 +97,42 @@ let dispatch_of t : Pf.dispatch =
         reply (Xrl_error.Internal_error (Printexc.to_string exn)) []
     end
 
+(* Does resolution-cache key [ckey] (target ^ "|" ^ method_id) point at
+   class [cls]? The target half is either a class name or an instance
+   name [cls ^ "-" ^ digits]. *)
+let ckey_targets_class ckey cls =
+  let tlen =
+    match String.index_opt ckey '|' with
+    | Some i -> i
+    | None -> String.length ckey
+  in
+  let clen = String.length cls in
+  if tlen = clen then String.sub ckey 0 tlen = cls
+  else if tlen > clen + 1 && ckey.[clen] = '-' then begin
+    let rec digits i = i >= tlen || (ckey.[i] >= '0' && ckey.[i] <= '9' && digits (i + 1)) in
+    String.sub ckey 0 clen = cls && digits (clen + 1)
+  end
+  else false
+
+let invalidate_class t cls =
+  (* A registration change to our own class can change the key of any
+     method we might call through ourselves; also, ACL changes arrive
+     attributed to the restricted caller class. Cheapest safe answer
+     for both: drop everything. For any other class, only its own
+     cached resolutions can be stale. *)
+  if cls = t.cls then Hashtbl.reset t.rcache
+  else begin
+    let stale =
+      Hashtbl.fold
+        (fun ckey _ acc ->
+           if ckey_targets_class ckey cls then ckey :: acc else acc)
+        t.rcache []
+    in
+    List.iter (Hashtbl.remove t.rcache) stale
+  end
+
 let create ?(families = [ Pf_intra.family ]) ?(family_pref = default_pref)
-    fndr loop ~class_name ?(sole = false) () =
+    ?(batching = true) fndr loop ~class_name ?(sole = false) () =
   let rec t =
     lazy
       (let listeners =
@@ -93,26 +155,24 @@ let create ?(families = [ Pf_intra.family ]) ?(family_pref = default_pref)
            List.iter (fun (l : Pf.listener) -> l.shutdown ()) listeners;
            failwith ("Xrl_router.create: " ^ msg)
        in
-       { loop; fndr; cls = class_name; families; family_pref; target;
-         methods = Hashtbl.create 32; listeners;
+       { loop; fndr; cls = class_name; families; family_pref; batching;
+         target; methods = Hashtbl.create 32; listeners;
          senders = Hashtbl.create 8; rcache = Hashtbl.create 64;
          pending = 0; live = true })
   in
   let t = Lazy.force t in
-  (* Any registration change anywhere may invalidate cached
-     resolutions; resolution is cheap, so we drop the whole cache. *)
-  Finder.on_invalidate fndr (fun _cls -> Hashtbl.reset t.rcache);
+  Finder.on_invalidate fndr (fun cls -> invalidate_class t cls);
   t
 
 let add_handler t ~interface ?(version = "1.0") ~method_name handler =
-  let mid = Printf.sprintf "%s/%s/%s" interface version method_name in
+  let mid = method_id_of ~interface ~version ~name:method_name in
   let key = Finder.register_method t.fndr t.target ~method_id:mid in
   Hashtbl.replace t.methods mid { key; handler }
 
 let sender_for t (resolved : Finder.resolved) =
   let skey = resolved.family ^ "|" ^ resolved.address in
   match Hashtbl.find_opt t.senders skey with
-  | Some sender -> sender
+  | Some entry -> entry
   | None ->
     (match
        List.find_opt
@@ -122,8 +182,44 @@ let sender_for t (resolved : Finder.resolved) =
      | None -> invalid_arg ("no such protocol family: " ^ resolved.family)
      | Some fam ->
        let sender = fam.make_sender t.loop resolved.address in
-       Hashtbl.replace t.senders skey sender;
-       sender)
+       let entry =
+         { sender;
+           calls = Telemetry.counter ("xrl." ^ resolved.family ^ ".calls");
+           rtt = Telemetry.histogram ("xrl." ^ resolved.family ^ ".rtt_us");
+           batchq = Queue.create ();
+           flush_armed = false }
+       in
+       Hashtbl.replace t.senders skey entry;
+       entry)
+
+(* Ship everything queued for one destination. A single queued call
+   goes out on the ordinary path (identical wire bytes to an unbatched
+   sender); two or more become one batched frame, chunked to respect
+   the wire format's element-count cap. FIFO order is the queue's. *)
+let flush_entry t entry =
+  entry.flush_armed <- false;
+  if t.live then
+    match entry.sender.Pf.send_batch with
+    | None ->
+      Queue.iter (fun (xrl, cb) -> entry.sender.Pf.send_req xrl cb)
+        entry.batchq;
+      Queue.clear entry.batchq
+    | Some send_batch ->
+      let rec drain () =
+        match Queue.length entry.batchq with
+        | 0 -> ()
+        | 1 ->
+          let xrl, cb = Queue.pop entry.batchq in
+          entry.sender.Pf.send_req xrl cb
+        | n ->
+          let take = min n max_batch_chunk in
+          let items =
+            List.init take (fun _ -> Queue.pop entry.batchq)
+          in
+          send_batch items;
+          drain ()
+      in
+      drain ()
 
 let send t (xrl : Xrl.t) cb =
   if not t.live then cb (Xrl_error.Send_failed "router shut down") []
@@ -171,21 +267,30 @@ let send t (xrl : Xrl.t) cb =
                    method_name = r.keyed_method; args = wire_args }
       in
       (match sender_for t r with
-       | sender ->
+       | entry ->
          t.pending <- t.pending + 1;
          let t0 =
            if Telemetry.is_enabled () then Unix.gettimeofday () else nan
          in
-         sender.send_req wire_xrl (fun err args ->
-             t.pending <- t.pending - 1;
-             if not (Float.is_nan t0) then begin
-               Telemetry.incr
-                 (Telemetry.counter ("xrl." ^ r.family ^ ".calls"));
-               Telemetry.observe
-                 (Telemetry.histogram ("xrl." ^ r.family ^ ".rtt_us"))
-                 ((Unix.gettimeofday () -. t0) *. 1e6)
-             end;
-             Telemetry.Trace.with_ctx ctx (fun () -> cb err args))
+         let wrapped err args =
+           t.pending <- t.pending - 1;
+           if not (Float.is_nan t0) then begin
+             Telemetry.incr entry.calls;
+             Telemetry.observe entry.rtt
+               ((Unix.gettimeofday () -. t0) *. 1e6)
+           end;
+           Telemetry.Trace.with_ctx ctx (fun () -> cb err args)
+         in
+         if t.batching && entry.sender.Pf.send_batch <> None then begin
+           (* Coalesce: everything queued for this destination within
+              the current event-loop turn leaves as one frame. *)
+           Queue.push (wire_xrl, wrapped) entry.batchq;
+           if not entry.flush_armed then begin
+             entry.flush_armed <- true;
+             Eventloop.defer t.loop (fun () -> flush_entry t entry)
+           end
+         end
+         else entry.sender.Pf.send_req wire_xrl wrapped
        | exception Invalid_argument msg -> cb (Xrl_error.Send_failed msg) [])
   end
 
@@ -208,7 +313,16 @@ let shutdown t =
     t.live <- false;
     Finder.unregister_target t.fndr t.target;
     List.iter (fun (l : Pf.listener) -> l.shutdown ()) t.listeners;
-    Hashtbl.iter (fun _ (s : Pf.sender) -> s.close_sender ()) t.senders;
+    Hashtbl.iter
+      (fun _ (e : sender_entry) ->
+         (* Queued-but-unflushed sends get an explicit failure; their
+            deferred flush will find [live = false] and do nothing. *)
+         Queue.iter
+           (fun (_, cb) -> cb (Xrl_error.Send_failed "router shut down") [])
+           e.batchq;
+         Queue.clear e.batchq;
+         e.sender.Pf.close_sender ())
+      t.senders;
     Hashtbl.reset t.senders;
     Hashtbl.reset t.rcache
   end

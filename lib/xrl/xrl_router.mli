@@ -18,13 +18,18 @@ type handler =
     {!Xrl_atom.Bad_args} replies with a [Bad_args] error. *)
 
 val create :
-  ?families:Pf.family list -> ?family_pref:string list ->
+  ?families:Pf.family list -> ?family_pref:string list -> ?batching:bool ->
   Finder.t -> Eventloop.t -> class_name:string -> ?sole:bool -> unit -> t
 (** Create a component endpoint of class [class_name]. [families]
     (default: intra-process only) selects which transport listeners to
     instantiate; TCP/UDP families require a [`Real]-mode loop.
     [family_pref] (default intra, then TCP, then UDP) orders transport
-    choice when sending.
+    choice when sending. [batching] (default [true]) coalesces sends
+    to the same destination made within one event-loop turn into a
+    single batched frame, on transports that support it (TCP); each
+    request in a batch keeps its own reply and error, and per-
+    destination FIFO order is preserved. Pass [false] to force a frame
+    per request (e.g. for latency measurements of the unbatched path).
     @raise Failure if [sole] is set and the class is already live. *)
 
 val add_handler :

@@ -1,12 +1,15 @@
 type message =
   | Request of { seq : int; xrl : Xrl.t }
   | Reply of { seq : int; error : Xrl_error.t; args : Xrl_atom.t list }
+  | Batch of message list
 
 let magic0 = Char.code 'X'
 let magic1 = Char.code 'O'
 let version = 1
 let kind_request = 0
 let kind_reply = 1
+let kind_batch = 2
+let max_batch = 0xFFFF
 
 let put_str w s =
   if String.length s > 0xFFFF then invalid_arg "Xrl_wire: string too long";
@@ -96,33 +99,72 @@ let decode_atoms r =
       let value = decode_value r in
       Xrl_atom.make name value)
 
-let encode msg =
-  let w = Wire.W.create ~initial:128 () in
+(* A sub-message body: kind byte, sequence number, kind-specific
+   payload. Top-level Request/Reply frames and the elements of a Batch
+   frame share this layout. *)
+let encode_body w = function
+  | Request { seq; xrl } ->
+    Wire.W.u8 w kind_request;
+    Wire.W.u32 w seq;
+    put_str w xrl.Xrl.protocol;
+    put_str w xrl.Xrl.target;
+    put_str w xrl.Xrl.interface;
+    put_str w xrl.Xrl.version;
+    put_str w xrl.Xrl.method_name;
+    encode_atoms w xrl.Xrl.args
+  | Reply { seq; error; args } ->
+    Wire.W.u8 w kind_reply;
+    Wire.W.u32 w seq;
+    Wire.W.u16 w (Xrl_error.code error);
+    put_str w
+      (match error with
+       | Ok_xrl -> ""
+       | Resolve_failed s | No_such_method s | Bad_args s
+       | Command_failed s | Send_failed s | Reply_timed_out s
+       | Internal_error s -> s);
+    encode_atoms w args
+  | Batch _ -> invalid_arg "Xrl_wire: batches do not nest"
+
+let encode_into w msg =
   Wire.W.u8 w magic0;
   Wire.W.u8 w magic1;
   Wire.W.u8 w version;
-  (match msg with
-   | Request { seq; xrl } ->
-     Wire.W.u8 w kind_request;
-     Wire.W.u32 w seq;
-     put_str w xrl.Xrl.protocol;
-     put_str w xrl.Xrl.target;
-     put_str w xrl.Xrl.interface;
-     put_str w xrl.Xrl.version;
-     put_str w xrl.Xrl.method_name;
-     encode_atoms w xrl.Xrl.args
-   | Reply { seq; error; args } ->
-     Wire.W.u8 w kind_reply;
-     Wire.W.u32 w seq;
-     Wire.W.u16 w (Xrl_error.code error);
-     put_str w
-       (match error with
-        | Ok_xrl -> ""
-        | Resolve_failed s | No_such_method s | Bad_args s
-        | Command_failed s | Send_failed s | Reply_timed_out s
-        | Internal_error s -> s);
-     encode_atoms w args);
+  match msg with
+  | Batch msgs ->
+    let n = List.length msgs in
+    if n > max_batch then invalid_arg "Xrl_wire: batch too long";
+    Wire.W.u8 w kind_batch;
+    Wire.W.u16 w n;
+    List.iter (encode_body w) msgs
+  | (Request _ | Reply _) as m -> encode_body w m
+
+let encode msg =
+  let w = Wire.W.create ~initial:128 () in
+  encode_into w msg;
   Wire.W.contents w
+
+let decode_body r kind =
+  let seq = Wire.R.u32 r in
+  if kind = kind_request then begin
+    let protocol = get_str r in
+    let target = get_str r in
+    let interface = get_str r in
+    let ver = get_str r in
+    let method_name = get_str r in
+    let args = decode_atoms r in
+    Request
+      { seq;
+        xrl =
+          Xrl.make ~protocol ~target ~interface ~version:ver ~method_name
+            args }
+  end
+  else if kind = kind_reply then begin
+    let ecode = Wire.R.u16 r in
+    let note = get_str r in
+    let args = decode_atoms r in
+    Reply { seq; error = Xrl_error.of_code ecode note; args }
+  end
+  else failwith (Printf.sprintf "Xrl_wire: unknown message kind %d" kind)
 
 let decode s =
   try
@@ -130,30 +172,18 @@ let decode s =
     if Wire.R.u8 r <> magic0 || Wire.R.u8 r <> magic1 then
       Error "bad magic"
     else if Wire.R.u8 r <> version then Error "unsupported version"
-    else
+    else begin
       let kind = Wire.R.u8 r in
-      let seq = Wire.R.u32 r in
-      if kind = kind_request then begin
-        let protocol = get_str r in
-        let target = get_str r in
-        let interface = get_str r in
-        let ver = get_str r in
-        let method_name = get_str r in
-        let args = decode_atoms r in
+      if kind = kind_batch then begin
+        let n = Wire.R.u16 r in
         Ok
-          (Request
-             { seq;
-               xrl =
-                 Xrl.make ~protocol ~target ~interface ~version:ver
-                   ~method_name args })
+          (Batch
+             (List.init n (fun _ ->
+                  let kind = Wire.R.u8 r in
+                  decode_body r kind)))
       end
-      else if kind = kind_reply then begin
-        let ecode = Wire.R.u16 r in
-        let note = get_str r in
-        let args = decode_atoms r in
-        Ok (Reply { seq; error = Xrl_error.of_code ecode note; args })
-      end
-      else Error (Printf.sprintf "unknown message kind %d" kind)
+      else Ok (decode_body r kind)
+    end
   with
   | Wire.Truncated -> Error "truncated message"
   | Failure msg -> Error msg

@@ -7,9 +7,12 @@
     (TCP framing adds a 4-byte length prefix; UDP datagrams are
     self-delimiting).
 
-    Layout: 2-byte magic ["XO"], 1-byte version, 1-byte kind, 4-byte
-    sequence number, then kind-specific payload with 16-bit
-    length-prefixed strings and typed atoms. *)
+    Layout: 2-byte magic ["XO"], 1-byte version, 1-byte kind, then a
+    kind-specific payload with 16-bit length-prefixed strings and typed
+    atoms. Requests and replies carry a 4-byte sequence number. A
+    {!Batch} frame carries a 16-bit count followed by that many
+    request/reply bodies — the transport-level coalescing of §8.1's
+    "one marshalled call per route" cost; batches do not nest. *)
 
 type message =
   | Request of { seq : int; xrl : Xrl.t }
@@ -18,8 +21,21 @@ type message =
       error : Xrl_error.t;
       args : Xrl_atom.t list;
     }
+  | Batch of message list
+      (** Many requests and/or replies in one frame. Each element keeps
+          its own sequence number, so replies (and errors) stay
+          per-request. *)
 
 val encode : message -> string
+
+val encode_into : Wire.W.t -> message -> unit
+(** Encode directly into an existing writer — used with
+    {!Sockbuf.send_frame_into} to build header and payload in one
+    buffer with no intermediate string.
+    @raise Invalid_argument on a nested or over-long batch. *)
+
+val max_batch : int
+(** Maximum number of sub-messages in one batch frame (65535). *)
 
 val decode : string -> (message, string) result
 (** Decodes one complete message; [Error] on malformed or truncated

@@ -403,6 +403,63 @@ let test_profile_pipeline_order () =
     [ Rib.pp_queued_fea; Rib.pp_sent_fea; Fea.pp_arrived; Fea.pp_kernel ]
     points
 
+(* --- bulk FEA transfer ------------------------------------------------- *)
+
+let test_bulk_fea_install () =
+  (* Many routes originated within one event-loop turn must reach the
+     FEA — via the bulk add_routes4 path — and land in the FIB exactly
+     as if they had been sent one XRL each. *)
+  let loop = Eventloop.create () in
+  let finder = Finder.create () in
+  let profiler = Profiler.create loop in
+  let fea = Fea.create ~profiler finder loop () in
+  let rib = Rib.create ~profiler finder loop () in
+  Profiler.enable_all profiler;
+  let n = 64 in
+  for i = 0 to n - 1 do
+    add rib ~protocol:"static"
+      (Printf.sprintf "10.%d.%d.0/24" (i / 256) (i mod 256))
+      "192.0.2.1"
+  done;
+  Eventloop.run loop;
+  check Alcotest.int "all installed" n (Fib.size (Fea.fib fea));
+  check Alcotest.int "installed counter" n (Fea.routes_installed fea);
+  (* Per-route profile points survive bulk transfer: every route shows
+     the full queued -> sent -> arrived -> kernel pipeline. *)
+  let count point =
+    List.length
+      (List.filter
+         (fun r -> r.Profiler.point = point)
+         (Profiler.all_records profiler))
+  in
+  check Alcotest.int "queued points" n (count Rib.pp_queued_fea);
+  check Alcotest.int "sent points" n (count Rib.pp_sent_fea);
+  check Alcotest.int "arrived points" n (count Fea.pp_arrived);
+  check Alcotest.int "kernel points" n (count Fea.pp_kernel);
+  (* And bulk deletion drains the FIB the same way. *)
+  for i = 0 to n - 1 do
+    del rib ~protocol:"static"
+      (Printf.sprintf "10.%d.%d.0/24" (i / 256) (i mod 256))
+  done;
+  Eventloop.run loop;
+  check Alcotest.int "all removed" 0 (Fib.size (Fea.fib fea))
+
+let test_bulk_fea_preserves_add_delete_order () =
+  (* An add/delete alternation on the same prefix within one turn must
+     reach the FIB in sequence (runs are flushed in order). *)
+  let loop = Eventloop.create () in
+  let finder = Finder.create () in
+  let fea = Fea.create finder loop () in
+  let rib = Rib.create finder loop () in
+  add rib ~protocol:"static" "10.0.0.0/8" "192.0.2.1";
+  add rib ~protocol:"static" "10.1.0.0/16" "192.0.2.1";
+  del rib ~protocol:"static" "10.0.0.0/8";
+  add rib ~protocol:"static" "10.2.0.0/16" "192.0.2.1";
+  Eventloop.run loop;
+  check Alcotest.int "net FIB size" 2 (Fib.size (Fea.fib fea));
+  check Alcotest.bool "10.0.0.0/8 gone" true
+    (Fib.lookup (Fea.fib fea) (addr "10.200.0.1") = None)
+
 let () =
   Alcotest.run "xorp_rib"
     [
@@ -445,5 +502,12 @@ let () =
         [
           Alcotest.test_case "pipeline point order" `Quick
             test_profile_pipeline_order;
+        ] );
+      ( "bulk_fea",
+        [
+          Alcotest.test_case "bulk install and delete" `Quick
+            test_bulk_fea_install;
+          Alcotest.test_case "add/delete order preserved" `Quick
+            test_bulk_fea_preserves_add_delete_order;
         ] );
     ]

@@ -153,6 +153,99 @@ let test_wire_patch () =
   let r = Wire.R.of_string (Wire.W.contents w) in
   check Alcotest.int "patched length" 5 (Wire.R.u16 r)
 
+(* Regression: patching a reserved slot must produce byte-for-byte the
+   output of streaming the final value directly — the old Buffer-based
+   writer rebuilt the whole buffer on patch (O(n) and easy to get
+   wrong); the Bytes writer patches in place. *)
+let test_wire_patch_equals_streamed () =
+  let patched = Wire.W.create () in
+  Wire.W.u8 patched 0x42;
+  Wire.W.u16 patched 0;
+  Wire.W.bytes patched "payload";
+  Wire.W.u32 patched 0;
+  Wire.W.bytes patched "tail";
+  Wire.W.patch_u16 patched 1 0xBEEF;
+  Wire.W.patch_u32 patched 10 0xCAFEBABE;
+  let streamed = Wire.W.create () in
+  Wire.W.u8 streamed 0x42;
+  Wire.W.u16 streamed 0xBEEF;
+  Wire.W.bytes streamed "payload";
+  Wire.W.u32 streamed 0xCAFEBABE;
+  Wire.W.bytes streamed "tail";
+  check Alcotest.string "patched = streamed"
+    (Wire.W.contents streamed) (Wire.W.contents patched);
+  (* Patching must not disturb growth: keep writing after the patch. *)
+  Wire.W.bytes patched (String.make 300 'x');
+  Wire.W.bytes streamed (String.make 300 'x');
+  check Alcotest.string "after growth"
+    (Wire.W.contents streamed) (Wire.W.contents patched)
+
+let test_wire_patch_bounds () =
+  let w = Wire.W.create () in
+  Wire.W.u16 w 0;
+  (try
+     Wire.W.patch_u16 w 1 7;
+     Alcotest.fail "patch past end accepted"
+   with Invalid_argument _ -> ());
+  (try
+     Wire.W.patch_u32 w 0 7;
+     Alcotest.fail "u32 patch into 2 bytes accepted"
+   with Invalid_argument _ -> ());
+  (try
+     Wire.W.patch_u16 w (-1) 7;
+     Alcotest.fail "negative offset accepted"
+   with Invalid_argument _ -> ())
+
+(* --- Route_pack ------------------------------------------------------ *)
+
+let test_route_pack_roundtrip () =
+  let adds =
+    [ { Route_pack.net = Ipv4net.of_string_exn "10.0.0.0/8";
+        nexthop = Ipv4.of_string_exn "192.168.0.1";
+        ifname = "eth0"; protocol = "ebgp" };
+      { Route_pack.net = Ipv4net.of_string_exn "172.16.1.0/24";
+        nexthop = Ipv4.of_string_exn "192.168.0.2";
+        ifname = ""; protocol = "static" } ]
+  in
+  (match Route_pack.unpack_adds (Route_pack.pack_adds adds) with
+   | Ok got ->
+     check Alcotest.int "add count" 2 (List.length got);
+     List.iter2
+       (fun (a : Route_pack.add) (b : Route_pack.add) ->
+          check Alcotest.string "net" (Ipv4net.to_string a.net)
+            (Ipv4net.to_string b.net);
+          check ipv4 "nexthop" a.nexthop b.nexthop;
+          check Alcotest.string "ifname" a.ifname b.ifname;
+          check Alcotest.string "protocol" a.protocol b.protocol)
+       adds got
+   | Error msg -> Alcotest.fail ("unpack_adds: " ^ msg));
+  let dels =
+    [ Ipv4net.of_string_exn "10.0.0.0/8"; Ipv4net.of_string_exn "0.0.0.0/0" ]
+  in
+  match Route_pack.unpack_deletes (Route_pack.pack_deletes dels) with
+  | Ok got ->
+    check
+      Alcotest.(list string)
+      "deletes"
+      (List.map Ipv4net.to_string dels)
+      (List.map Ipv4net.to_string got)
+  | Error msg -> Alcotest.fail ("unpack_deletes: " ^ msg)
+
+let test_route_pack_rejects_junk () =
+  (match Route_pack.unpack_adds "xx" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "short input accepted");
+  let good = Route_pack.pack_deletes [ Ipv4net.of_string_exn "10.0.0.0/8" ] in
+  (match Route_pack.unpack_deletes (good ^ "z") with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "trailing bytes accepted");
+  (* Absurd declared count must be rejected before allocation. *)
+  let w = Wire.W.create () in
+  Wire.W.u32 w 0xFFFFFFF;
+  match Route_pack.unpack_adds (Wire.W.contents w) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "absurd count accepted"
+
 let test_wire_sub () =
   let w = Wire.W.create () in
   Wire.W.bytes w "abcdef";
@@ -301,7 +394,15 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
           Alcotest.test_case "truncated raises" `Quick test_wire_truncated;
           Alcotest.test_case "patch_u16" `Quick test_wire_patch;
+          Alcotest.test_case "patch equals streamed" `Quick
+            test_wire_patch_equals_streamed;
+          Alcotest.test_case "patch bounds" `Quick test_wire_patch_bounds;
           Alcotest.test_case "sub reader scoping" `Quick test_wire_sub;
+        ] );
+      ( "route_pack",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_route_pack_roundtrip;
+          Alcotest.test_case "rejects junk" `Quick test_route_pack_rejects_junk;
         ] );
       ( "rng",
         [

@@ -190,6 +190,98 @@ let prop_wire_reply_roundtrip =
          && List.for_all2 Xrl_atom.equal args atoms
        | _ -> false)
 
+(* --- batch frames ---------------------------------------------------- *)
+
+let rec msg_equal (a : Xrl_wire.message) (b : Xrl_wire.message) =
+  match a, b with
+  | Xrl_wire.Request { seq = s1; xrl = x1 },
+    Xrl_wire.Request { seq = s2; xrl = x2 } -> s1 = s2 && Xrl.equal x1 x2
+  | Xrl_wire.Reply { seq = s1; error = e1; args = a1 },
+    Xrl_wire.Reply { seq = s2; error = e2; args = a2 } ->
+    s1 = s2 && e1 = e2
+    && List.length a1 = List.length a2
+    && List.for_all2 Xrl_atom.equal a1 a2
+  | Xrl_wire.Batch l1, Xrl_wire.Batch l2 ->
+    List.length l1 = List.length l2 && List.for_all2 msg_equal l1 l2
+  | _ -> false
+
+let gen_message =
+  let open QCheck.Gen in
+  let gen_atoms = QCheck.gen arb_atoms in
+  let gen_req =
+    map2
+      (fun seq atoms ->
+         Xrl_wire.Request
+           { seq;
+             xrl =
+               Xrl.make ~protocol:"stcp" ~target:"127.0.0.1:1"
+                 ~interface:"iface" ~method_name:"m" atoms } )
+      (int_bound 0xFFFFFF) gen_atoms
+  in
+  let gen_rep =
+    let gen_err =
+      oneofl
+        [ Xrl_error.Ok_xrl; Xrl_error.Command_failed "nope";
+          Xrl_error.Bad_args "missing"; Xrl_error.No_such_method "x/1.0/y" ]
+    in
+    map3
+      (fun seq err atoms -> Xrl_wire.Reply { seq; error = err; args = atoms })
+      (int_bound 0xFFFFFF) gen_err gen_atoms
+  in
+  let gen_elem = oneof [ gen_req; gen_rep ] in
+  oneof
+    [ gen_elem;
+      map (fun l -> Xrl_wire.Batch l) (list_size (int_bound 6) gen_elem) ]
+
+(* Satellite of the batching work: any message — batched or not — must
+   round-trip exactly, and EVERY strict prefix of its encoding must
+   decode to an Error (no prefix may parse as a shorter valid
+   message). All wire structures carry declared lengths, so decoding a
+   cut never succeeds by accident. *)
+let prop_wire_batch_roundtrip_and_truncation =
+  QCheck.Test.make ~name:"batch roundtrip + every-prefix truncation" ~count:60
+    (QCheck.make gen_message)
+    (fun msg ->
+       let s = Xrl_wire.encode msg in
+       let roundtrips =
+         match Xrl_wire.decode s with
+         | Ok back -> msg_equal msg back
+         | Error _ -> false
+       in
+       let every_prefix_errors = ref true in
+       for i = 0 to String.length s - 1 do
+         match Xrl_wire.decode (String.sub s 0 i) with
+         | Ok _ -> every_prefix_errors := false
+         | Error _ -> ()
+       done;
+       roundtrips && !every_prefix_errors)
+
+let test_wire_batch_no_nesting () =
+  let req =
+    Xrl_wire.Request
+      { seq = 1;
+        xrl =
+          Xrl.make ~protocol:"stcp" ~target:"127.0.0.1:1" ~interface:"i"
+            ~method_name:"m" [] }
+  in
+  (try
+     ignore (Xrl_wire.encode (Xrl_wire.Batch [ Xrl_wire.Batch [ req ] ]));
+     Alcotest.fail "nested batch encoded"
+   with Invalid_argument _ -> ());
+  (* A hand-built frame claiming a batch element of kind 2 (batch)
+     must be rejected by the decoder, not recursed into. *)
+  let w = Wire.W.create () in
+  Wire.W.u8 w (Char.code 'X');
+  Wire.W.u8 w (Char.code 'O');
+  Wire.W.u8 w 1 (* version *);
+  Wire.W.u8 w 2 (* kind: batch *);
+  Wire.W.u16 w 1 (* one element *);
+  Wire.W.u8 w 2 (* element kind: batch — illegal *);
+  Wire.W.u32 w 0;
+  match Xrl_wire.decode (Wire.W.contents w) with
+  | Ok _ -> Alcotest.fail "nested batch decoded"
+  | Error _ -> ()
+
 let test_wire_garbage () =
   List.iter
     (fun s ->
@@ -394,6 +486,117 @@ let test_tcp_pipelining () =
   Xrl_router.shutdown adder;
   Xrl_router.shutdown caller
 
+(* --- sender-side batching over TCP ---------------------------------- *)
+
+let tcp_batch_rig ?(batching = true) () =
+  let loop = Eventloop.create ~mode:`Real () in
+  let finder = Finder.create () in
+  let order = ref [] in
+  let adder =
+    Xrl_router.create ~families:[ Pf_tcp.family ] finder loop
+      ~class_name:"adder" ()
+  in
+  Xrl_router.add_handler adder ~interface:"math" ~method_name:"add"
+    (fun args reply ->
+       let a = Xrl_atom.get_u32 args "a" and b = Xrl_atom.get_u32 args "b" in
+       order := a :: !order;
+       reply Xrl_error.Ok_xrl [ Xrl_atom.u32 "sum" (a + b) ]);
+  Xrl_router.add_handler adder ~interface:"math" ~method_name:"fail"
+    (fun _ reply -> reply (Xrl_error.Command_failed "deliberate") []);
+  let caller =
+    Xrl_router.create ~families:[ Pf_tcp.family ] ~family_pref:[ "stcp" ]
+      ~batching finder loop ~class_name:"caller" ()
+  in
+  (loop, adder, caller, order)
+
+let test_tcp_batching_coalesces () =
+  (* N sends issued within one event-loop turn must leave as batched
+     frames, and every reply must still arrive, correct, exactly once. *)
+  Telemetry.reset ();
+  let loop, adder, caller, _ = tcp_batch_rig () in
+  let batches_tx = Telemetry.counter "xrl.tcp.batches_tx" in
+  let n = 50 in
+  let got = ref 0 in
+  let wrong = ref 0 in
+  for i = 1 to n do
+    Xrl_router.send caller (add_xrl i i) (fun err args ->
+        incr got;
+        if (not (Xrl_error.is_ok err)) || Xrl_atom.get_u32 args "sum" <> 2 * i
+        then incr wrong)
+  done;
+  Eventloop.run ~until:(fun () -> !got >= n) loop;
+  check Alcotest.int "all replies" n !got;
+  check Alcotest.int "all correct" 0 !wrong;
+  check Alcotest.bool "at least one batched frame went out" true
+    (Telemetry.counter_value batches_tx > 0);
+  Xrl_router.shutdown adder;
+  Xrl_router.shutdown caller
+
+let test_tcp_batching_fifo_order () =
+  (* The handler must observe requests in send order even when they
+     cross in one batched frame. *)
+  let loop, adder, caller, order = tcp_batch_rig () in
+  let n = 40 in
+  let got = ref 0 in
+  for i = 1 to n do
+    Xrl_router.send caller (add_xrl i 0) (fun _ _ -> incr got)
+  done;
+  Eventloop.run ~until:(fun () -> !got >= n) loop;
+  check
+    Alcotest.(list int)
+    "dispatch order is send order"
+    (List.init n (fun i -> i + 1))
+    (List.rev !order);
+  Xrl_router.shutdown adder;
+  Xrl_router.shutdown caller
+
+let test_tcp_batching_per_request_errors () =
+  (* A failing request inside a batch fails alone; its neighbours
+     succeed. *)
+  let loop, adder, caller, _ = tcp_batch_rig () in
+  let results = Hashtbl.create 8 in
+  let got = ref 0 in
+  let expect = ref 0 in
+  let send_ok i =
+    incr expect;
+    Xrl_router.send caller (add_xrl i i) (fun err _ ->
+        incr got;
+        Hashtbl.replace results i (Xrl_error.is_ok err))
+  in
+  let send_fail i =
+    incr expect;
+    Xrl_router.send caller
+      (Xrl.make ~target:"adder" ~interface:"math" ~method_name:"fail" [])
+      (fun err _ ->
+         incr got;
+         Hashtbl.replace results i
+           (match err with Xrl_error.Command_failed "deliberate" -> false | _ -> true))
+  in
+  send_ok 1; send_fail 2; send_ok 3; send_fail 4; send_ok 5;
+  Eventloop.run ~until:(fun () -> !got >= !expect) loop;
+  check Alcotest.bool "1 ok" true (Hashtbl.find results 1);
+  check Alcotest.bool "2 failed with its own error" false (Hashtbl.find results 2);
+  check Alcotest.bool "3 ok" true (Hashtbl.find results 3);
+  check Alcotest.bool "4 failed with its own error" false (Hashtbl.find results 4);
+  check Alcotest.bool "5 ok" true (Hashtbl.find results 5);
+  Xrl_router.shutdown adder;
+  Xrl_router.shutdown caller
+
+let test_tcp_batching_off_sends_single_frames () =
+  Telemetry.reset ();
+  let loop, adder, caller, _ = tcp_batch_rig ~batching:false () in
+  let batches_tx = Telemetry.counter "xrl.tcp.batches_tx" in
+  let n = 20 in
+  let got = ref 0 in
+  for i = 1 to n do
+    Xrl_router.send caller (add_xrl i i) (fun _ _ -> incr got)
+  done;
+  Eventloop.run ~until:(fun () -> !got >= n) loop;
+  check Alcotest.int "all replies" n !got;
+  check Alcotest.int "no batched frames" 0 (Telemetry.counter_value batches_tx);
+  Xrl_router.shutdown adder;
+  Xrl_router.shutdown caller
+
 let test_resolve_failure_surfaces () =
   let loop = Eventloop.create () in
   let finder = Finder.create () in
@@ -490,9 +693,12 @@ let () =
         ] );
       ( "wire",
         Alcotest.test_case "rejects garbage" `Quick test_wire_garbage
+        :: Alcotest.test_case "batches do not nest" `Quick
+             test_wire_batch_no_nesting
         :: List.map QCheck_alcotest.to_alcotest
              [ prop_atom_text_roundtrip; prop_xrl_text_roundtrip_with_args;
-               prop_wire_request_roundtrip; prop_wire_reply_roundtrip ] );
+               prop_wire_request_roundtrip; prop_wire_reply_roundtrip;
+               prop_wire_batch_roundtrip_and_truncation ] );
       ( "finder",
         [
           Alcotest.test_case "register and resolve" `Quick
@@ -511,6 +717,14 @@ let () =
           Alcotest.test_case "tcp" `Quick test_tcp_call;
           Alcotest.test_case "udp" `Quick test_udp_call;
           Alcotest.test_case "tcp pipelining" `Quick test_tcp_pipelining;
+          Alcotest.test_case "tcp batching coalesces" `Quick
+            test_tcp_batching_coalesces;
+          Alcotest.test_case "tcp batching keeps fifo order" `Quick
+            test_tcp_batching_fifo_order;
+          Alcotest.test_case "tcp batching per-request errors" `Quick
+            test_tcp_batching_per_request_errors;
+          Alcotest.test_case "batching off sends single frames" `Quick
+            test_tcp_batching_off_sends_single_frames;
           Alcotest.test_case "resolve failure surfaces" `Quick
             test_resolve_failure_surfaces;
           Alcotest.test_case "forged key rejected" `Quick test_key_enforcement;
