@@ -69,11 +69,36 @@ let test_bgp_encode =
     Test.make ~name:"bgp_packet.decode/50-nlri"
       (Staged.stage (fun () -> ignore (Bgp_packet.decode wire))) ]
 
+(* Cost of arming (and, on the fast path, cancelling) the per-call
+   deadline timer: a full intra-process call with and without
+   ?deadline. Each iteration drains the loop so cancelled timers do not
+   pile up in the heap and skew later iterations. *)
+let test_deadline_overhead =
+  let loop = Eventloop.create () in
+  let finder = Finder.create () in
+  let target = Xrl_router.create finder loop ~class_name:"bench-adder" () in
+  Xrl_router.add_handler target ~interface:"bench" ~method_name:"noop"
+    (fun _ reply -> reply Xrl_error.Ok_xrl []);
+  let caller = Xrl_router.create finder loop ~class_name:"bench-caller" () in
+  let xrl =
+    Xrl.make ~target:"bench-adder" ~interface:"bench" ~method_name:"noop" []
+  in
+  let sink _ _ = () in
+  [ Test.make ~name:"xrl.intra_call/no-deadline"
+      (Staged.stage (fun () ->
+           Xrl_router.send caller xrl sink;
+           Eventloop.run loop));
+    Test.make ~name:"xrl.intra_call/deadline"
+      (Staged.stage (fun () ->
+           Xrl_router.send ~deadline:5.0 caller xrl sink;
+           Eventloop.run loop)) ]
+
 let all_tests =
   Test.make_grouped ~name:"micro"
     ([ test_encode 0; test_encode 10; test_encode 25;
        test_decode 0; test_decode 10; test_decode 25 ]
-     @ test_ptree_ops @ [ test_policy ] @ test_bgp_encode)
+     @ test_ptree_ops @ [ test_policy ] @ test_bgp_encode
+     @ test_deadline_overhead)
 
 let run () =
   Bench_util.header "Micro-benchmarks (Bechamel)";

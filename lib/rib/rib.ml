@@ -23,6 +23,10 @@ type t = {
      ambient when it was queued. *)
   fea_q : (fea_op * Telemetry.Trace.ctx option) Queue.t;
   mutable fea_flush_armed : bool;
+  (* False while no FEA instance is registered: updates queue instead
+     of being sent into the void, and a rebirth triggers a full-FIB
+     replay (the restarted FEA has an empty FIB). *)
+  mutable fea_up : bool;
 }
 
 let profile t point payload =
@@ -35,6 +39,11 @@ let profile t point payload =
 let op_net (op : fea_op) = match op with `Add r | `Delete r -> r.Rib_route.net
 let op_verb (op : fea_op) = match op with `Add _ -> "add " | `Delete _ -> "delete "
 let op_is_add (op : fea_op) = match op with `Add _ -> true | `Delete _ -> false
+
+(* FIB updates are idempotent, so they qualify for bounded retry:
+   a chaos-dropped or transiently failed update is re-sent (after
+   re-resolving, so it also finds a restarted FEA) rather than lost. *)
+let fea_retry = Xrl_router.default_retry
 
 (* Legacy per-route XRL; also the path taken when a flush holds a
    single route, so the unbatched pipeline (and its profile-point
@@ -59,7 +68,7 @@ let send_one t (op : fea_op) ctx =
         ~method_name:"delete_route4"
         [ Xrl_atom.ipv4net "net" r.Rib_route.net ]
   in
-  Xrl_router.send t.router xrl (fun err _ ->
+  Xrl_router.send ~retry:fea_retry t.router xrl (fun err _ ->
       if not (Xrl_error.is_ok err) then
         Log.warn (fun m ->
             m "FEA update for %s failed: %s" netstr
@@ -105,7 +114,7 @@ let send_run t (ops : (fea_op * Telemetry.Trace.ctx option) list) =
       Xrl.make ~target:"fea" ~interface:"fea" ~method_name
         [ Xrl_atom.binary "routes" packed ]
     in
-    Xrl_router.send t.router xrl (fun err _ ->
+    Xrl_router.send ~retry:fea_retry t.router xrl (fun err _ ->
         if not (Xrl_error.is_ok err) then
           Log.warn (fun m ->
               m "bulk FEA update (%d routes) failed: %s" n
@@ -113,26 +122,30 @@ let send_run t (ops : (fea_op * Telemetry.Trace.ctx option) list) =
 
 let flush_fea t =
   t.fea_flush_armed <- false;
-  if t.bulk_fea then begin
-    (* Group consecutive same-kind ops into runs, preserving overall
-       order (an add/delete alternation must reach the FIB in
-       sequence). *)
-    let flush_run run = send_run t (List.rev run) in
-    let run =
-      Queue.fold
-        (fun run ((op, _) as item) ->
-           match run with
-           | [] -> [ item ]
-           | (prev, _) :: _ when op_is_add prev = op_is_add op -> item :: run
-           | _ ->
-             flush_run run;
-             [ item ])
-        [] t.fea_q
-    in
-    flush_run run
+  (* No live FEA: keep the queue. It goes out — or is superseded by the
+     full replay — once an instance is back. *)
+  if t.fea_up then begin
+    if t.bulk_fea then begin
+      (* Group consecutive same-kind ops into runs, preserving overall
+         order (an add/delete alternation must reach the FIB in
+         sequence). *)
+      let flush_run run = send_run t (List.rev run) in
+      let run =
+        Queue.fold
+          (fun run ((op, _) as item) ->
+             match run with
+             | [] -> [ item ]
+             | (prev, _) :: _ when op_is_add prev = op_is_add op -> item :: run
+             | _ ->
+               flush_run run;
+               [ item ])
+          [] t.fea_q
+      in
+      flush_run run
+    end
+    else Queue.iter (fun (op, ctx) -> send_one t op ctx) t.fea_q;
+    Queue.clear t.fea_q
   end
-  else Queue.iter (fun (op, ctx) -> send_one t op ctx) t.fea_q;
-  Queue.clear t.fea_q
 
 let send_fea t (op : fea_op) =
   let netstr = Ipv4net.to_string (op_net op) in
@@ -144,7 +157,7 @@ let send_fea t (op : fea_op) =
        same-kind run). The deferral would lose the ambient trace
        context, so capture it per entry and reinstate it at send. *)
     Queue.push (op, Telemetry.Trace.current ()) t.fea_q;
-    if not t.fea_flush_armed then begin
+    if t.fea_up && not t.fea_flush_armed then begin
       t.fea_flush_armed <- true;
       Eventloop.defer t.loop (fun () -> flush_fea t)
     end
@@ -408,6 +421,44 @@ let watch_protocol_deaths t finder =
   watch "bgp" [ "ebgp"; "ibgp" ];
   watch "ospf" [ "ospf" ]
 
+(* A reborn FEA starts from an empty FIB, so incremental deltas queued
+   against the old instance would be wrong; replace them with a full
+   dump of the current winners. *)
+let replay_fib t =
+  Queue.clear t.fea_q;
+  let n =
+    fold_winners t
+      (fun r n ->
+         Queue.push (`Add r, None) t.fea_q;
+         n + 1)
+      0
+  in
+  Log.info (fun m -> m "FEA is back; replaying %d FIB entries" n);
+  if (not t.fea_flush_armed) && not (Queue.is_empty t.fea_q) then begin
+    t.fea_flush_armed <- true;
+    Eventloop.defer t.loop (fun () -> flush_fea t)
+  end
+
+(* Watch the FEA's own lifetime: while no instance is live, FIB
+   updates accumulate in the queue instead of failing into the void;
+   a (re)birth triggers the full replay above. The synthetic Birth
+   fired for an already-live FEA at watch time is a no-op because
+   [fea_up] starts true. *)
+let watch_fea_lifecycle t finder =
+  Finder.watch_class finder "fea" (fun event _instance ->
+      match event with
+      | Finder.Death ->
+        if t.fea_up && Finder.live_instances finder "fea" = [] then begin
+          t.fea_up <- false;
+          Log.warn (fun m ->
+              m "FEA died; holding FIB updates until an instance returns")
+        end
+      | Finder.Birth ->
+        if not t.fea_up then begin
+          t.fea_up <- true;
+          replay_fib t
+        end)
+
 let create ?families ?batching ?profiler ?(send_to_fea = true)
     ?(bulk_fea = true) finder loop () =
   let router =
@@ -420,7 +471,8 @@ let create ?families ?batching ?profiler ?(send_to_fea = true)
   in
   let t =
     { router; loop; profiler; origins; register; redist; send_to_fea;
-      bulk_fea; fea_q = Queue.create (); fea_flush_armed = false }
+      bulk_fea; fea_q = Queue.create (); fea_flush_armed = false;
+      fea_up = true }
   in
   t_ref := Some router;
   (match profiler with
@@ -437,6 +489,7 @@ let create ?families ?batching ?profiler ?(send_to_fea = true)
   Rib_table.plumb redist sink;
   add_xrl_handlers t;
   watch_protocol_deaths t finder;
+  if send_to_fea then watch_fea_lifecycle t finder;
   t
 
 let shutdown t = Xrl_router.shutdown t.router

@@ -195,7 +195,17 @@ let watch_class t cls cb =
   (* Synthetic births for already-live instances. *)
   List.iter (fun target -> cb Birth target.instance) !(class_list t cls)
 
-let on_invalidate t hook = t.invalidate_hooks := !(t.invalidate_hooks) @ [ hook ]
+let on_invalidate t hook =
+  t.invalidate_hooks := !(t.invalidate_hooks) @ [ hook ];
+  (* The remover filters by physical equality, so removing one hook
+     never disturbs another router's registration. Idempotent. *)
+  fun () ->
+    t.invalidate_hooks := List.filter (fun h -> h != hook) !(t.invalidate_hooks)
+
+let invalidate_hook_count t = List.length !(t.invalidate_hooks)
 
 let live_instances t cls =
   List.map (fun target -> target.instance) !(class_list t cls)
+
+let live_addresses t cls =
+  List.concat_map (fun target -> target.addresses) !(class_list t cls)

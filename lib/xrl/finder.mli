@@ -90,9 +90,19 @@ val watch_class : t -> string -> (lifetime_event -> string -> unit) -> unit
     already has live instances fires a synthetic [Birth] per instance,
     so watchers need no separate bootstrap query. *)
 
-val on_invalidate : t -> (string -> unit) -> unit
+val on_invalidate : t -> (string -> unit) -> unit -> unit
 (** Hook called with a class name whenever resolutions for that class
-    become stale; {!Xrl_router} uses this to drop its caches. *)
+    become stale; {!Xrl_router} uses this to drop its caches. Returns
+    a remover: call it to unregister the hook (idempotent) — a router
+    that shuts down must remove its hook or the Finder keeps the dead
+    router (and its caches) alive forever. *)
+
+val invalidate_hook_count : t -> int
+(** Currently registered invalidation hooks (leak tests). *)
 
 val live_instances : t -> string -> string list
 (** Instance names currently registered for a class. *)
+
+val live_addresses : t -> string -> (string * string) list
+(** [(family, address)] pairs of every live instance of a class; used
+    to tell stale transport addresses from live ones after a death. *)

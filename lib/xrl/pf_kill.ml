@@ -18,7 +18,7 @@ let family : Pf.family =
          { Pf.address = Printf.sprintf "kill:%d" id;
            shutdown = (fun () -> Hashtbl.remove registry id) });
     make_sender =
-      (fun _loop address ->
+      (fun loop address ->
          let id =
            match String.split_on_char ':' address with
            | [ "kill"; id ] ->
@@ -40,9 +40,17 @@ let family : Pf.family =
            else if not (List.mem signal known_signals) then
              cb (Xrl_error.Bad_args ("unknown signal " ^ signal)) []
            else
-             match Hashtbl.find_opt registry id with
-             | Some dispatch -> dispatch xrl cb
-             | None -> cb (Xrl_error.Send_failed "kill target gone") []
+             (* Defer dispatch through the event loop: a synchronous
+                dispatch would run the receiver's handler (and its
+                reply) inside the caller's send, re-entering the caller
+                mid-operation. Validation errors above stay synchronous
+                — they involve no peer code. The registry is consulted
+                at dispatch time, so a target that shuts down between
+                send and dispatch fails cleanly. *)
+             Eventloop.defer loop (fun () ->
+                 match Hashtbl.find_opt registry id with
+                 | Some dispatch -> dispatch xrl cb
+                 | None -> cb (Xrl_error.Send_failed "kill target gone") [])
          in
          { Pf.send_req; send_batch = None; close_sender = (fun () -> ());
            family_of_sender = "kill" });

@@ -56,9 +56,15 @@ let make_sender netsim ~local_addr _loop address : Pf.sender =
       ep = None; connecting = false; closed = false }
   in
   let fail_all reason =
-    let cbs = Hashtbl.fold (fun _ cb acc -> cb :: acc) st.outstanding [] in
+    (* Ascending seq order, then the not-yet-transmitted queue: keeps
+       the per-destination FIFO promise (sent-first fails first). *)
+    let cbs =
+      List.sort
+        (fun (a, _) (b, _) -> compare a b)
+        (Hashtbl.fold (fun seq cb acc -> (seq, cb) :: acc) st.outstanding [])
+    in
     Hashtbl.reset st.outstanding;
-    List.iter (fun cb -> cb (Xrl_error.Send_failed reason) []) cbs;
+    List.iter (fun (_, cb) -> cb (Xrl_error.Send_failed reason) []) cbs;
     Queue.iter (fun (_, cb) -> cb (Xrl_error.Send_failed reason) []) st.pending;
     Queue.clear st.pending
   in

@@ -151,9 +151,16 @@ let make_sender loop address : Pf.sender =
   let inet, port = parse_address address in
   let st = { outstanding = Hashtbl.create 64; seq = 0; conn = None } in
   let fail_all reason =
-    let cbs = Hashtbl.fold (fun _ cb acc -> cb :: acc) st.outstanding [] in
+    (* Fail in ascending seq (= send) order: the router promises
+       per-destination FIFO delivery of replies and errors, and
+       Hashtbl.fold's order is arbitrary. *)
+    let cbs =
+      List.sort
+        (fun (a, _) (b, _) -> compare a b)
+        (Hashtbl.fold (fun seq cb acc -> (seq, cb) :: acc) st.outstanding [])
+    in
     Hashtbl.reset st.outstanding;
-    List.iter (fun cb -> cb (Xrl_error.Send_failed reason) []) cbs
+    List.iter (fun (_, cb) -> cb (Xrl_error.Send_failed reason) []) cbs
   in
   let handle_reply seq error args =
     match Hashtbl.find_opt st.outstanding seq with

@@ -7,6 +7,7 @@ type t =
   | Send_failed of string
   | Reply_timed_out of string
   | Internal_error of string
+  | Timed_out of string
 
 let is_ok = function Ok_xrl -> true | _ -> false
 
@@ -19,6 +20,7 @@ let to_string = function
   | Send_failed s -> "send failed: " ^ s
   | Reply_timed_out s -> "reply timed out: " ^ s
   | Internal_error s -> "internal error: " ^ s
+  | Timed_out s -> "timed out: " ^ s
 
 let code = function
   | Ok_xrl -> 0
@@ -29,6 +31,7 @@ let code = function
   | Send_failed _ -> 5
   | Reply_timed_out _ -> 6
   | Internal_error _ -> 7
+  | Timed_out _ -> 8
 
 let of_code c note =
   match c with
@@ -39,6 +42,7 @@ let of_code c note =
   | 4 -> Command_failed note
   | 5 -> Send_failed note
   | 6 -> Reply_timed_out note
+  | 8 -> Timed_out note
   | _ -> Internal_error note
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -9,6 +9,10 @@ type t =
   | Send_failed of string        (** Transport-level failure. *)
   | Reply_timed_out of string
   | Internal_error of string
+  | Timed_out of string
+      (** The caller-side deadline expired before a reply arrived
+          ({!Xrl_router.send}'s [?deadline]); any late reply is
+          dropped. *)
 
 val is_ok : t -> bool
 val to_string : t -> string

@@ -7,12 +7,42 @@ type handler =
 
 type method_entry = { key : string; handler : handler }
 
+(* Reliability counters (process-wide; resolved once at module load). *)
+let c_retries = Telemetry.counter "xrl.retries"
+let c_timeouts = Telemetry.counter "xrl.timeouts"
+let c_late = Telemetry.counter "xrl.late_replies_dropped"
+let count c = if Telemetry.is_enabled () then Telemetry.incr c
+
+type retry = {
+  max_attempts : int;
+  base_delay : float;
+  max_delay : float;
+  jitter : float;
+  attempt_timeout : float option;
+}
+
+let default_retry =
+  { max_attempts = 4; base_delay = 0.05; max_delay = 2.0; jitter = 0.25;
+    attempt_timeout = Some 2.0 }
+
+(* Errors worth retrying: transport failures and resolution failures
+   are transient across a component restart, and an attempt-level
+   timeout means the request or its reply was lost in flight. Anything
+   else (Command_failed, Bad_args, ...) is the peer's final word. *)
+let retryable = function
+  | Xrl_error.Send_failed _ | Xrl_error.Resolve_failed _
+  | Xrl_error.Timed_out _ -> true
+  | _ -> false
+
 (* One per (family, address) destination. Telemetry handles are
    resolved once here instead of per reply, and the batch queue
    collects sends made within one event-loop turn so transports that
    support it (TCP) can ship them as a single frame. *)
 type sender_entry = {
   sender : Pf.sender;
+  s_family : string;
+  s_address : string;
+  mutable dest_class : string; (* "" when only resolved XRLs used it *)
   calls : Telemetry.counter;
   rtt : Telemetry.Histogram.t;
   batchq : (Xrl.t * Pf.reply_cb) Queue.t;
@@ -26,13 +56,18 @@ type t = {
   families : Pf.family list;
   family_pref : string list;
   batching : bool;
+  rng : Rng.t; (* backoff jitter; fixed seed keeps tests deterministic *)
   target : Finder.target;
   methods : (string, method_entry) Hashtbl.t; (* method_id -> entry *)
   listeners : Pf.listener list;
   senders : (string, sender_entry) Hashtbl.t; (* family ^ "|" ^ address *)
   rcache : (string, Finder.resolved) Hashtbl.t; (* target ^ "|" ^ method_id *)
+  inflight : (int, Xrl_error.t -> unit) Hashtbl.t; (* call id -> fail *)
+  watched : (string, unit) Hashtbl.t; (* classes with a death watch *)
+  mutable next_call : int;
   mutable pending : int;
   mutable live : bool;
+  mutable unhook : unit -> unit; (* removes our Finder invalidate hook *)
 }
 
 let default_pref = [ "x-intra"; "stcp"; "sudp" ]
@@ -114,6 +149,18 @@ let ckey_targets_class ckey cls =
   end
   else false
 
+(* A target name is a component class or an instance name
+   [cls ^ "-" ^ digits]; reduce either to the class. *)
+let class_of_name name =
+  let len = String.length name in
+  match String.rindex_opt name '-' with
+  | Some i when i > 0 && i < len - 1 ->
+    let rec digits j =
+      j >= len || (name.[j] >= '0' && name.[j] <= '9' && digits (j + 1))
+    in
+    if digits (i + 1) then String.sub name 0 i else name
+  | _ -> name
+
 let invalidate_class t cls =
   (* A registration change to our own class can change the key of any
      method we might call through ourselves; also, ACL changes arrive
@@ -156,12 +203,13 @@ let create ?(families = [ Pf_intra.family ]) ?(family_pref = default_pref)
            failwith ("Xrl_router.create: " ^ msg)
        in
        { loop; fndr; cls = class_name; families; family_pref; batching;
-         target; methods = Hashtbl.create 32; listeners;
-         senders = Hashtbl.create 8; rcache = Hashtbl.create 64;
-         pending = 0; live = true })
+         rng = Rng.create 0xB0FF; target; methods = Hashtbl.create 32;
+         listeners; senders = Hashtbl.create 8; rcache = Hashtbl.create 64;
+         inflight = Hashtbl.create 32; watched = Hashtbl.create 4;
+         next_call = 0; pending = 0; live = true; unhook = (fun () -> ()) })
   in
   let t = Lazy.force t in
-  Finder.on_invalidate fndr (fun cls -> invalidate_class t cls);
+  t.unhook <- Finder.on_invalidate fndr (fun cls -> invalidate_class t cls);
   t
 
 let add_handler t ~interface ?(version = "1.0") ~method_name handler =
@@ -169,10 +217,49 @@ let add_handler t ~interface ?(version = "1.0") ~method_name handler =
   let key = Finder.register_method t.fndr t.target ~method_id:mid in
   Hashtbl.replace t.methods mid { key; handler }
 
-let sender_for t (resolved : Finder.resolved) =
+(* An instance of [cls] died: evict every sender whose transport
+   address no longer belongs to a live instance of the class, failing
+   its queued calls in FIFO order and its in-flight calls via the
+   transport's close (ascending-seq order). Calls sent with a retry
+   policy re-resolve from scratch and so find a restarted instance at
+   its new address; calls without one fail promptly instead of waiting
+   on a dead connection. *)
+let handle_death t cls =
+  let alive = Finder.live_addresses t.fndr cls in
+  let stale =
+    Hashtbl.fold
+      (fun skey (e : sender_entry) acc ->
+         if
+           e.dest_class = cls
+           && not
+                (List.exists
+                   (fun (f, a) -> f = e.s_family && a = e.s_address)
+                   alive)
+         then (skey, e) :: acc
+         else acc)
+      t.senders []
+  in
+  List.iter
+    (fun (skey, (e : sender_entry)) ->
+       Log.info (fun m ->
+           m "peer %s died; evicting sender %s" cls e.s_address);
+       Hashtbl.remove t.senders skey;
+       Queue.iter
+         (fun (_, cb) ->
+            cb (Xrl_error.Send_failed ("peer " ^ cls ^ " died")) [])
+         e.batchq;
+       Queue.clear e.batchq;
+       e.sender.Pf.close_sender ())
+    stale
+
+let sender_for t ?watch_cls (resolved : Finder.resolved) =
   let skey = resolved.family ^ "|" ^ resolved.address in
   match Hashtbl.find_opt t.senders skey with
-  | Some entry -> entry
+  | Some entry ->
+    (match watch_cls with
+     | Some cls when entry.dest_class = "" -> entry.dest_class <- cls
+     | _ -> ());
+    entry
   | None ->
     (match
        List.find_opt
@@ -183,13 +270,26 @@ let sender_for t (resolved : Finder.resolved) =
      | Some fam ->
        let sender = fam.make_sender t.loop resolved.address in
        let entry =
-         { sender;
+         { sender; s_family = resolved.family; s_address = resolved.address;
+           dest_class = Option.value watch_cls ~default:"";
            calls = Telemetry.counter ("xrl." ^ resolved.family ^ ".calls");
            rtt = Telemetry.histogram ("xrl." ^ resolved.family ^ ".rtt_us");
            batchq = Queue.create ();
            flush_armed = false }
        in
        Hashtbl.replace t.senders skey entry;
+       (* First sender towards this class: subscribe to its lifetime
+          notifications (§6.5) so a death cleans us up. The Finder has
+          no unwatch, so the callback self-disables once the router is
+          shut down. *)
+       (match watch_cls with
+        | Some cls when not (Hashtbl.mem t.watched cls) ->
+          Hashtbl.replace t.watched cls ();
+          Finder.watch_class t.fndr cls (fun ev _inst ->
+              match ev with
+              | Finder.Death when t.live -> handle_death t cls
+              | Finder.Death | Finder.Birth -> ())
+        | _ -> ());
        entry)
 
 (* Ship everything queued for one destination. A single queued call
@@ -221,82 +321,185 @@ let flush_entry t entry =
       in
       drain ()
 
-let send t (xrl : Xrl.t) cb =
-  if not t.live then cb (Xrl_error.Send_failed "router shut down") []
+let resolve_for_send t (xrl : Xrl.t) =
+  if Xrl.is_resolved xrl then
+    Ok
+      { Finder.family = xrl.protocol; address = xrl.target;
+        keyed_method = xrl.method_name }
   else begin
-    let resolved =
-      if Xrl.is_resolved xrl then
-        Ok
-          { Finder.family = xrl.protocol; address = xrl.target;
-            keyed_method = xrl.method_name }
-      else begin
-        let ckey = xrl.target ^ "|" ^ Xrl.method_id xrl in
-        match Hashtbl.find_opt t.rcache ckey with
-        | Some r -> Ok r
-        | None ->
-          (match
-             Finder.resolve t.fndr ~family_pref:t.family_pref
-               ~caller:(Finder.instance_name t.target) xrl
-           with
-           | Ok r ->
-             Hashtbl.replace t.rcache ckey r;
-             Ok r
-           | Error e -> Error e)
-      end
-    in
-    match resolved with
-    | Error e -> cb e []
-    | Ok r ->
-      (* Propagate the ambient trace context on the wire, and keep it
-         ambient in the reply callback: replies arrive asynchronously,
-         so callers chaining further sends from their callbacks would
-         otherwise fall out of the trace. *)
-      let ctx = Telemetry.Trace.current () in
-      let wire_args =
-        if Telemetry.is_enabled () then
-          match ctx with
-          | Some c ->
-            xrl.Xrl.args
-            @ [ Xrl_atom.txt Telemetry.Trace.trace_atom_name
-                  (Telemetry.Trace.ctx_to_string c) ]
-          | None -> xrl.Xrl.args
-        else xrl.Xrl.args
-      in
-      let wire_xrl =
-        { xrl with Xrl.protocol = r.family; target = r.address;
-                   method_name = r.keyed_method; args = wire_args }
-      in
-      (match sender_for t r with
-       | entry ->
-         t.pending <- t.pending + 1;
-         let t0 =
-           if Telemetry.is_enabled () then Unix.gettimeofday () else nan
-         in
-         let wrapped err args =
-           t.pending <- t.pending - 1;
-           if not (Float.is_nan t0) then begin
-             Telemetry.incr entry.calls;
-             Telemetry.observe entry.rtt
-               ((Unix.gettimeofday () -. t0) *. 1e6)
-           end;
-           Telemetry.Trace.with_ctx ctx (fun () -> cb err args)
-         in
-         if t.batching && entry.sender.Pf.send_batch <> None then begin
-           (* Coalesce: everything queued for this destination within
-              the current event-loop turn leaves as one frame. *)
-           Queue.push (wire_xrl, wrapped) entry.batchq;
-           if not entry.flush_armed then begin
-             entry.flush_armed <- true;
-             Eventloop.defer t.loop (fun () -> flush_entry t entry)
-           end
-         end
-         else entry.sender.Pf.send_req wire_xrl wrapped
-       | exception Invalid_argument msg -> cb (Xrl_error.Send_failed msg) [])
+    let ckey = xrl.target ^ "|" ^ Xrl.method_id xrl in
+    match Hashtbl.find_opt t.rcache ckey with
+    | Some r -> Ok r
+    | None ->
+      (match
+         Finder.resolve t.fndr ~family_pref:t.family_pref
+           ~caller:(Finder.instance_name t.target) xrl
+       with
+       | Ok r ->
+         Hashtbl.replace t.rcache ckey r;
+         Ok r
+       | Error e -> Error e)
   end
 
-let call_blocking t xrl =
+(* Backoff before attempt [n + 1]: exponential in the attempt number,
+   capped, plus proportional jitter so a herd of failed calls does not
+   retry in lock-step. *)
+let backoff_delay t (r : retry) n =
+  let d = r.base_delay *. (2. ** float_of_int (n - 1)) in
+  let d = Float.min d r.max_delay in
+  if r.jitter > 0. then d *. (1. +. (r.jitter *. Rng.float t.rng)) else d
+
+let send ?deadline ?retry t (xrl : Xrl.t) cb =
+  if not t.live then cb (Xrl_error.Send_failed "router shut down") []
+  else begin
+    (* Propagate the ambient trace context on the wire, and keep it
+       ambient in the reply callback: replies arrive asynchronously,
+       so callers chaining further sends from their callbacks would
+       otherwise fall out of the trace. *)
+    let ctx = Telemetry.Trace.current () in
+    t.next_call <- t.next_call + 1;
+    let id = t.next_call in
+    t.pending <- t.pending + 1;
+    (* The call settles exactly once, no matter how replies, timers,
+       shutdown sweeps, and chaotic transports race: the first
+       settlement wins, every later one is counted and dropped. *)
+    let settled = ref false in
+    let failed = ref 0 (* highest attempt already abandoned *) in
+    let deadline_timer = ref None in
+    let attempt_timer = ref None in
+    let cancel_opt r =
+      match !r with
+      | Some tm ->
+        Eventloop.cancel tm;
+        r := None
+      | None -> ()
+    in
+    let settle err args =
+      if !settled then count c_late
+      else begin
+        settled := true;
+        t.pending <- t.pending - 1;
+        Hashtbl.remove t.inflight id;
+        cancel_opt deadline_timer;
+        cancel_opt attempt_timer;
+        Telemetry.Trace.with_ctx ctx (fun () -> cb err args)
+      end
+    in
+    Hashtbl.replace t.inflight id (fun err -> settle err []);
+    (match deadline with
+     | Some d ->
+       deadline_timer :=
+         Some
+           (Eventloop.after t.loop d (fun () ->
+                deadline_timer := None;
+                if not !settled then begin
+                  count c_timeouts;
+                  settle
+                    (Xrl_error.Timed_out
+                       (Printf.sprintf "%s: no reply within %gs"
+                          (Xrl.method_id xrl) d))
+                    []
+                end))
+     | None -> ());
+    let rec attempt n =
+      if !settled then ()
+      else if not t.live then settle (Xrl_error.Send_failed "router shut down") []
+      else begin
+        (match retry with
+         | Some { attempt_timeout = Some at; _ } ->
+           cancel_opt attempt_timer;
+           attempt_timer :=
+             Some
+               (Eventloop.after t.loop at (fun () ->
+                    attempt_timer := None;
+                    if (not !settled) && !failed < n then begin
+                      count c_timeouts;
+                      fail_attempt n
+                        (Xrl_error.Timed_out
+                           (Printf.sprintf "%s: attempt %d: no reply within %gs"
+                              (Xrl.method_id xrl) n at))
+                    end))
+         | _ -> ());
+        match resolve_for_send t xrl with
+        | Error e -> fail_attempt n e
+        | Ok r ->
+          let wire_args =
+            if Telemetry.is_enabled () then
+              match ctx with
+              | Some c ->
+                xrl.Xrl.args
+                @ [ Xrl_atom.txt Telemetry.Trace.trace_atom_name
+                      (Telemetry.Trace.ctx_to_string c) ]
+              | None -> xrl.Xrl.args
+            else xrl.Xrl.args
+          in
+          let wire_xrl =
+            { xrl with Xrl.protocol = r.family; target = r.address;
+                       method_name = r.keyed_method; args = wire_args }
+          in
+          let watch_cls =
+            if Xrl.is_resolved xrl then None
+            else Some (class_of_name xrl.Xrl.target)
+          in
+          (match sender_for t ?watch_cls r with
+           | entry ->
+             let t0 =
+               if Telemetry.is_enabled () then Unix.gettimeofday () else nan
+             in
+             let on_reply err args =
+               if !settled || !failed >= n then count c_late
+               else begin
+                 if not (Float.is_nan t0) then begin
+                   Telemetry.incr entry.calls;
+                   Telemetry.observe entry.rtt
+                     ((Unix.gettimeofday () -. t0) *. 1e6)
+                 end;
+                 if Xrl_error.is_ok err || not (retryable err) then
+                   settle err args
+                 else fail_attempt n err
+               end
+             in
+             if t.batching && entry.sender.Pf.send_batch <> None then begin
+               (* Coalesce: everything queued for this destination within
+                  the current event-loop turn leaves as one frame. *)
+               Queue.push (wire_xrl, on_reply) entry.batchq;
+               if not entry.flush_armed then begin
+                 entry.flush_armed <- true;
+                 Eventloop.defer t.loop (fun () -> flush_entry t entry)
+               end
+             end
+             else entry.sender.Pf.send_req wire_xrl on_reply
+           | exception Invalid_argument msg ->
+             fail_attempt n (Xrl_error.Send_failed msg))
+      end
+    and fail_attempt n err =
+      (* Abandon attempt [n]: either schedule the next attempt or
+         settle with the error. Guarded so a late reply and an attempt
+         timer racing on the same attempt cannot both schedule a
+         retry. *)
+      if !settled || !failed >= n then ()
+      else begin
+        failed := n;
+        cancel_opt attempt_timer;
+        match retry with
+        | Some r when t.live && n < r.max_attempts && retryable err ->
+          count c_retries;
+          (* A transport failure can mean the cached resolution is
+             stale (the peer restarted elsewhere); re-resolve. *)
+          if not (Xrl.is_resolved xrl) then
+            Hashtbl.remove t.rcache (xrl.Xrl.target ^ "|" ^ Xrl.method_id xrl);
+          ignore
+            (Eventloop.after t.loop (backoff_delay t r n) (fun () ->
+                 attempt (n + 1)))
+        | _ -> settle err []
+      end
+    in
+    attempt 1
+  end
+
+let call_blocking ?(deadline = 30.0) ?retry t xrl =
   let result = ref None in
-  send t xrl (fun err args -> result := Some (err, args));
+  send ~deadline ?retry t xrl (fun err args -> result := Some (err, args));
   Eventloop.run ~until:(fun () -> !result <> None) t.loop;
   match !result with
   | Some r -> r
@@ -311,12 +514,17 @@ let pending_sends t = t.pending
 let shutdown t =
   if t.live then begin
     t.live <- false;
+    (* Remove our invalidation hook first: past this point the Finder
+       must not keep the dead router — or its caches — alive. *)
+    t.unhook ();
+    t.unhook <- (fun () -> ());
     Finder.unregister_target t.fndr t.target;
     List.iter (fun (l : Pf.listener) -> l.shutdown ()) t.listeners;
     Hashtbl.iter
       (fun _ (e : sender_entry) ->
-         (* Queued-but-unflushed sends get an explicit failure; their
-            deferred flush will find [live = false] and do nothing. *)
+         (* Queued-but-unflushed sends get an explicit failure in FIFO
+            order; their deferred flush will find [live = false] and do
+            nothing. *)
          Queue.iter
            (fun (_, cb) -> cb (Xrl_error.Send_failed "router shut down") [])
            e.batchq;
@@ -324,5 +532,16 @@ let shutdown t =
          e.sender.Pf.close_sender ())
       t.senders;
     Hashtbl.reset t.senders;
-    Hashtbl.reset t.rcache
+    Hashtbl.reset t.rcache;
+    (* Sweep whatever is still unsettled — calls waiting out a retry
+       backoff, calls whose transport never reported — in send order.
+       Settlement is idempotent, so anything the transports already
+       failed above is skipped. After this, [pending_sends] is 0. *)
+    let ids = Hashtbl.fold (fun id _ acc -> id :: acc) t.inflight [] in
+    List.iter
+      (fun id ->
+         match Hashtbl.find_opt t.inflight id with
+         | Some fail -> fail (Xrl_error.Send_failed "router shut down")
+         | None -> ())
+      (List.sort compare ids)
   end

@@ -6,7 +6,18 @@
     {!Finder}, dispatches inbound calls to handlers (enforcing the
     per-method random key of §7), and sends outbound XRLs — resolving
     through the Finder with a resolution cache that the Finder
-    invalidates when registrations change. *)
+    invalidates when registrations change.
+
+    {b Reliability.} Outbound calls can carry a caller-side deadline
+    and a bounded-retry policy ({!send}'s [?deadline] and [?retry]).
+    Every call settles its callback {e exactly once} no matter how
+    replies, timers, peer deaths, and shutdown race; late replies are
+    dropped and counted ([xrl.late_replies_dropped]). The router also
+    watches the Finder lifetime notifications (§6.5) for every class it
+    has a sender towards: when a peer dies, that peer's queued and
+    in-flight calls fail promptly (or retry against the restarted
+    instance), and the stale sender is evicted so a rebirth at a new
+    address is re-resolved. *)
 
 type t
 
@@ -16,6 +27,27 @@ type handler =
     continuation that must be called exactly once; replies may be
     immediate or deferred (asynchronous messaging, §6). Raising
     {!Xrl_atom.Bad_args} replies with a [Bad_args] error. *)
+
+type retry = {
+  max_attempts : int;     (** total attempts, including the first *)
+  base_delay : float;     (** backoff before attempt 2, seconds *)
+  max_delay : float;      (** cap on the exponential backoff *)
+  jitter : float;         (** proportional jitter, e.g. [0.25] = +0..25% *)
+  attempt_timeout : float option;
+      (** per-attempt reply timeout; an expiry counts as a transient
+          failure of that attempt (retried), unlike the overall
+          [?deadline] which settles the call for good *)
+}
+(** Bounded retry with exponential backoff, for {e idempotent} calls
+    only — a retried call may execute twice on the peer. Retried
+    errors: [Resolve_failed] (peer not yet / no longer registered),
+    [Send_failed] (transport failure), and attempt-level [Timed_out].
+    Each retry re-resolves through the Finder, so a peer that restarts
+    at a new address is found. Retries are counted in [xrl.retries]. *)
+
+val default_retry : retry
+(** 4 attempts; 50 ms base backoff doubling to a 2 s cap, 25% jitter;
+    2 s per-attempt timeout. *)
 
 val create :
   ?families:Pf.family list -> ?family_pref:string list -> ?batching:bool ->
@@ -39,13 +71,26 @@ val add_handler :
     whose keyed name does not match are rejected, preventing Finder
     bypass. *)
 
-val send : t -> Xrl.t -> (Xrl_error.t -> Xrl_atom.t list -> unit) -> unit
+val send :
+  ?deadline:float -> ?retry:retry -> t -> Xrl.t ->
+  (Xrl_error.t -> Xrl_atom.t list -> unit) -> unit
 (** Send a generic (or already-resolved) XRL; the callback fires
-    exactly once with the outcome. Resolution results are cached. *)
+    exactly once with the outcome. Resolution results are cached.
 
-val call_blocking : t -> Xrl.t -> Xrl_error.t * Xrl_atom.t list
+    [?deadline] (seconds) arms a timer: if no settlement happened when
+    it fires, the callback fails with {!Xrl_error.Timed_out} (counted
+    in [xrl.timeouts]) and any reply arriving later is dropped.
+
+    [?retry] enables bounded retry with backoff for transient errors;
+    see {!retry}. The deadline spans all attempts. *)
+
+val call_blocking :
+  ?deadline:float -> ?retry:retry -> t -> Xrl.t ->
+  Xrl_error.t * Xrl_atom.t list
 (** Testing/scripting convenience: {!send}, then run the event loop
-    until the reply arrives. Must not be called from inside a handler. *)
+    until the reply arrives. Must not be called from inside a handler.
+    [deadline] defaults to 30 s, so a peer that accepts the request but
+    never replies yields [(Timed_out _, [])] rather than a hang. *)
 
 val instance_name : t -> string
 val class_name : t -> string
@@ -53,8 +98,11 @@ val finder : t -> Finder.t
 val eventloop : t -> Eventloop.t
 
 val pending_sends : t -> int
-(** Outbound calls whose reply has not yet arrived. *)
+(** Outbound calls not yet settled. Every deadline expiry, peer death,
+    or shutdown settles its calls, so this returns to 0 — it cannot
+    leak on the failure paths. *)
 
 val shutdown : t -> unit
-(** Unregister from the Finder, close listeners and senders. Pending
-    replies fail with [Send_failed]. Idempotent. *)
+(** Unregister from the Finder (including this router's resolution-
+    invalidation hook), close listeners and senders, and settle every
+    unsettled call with [Send_failed] in send order. Idempotent. *)

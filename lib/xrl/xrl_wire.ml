@@ -121,7 +121,7 @@ let encode_body w = function
        | Ok_xrl -> ""
        | Resolve_failed s | No_such_method s | Bad_args s
        | Command_failed s | Send_failed s | Reply_timed_out s
-       | Internal_error s -> s);
+       | Internal_error s | Timed_out s -> s);
     encode_atoms w args
   | Batch _ -> invalid_arg "Xrl_wire: batches do not nest"
 
