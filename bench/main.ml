@@ -12,31 +12,14 @@ let experiments =
   [ ("fig9", "XRL throughput: intra/TCP/UDP vs #args (§8.1, Figure 9)",
      Fig9.run);
     ("fig10", "route latency, empty table (§8.2, Figure 10)",
-     fun () ->
-       ignore
-         (Fig_latency.run_experiment
-            ~title:"Figure 10: route propagation latency, no initial routes"
-            ~preload:0 ~same_peering:true
-            ~paper_rows:[ "Paper avg to kernel: 3.374 ms." ]
-            ()));
+     Fig_latency.run_fig10);
     ("fig11", "route latency, 146515 routes, same peering (Figure 11)",
-     fun () ->
-       ignore
-         (Fig_latency.run_experiment
-            ~title:"Figure 11: latency with 146,515 initial routes (same peering)"
-            ~preload:Feed.paper_table_size ~same_peering:true
-            ~paper_rows:[ "Paper avg to kernel: 3.632 ms." ]
-            ()));
+     Fig_latency.run_fig11);
     ("fig12", "route latency, 146515 routes, different peering (Figure 12)",
-     fun () ->
-       ignore
-         (Fig_latency.run_experiment
-            ~title:
-              "Figure 12: latency with 146,515 initial routes (different peering)"
-            ~preload:Feed.paper_table_size ~same_peering:false
-            ~paper_rows:[ "Paper avg to kernel: 4.417 ms." ]
-            ()));
-    ("latency", "figures 10+11+12 with shape summary", Fig_latency.run_all);
+     Fig_latency.run_fig12);
+    ("pipeline",
+     "figures 10-12 + occupancy/during-load/churn sweep, emits BENCH_pipeline.json",
+     Fig_latency.run_all);
     ("fig13", "event-driven vs 30s scanners (Figure 13)", Fig13.run);
     ("memory", "full-table memory footprint (§5.1)", Memory.run);
     ("ablation-pipeline", "A1: TCP pipeline window sweep",
@@ -73,7 +56,7 @@ let () =
   | _ :: [] | _ :: "all" :: _ ->
     List.iter
       (fun (name, _, f) ->
-         if name <> "latency" && name <> "smoke" then (ignore name; f ()))
+         if name <> "pipeline" && name <> "smoke" then (ignore name; f ()))
       experiments
   | _ :: "list" :: _ -> list_them ()
   | _ :: names -> List.iter run_one names

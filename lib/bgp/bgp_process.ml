@@ -68,65 +68,128 @@ type t = {
   mutable started : bool;
 }
 
-let profile t point payload =
+(* Hot-path variant: skips the payload string construction entirely
+   when the point is disabled, so a full-table load does not pay one
+   [Ipv4net.to_string] plus a concat per route per point. *)
+let profile_net t point verb net =
   match t.profiler with
-  | Some p -> Profiler.record p point payload
-  | None -> ()
+  | Some p when Profiler.enabled p point ->
+    Profiler.record p point (verb ^ Ipv4net.to_string net)
+  | _ -> ()
 
 let instance_name t = Xrl_router.instance_name t.router
 let xrl_router t = t.router
 
 (* --- RIB branch ------------------------------------------------------ *)
 
+let rib_protocol t (route : Bgp_types.route) =
+  match Hashtbl.find_opt t.peer_kinds route.Bgp_types.peer_id with
+  | Some Bgp_types.Ibgp -> "ibgp"
+  | _ -> "ebgp"
+
+(* Per-route XRL; also the path a single-entry run takes, so the
+   unbatched pipeline (and its profile-point sequence) is exactly what
+   it was before bulk transfer — Figures 10-12 flap one route at a
+   time and still measure this path. *)
+let send_rib_one t (op, (route : Bgp_types.route), trace) =
+  Telemetry.Trace.with_ctx trace @@ fun () ->
+  Telemetry.Trace.span_sync ~name:"bgp.rib_send"
+    ~clock:(fun () -> Eventloop.now t.loop)
+  @@ fun () ->
+  profile_net t pp_sent_rib (op ^ " ") route.Bgp_types.net;
+  let protocol = rib_protocol t route in
+  let xrl =
+    if op = "add" then
+      Xrl.make ~target:"rib" ~interface:"rib" ~method_name:"add_route"
+        [ Xrl_atom.txt "protocol" protocol;
+          Xrl_atom.ipv4net "net" route.Bgp_types.net;
+          Xrl_atom.ipv4 "nexthop" route.Bgp_types.attrs.nexthop;
+          Xrl_atom.u32 "metric"
+            (Option.value route.Bgp_types.attrs.med ~default:0) ]
+    else
+      Xrl.make ~target:"rib" ~interface:"rib" ~method_name:"delete_route"
+        [ Xrl_atom.txt "protocol" protocol;
+          Xrl_atom.ipv4net "net" route.Bgp_types.net ]
+  in
+  Xrl_router.send t.router xrl (fun err _ ->
+      if not (Xrl_error.is_ok err) then
+        Log.warn (fun m ->
+            m "RIB %s for %s failed: %s" op
+              (Ipv4net.to_string route.Bgp_types.net)
+              (Xrl_error.to_string err)))
+
+(* A run of queued updates with the same operation and protocol leaves
+   as one rib/add_routes4 or rib/delete_routes4 XRL carrying a
+   Route_pack-packed list — the same bulk transfer the RIB already
+   uses towards the FEA (PR 2), now applied to the BGP->RIB leg, which
+   used to dominate full-table load time. Profile points stay per
+   route. *)
+let send_rib_run t entries =
+  match entries with
+  | [] -> ()
+  | [ entry ] -> send_rib_one t entry
+  | (op0, (route0 : Bgp_types.route), first_trace) :: _ ->
+    let n = List.length entries in
+    List.iter
+      (fun (op, (route : Bgp_types.route), trace) ->
+         Telemetry.Trace.with_ctx trace (fun () ->
+             profile_net t pp_sent_rib (op ^ " ") route.Bgp_types.net))
+      entries;
+    Telemetry.Trace.with_ctx first_trace @@ fun () ->
+    Telemetry.Trace.span_sync ~name:"bgp.rib_send"
+      ~note:(string_of_int n ^ " routes")
+      ~clock:(fun () -> Eventloop.now t.loop)
+    @@ fun () ->
+    let xrl =
+      if op0 = "add" then
+        let adds =
+          List.map
+            (fun (_, (r : Bgp_types.route), _) ->
+               { Route_pack.net = r.Bgp_types.net;
+                 nexthop = r.Bgp_types.attrs.nexthop;
+                 ifname = ""; protocol = rib_protocol t r;
+                 metric = Option.value r.Bgp_types.attrs.med ~default:0 })
+            entries
+        in
+        Xrl.make ~target:"rib" ~interface:"rib" ~method_name:"add_routes4"
+          [ Xrl_atom.binary "routes" (Route_pack.pack_adds adds) ]
+      else
+        Xrl.make ~target:"rib" ~interface:"rib" ~method_name:"delete_routes4"
+          [ Xrl_atom.txt "protocol" (rib_protocol t route0);
+            Xrl_atom.binary "routes"
+              (Route_pack.pack_deletes
+                 (List.map (fun (_, (r : Bgp_types.route), _) -> r.Bgp_types.net)
+                    entries)) ]
+    in
+    Xrl_router.send t.router xrl (fun err _ ->
+        if not (Xrl_error.is_ok err) then
+          Log.warn (fun m ->
+              m "bulk RIB %s (%d routes) failed: %s" op0 n
+                (Xrl_error.to_string err)))
+
 let schedule_rib_flush t =
   if not t.rib_flush_scheduled then begin
     t.rib_flush_scheduled <- true;
     Eventloop.defer t.loop (fun () ->
         t.rib_flush_scheduled <- false;
-        (* Each queue entry re-enters the trace context captured when
-           it was queued; the bgp.rib_send span covers just that
-           entry's XRL construction and send, not the whole drain. *)
-        let send_one (op, route, trace) =
-          Telemetry.Trace.with_ctx trace @@ fun () ->
-          Telemetry.Trace.span_sync ~name:"bgp.rib_send"
-            ~clock:(fun () -> Eventloop.now t.loop)
-          @@ fun () ->
-          let netstr = Ipv4net.to_string route.Bgp_types.net in
-          profile t pp_sent_rib (op ^ " " ^ netstr);
-          let protocol =
-            match Hashtbl.find_opt t.peer_kinds route.Bgp_types.peer_id with
-            | Some Bgp_types.Ibgp -> "ibgp"
-            | _ -> "ebgp"
-          in
-          let xrl =
-            if op = "add" then
-              Xrl.make ~target:"rib" ~interface:"rib"
-                ~method_name:"add_route"
-                [ Xrl_atom.txt "protocol" protocol;
-                  Xrl_atom.ipv4net "net" route.Bgp_types.net;
-                  Xrl_atom.ipv4 "nexthop" route.Bgp_types.attrs.nexthop;
-                  Xrl_atom.u32 "metric"
-                    (Option.value route.Bgp_types.attrs.med ~default:0) ]
-            else
-              Xrl.make ~target:"rib" ~interface:"rib"
-                ~method_name:"delete_route"
-                [ Xrl_atom.txt "protocol" protocol;
-                  Xrl_atom.ipv4net "net" route.Bgp_types.net ]
-          in
-          Xrl_router.send t.router xrl (fun err _ ->
-              if not (Xrl_error.is_ok err) then
-                Log.warn (fun m ->
-                    m "RIB %s for %s failed: %s" op netstr
-                      (Xrl_error.to_string err)))
-        in
-        let rec drain () =
+        (* Group consecutive same-op, same-protocol entries into runs,
+           preserving overall order: an add/delete alternation for the
+           same prefix must reach the RIB in sequence. *)
+        let rec drain run =
           match Queue.take_opt t.rib_q with
-          | None -> ()
-          | Some entry ->
-            send_one entry;
-            drain ()
+          | None -> send_rib_run t (List.rev run)
+          | Some ((op, route, _) as entry) -> (
+            match run with
+            | [] -> drain [ entry ]
+            | (prev_op, prev_route, _) :: _
+              when prev_op = op
+                   && rib_protocol t prev_route = rib_protocol t route ->
+              drain (entry :: run)
+            | _ ->
+              send_rib_run t (List.rev run);
+              drain [ entry ])
         in
-        drain ())
+        drain [])
   end
 
 (* The fanout reader feeding the RIB. Locally originated routes
@@ -134,7 +197,7 @@ let schedule_rib_flush t =
 let make_rib_branch t : Bgp_table.table =
   let on op (route : Bgp_types.route) =
     if route.Bgp_types.peer_id <> 0 && t.send_to_rib then begin
-      profile t pp_queued_rib (op ^ " " ^ Ipv4net.to_string route.net);
+      profile_net t pp_queued_rib (op ^ " ") route.net;
       Queue.push (op, route, Telemetry.Trace.current ()) t.rib_q;
       schedule_rib_flush t
     end
@@ -229,12 +292,8 @@ let handle_update t peer (msg : Bgp_packet.msg) =
     @@ fun () ->
     (* One record per prefix, so per-route latency can be traced
        through all eight profile points of §8.2. *)
-    List.iter
-      (fun net -> profile t pp_entering ("delete " ^ Ipv4net.to_string net))
-      withdrawn;
-    List.iter
-      (fun net -> profile t pp_entering ("add " ^ Ipv4net.to_string net))
-      nlri;
+    List.iter (fun net -> profile_net t pp_entering "delete " net) withdrawn;
+    List.iter (fun net -> profile_net t pp_entering "add " net) nlri;
     List.iter
       (fun net ->
          peer.ribin#delete_route
@@ -533,6 +592,9 @@ let add_xrl_handlers t =
 
 let create ?profiler ?(send_to_rib = true) ?(nexthop_mode = `Rib)
     ?(bgp_port = 179) finder loop ~netsim ~local_as ~bgp_id () =
+  (* A fresh generation starts its metric namespace from zero, so a
+     restarted BGP process does not inherit the dead instance's counts. *)
+  Telemetry.reset_prefix "bgp.";
   let router = Xrl_router.create finder loop ~class_name:"bgp" () in
   let decision = new Bgp_decision.decision_table ~name:"decision" () in
   let t =

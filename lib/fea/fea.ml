@@ -27,10 +27,13 @@ let xrl_router t = t.router
 let interfaces t = t.ifaces
 let routes_installed t = t.installed
 
-let profile t point payload =
+(* Skips payload construction when the point is disabled, so bulk
+   installs do not allocate per route per point. *)
+let profile_net t point verb net =
   match t.profiler with
-  | Some p -> Profiler.record p point payload
-  | None -> ()
+  | Some p when Profiler.enabled p point ->
+    Profiler.record p point (verb ^ Ipv4net.to_string net)
+  | _ -> ()
 
 let ok = Xrl_error.Ok_xrl
 
@@ -50,7 +53,7 @@ let add_fib_handlers t =
          | Some { value = Txt s; _ } -> s
          | _ -> "unknown"
        in
-       profile t pp_arrived (Printf.sprintf "add %s" (Ipv4net.to_string net));
+       profile_net t pp_arrived "add " net;
        Telemetry.Trace.span_sync ~name:"fea.install"
          ~note:(Ipv4net.to_string net)
          ~clock:(fun () -> Eventloop.now (Xrl_router.eventloop t.router))
@@ -60,7 +63,7 @@ let add_fib_handlers t =
               (fun () ->
                  Fib.add t.fib { Fib.net; nexthop; ifname; protocol };
                  t.installed <- t.installed + 1));
-       profile t pp_kernel (Printf.sprintf "add %s" (Ipv4net.to_string net));
+       profile_net t pp_kernel "add " net;
        reply ok []);
   Xrl_router.add_handler r ~interface:"fea" ~method_name:"delete_route4"
     (fun args reply ->
@@ -74,7 +77,7 @@ let add_fib_handlers t =
                 (Telemetry.histogram "fea.install.latency_us")
                 (fun () -> Fib.delete t.fib net))
        in
-       profile t pp_kernel (Printf.sprintf "delete %s" (Ipv4net.to_string net));
+       profile_net t pp_kernel "delete " net;
        if existed then reply ok []
        else
          reply
@@ -96,11 +99,11 @@ let add_fib_handlers t =
            ~clock:(fun () -> Eventloop.now (Xrl_router.eventloop t.router))
            (fun () ->
               List.iter
-                (fun { Route_pack.net; nexthop; ifname; protocol } ->
-                   profile t pp_arrived ("add " ^ Ipv4net.to_string net);
+                (fun { Route_pack.net; nexthop; ifname; protocol; metric = _ } ->
+                   profile_net t pp_arrived "add " net;
                    Fib.add t.fib { Fib.net; nexthop; ifname; protocol };
                    t.installed <- t.installed + 1;
-                   profile t pp_kernel ("add " ^ Ipv4net.to_string net))
+                   profile_net t pp_kernel "add " net)
                 adds);
          reply ok [ Xrl_atom.u32 "count" n ]);
   Xrl_router.add_handler r ~interface:"fea" ~method_name:"delete_routes4"
@@ -116,9 +119,9 @@ let add_fib_handlers t =
            (fun () ->
               List.iter
                 (fun net ->
-                   profile t pp_arrived ("delete " ^ Ipv4net.to_string net);
+                   profile_net t pp_arrived "delete " net;
                    ignore (Fib.delete t.fib net);
-                   profile t pp_kernel ("delete " ^ Ipv4net.to_string net))
+                   profile_net t pp_kernel "delete " net)
                 nets);
          reply ok [ Xrl_atom.u32 "count" n ]);
   Xrl_router.add_handler r ~interface:"fea" ~method_name:"lookup_route4"
@@ -217,6 +220,9 @@ let add_udp_handlers t =
          reply ok [])
 
 let create ?families ?profiler ?(interfaces = []) ?netsim finder loop () =
+  (* A fresh generation starts its metric namespace from zero, so a
+     restarted FEA does not inherit the dead instance's counts. *)
+  Telemetry.reset_prefix "fea.";
   let router =
     Xrl_router.create ?families finder loop ~class_name:"fea" ~sole:true ()
   in

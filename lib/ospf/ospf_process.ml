@@ -427,3 +427,5 @@ let shutdown t =
     (fun _ a -> Option.iter Eventloop.cancel a.a_dead_timer)
     t.adjacencies;
   Xrl_router.shutdown t.router
+
+let xrl_router t = t.router

@@ -68,3 +68,6 @@ val route_table : t -> (Ipv4net.t * int * Ipv4.t) list
 
 val instance_name : t -> string
 val shutdown : t -> unit
+
+val xrl_router : t -> Xrl_router.t
+(** The component's XRL endpoint (e.g. to inspect registrations). *)

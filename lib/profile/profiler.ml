@@ -39,6 +39,11 @@ let record t point payload =
 
 let all_records t = Telemetry_ring.to_list t.log
 
+let drain t =
+  let rs = Telemetry_ring.to_list t.log in
+  Telemetry_ring.clear t.log;
+  rs
+
 let records t point =
   Telemetry_ring.fold
     (fun acc r -> if r.point = point then r :: acc else acc)

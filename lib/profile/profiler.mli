@@ -44,6 +44,11 @@ val records : t -> string -> record list
 val all_records : t -> record list
 (** Every record, in capture order across points. *)
 
+val drain : t -> record list
+(** Like {!all_records}, but also empties the ring (per-point counts
+    and enablement stay). Lets a long-running measurement consume
+    records incrementally faster than the ring overwrites them. *)
+
 val clear : t -> unit
 (** Drop captured records (point definitions and enablement remain). *)
 

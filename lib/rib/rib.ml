@@ -29,10 +29,14 @@ type t = {
   mutable fea_up : bool;
 }
 
-let profile t point payload =
+(* Hot-path variant: skips payload construction when the point is
+   disabled (a full-table load would otherwise allocate one string per
+   route per point). *)
+let profile_net t point verb net =
   match t.profiler with
-  | Some p -> Profiler.record p point payload
-  | None -> ()
+  | Some p when Profiler.enabled p point ->
+    Profiler.record p point (verb ^ Ipv4net.to_string net)
+  | _ -> ()
 
 (* --- FEA sink ------------------------------------------------------- *)
 
@@ -54,7 +58,7 @@ let send_one t (op : fea_op) ctx =
   Telemetry.Trace.span_sync ~name:"rib.fea_send" ~note:netstr
     ~clock:(fun () -> Eventloop.now t.loop)
   @@ fun () ->
-  profile t pp_sent_fea (op_verb op ^ netstr);
+  profile_net t pp_sent_fea (op_verb op) (op_net op);
   let xrl =
     match op with
     | `Add r ->
@@ -87,7 +91,7 @@ let send_run t (ops : (fea_op * Telemetry.Trace.ctx option) list) =
     List.iter
       (fun (op, ctx) ->
          Telemetry.Trace.with_ctx ctx (fun () ->
-             profile t pp_sent_fea (op_verb op ^ Ipv4net.to_string (op_net op))))
+             profile_net t pp_sent_fea (op_verb op) (op_net op)))
       ops;
     Telemetry.Trace.with_ctx first_ctx @@ fun () ->
     Telemetry.Trace.span_sync ~name:"rib.fea_send"
@@ -102,7 +106,7 @@ let send_run t (ops : (fea_op * Telemetry.Trace.ctx option) list) =
                   match op with
                   | `Add r ->
                     { Route_pack.net = r.Rib_route.net; nexthop = r.nexthop;
-                      ifname = ""; protocol = r.protocol }
+                      ifname = ""; protocol = r.protocol; metric = r.metric }
                   | `Delete _ -> assert false)
                ops),
           "add_routes4" )
@@ -148,8 +152,7 @@ let flush_fea t =
   end
 
 let send_fea t (op : fea_op) =
-  let netstr = Ipv4net.to_string (op_net op) in
-  profile t pp_queued_fea (op_verb op ^ netstr);
+  profile_net t pp_queued_fea (op_verb op) (op_net op);
   if t.send_to_fea then begin
     (* Queue-then-send: the actual XRL goes out on the next loop
        iteration, like a real outbound transmit queue — and everything
@@ -305,7 +308,7 @@ let add_xrl_handlers t =
          | Some { value = U32 m; _ } -> m
          | _ -> 0
        in
-       profile t pp_arrived ("add " ^ Ipv4net.to_string net);
+       profile_net t pp_arrived "add " net;
        match
          Telemetry.Trace.span_sync ~name:"rib.route_add"
            ~note:(Ipv4net.to_string net)
@@ -318,7 +321,7 @@ let add_xrl_handlers t =
     (fun args reply ->
        let protocol = Xrl_atom.get_txt args "protocol" in
        let net = Xrl_atom.get_ipv4net args "net" in
-       profile t pp_arrived ("delete " ^ Ipv4net.to_string net);
+       profile_net t pp_arrived "delete " net;
        match
          Telemetry.Trace.span_sync ~name:"rib.route_delete"
            ~note:(Ipv4net.to_string net)
@@ -327,6 +330,67 @@ let add_xrl_handlers t =
        with
        | Ok () -> reply ok []
        | Error msg -> reply (Xrl_error.Command_failed msg) []);
+  (* Bulk variants, mirroring fea/add_routes4: one XRL carries a whole
+     Route_pack-packed run from BGP's RIB-output queue, so a full-table
+     load crosses the BGP->RIB boundary in hundreds of calls instead of
+     146k. Profile points stay per route. *)
+  Xrl_router.add_handler r ~interface:"rib" ~method_name:"add_routes4"
+    (fun args reply ->
+       let packed = Xrl_atom.get_binary args "routes" in
+       match Route_pack.unpack_adds packed with
+       | Error msg -> reply (Xrl_error.Bad_args ("routes: " ^ msg)) []
+       | Ok adds ->
+         let n = List.length adds in
+         let failed = ref 0 in
+         Telemetry.Trace.span_sync ~name:"rib.route_add_bulk"
+           ~note:(string_of_int n ^ " routes")
+           ~clock:(fun () -> Eventloop.now t.loop)
+           (fun () ->
+              List.iter
+                (fun { Route_pack.net; nexthop; protocol; metric; ifname = _ } ->
+                   profile_net t pp_arrived "add " net;
+                   match add_route t ~protocol ~net ~nexthop ~metric () with
+                   | Ok () -> ()
+                   | Error msg ->
+                     incr failed;
+                     Log.warn (fun m ->
+                         m "bulk add %s: %s" (Ipv4net.to_string net) msg))
+                adds);
+         if !failed = 0 then reply ok [ Xrl_atom.u32 "count" n ]
+         else
+           reply
+             (Xrl_error.Command_failed
+                (Printf.sprintf "%d/%d adds failed" !failed n))
+             []);
+  Xrl_router.add_handler r ~interface:"rib" ~method_name:"delete_routes4"
+    (fun args reply ->
+       let protocol = Xrl_atom.get_txt args "protocol" in
+       let packed = Xrl_atom.get_binary args "routes" in
+       match Route_pack.unpack_deletes packed with
+       | Error msg -> reply (Xrl_error.Bad_args ("routes: " ^ msg)) []
+       | Ok nets ->
+         let n = List.length nets in
+         let failed = ref 0 in
+         Telemetry.Trace.span_sync ~name:"rib.route_delete_bulk"
+           ~note:(string_of_int n ^ " routes")
+           ~clock:(fun () -> Eventloop.now t.loop)
+           (fun () ->
+              List.iter
+                (fun net ->
+                   profile_net t pp_arrived "delete " net;
+                   match delete_route t ~protocol ~net with
+                   | Ok () -> ()
+                   | Error msg ->
+                     incr failed;
+                     Log.warn (fun m ->
+                         m "bulk delete %s: %s" (Ipv4net.to_string net) msg))
+                nets);
+         if !failed = 0 then reply ok [ Xrl_atom.u32 "count" n ]
+         else
+           reply
+             (Xrl_error.Command_failed
+                (Printf.sprintf "%d/%d deletes failed" !failed n))
+             []);
   Xrl_router.add_handler r ~interface:"rib" ~method_name:"lookup_route_by_dest"
     (fun args reply ->
        let addr = Xrl_atom.get_ipv4 args "addr" in
@@ -461,6 +525,9 @@ let watch_fea_lifecycle t finder =
 
 let create ?families ?batching ?profiler ?(send_to_fea = true)
     ?(bulk_fea = true) finder loop () =
+  (* A fresh generation starts its metric namespace from zero, so a
+     restarted RIB does not inherit the dead instance's counts. *)
+  Telemetry.reset_prefix "rib.";
   let router =
     Xrl_router.create ?families ?batching finder loop ~class_name:"rib"
       ~sole:true ()

@@ -457,3 +457,5 @@ let shutdown t =
   t.started <- false;
   Ptree.iter (fun _ r -> cancel_timers r) t.db;
   Xrl_router.shutdown t.router
+
+let xrl_router t = t.router

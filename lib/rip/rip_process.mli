@@ -70,3 +70,6 @@ val routes_expired : t -> int
 
 val instance_name : t -> string
 val shutdown : t -> unit
+
+val xrl_router : t -> Xrl_router.t
+(** The component's XRL endpoint (e.g. to inspect registrations). *)

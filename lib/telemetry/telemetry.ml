@@ -175,15 +175,22 @@ let list_metrics ?(registry = global) () =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry.metrics []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+let zero_metric = function
+  | Counter c -> c.c_value <- 0
+  | Gauge g -> g.g_value <- 0.
+  | Histogram h -> Histogram.clear h
+
 let reset ?(registry = global) () =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | Counter c -> c.c_value <- 0
-      | Gauge g -> g.g_value <- 0.
-      | Histogram h -> Histogram.clear h)
-    registry.metrics;
+  Hashtbl.iter (fun _ m -> zero_metric m) registry.metrics;
   Telemetry_ring.clear registry.span_ring
+
+let reset_prefix ?(registry = global) prefix =
+  Hashtbl.iter
+    (fun name m ->
+      if String.length name >= String.length prefix
+         && String.sub name 0 (String.length prefix) = prefix
+      then zero_metric m)
+    registry.metrics
 
 module Trace = struct
   include Trace_defs

@@ -106,6 +106,13 @@ val list_metrics : ?registry:registry -> unit -> (string * metric) list
 val reset : ?registry:registry -> unit -> unit
 (** Zero every metric and drop recorded spans (registrations remain). *)
 
+val reset_prefix : ?registry:registry -> string -> unit
+(** Zero every metric whose dotted name starts with [prefix], in place,
+    so existing handles stay valid. Components call this with their
+    namespace (e.g. ["fea."]) when a new generation starts, so a
+    restarted process does not inherit — and [xorp_top] does not
+    display — the dead generation's accumulated counts. *)
+
 (** {1 Distributed tracing} *)
 
 module Trace : sig

@@ -14,22 +14,44 @@ let paper_table_size = 146515
 let len_dist = [| (24, 55); (23, 9); (22, 10); (21, 5); (20, 6);
                   (19, 6); (18, 3); (17, 2); (16, 3); (15, 1) |]
 
-let sample_len rng =
-  let roll = Rng.int rng 100 in
+let sample_weighted rng dist total =
+  let roll = Rng.int rng total in
   let rec go i acc =
-    let len, w = len_dist.(i) in
-    if roll < acc + w || i = Array.length len_dist - 1 then len
+    let v, w = dist.(i) in
+    if roll < acc + w || i = Array.length dist - 1 then v
     else go (i + 1) (acc + w)
   in
   go 0 0
+
+let sample_len rng = sample_weighted rng len_dist 100
 
 let sample_nexthop rng =
   (* A handful of peering-LAN addresses, as a real session would have. *)
   Ipv4.of_octets 10 0 (Rng.int rng 4) (1 + Rng.int rng 8)
 
+(* AS-path hop-count distribution matching mid-2000s BGP table surveys:
+   mass concentrated at 3-5 hops (mean ~3.9), a thin tail out to 10.
+   Weights sum to 1000. *)
+let path_len_dist =
+  [| (1, 10); (2, 82); (3, 271); (4, 309); (5, 192); (6, 81); (7, 31);
+     (8, 14); (9, 6); (10, 4) |]
+
+(* Real paths climb from a stub origin through regional transit into a
+   small core, so the first hops are drawn from much smaller AS pools
+   than the origins; ~6% of paths prepend their origin AS a few times
+   for inbound traffic engineering. *)
 let sample_as_path rng =
-  let hops = 1 + Rng.int rng 6 in
-  List.init hops (fun _ -> 1 + Rng.int rng 64000)
+  let hops = sample_weighted rng path_len_dist 1000 in
+  let origin = 1 + Rng.int rng 30000 in
+  let path =
+    List.init hops (fun i ->
+        if i = hops - 1 then origin
+        else if i = 0 then 1 + Rng.int rng 64 (* core / tier-1 pool *)
+        else 100 + Rng.int rng 2048 (* transit pool *))
+  in
+  if Rng.int rng 100 < 6 then
+    path @ List.init (1 + Rng.int rng 3) (fun _ -> origin)
+  else path
 
 let generate ?(seed = 42) n =
   if n < 0 then invalid_arg "Feed.generate";

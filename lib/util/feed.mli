@@ -9,7 +9,10 @@
 type entry = {
   net : Ipv4net.t;
   nexthop : Ipv4.t;
-  as_path : int list;      (** Origin AS last; 1–6 hops. *)
+  as_path : int list;
+  (** Nearest hop first, origin AS last. Hop count follows a survey
+      distribution (mass at 3–5, mean ~3.9, tail to 10); ~6% of paths
+      prepend their origin AS, as real traffic engineering does. *)
   med : int;
   localpref : int;
 }

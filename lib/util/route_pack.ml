@@ -8,6 +8,7 @@ type add = {
   nexthop : Ipv4.t;
   ifname : string;
   protocol : string;
+  metric : int;
 }
 
 let max_count = 1 lsl 20
@@ -40,7 +41,8 @@ let pack_adds adds =
        put_net w a.net;
        Wire.W.ipv4 w a.nexthop;
        put_str w a.ifname;
-       put_str w a.protocol)
+       put_str w a.protocol;
+       Wire.W.u32 w a.metric)
     adds;
   Wire.W.contents w
 
@@ -73,6 +75,7 @@ let unpack_adds s =
       let nexthop = Wire.R.ipv4 r in
       let ifname = get_str r in
       let protocol = get_str r in
-      { net; nexthop; ifname; protocol })
+      let metric = Wire.R.u32 r in
+      { net; nexthop; ifname; protocol; metric })
 
 let unpack_deletes s = unpack s get_net

@@ -3,14 +3,15 @@
     A packed list travels inside a single [binary] XRL atom, so a whole
     flush of routes crosses the IPC boundary as one marshalled call.
     Layout: 32-bit count, then per entry the network (address + prefix
-    length) and, for adds, the nexthop plus 16-bit length-prefixed
-    [ifname] and [protocol] strings. *)
+    length) and, for adds, the nexthop, 16-bit length-prefixed
+    [ifname] and [protocol] strings, and a 32-bit metric. *)
 
 type add = {
   net : Ipv4net.t;
   nexthop : Ipv4.t;
   ifname : string;
   protocol : string;
+  metric : int;
 }
 
 val pack_adds : add list -> string

@@ -46,7 +46,10 @@ val register_method : t -> target -> method_id:string -> string
     component must enforce on dispatch. *)
 
 val instance_name : target -> string
+(** The unique generation-suffixed name, e.g. ["fea-3"]. *)
+
 val class_of_target : target -> string
+(** The component class the target registered as, e.g. ["fea"]. *)
 
 val resolve :
   t -> ?family_pref:string list -> ?caller:string -> Xrl.t ->
@@ -77,9 +80,14 @@ val restrict :
     restriction; resolution caches are invalidated. *)
 
 val unrestrict : t -> class_name:string -> unit
+(** Drop any restriction on [class_name]; its components may resolve
+    anything again. *)
 
 val is_allowed :
   t -> caller:string -> target_class:string -> interface:string -> bool
+(** Would {!resolve} permit [caller] to reach
+    [target_class]/[interface]? True when the caller's class is
+    unrestricted. *)
 
 val resolve_count : t -> int
 (** Number of [resolve] calls served (benchmarks). *)

@@ -7,3 +7,5 @@
     restarted component gets a fresh id and stale senders fail cleanly. *)
 
 val family : Pf.family
+(** The process-global ["intra"] family; safe to share between all
+    routers in a process. *)

@@ -14,6 +14,8 @@
     cannot be bypassed. *)
 
 val family : Pf.family
+(** The ["kill"] family: refuses everything except no-argument
+    [signal/1.0] calls naming a known signal. *)
 
 val known_signals : string list
 (** ["HUP"; "INT"; "TERM"; "USR1"; "USR2"] *)

@@ -9,3 +9,5 @@
     ["127.0.0.1:<port>"] with a kernel-assigned port. *)
 
 val family : Pf.family
+(** The ["stcp"] family (shared, stateless: per-connection state lives
+    in the senders and listeners it creates). *)

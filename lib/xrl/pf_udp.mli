@@ -9,6 +9,7 @@
     Requires a [`Real]-mode event loop. *)
 
 val family : Pf.family
+(** The ["sudp"] family. *)
 
 val request_timeout : float
 (** Seconds before an unanswered request fails with

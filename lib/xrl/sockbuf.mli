@@ -29,6 +29,7 @@ val close : t -> unit
 (** Idempotent; deregisters callbacks and closes the descriptor. *)
 
 val is_open : t -> bool
+(** False after {!close} or a remote close/error. *)
 
 val pending_bytes : t -> int
 (** Bytes queued but not yet written (tests / flow control). *)

@@ -16,10 +16,13 @@
     - [reset]: zero all metrics and drop recorded spans. *)
 
 val span_to_string : Telemetry.Trace.span -> string
+(** One span in the [spans] wire encoding:
+    ["trace|span|parent|name|start|stop|note"]. ['|'] is the field
+    separator, so names and notes have any ['|'] replaced by ['/']. *)
+
 val span_of_string : string -> Telemetry.Trace.span option
-(** The [spans] wire encoding. [span_of_string] is what pollers
-    ([xorp_top], tests) use. ['|'] is the field separator, so names
-    and notes have any ['|'] replaced by ['/'] at encode time. *)
+(** Inverse of {!span_to_string}; [None] on a malformed record. This
+    is what pollers ([xorp_top], tests) use. *)
 
 val add_handlers : Xrl_router.t -> unit
 (** Register the [telemetry/0.1] methods on an existing router. *)

@@ -35,6 +35,7 @@ val to_text : t -> string
 (** Canonical textual form (scriptable; parseable by {!of_text}). *)
 
 val of_text : string -> (t, string) result
+(** Parse the canonical textual form; [Error] explains the failure. *)
 
 val method_id : t -> string
 (** ["interface/version/method"] — the Finder registration key. *)
@@ -43,4 +44,7 @@ val is_resolved : t -> bool
 (** False iff [protocol] is ["finder"]. *)
 
 val equal : t -> t -> bool
+(** Structural equality, including arguments. *)
+
 val pp : Format.formatter -> t -> unit
+(** Formats {!to_text}. *)

@@ -26,17 +26,37 @@ val make : string -> value -> t
 (** @raise Invalid_argument if [name] is empty or contains a reserved
     character ([:=&?,/%]). *)
 
-(** Convenience constructors. *)
+(** {2 Convenience constructors}
+
+    Each is [make name (Ctor v)] for the corresponding {!value} case,
+    so all raise [Invalid_argument] on a reserved-character name. *)
 
 val u32 : string -> int -> t
+(** A {!U32} atom; the value is masked to 32 bits. *)
+
 val i32 : string -> int -> t
+(** An {!I32} atom. *)
+
 val u64 : string -> int64 -> t
+(** A {!U64} atom. *)
+
 val txt : string -> string -> t
+(** A {!Txt} atom. *)
+
 val boolean : string -> bool -> t
+(** A {!Bool} atom ([bool] would shadow the stdlib type name). *)
+
 val ipv4 : string -> Ipv4.t -> t
+(** An {!Ipv4_v} atom. *)
+
 val ipv4net : string -> Ipv4net.t -> t
+(** An {!Ipv4net_v} atom. *)
+
 val binary : string -> string -> t
+(** A {!Binary} atom; the payload is opaque bytes. *)
+
 val list : string -> value list -> t
+(** A {!List} atom. *)
 
 val type_name : value -> string
 (** ["u32"], ["txt"], ["ipv4net"], ... as used in the textual form. *)
@@ -55,20 +75,48 @@ val value_to_string : value -> string
 (** Unescaped human-readable value (no name/type prefix). *)
 
 val equal : t -> t -> bool
-val pp : Format.formatter -> t -> unit
+(** Structural equality of name and value. *)
 
-(** Typed projections, raising {!Bad_args} on type mismatch — used by
-    XRL method handlers to destructure their arguments. *)
+val pp : Format.formatter -> t -> unit
+(** Formats {!to_text}. *)
+
+(** {2 Typed projections}
+
+    [get_<ty> args name] returns the value of the atom named [name],
+    raising {!Bad_args} when it is absent or not a [<ty>] — used by
+    XRL method handlers to destructure their arguments (the router
+    converts the exception into a [Bad_args] error reply). *)
 
 exception Bad_args of string
+(** Raised by the [get_*] projections; the payload names the missing
+    or mistyped argument. *)
 
 val get_u32 : t list -> string -> int
+(** The named {!U32}. *)
+
 val get_i32 : t list -> string -> int
+(** The named {!I32}. *)
+
 val get_u64 : t list -> string -> int64
+(** The named {!U64}. *)
+
 val get_txt : t list -> string -> string
+(** The named {!Txt}. *)
+
 val get_bool : t list -> string -> bool
+(** The named {!Bool}. *)
+
 val get_ipv4 : t list -> string -> Ipv4.t
+(** The named {!Ipv4_v}. *)
+
 val get_ipv4net : t list -> string -> Ipv4net.t
+(** The named {!Ipv4net_v}. *)
+
 val get_binary : t list -> string -> string
+(** The named {!Binary}. *)
+
 val get_list : t list -> string -> value list
+(** The named {!List}'s elements. *)
+
 val find : t list -> string -> t option
+(** The named atom if present, untyped — for optional arguments. *)

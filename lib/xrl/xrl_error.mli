@@ -15,7 +15,11 @@ type t =
           dropped. *)
 
 val is_ok : t -> bool
+(** True only for {!Ok_xrl}. *)
+
 val to_string : t -> string
+(** ["OK"], or ["<variant>: <note>"]. *)
+
 val code : t -> int
 (** Stable numeric code used on the wire. *)
 
@@ -24,3 +28,4 @@ val of_code : int -> string -> t
     {!Internal_error}. *)
 
 val pp : Format.formatter -> t -> unit
+(** Formats {!to_string}. *)

@@ -193,6 +193,13 @@ let rib_interface =
           [ arg "protocol" A_txt; arg "net" A_ipv4net; arg "nexthop" A_ipv4;
             arg ~optional:true "metric" A_u32 ];
       meth "delete_route" ~args:[ arg "protocol" A_txt; arg "net" A_ipv4net ];
+      (* Bulk variants: many routes per call, packed with Route_pack.
+         The u32 return is the number of routes applied. *)
+      meth "add_routes4" ~args:[ arg "routes" A_binary ]
+        ~returns:[ arg "count" A_u32 ];
+      meth "delete_routes4"
+        ~args:[ arg "protocol" A_txt; arg "routes" A_binary ]
+        ~returns:[ arg "count" A_u32 ];
       meth "lookup_route_by_dest" ~args:[ arg "addr" A_ipv4 ]
         ~returns:
           [ arg "net" A_ipv4net; arg "nexthop" A_ipv4; arg "metric" A_u32;

@@ -41,10 +41,17 @@ type interface = {
 }
 
 val arg : ?optional:bool -> string -> arg_type -> arg_spec
+(** [arg name ty] — an argument spec; [optional] defaults to false. *)
+
 val meth : ?args:arg_spec list -> ?returns:arg_spec list -> string -> method_spec
+(** [meth name] — a method spec; argument and return lists default to
+    empty. *)
+
 val iface : name:string -> ?version:string -> method_spec list -> interface
+(** [version] defaults to ["1.0"]. *)
 
 val type_of_value : Xrl_atom.value -> arg_type
+(** The spec type a concrete atom value checks against. *)
 
 val check_args :
   what:string -> arg_spec list -> Xrl_atom.t list -> (unit, string) result
@@ -52,6 +59,7 @@ val check_args :
     arguments. *)
 
 val find_method : interface -> string -> method_spec option
+(** Look up a method spec by name. *)
 
 val validate_call : interface -> Xrl.t -> (unit, string) result
 (** Interface/version match, method exists, arguments check. *)
@@ -73,6 +81,8 @@ val add_checked_handler :
     interface's name and version. *)
 
 val to_string : interface -> string
+(** Render the interface in the XORP [.xif]-like form, one method per
+    line with argument and return signatures. *)
 
 val telemetry_interface : interface
 (** [telemetry/0.1]: list/get/spans/snapshot/reset against the global

@@ -506,6 +506,10 @@ let call_blocking ?(deadline = 30.0) ?retry t xrl =
   | None -> (Xrl_error.Internal_error "event loop idle before reply", [])
 
 let instance_name t = Finder.instance_name t.target
+
+let registered_methods t =
+  Hashtbl.fold (fun mid _ acc -> mid :: acc) t.methods []
+  |> List.sort compare
 let class_name t = t.cls
 let finder t = t.fndr
 let eventloop t = t.loop

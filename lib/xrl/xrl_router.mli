@@ -93,9 +93,21 @@ val call_blocking :
     never replies yields [(Timed_out _, [])] rather than a hang. *)
 
 val instance_name : t -> string
+(** This endpoint's unique Finder instance name, e.g. ["bgp-2"]. *)
+
+val registered_methods : t -> string list
+(** Every method id ([interface/version/name]) this endpoint has
+    registered with {!add_handler}, sorted. docs/XRL.md is diffed
+    against this in the test suite, so the reference cannot drift. *)
+
 val class_name : t -> string
+(** The component class passed to {!create}. *)
+
 val finder : t -> Finder.t
+(** The broker this endpoint registered with. *)
+
 val eventloop : t -> Eventloop.t
+(** The loop dispatch and reply callbacks run on. *)
 
 val pending_sends : t -> int
 (** Outbound calls not yet settled. Every deadline expiry, peer death,

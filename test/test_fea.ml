@@ -202,6 +202,30 @@ let test_udp_open_bad_addr () =
       (Astring.String.is_infix ~affix:"interface" msg)
   | e -> Alcotest.failf "expected Command_failed, got %s" (Xrl_error.to_string e)
 
+(* A restarted FEA must not inherit the dead generation's telemetry:
+   xorp_top polls metrics by dotted name, and before the generation
+   reset it would display the old instance's accumulated counts. *)
+let test_restart_resets_metrics () =
+  Telemetry.set_enabled true;
+  let loop, finder, _, fea, caller = setup () in
+  ignore
+    (call caller
+       (fea_xrl "add_route4"
+          [ Xrl_atom.ipv4net "net" (net "172.16.0.0/12");
+            Xrl_atom.ipv4 "nexthop" (addr "10.0.0.254");
+            Xrl_atom.txt "ifname" "eth0";
+            Xrl_atom.txt "protocol" "static" ]));
+  let h = Telemetry.histogram "fea.install.latency_us" in
+  check Alcotest.bool "first generation recorded an install" true
+    (Telemetry.Histogram.count h > 0);
+  Fea.shutdown fea;
+  let fea2 =
+    Fea.create ~interfaces:[ ("eth0", addr "10.0.0.1") ] finder loop ()
+  in
+  check Alcotest.int "restart starts the namespace from zero" 0
+    (Telemetry.Histogram.count h);
+  Fea.shutdown fea2
+
 let test_sole_instance () =
   let loop = Eventloop.create () in
   let finder = Finder.create () in
@@ -221,6 +245,8 @@ let () =
           Alcotest.test_case "delete missing" `Quick test_xrl_delete_missing;
           Alcotest.test_case "get_interfaces" `Quick test_get_interfaces;
           Alcotest.test_case "sole instance" `Quick test_sole_instance;
+          Alcotest.test_case "restart resets telemetry namespace" `Quick
+            test_restart_resets_metrics;
         ] );
       ( "profile",
         [

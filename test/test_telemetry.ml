@@ -139,6 +139,24 @@ let test_metrics_registry () =
   check Alcotest.int "registrations survive reset" 2
     (List.length (Telemetry.list_metrics ~registry:reg ()))
 
+let test_reset_prefix () =
+  Telemetry.set_enabled true;
+  let reg = Telemetry.create_registry () in
+  let c1 = Telemetry.counter ~registry:reg "fea.installed" in
+  let c2 = Telemetry.counter ~registry:reg "rib.adds" in
+  let h = Telemetry.histogram ~registry:reg "fea.install.latency_us" in
+  Telemetry.incr c1;
+  Telemetry.incr c2;
+  Telemetry.observe h 12.0;
+  Telemetry.reset_prefix ~registry:reg "fea.";
+  check Alcotest.int "prefixed counter zeroed" 0 (Telemetry.counter_value c1);
+  check Alcotest.int "prefixed histogram cleared" 0
+    (Telemetry.Histogram.count h);
+  check Alcotest.int "other namespace untouched" 1
+    (Telemetry.counter_value c2);
+  check Alcotest.int "registrations survive" 3
+    (List.length (Telemetry.list_metrics ~registry:reg ()))
+
 let test_disabled_is_noop () =
   let reg = Telemetry.create_registry () in
   let c = Telemetry.counter ~registry:reg "c" in
@@ -468,6 +486,8 @@ let () =
          QCheck_alcotest.to_alcotest prop_quantile ]);
       ("metrics",
        [ Alcotest.test_case "registry" `Quick test_metrics_registry;
+         Alcotest.test_case "reset_prefix scopes to a namespace" `Quick
+           test_reset_prefix;
          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_is_noop ]);
       ("tracing",
        [ Alcotest.test_case "ambient context" `Quick test_trace_ambient;

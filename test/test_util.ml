@@ -202,10 +202,10 @@ let test_route_pack_roundtrip () =
   let adds =
     [ { Route_pack.net = Ipv4net.of_string_exn "10.0.0.0/8";
         nexthop = Ipv4.of_string_exn "192.168.0.1";
-        ifname = "eth0"; protocol = "ebgp" };
+        ifname = "eth0"; protocol = "ebgp"; metric = 100 };
       { Route_pack.net = Ipv4net.of_string_exn "172.16.1.0/24";
         nexthop = Ipv4.of_string_exn "192.168.0.2";
-        ifname = ""; protocol = "static" } ]
+        ifname = ""; protocol = "static"; metric = 0 } ]
   in
   (match Route_pack.unpack_adds (Route_pack.pack_adds adds) with
    | Ok got ->
@@ -216,7 +216,8 @@ let test_route_pack_roundtrip () =
             (Ipv4net.to_string b.net);
           check ipv4 "nexthop" a.nexthop b.nexthop;
           check Alcotest.string "ifname" a.ifname b.ifname;
-          check Alcotest.string "protocol" a.protocol b.protocol)
+          check Alcotest.string "protocol" a.protocol b.protocol;
+          check Alcotest.int "metric" a.metric b.metric)
        adds got
    | Error msg -> Alcotest.fail ("unpack_adds: " ^ msg));
   let dels =
@@ -314,6 +315,21 @@ let test_feed_shape () =
        if e.Feed.as_path = [] then Alcotest.fail "empty AS path";
        let l = Ipv4net.prefix_len e.Feed.net in
        if l < 8 || l > 24 then Alcotest.failf "odd prefix length %d" l)
+    feed;
+  (* AS-path hop counts should follow the survey distribution: mean
+     close to 3.9 (prepending pushes it slightly up), never absurd. *)
+  let total_hops =
+    Array.fold_left
+      (fun acc (e : Feed.entry) -> acc + List.length e.Feed.as_path)
+      0 feed
+  in
+  let mean = float_of_int total_hops /. float_of_int (Array.length feed) in
+  if mean < 3.4 || mean > 4.6 then
+    Alcotest.failf "AS path mean hops off: %.2f" mean;
+  Array.iter
+    (fun (e : Feed.entry) ->
+       let l = List.length e.Feed.as_path in
+       if l < 1 || l > 13 then Alcotest.failf "odd AS path length %d" l)
     feed
 
 let test_feed_nexthops () =

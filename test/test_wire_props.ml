@@ -1,0 +1,163 @@
+(* Property-based tests for the OSPF-lite and RIPv2 wire codecs:
+   encode/decode round-trips on arbitrary well-formed packets, and
+   robustness under truncation — a cut-off datagram must never raise
+   and must never decode into something that was not on the wire. *)
+
+let gen_ipv4 =
+  QCheck.Gen.(
+    let* a = int_range 0 255 and* b = int_range 0 255
+    and* c = int_range 0 255 and* d = int_range 0 255 in
+    return (Ipv4.of_octets a b c d))
+
+let gen_net =
+  QCheck.Gen.(
+    let* addr = gen_ipv4 and* len = int_range 0 32 in
+    return (Ipv4net.make addr len))
+
+(* Re-encode equality is the codec round-trip criterion: [encode] is
+   deterministic, so [encode (decode (encode p)) = encode p] means the
+   decoder lost nothing the wire carried. It also sidesteps structural
+   comparison of abstract address types. *)
+let reencodes encode decode p =
+  match decode (encode p) with
+  | Ok q -> String.equal (encode q) (encode p)
+  | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e
+
+let gen_cut = QCheck.Gen.int_range 0 1_000_000
+
+let truncate_at s cut =
+  if String.length s <= 1 then None
+  else Some (String.sub s 0 (cut mod String.length s))
+
+(* --- OSPF-lite -------------------------------------------------------- *)
+
+let gen_lsa =
+  QCheck.Gen.(
+    let* origin = gen_ipv4 in
+    let* seq = int_range 0 1_000_000 in
+    let* nl = int_range 0 6 in
+    let* links = list_repeat nl (pair gen_ipv4 (int_range 0 65535)) in
+    let* ns = int_range 0 6 in
+    let* stubs = list_repeat ns (pair gen_net (int_range 0 65535)) in
+    return { Ospf_packet.origin; seq; links; stubs })
+
+let gen_ospf =
+  QCheck.Gen.(
+    oneof
+      [ (let* router_id = gen_ipv4 in
+         let* n = int_range 0 12 in
+         let* heard = list_repeat n gen_ipv4 in
+         return (Ospf_packet.Hello { router_id; heard }));
+        (let* n = int_range 0 5 in
+         let* lsas = list_repeat n gen_lsa in
+         return (Ospf_packet.Ls_update lsas)) ])
+
+let arb_ospf = QCheck.make ~print:Ospf_packet.to_string gen_ospf
+
+let prop_ospf_roundtrip =
+  QCheck.Test.make ~name:"ospf: encode/decode round-trips" ~count:500
+    arb_ospf
+    (reencodes Ospf_packet.encode Ospf_packet.decode)
+
+(* Every field list is length-prefixed, so a strict prefix of a valid
+   OSPF packet always runs out of bytes: decode must return Error,
+   never raise, never fabricate a packet. *)
+let prop_ospf_truncation =
+  QCheck.Test.make ~name:"ospf: truncation is a clean error" ~count:500
+    (QCheck.pair arb_ospf (QCheck.make gen_cut))
+    (fun (p, cut) ->
+       match truncate_at (Ospf_packet.encode p) cut with
+       | None -> true
+       | Some s -> (
+           match Ospf_packet.decode s with
+           | Error _ -> true
+           | Ok q ->
+             QCheck.Test.fail_reportf "truncated packet decoded: %s"
+               (Ospf_packet.to_string q)))
+
+(* --- RIPv2 ------------------------------------------------------------ *)
+
+let gen_rip_entry =
+  QCheck.Gen.(
+    let* net = gen_net and* nexthop = gen_ipv4 in
+    let* metric = int_range 1 Rip_packet.infinity_metric in
+    let* tag = int_range 0 65535 in
+    return { Rip_packet.net; nexthop; metric; tag })
+
+let gen_rip =
+  QCheck.Gen.(
+    let* command = oneofl [ Rip_packet.Request; Rip_packet.Response ] in
+    let* n = int_range 0 Rip_packet.max_entries in
+    let* entries = list_repeat n gen_rip_entry in
+    return { Rip_packet.command; entries })
+
+let arb_rip = QCheck.make ~print:Rip_packet.to_string gen_rip
+
+let prop_rip_roundtrip =
+  QCheck.Test.make ~name:"rip: encode/decode round-trips" ~count:500 arb_rip
+    (reencodes Rip_packet.encode Rip_packet.decode)
+
+(* RIP entries are fixed-size records with no count field, so a cut at
+   an entry boundary is itself a valid shorter packet. The truncation
+   guarantee is therefore: decode never raises, and anything it accepts
+   re-encodes to a prefix of the original wire image — no invented
+   entries, no reordering. *)
+let prop_rip_truncation =
+  QCheck.Test.make ~name:"rip: truncation yields error or a wire prefix"
+    ~count:500
+    (QCheck.pair arb_rip (QCheck.make gen_cut))
+    (fun (p, cut) ->
+       let wire = Rip_packet.encode p in
+       match truncate_at wire cut with
+       | None -> true
+       | Some s -> (
+           match Rip_packet.decode s with
+           | Error _ -> true
+           | Ok q ->
+             let rewire = Rip_packet.encode q in
+             String.length rewire <= String.length wire
+             && String.equal rewire
+                  (String.sub wire 0 (String.length rewire))))
+
+(* A handful of adversarial fixed vectors QCheck is unlikely to hit. *)
+let test_garbage () =
+  let check_err name s codec =
+    match codec s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: garbage accepted" name
+  in
+  check_err "ospf empty" "" Ospf_packet.decode;
+  check_err "ospf bad magic" "XXxxxxxx" Ospf_packet.decode;
+  (* type byte 3 is unassigned *)
+  check_err "ospf bad type" "\x4c\x53\x03" Ospf_packet.decode;
+  check_err "rip empty" "" Rip_packet.decode;
+  check_err "rip bad command" "\x09\x02\x00\x00" Rip_packet.decode;
+  check_err "rip bad version" "\x01\x01\x00\x00" Rip_packet.decode;
+  (* metric 0 is outside 1..16 *)
+  let bad_metric =
+    "\x02\x02\x00\x00" (* response v2 *)
+    ^ "\x00\x02\x00\x00" (* afi 2, tag 0 *)
+    ^ "\x0a\x00\x00\x00" (* 10.0.0.0 *)
+    ^ "\xff\x00\x00\x00" (* /8 *)
+    ^ "\x00\x00\x00\x00" (* nexthop *)
+    ^ "\x00\x00\x00\x00" (* metric 0 *)
+  in
+  check_err "rip metric 0" bad_metric Rip_packet.decode;
+  (* non-contiguous netmask *)
+  let bad_mask =
+    "\x02\x02\x00\x00" ^ "\x00\x02\x00\x00" ^ "\x0a\x00\x00\x00"
+    ^ "\xff\x00\xff\x00" ^ "\x00\x00\x00\x00" ^ "\x00\x00\x00\x01"
+  in
+  check_err "rip bad mask" bad_mask Rip_packet.decode
+
+let () =
+  Alcotest.run "xorp_wire_props"
+    [ ( "ospf",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_ospf_roundtrip; prop_ospf_truncation ] );
+      ( "rip",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_rip_roundtrip; prop_rip_truncation ] );
+      ( "garbage",
+        [ Alcotest.test_case "fixed adversarial vectors" `Quick test_garbage ]
+      ) ]

@@ -1,0 +1,135 @@
+(* docs/XRL.md claims to document every registered XRL method. This
+   test holds it to that: instantiate every component, read each
+   router's live registrations via [Xrl_router.registered_methods],
+   and diff the two sets. A handler added without documentation — or
+   documentation for a method that no longer exists — fails here. *)
+
+(* cwd is the test directory under `dune runtest` but the workspace
+   root under `dune exec`; search upward for the doc. *)
+let doc_path =
+  let candidates =
+    [ "docs/XRL.md"; "../docs/XRL.md"; "../../docs/XRL.md";
+      "../../../docs/XRL.md" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.fail "docs/XRL.md not found from the test directory"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* A documented method id is an inline-code span of the exact shape
+   interface/version/name. Other backticked text (paths, signatures,
+   URLs) never matches the three-part identifier/version/identifier
+   shape, so a plain scan over backtick spans suffices. *)
+let is_ident s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+          (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+          || (c >= '0' && c <= '9') || c = '_')
+       s
+
+let is_version s =
+  s <> "" && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '.') s
+
+let is_method_id s =
+  match String.split_on_char '/' s with
+  | [ iface; version; name ] ->
+    is_ident iface && is_version version && is_ident name
+  | _ -> false
+
+let backtick_spans text =
+  let spans = ref [] in
+  let buf = Buffer.create 64 in
+  let inside = ref false in
+  String.iter
+    (fun c ->
+       if c = '`' then begin
+         if !inside then spans := Buffer.contents buf :: !spans;
+         Buffer.clear buf;
+         inside := not !inside
+       end
+       else if !inside then Buffer.add_char buf c)
+    text;
+  List.rev !spans
+
+let documented_ids text =
+  backtick_spans text |> List.filter is_method_id |> List.sort_uniq compare
+
+let live_ids () =
+  let loop = Eventloop.create () in
+  let finder = Finder.create () in
+  let netsim = Netsim.create loop in
+  let fea = Fea.create ~netsim finder loop () in
+  let rib = Rib.create finder loop () in
+  let bgp =
+    Bgp_process.create finder loop ~netsim ~local_as:65000
+      ~bgp_id:(Ipv4.of_string_exn "10.0.0.1") ()
+  in
+  let rip =
+    Rip_process.create finder loop (Rip_process.default_config ~ifaces:[])
+  in
+  let ospf =
+    Ospf_process.create finder loop
+      (Ospf_process.default_config
+         ~router_id:(Ipv4.of_string_exn "10.0.0.1") ~ifaces:[] ())
+  in
+  let finder_router = Finder_xrl.expose finder loop in
+  let telemetry_router = Telemetry_xrl.expose finder loop in
+  let signalable = Xrl_router.create finder loop ~class_name:"victim" () in
+  Pf_kill.make_signalable signalable ~on_signal:(fun _ -> ());
+  List.concat_map Xrl_router.registered_methods
+    [ Fea.xrl_router fea; Rib.xrl_router rib; Bgp_process.xrl_router bgp;
+      Rip_process.xrl_router rip; Ospf_process.xrl_router ospf;
+      finder_router; telemetry_router; signalable ]
+  |> List.sort_uniq compare
+
+let test_doc_matches_registrations () =
+  let documented = documented_ids (read_file doc_path) in
+  let live = live_ids () in
+  let missing = List.filter (fun m -> not (List.mem m documented)) live in
+  let stale = List.filter (fun m -> not (List.mem m live)) documented in
+  if missing <> [] then
+    Alcotest.failf "registered but not in docs/XRL.md: %s"
+      (String.concat ", " missing);
+  if stale <> [] then
+    Alcotest.failf "in docs/XRL.md but not registered: %s"
+      (String.concat ", " stale);
+  Alcotest.(check bool) "non-empty" true (List.length live > 20)
+
+(* The hand-written IDL specs must agree with what components actually
+   register for the interfaces they declare. *)
+let test_idl_covers_registrations () =
+  let live = live_ids () in
+  let undeclared =
+    List.filter
+      (fun mid ->
+         match String.split_on_char '/' mid with
+         | [ iface; version; name ] -> (
+             match Xrl_idl.find_interface iface with
+             | None -> false (* interface has no IDL spec: fine *)
+             | Some i ->
+               not
+                 (version = i.Xrl_idl.i_version
+                  && List.exists
+                       (fun m -> m.Xrl_idl.m_name = name)
+                       i.Xrl_idl.i_methods))
+         | _ -> false)
+      live
+  in
+  if undeclared <> [] then
+    Alcotest.failf "registered but missing from the Xrl_idl spec: %s"
+      (String.concat ", " undeclared)
+
+let () =
+  Alcotest.run "xorp_xrl_doc"
+    [ ( "reference",
+        [ Alcotest.test_case "docs/XRL.md matches live registrations" `Quick
+            test_doc_matches_registrations;
+          Alcotest.test_case "IDL specs cover live registrations" `Quick
+            test_idl_covers_registrations ] ) ]
