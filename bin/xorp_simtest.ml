@@ -1,0 +1,149 @@
+(* xorp_simtest: the deterministic whole-router simulation harness.
+
+   Fuzz seeded fault schedules over the full BGP/RIP/OSPF + RIB + FEA
+   stack, or replay a single scenario:
+
+     dune exec bin/xorp_simtest.exe -- --seeds 500
+     dune exec bin/xorp_simtest.exe -- --seed 42 --trace
+     dune exec bin/xorp_simtest.exe -- --replay counterexample.txt
+     dune exec bin/xorp_simtest.exe -- --seeds 200 --inject-bug rib-no-replay
+
+   Exit status: 0 all green, 1 an invariant was violated, 2 usage. *)
+
+open Cmdliner
+
+let read_file path =
+  try
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Ok s
+  with Sys_error e -> Error e
+
+let opts_of ~bug ~trace =
+  { Simtest.fea_rebirth_replay = (bug <> Some "rib-no-replay");
+    log_trace = trace }
+
+let report_outcome ~quiet (o : Simtest.outcome) =
+  if o.Simtest.violations = [] then begin
+    if not quiet then
+      Printf.printf "seed %d: OK (sim time %.0fs, %d events dispatched)\n"
+        o.Simtest.ran.Simtest.seed o.Simtest.sim_time o.Simtest.dispatched;
+    0
+  end
+  else begin
+    Printf.printf "seed %d: %d invariant violation(s):\n"
+      o.Simtest.ran.Simtest.seed
+      (List.length o.Simtest.violations);
+    List.iter (fun v -> Printf.printf "  %s\n" v) o.Simtest.violations;
+    Printf.printf "scenario:\n%s" (Simtest.to_string o.Simtest.ran);
+    1
+  end
+
+let run_main seeds base seed replay bug trace quiet =
+  (match bug with
+   | None | Some "rib-no-replay" -> ()
+   | Some other ->
+     Printf.eprintf "unknown --inject-bug %S (known: rib-no-replay)\n" other;
+     exit 2);
+  let opts = opts_of ~bug ~trace in
+  match (seed, replay) with
+  | Some _, Some _ ->
+    prerr_endline "--seed and --replay are mutually exclusive";
+    exit 2
+  | Some s, None ->
+    (* Replay one generated scenario; print the trace unless --quiet. *)
+    let sc = Simtest.generate ~seed:s in
+    if not quiet then Printf.printf "%s" (Simtest.to_string sc);
+    let o = Simtest.run ~opts sc in
+    if (not quiet) && not trace then print_string o.Simtest.trace;
+    exit (report_outcome ~quiet o)
+  | None, Some path ->
+    (match read_file path with
+     | Error e ->
+       prerr_endline e;
+       exit 2
+     | Ok text ->
+       (match Simtest.of_string text with
+        | Error e ->
+          Printf.eprintf "cannot parse %s: %s\n" path e;
+          exit 2
+        | Ok sc ->
+          let o = Simtest.run ~opts sc in
+          if (not quiet) && not trace then print_string o.Simtest.trace;
+          exit (report_outcome ~quiet o)))
+  | None, None ->
+    let t0 = Unix.gettimeofday () in
+    let progress s =
+      if (not quiet) && s mod 50 = 0 && s > base then
+        Printf.printf "... seed %d (%.1fs)\n%!" s (Unix.gettimeofday () -. t0)
+    in
+    let r = Simtest.fuzz ~opts ~progress ~base ~count:seeds () in
+    let wall = Unix.gettimeofday () -. t0 in
+    (match r.Simtest.failed with
+     | None ->
+       Printf.printf "%d seeds (base %d): all invariants held (%.1fs)\n"
+         r.Simtest.seeds_run base wall;
+       exit 0
+     | Some (o, minimal) ->
+       Printf.printf
+         "seed %d FAILED after %d seed(s) (%.1fs); %d violation(s):\n"
+         o.Simtest.ran.Simtest.seed r.Simtest.seeds_run wall
+         (List.length o.Simtest.violations);
+       List.iter (fun v -> Printf.printf "  %s\n" v) o.Simtest.violations;
+       Printf.printf "shrunk to a minimal scenario (%d extra runs):\n%s"
+         r.Simtest.shrink_runs
+         (Simtest.to_string minimal);
+       Printf.printf
+         "replay: save the scenario above and run --replay <file>, or\n\
+         \        re-run --seed %d for the unshrunk schedule\n"
+         o.Simtest.ran.Simtest.seed;
+       exit 1)
+
+let seeds_arg =
+  Arg.(
+    value & opt int 500
+    & info [ "seeds" ] ~docv:"N" ~doc:"Number of fuzz seeds to run.")
+
+let base_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "base" ] ~docv:"N" ~doc:"First seed of the fuzz range.")
+
+let seed_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Run the single generated scenario for this seed and print \
+              its event trace.")
+
+let replay_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:"Replay a scenario file (the format printed on failure).")
+
+let bug_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "inject-bug" ] ~docv:"NAME"
+        ~doc:"Run with a known bug injected (rib-no-replay: the RIB \
+              skips the full FIB replay when the FEA is reborn).")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ] ~doc:"Stream the event trace to stderr while running.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Only report failures.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "xorp_simtest"
+       ~doc:"Deterministic whole-router simulation fuzzer")
+    Term.(
+      const run_main $ seeds_arg $ base_arg $ seed_arg $ replay_arg $ bug_arg
+      $ trace_arg $ quiet_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -590,12 +590,12 @@ let add_xrl_handlers t =
 
 (* --- public API --------------------------------------------------------- *)
 
-let create ?profiler ?(send_to_rib = true) ?(nexthop_mode = `Rib)
+let create ?families ?profiler ?(send_to_rib = true) ?(nexthop_mode = `Rib)
     ?(bgp_port = 179) finder loop ~netsim ~local_as ~bgp_id () =
   (* A fresh generation starts its metric namespace from zero, so a
      restarted BGP process does not inherit the dead instance's counts. *)
   Telemetry.reset_prefix "bgp.";
-  let router = Xrl_router.create finder loop ~class_name:"bgp" () in
+  let router = Xrl_router.create ?families finder loop ~class_name:"bgp" () in
   let decision = new Bgp_decision.decision_table ~name:"decision" () in
   let t =
     lazy

@@ -52,15 +52,18 @@ val default_peer_config :
     no checking cache, deletion slice 100. *)
 
 val create :
+  ?families:Pf.family list ->
   ?profiler:Profiler.t ->
   ?send_to_rib:bool ->
   ?nexthop_mode:[ `Rib | `Assume_resolvable ] ->
   ?bgp_port:int ->
   Finder.t -> Eventloop.t -> netsim:Netsim.t ->
   local_as:int -> bgp_id:Ipv4.t -> unit -> t
-(** Registers component class ["bgp"] with the Finder. [send_to_rib]
-    defaults to true; [nexthop_mode] defaults to [`Rib]; [bgp_port]
-    defaults to 179. *)
+(** Registers component class ["bgp"] with the Finder. [families]
+    selects the XRL transports of the component's endpoint (default:
+    intra-process; the simulation harness passes a chaos-wrapped
+    family). [send_to_rib] defaults to true; [nexthop_mode] defaults to
+    [`Rib]; [bgp_port] defaults to 179. *)
 
 val add_peer : t -> peer_config -> unit
 (** @raise Invalid_argument if the peer address is already configured. *)

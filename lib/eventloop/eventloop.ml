@@ -31,6 +31,7 @@ and t = {
   writers : (Unix.file_descr, unit -> unit) Hashtbl.t;
   mutable stopping : bool;
   mutable dispatched : int;
+  mutable tie_break : (int -> int) option;
 }
 
 and t_ref = t
@@ -48,9 +49,11 @@ let create ?(mode = `Sim) () =
     writers = Hashtbl.create 8;
     stopping = false;
     dispatched = 0;
+    tie_break = None;
   }
 
 let mode t = t.mode
+let set_tie_break t f = t.tie_break <- f
 
 let now t =
   match t.mode with
@@ -119,39 +122,87 @@ let run_deferred t =
   done;
   n > 0
 
-let rec fire_due_timers t progressed =
-  match Minheap.peek t.timers with
-  | Some (_, tm) when tm.cancelled ->
-    ignore (Minheap.pop t.timers);
-    fire_due_timers t progressed
-  | Some (deadline, tm) when deadline <= now t ->
-    ignore (Minheap.pop t.timers);
-    (match tm.action with
-     | Once cb ->
-       tm.cancelled <- true;
-       t.live_timers <- t.live_timers - 1;
-       dispatch t cb
-     | Periodic (ival, cb) ->
-       let continue = ref false in
-       t.dispatched <- t.dispatched + 1;
-       (try continue := cb () with
-        | exn ->
-          Log.err (fun m ->
-              m "periodic timer raised %s; stopping it" (Printexc.to_string exn)));
-       if !continue && not tm.cancelled then begin
-         (* Advance from the scheduled deadline to avoid drift, but
-            never reschedule into the past. *)
-         let next = ref (tm.deadline +. ival) in
-         while !next <= now t do next := !next +. ival done;
-         tm.deadline <- !next;
-         Minheap.push t.timers !next tm
-       end
-       else if not tm.cancelled then begin
-         tm.cancelled <- true;
-         t.live_timers <- t.live_timers - 1
-       end);
-    fire_due_timers t true
-  | _ -> progressed
+let fire_one t tm =
+  match tm.action with
+  | Once cb ->
+    tm.cancelled <- true;
+    t.live_timers <- t.live_timers - 1;
+    dispatch t cb
+  | Periodic (ival, cb) ->
+    let continue = ref false in
+    t.dispatched <- t.dispatched + 1;
+    (try continue := cb () with
+     | exn ->
+       Log.err (fun m ->
+           m "periodic timer raised %s; stopping it" (Printexc.to_string exn)));
+    if !continue && not tm.cancelled then begin
+      (* Advance from the scheduled deadline to avoid drift, but
+         never reschedule into the past. *)
+      let next = ref (tm.deadline +. ival) in
+      while !next <= now t do next := !next +. ival done;
+      tm.deadline <- !next;
+      Minheap.push t.timers !next tm
+    end
+    else if not tm.cancelled then begin
+      tm.cancelled <- true;
+      t.live_timers <- t.live_timers - 1
+    end
+
+(* One timer sweep. Only heap entries that existed when the sweep
+   started are eligible: a timer scheduled by a callback we dispatch —
+   even with a deadline in the past — waits for the next loop
+   iteration, so it fires exactly once there and a self-rescheduling
+   past-deadline timer cannot spin this sweep forever.
+
+   Equal-deadline timers fire in FIFO (scheduling) order unless a
+   [tie_break] hook is installed, in which case the hook picks which of
+   the n due same-deadline timers fires next — the deterministic
+   schedule-fuzzing point used by the simulation harness. *)
+let fire_due_timers t progressed =
+  let cutoff = Minheap.stamp t.timers in
+  let rec sweep progressed =
+    match Minheap.peek_entry t.timers with
+    | Some (_, _, tm) when tm.cancelled ->
+      ignore (Minheap.pop t.timers);
+      sweep progressed
+    | Some (deadline, seq, tm) when seq < cutoff && deadline <= now t ->
+      ignore (Minheap.pop t.timers);
+      (match t.tie_break with
+       | None ->
+         fire_one t tm;
+         sweep true
+       | Some pick ->
+         (* Collect the whole batch of due timers sharing this deadline
+            (scheduled before the sweep), then dispatch them in the
+            order the hook chooses. *)
+         let batch = ref [ tm ] in
+         let rec collect () =
+           match Minheap.peek_entry t.timers with
+           | Some (_, _, tm') when tm'.cancelled ->
+             ignore (Minheap.pop t.timers);
+             collect ()
+           | Some (d', s', tm') when d' = deadline && s' < cutoff ->
+             ignore (Minheap.pop t.timers);
+             batch := tm' :: !batch;
+             collect ()
+           | _ -> ()
+         in
+         collect ();
+         let arr = Array.of_list (List.rev !batch) in
+         let n = ref (Array.length arr) in
+         while !n > 0 do
+           let i = if !n = 1 then 0 else pick !n in
+           let i = if i < 0 || i >= !n then 0 else i in
+           let tm' = arr.(i) in
+           arr.(i) <- arr.(!n - 1);
+           n := !n - 1;
+           (* A batch member's callback may cancel a later member. *)
+           if not tm'.cancelled then fire_one t tm'
+         done;
+         sweep true)
+    | _ -> progressed
+  in
+  sweep progressed
 
 (* Run one background task for [weight] slices, round-robin. *)
 let run_one_task t =
@@ -308,3 +359,10 @@ let run_until_idle t =
 
 let stop t = t.stopping <- true
 let events_dispatched t = t.dispatched
+let live_timers t = t.live_timers
+let live_tasks t = t.live_tasks
+
+let quiescent t =
+  Queue.is_empty t.deferred
+  && t.live_tasks = 0
+  && (match next_deadline t with Some d -> d > now t | None -> true)

@@ -32,7 +32,10 @@ type timer
 
 val at : t -> float -> (unit -> unit) -> timer
 (** [at loop time cb] fires [cb] once at absolute [time]. Times in the
-    past fire on the next iteration. *)
+    past (or negative) fire {e exactly once, on the next iteration} —
+    never synchronously within the current timer sweep, even when
+    scheduled from inside another timer's callback, in both [`Real] and
+    [`Sim] modes. *)
 
 val after : t -> float -> (unit -> unit) -> timer
 (** [after loop delay cb] fires once [delay] seconds from [now]. *)
@@ -105,3 +108,25 @@ val stop : t -> unit
 
 val events_dispatched : t -> int
 (** Total callbacks dispatched since creation (tests and benches). *)
+
+(** {1 Determinism and inspection (simulation harness)} *)
+
+val set_tie_break : t -> (int -> int) option -> unit
+(** Install (or clear) the equal-deadline tie-break hook. By default,
+    timers sharing a deadline fire in the order they were scheduled
+    (FIFO). With a hook, each time a batch of [n >= 1] same-deadline
+    timers comes due the hook is called with the number of candidates
+    still to fire and returns the index (in [0..n-1], out-of-range
+    values clamp to 0) of the one to dispatch next. Driving the hook
+    from a seeded PRNG explores alternative event orderings while
+    keeping every run fully determined by the seed. *)
+
+val live_timers : t -> int
+(** Timers scheduled and not yet fired or cancelled (leak checks). *)
+
+val live_tasks : t -> int
+(** Background tasks registered and not yet retired. *)
+
+val quiescent : t -> bool
+(** No deferred events, no background tasks, and no timer due at the
+    current time: nothing can happen until the clock advances. *)

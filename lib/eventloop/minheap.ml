@@ -37,11 +37,19 @@ let push h prio v =
     i := p
   done
 
+let stamp h = h.seq
+
 let peek h =
   if h.len = 0 then None
   else
     let e = h.arr.(0) in
     Some (e.prio, e.v)
+
+let peek_entry h =
+  if h.len = 0 then None
+  else
+    let e = h.arr.(0) in
+    Some (e.prio, e.seq, e.v)
 
 let pop h =
   if h.len = 0 then None

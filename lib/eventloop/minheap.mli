@@ -16,6 +16,17 @@ val push : 'a t -> float -> 'a -> unit
 val peek : 'a t -> (float * 'a) option
 (** Smallest entry without removing it. O(1). *)
 
+val peek_entry : 'a t -> (float * int * 'a) option
+(** Smallest entry as [(priority, insertion seq, value)]. The seq lets
+    callers distinguish entries pushed before/after a point in time
+    (see {!stamp}) without popping them. O(1). *)
+
+val stamp : 'a t -> int
+(** The insertion counter: every entry pushed from now on has
+    [seq >= stamp h], every entry already inside has a smaller seq.
+    Used by the event loop to keep a timer sweep from firing timers
+    that the sweep's own callbacks scheduled. *)
+
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the smallest entry. O(log n). *)
 

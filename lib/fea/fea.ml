@@ -18,6 +18,7 @@ type t = {
   ifaces : (string * Ipv4.t) list;
   netsim : Netsim.t option;
   sockets : (int, relay_socket) Hashtbl.t;
+  client_watches : (string, unit) Hashtbl.t;
   mutable next_sockid : int;
   mutable installed : int;
 }
@@ -165,6 +166,39 @@ let deliver_to_client t sock ~src:srcaddr ~sport payload =
             m "udp relay delivery to %s failed: %s" sock.client_target
               (Xrl_error.to_string err)))
 
+(* Close a dead client's relay sockets (§6.2 lifetime notification):
+   the address/port stays bound by the old instance otherwise, so a
+   restarted RIP/OSPF could never re-open it. Client targets are
+   instance names ("rip-3"); we watch their class. *)
+let watch_relay_client t client_target =
+  let class_name =
+    match String.rindex_opt client_target '-' with
+    | Some i -> String.sub client_target 0 i
+    | None -> client_target
+  in
+  if not (Hashtbl.mem t.client_watches class_name) then begin
+    Hashtbl.replace t.client_watches class_name ();
+    Finder.watch_class (Xrl_router.finder t.router) class_name
+      (fun event instance ->
+         match event with
+         | Finder.Birth -> ()
+         | Finder.Death ->
+           let stale =
+             Hashtbl.fold
+               (fun id s acc ->
+                  if String.equal s.client_target instance then (id, s) :: acc
+                  else acc)
+               t.sockets []
+           in
+           List.iter
+             (fun (id, s) ->
+                Log.info (fun m ->
+                    m "closing relay socket %d of dead client %s" id instance);
+                Netsim.Dgram.close s.dgram;
+                Hashtbl.remove t.sockets id)
+             stale)
+  end
+
 let add_udp_handlers t =
   let r = t.router in
   Xrl_router.add_handler r ~interface:"fea_udp" ~method_name:"udp_open"
@@ -186,6 +220,7 @@ let add_udp_handlers t =
              t.next_sockid <- t.next_sockid + 1;
              let sock = { sockid = t.next_sockid; client_target; dgram } in
              Hashtbl.replace t.sockets sock.sockid sock;
+             watch_relay_client t client_target;
              Netsim.Dgram.on_receive dgram (fun ~src ~sport payload ->
                  deliver_to_client t sock ~src ~sport payload);
              reply ok [ Xrl_atom.u32 "sockid" sock.sockid ]
@@ -228,7 +263,8 @@ let create ?families ?profiler ?(interfaces = []) ?netsim finder loop () =
   in
   let t =
     { router; fib = Fib.create (); profiler; ifaces = interfaces; netsim;
-      sockets = Hashtbl.create 8; next_sockid = 0; installed = 0 }
+      sockets = Hashtbl.create 8; client_watches = Hashtbl.create 4;
+      next_sockid = 0; installed = 0 }
   in
   (match profiler with
    | Some p ->

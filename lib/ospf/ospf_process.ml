@@ -45,6 +45,7 @@ type t = {
   mutable spf_pending : bool;
   mutable spf_count : int;
   mutable started : bool;
+  mutable fea_up : bool;
   (* prefix -> (cost, nexthop) currently installed in the RIB *)
   installed : (Ipv4net.t, int * Ipv4.t) Hashtbl.t;
 }
@@ -351,15 +352,63 @@ let remove_stub t net =
 
 (* --- lifecycle ------------------------------------------------------------------------ *)
 
-let create ?profiler finder loop cfg =
+(* Bounded retry on the FEA relay open: the FEA may register after us,
+   and on a chaotic transport the open itself can be black-holed —
+   without retry one lost [udp_open] silences the interface forever. *)
+let open_retry =
+  { Xrl_router.default_retry with
+    max_attempts = 10; base_delay = 0.25; max_delay = 2.0;
+    attempt_timeout = Some 2.0 }
+
+let open_iface_socket t iface =
+  let xrl =
+    Xrl.make ~target:"fea" ~interface:"fea_udp" ~method_name:"udp_open"
+      [ Xrl_atom.txt "client_target" (instance_name t);
+        Xrl_atom.ipv4 "addr" iface.o_addr;
+        Xrl_atom.u32 "port" ospf_port ]
+  in
+  Xrl_router.send ~retry:open_retry t.router xrl (fun err args ->
+      if Xrl_error.is_ok err then begin
+        Hashtbl.replace t.socks
+          (Ipv4.to_int iface.o_addr)
+          (Xrl_atom.get_u32 args "sockid");
+        send_hellos t
+      end
+      else
+        Log.err (fun m ->
+            m "udp_open on %s failed: %s"
+              (Ipv4.to_string iface.o_addr)
+              (Xrl_error.to_string err)))
+
+(* A restarted FEA holds none of our relay sockets; re-open on rebirth
+   so hellos flow again and adjacencies can re-form. *)
+let watch_fea_lifecycle t finder =
+  Finder.watch_class finder "fea" (fun event _instance ->
+      match event with
+      | Finder.Death ->
+        if t.fea_up && Finder.live_instances finder "fea" = [] then begin
+          t.fea_up <- false;
+          Hashtbl.reset t.socks
+        end
+      | Finder.Birth ->
+        if not t.fea_up then begin
+          t.fea_up <- true;
+          (* Deferred: the birth notification fires from inside the new
+             FEA's registration, before it has advertised its methods. *)
+          Eventloop.defer t.loop (fun () ->
+              if t.started && t.fea_up then
+                List.iter (open_iface_socket t) t.cfg.ifaces)
+        end)
+
+let create ?families ?profiler finder loop cfg =
   ignore profiler;
-  let router = Xrl_router.create finder loop ~class_name:"ospf" () in
+  let router = Xrl_router.create ?families finder loop ~class_name:"ospf" () in
   let t =
     { router; loop; cfg;
       adjacencies = Hashtbl.create 8; by_addr = Hashtbl.create 8;
       socks = Hashtbl.create 4; lsdb = Hashtbl.create 32;
       my_seq = 0; stubs = cfg.stub_prefixes;
-      spf_pending = false; spf_count = 0; started = false;
+      spf_pending = false; spf_count = 0; started = false; fea_up = true;
       installed = Hashtbl.create 64 }
   in
   List.iter
@@ -375,32 +424,13 @@ let create ?profiler finder loop cfg =
          iface.o_neighbors)
     cfg.ifaces;
   add_handlers t;
+  watch_fea_lifecycle t finder;
   t
 
 let start t =
   if not t.started then begin
     t.started <- true;
-    List.iter
-      (fun iface ->
-         let xrl =
-           Xrl.make ~target:"fea" ~interface:"fea_udp" ~method_name:"udp_open"
-             [ Xrl_atom.txt "client_target" (instance_name t);
-               Xrl_atom.ipv4 "addr" iface.o_addr;
-               Xrl_atom.u32 "port" ospf_port ]
-         in
-         Xrl_router.send t.router xrl (fun err args ->
-             if Xrl_error.is_ok err then begin
-               Hashtbl.replace t.socks
-                 (Ipv4.to_int iface.o_addr)
-                 (Xrl_atom.get_u32 args "sockid");
-               send_hellos t
-             end
-             else
-               Log.err (fun m ->
-                   m "udp_open on %s failed: %s"
-                     (Ipv4.to_string iface.o_addr)
-                     (Xrl_error.to_string err))))
-      t.cfg.ifaces;
+    List.iter (open_iface_socket t) t.cfg.ifaces;
     originate t;
     ignore
       (Eventloop.periodic t.loop t.cfg.hello_interval (fun () ->

@@ -46,8 +46,15 @@ val default_config :
 
 type t
 
-val create : ?profiler:Profiler.t -> Finder.t -> Eventloop.t -> config -> t
-(** Registers component class ["ospf"]. *)
+val create :
+  ?families:Pf.family list ->
+  ?profiler:Profiler.t -> Finder.t -> Eventloop.t -> config -> t
+(** Registers component class ["ospf"]. [families] selects the XRL
+    transports of the component's endpoint (default: intra-process; the
+    simulation harness passes a chaos-wrapped family).
+
+    FEA socket opens are retried with backoff, and re-issued when a
+    restarted FEA registers (its relay sockets die with it). *)
 
 val start : t -> unit
 

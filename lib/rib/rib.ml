@@ -508,7 +508,7 @@ let replay_fib t =
    a (re)birth triggers the full replay above. The synthetic Birth
    fired for an already-live FEA at watch time is a no-op because
    [fea_up] starts true. *)
-let watch_fea_lifecycle t finder =
+let watch_fea_lifecycle ?(rebirth_replay = true) t finder =
   Finder.watch_class finder "fea" (fun event _instance ->
       match event with
       | Finder.Death ->
@@ -520,11 +520,20 @@ let watch_fea_lifecycle t finder =
       | Finder.Birth ->
         if not t.fea_up then begin
           t.fea_up <- true;
-          replay_fib t
+          if rebirth_replay then replay_fib t
+          else if (not t.fea_flush_armed) && not (Queue.is_empty t.fea_q)
+          then begin
+            (* Faulty variant kept for the simulation harness's
+               bug-injection mode: only the deltas held while the FEA
+               was down are flushed, so every route installed before
+               the death is silently missing from the reborn FIB. *)
+            t.fea_flush_armed <- true;
+            Eventloop.defer t.loop (fun () -> flush_fea t)
+          end
         end)
 
 let create ?families ?batching ?profiler ?(send_to_fea = true)
-    ?(bulk_fea = true) finder loop () =
+    ?(bulk_fea = true) ?(fea_rebirth_replay = true) finder loop () =
   (* A fresh generation starts its metric namespace from zero, so a
      restarted RIB does not inherit the dead instance's counts. *)
   Telemetry.reset_prefix "rib.";
@@ -556,7 +565,8 @@ let create ?families ?batching ?profiler ?(send_to_fea = true)
   Rib_table.plumb redist sink;
   add_xrl_handlers t;
   watch_protocol_deaths t finder;
-  if send_to_fea then watch_fea_lifecycle t finder;
+  if send_to_fea then
+    watch_fea_lifecycle ~rebirth_replay:fea_rebirth_replay t finder;
   t
 
 let shutdown t = Xrl_router.shutdown t.router

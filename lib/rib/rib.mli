@@ -31,6 +31,7 @@ type t
 val create :
   ?families:Pf.family list -> ?batching:bool ->
   ?profiler:Profiler.t -> ?send_to_fea:bool -> ?bulk_fea:bool ->
+  ?fea_rebirth_replay:bool ->
   Finder.t -> Eventloop.t -> unit -> t
 (** Registers class ["rib"] (sole) with the Finder. With
     [send_to_fea] (default true), winner changes are pushed to the
@@ -41,7 +42,14 @@ val create :
     [batching] is passed to the underlying {!Xrl_router.create}. The
     RIB watches the ["bgp"], ["rip"] and ["ospf"] component classes
     and gradually flushes their origin tables when the last instance
-    dies (Finder lifetime notification, §6.2). *)
+    dies (Finder lifetime notification, §6.2).
+
+    [fea_rebirth_replay] (default true) controls recovery after an FEA
+    restart: when true, a reborn FEA receives a full dump of the
+    current winners; when false, only the deltas held during the
+    outage are flushed — a deliberately faulty mode the simulation
+    harness injects to prove its fuzzer catches the resulting
+    RIB/FIB divergence. *)
 
 (** {1 Direct API} (same operations the XRLs expose; examples/tests) *)
 

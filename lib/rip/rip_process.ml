@@ -43,6 +43,7 @@ type t = {
   socks : (int, int) Hashtbl.t;
   mutable started : bool;
   mutable trigger_pending : bool;
+  mutable fea_up : bool;
   mutable tx_updates : int;
   mutable rx_updates : int;
   mutable tx_triggered : int;
@@ -348,15 +349,71 @@ let add_handlers t =
 
 (* --- lifecycle ----------------------------------------------------------------- *)
 
-let create ?profiler ?(seed = 17) finder loop cfg =
+(* The FEA relay socket is opened with a bounded retry: at process
+   start the FEA may not be registered yet, and on a chaotic transport
+   the open request itself can be black-holed — without retry a single
+   lost [udp_open] would wedge the interface forever (a gap found by
+   the simulation harness's schedule fuzzing). *)
+let open_retry =
+  { Xrl_router.default_retry with
+    max_attempts = 10; base_delay = 0.25; max_delay = 2.0;
+    attempt_timeout = Some 2.0 }
+
+let open_iface_socket t iface =
+  let xrl =
+    Xrl.make ~target:"fea" ~interface:"fea_udp" ~method_name:"udp_open"
+      [ Xrl_atom.txt "client_target" (instance_name t);
+        Xrl_atom.ipv4 "addr" iface.if_addr;
+        Xrl_atom.u32 "port" rip_port ]
+  in
+  Xrl_router.send ~retry:open_retry t.router xrl (fun err args ->
+      if Xrl_error.is_ok err then begin
+        Hashtbl.replace t.socks
+          (Ipv4.to_int iface.if_addr)
+          (Xrl_atom.get_u32 args "sockid");
+        (* Solicit full tables from the neighbours on this interface. *)
+        List.iter
+          (fun n ->
+             send_packet t ~ifaddr:iface.if_addr ~dst:n
+               Rip_packet.whole_table_request)
+          iface.if_neighbors
+      end
+      else
+        Log.err (fun m ->
+            m "udp_open on %s failed: %s"
+              (Ipv4.to_string iface.if_addr)
+              (Xrl_error.to_string err)))
+
+(* A restarted FEA has no relay sockets: our sockids are stale and
+   every send would fail into the void. Re-open on rebirth (mirrors
+   the RIB's FIB replay-on-rebirth). *)
+let watch_fea_lifecycle t finder =
+  Finder.watch_class finder "fea" (fun event _instance ->
+      match event with
+      | Finder.Death ->
+        if t.fea_up && Finder.live_instances finder "fea" = [] then begin
+          t.fea_up <- false;
+          Hashtbl.reset t.socks
+        end
+      | Finder.Birth ->
+        if not t.fea_up then begin
+          t.fea_up <- true;
+          (* Deferred: the birth notification fires from inside the new
+             FEA's registration, before it has advertised its methods. *)
+          Eventloop.defer t.loop (fun () ->
+              if t.started && t.fea_up then
+                List.iter (open_iface_socket t) t.cfg.ifaces)
+        end)
+
+let create ?families ?profiler ?(seed = 17) finder loop cfg =
   ignore profiler;
-  let router = Xrl_router.create finder loop ~class_name:"rip" () in
+  let router = Xrl_router.create ?families finder loop ~class_name:"rip" () in
   let t =
     { router; loop; cfg; rng = Rng.create seed;
       db = Ptree.create ();
       neighbor_iface = Hashtbl.create 8;
       socks = Hashtbl.create 4;
-      started = false; trigger_pending = false;
+      started = false; trigger_pending = false; fea_up = true;
       tx_updates = 0; rx_updates = 0; tx_triggered = 0; expired = 0 }
   in
   List.iter
@@ -367,6 +424,7 @@ let create ?profiler ?(seed = 17) finder loop cfg =
          iface.if_neighbors)
     cfg.ifaces;
   add_handlers t;
+  watch_fea_lifecycle t finder;
   t
 
 let periodic_update t =
@@ -376,33 +434,7 @@ let periodic_update t =
 let start t =
   if not t.started then begin
     t.started <- true;
-    List.iter
-      (fun iface ->
-         let xrl =
-           Xrl.make ~target:"fea" ~interface:"fea_udp" ~method_name:"udp_open"
-             [ Xrl_atom.txt "client_target" (instance_name t);
-               Xrl_atom.ipv4 "addr" iface.if_addr;
-               Xrl_atom.u32 "port" rip_port ]
-         in
-         Xrl_router.send t.router xrl (fun err args ->
-             if Xrl_error.is_ok err then begin
-               Hashtbl.replace t.socks
-                 (Ipv4.to_int iface.if_addr)
-                 (Xrl_atom.get_u32 args "sockid");
-               (* Solicit full tables from the neighbours on this
-                  interface. *)
-               List.iter
-                 (fun n ->
-                    send_packet t ~ifaddr:iface.if_addr ~dst:n
-                      Rip_packet.whole_table_request)
-                 iface.if_neighbors
-             end
-             else
-               Log.err (fun m ->
-                   m "udp_open on %s failed: %s"
-                     (Ipv4.to_string iface.if_addr)
-                     (Xrl_error.to_string err))))
-      t.cfg.ifaces;
+    List.iter (open_iface_socket t) t.cfg.ifaces;
     (* Jittered periodic updates: interval ±17%, re-jittered per round
        via a chained timer. *)
     let rec arm () =

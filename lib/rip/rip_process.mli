@@ -35,9 +35,17 @@ val default_config : ifaces:iface list -> config
 type t
 
 val create :
+  ?families:Pf.family list ->
   ?profiler:Profiler.t -> ?seed:int ->
   Finder.t -> Eventloop.t -> config -> t
-(** Registers component class ["rip"]. [seed] controls update jitter. *)
+(** Registers component class ["rip"]. [families] selects the XRL
+    transports of the component's endpoint (default: intra-process; the
+    simulation harness passes a chaos-wrapped family). [seed] controls
+    update jitter.
+
+    FEA socket opens are retried with backoff, and re-issued when a
+    restarted FEA registers (its relay sockets — and our sockids — die
+    with it). *)
 
 val start : t -> unit
 (** Open FEA sockets, solicit neighbours' tables, start the periodic

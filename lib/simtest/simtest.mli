@@ -1,0 +1,153 @@
+(** Deterministic whole-router simulation harness.
+
+    Runs the complete component stack of the paper — BGP, RIP, OSPF,
+    the RIB and the FEA, wired over XRLs — inside one simulated world
+    (one [`Sim] event loop, one {!Netsim}), surrounded by three peer
+    routers (a BGP transit ISP, an OSPF neighbour, a RIP legacy box)
+    booted from configuration by {!Rtrmgr}.
+
+    One integer seed fully determines an execution:
+
+    - XRL delivery schedules: the device-under-test's components talk
+      over {!Pf_sim} with a seeded virtual-latency model, wrapped in
+      {!Pf_chaos} whose reply duplication/delay draws come from the
+      same master stream;
+    - equal-deadline timer tie-breaks ({!Eventloop.set_tie_break});
+    - the fault schedule (component kills via {!Pf_kill} signals,
+      restarts, route flaps, silent session cuts, injected feed
+      content) — scripted as a {!scenario};
+    - injected route content (prefixes drawn from the feed stream).
+
+    After the scripted events, the harness repairs the world (restarts
+    anything still dead, turns chaos off), runs to quiescence, and
+    checks cross-component invariants: RIB/FIB agreement, per-protocol
+    route-count agreement, no forwarding loops, no unsettled XRLs, no
+    leaked timers or background tasks after teardown, and telemetry
+    consistency. The {!fuzz} driver explores seeds; on a failure it
+    greedily shrinks the fault schedule to a minimal reproducing
+    scenario, printable and re-runnable with {!of_string}/{!run}. *)
+
+(** {1 Scenarios} *)
+
+type component = C_fea | C_rib | C_bgp | C_rip | C_ospf
+
+type source = S_bgp | S_rip | S_ospf
+(** Which routing feed a flap perturbs: a BGP network originated by
+    the ISP, a RIP route on the legacy box, an OSPF stub on the
+    neighbour. *)
+
+type op =
+  | Kill of component      (** TERM signal via the kill family; the
+                               component shuts down in place. *)
+  | Restart of component   (** Rebuild and start the component (no-op
+                               if alive). *)
+  | Flap of source         (** Withdraw one route of the feed, re-add
+                               it 2 s later. *)
+  | Inject of int          (** Originate N fresh prefixes at the ISP,
+                               drawn from the seeded feed stream. *)
+  | Sever                  (** Silently cut the DUT-ISP BGP session
+                               (only hold timers can detect it). *)
+  | Delay_burst of float   (** For the given duration, delay + jitter
+                               XRL replies on the DUT's transport. *)
+  | Check                  (** Converge, then run the invariant
+                               checkers mid-scenario. *)
+
+type event = { at : float; op : op }
+
+type chaos_levels = {
+  dup : float;    (** probability an XRL reply is delivered twice *)
+  delay : float;  (** fixed reply delay, seconds *)
+  jitter : float; (** extra uniform reply delay, seconds *)
+}
+
+type scenario = {
+  seed : int;               (** master seed: derives every stream *)
+  background : chaos_levels; (** chaos active for the whole run *)
+  xrl_latency : float;      (** max virtual latency per XRL transmit *)
+  events : event list;      (** sorted by time *)
+  horizon : float;          (** when repair + final checks begin *)
+}
+
+val calm : chaos_levels
+(** All zeros. *)
+
+(** {2 Combinators} *)
+
+val kill_at : float -> component -> event
+val restart_at : float -> component -> event
+val flap_at : float -> source -> event
+val inject_routes : float -> int -> event
+val partition : float -> event
+(** Silent cut of the DUT-ISP session at the given time ({!Sever}). *)
+
+val delay_burst_at : float -> dur:float -> event
+val check_at : float -> event
+
+val scenario :
+  ?seed:int -> ?background:chaos_levels -> ?xrl_latency:float ->
+  ?horizon:float -> event list -> scenario
+(** Events are sorted by time; defaults: seed 0, calm background, no
+    extra latency, horizon 120 s. *)
+
+(** {2 Replayable text form} *)
+
+val to_string : scenario -> string
+(** A line-oriented form, stable under {!of_string}; this is what the
+    fuzzer prints for a shrunk counterexample. *)
+
+val of_string : string -> (scenario, string) result
+
+(** {1 Running} *)
+
+type opts = {
+  fea_rebirth_replay : bool;
+  (** Passed to {!Rib.create}; [false] injects the known-bad recovery
+      (held deltas only, no full FIB replay) so the harness can prove
+      it catches the divergence. *)
+  log_trace : bool;
+  (** Also print trace lines to stderr as they happen. *)
+}
+
+val default_opts : opts
+(** Replay on, no live trace. *)
+
+type outcome = {
+  ran : scenario;
+  violations : string list; (** empty = all invariants green *)
+  trace : string;           (** byte-identical across runs of the same
+                                scenario (same seed, same opts) *)
+  sim_time : float;         (** virtual seconds elapsed *)
+  dispatched : int;         (** event-loop callbacks dispatched *)
+}
+
+val run : ?opts:opts -> scenario -> outcome
+(** Build the world, play the scenario, repair, converge, check
+    invariants, tear down, check for leaks. *)
+
+(** {1 Fuzzing} *)
+
+val generate : seed:int -> scenario
+(** The seed-indexed scenario family the fuzzer explores: 0-4 faults
+    (kills, restarts, flaps, injections, severs, delay bursts) at
+    seeded times, seeded background chaos and latency. *)
+
+type fuzz_result = {
+  seeds_run : int;
+  failed : (outcome * scenario) option;
+  (** On failure: the original failing outcome and the shrunk minimal
+      scenario (re-run it with {!run} or print it with
+      {!to_string}). *)
+  shrink_runs : int; (** extra runs spent shrinking *)
+}
+
+val fuzz :
+  ?opts:opts -> ?progress:(int -> unit) -> base:int -> count:int -> unit ->
+  fuzz_result
+(** Run [generate]d scenarios for seeds [base .. base+count-1],
+    stopping at the first failure and shrinking it. [progress] is
+    called with each seed before it runs. *)
+
+val shrink : ?opts:opts -> scenario -> scenario * int
+(** Greedily drop events, then zero chaos parameters, keeping every
+    mutation that still fails; returns the minimal scenario and how
+    many runs were spent. The input must fail under [opts]. *)

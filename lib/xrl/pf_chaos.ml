@@ -20,12 +20,20 @@ let config ?(drop_prob = 0.) ?(fail_prob = 0.) ?(dup_prob = 0.)
     ?(delay = 0.) ?(delay_jitter = 0.) () =
   { drop_prob; fail_prob; dup_prob; delay; delay_jitter }
 
-let wrap ~seed ~config:cfg (inner : Pf.family) : Pf.family =
+let wrap ?rng ~seed ~config:cfg (inner : Pf.family) : Pf.family =
   let wrap_sender loop address =
     let sender = inner.make_sender loop address in
-    (* Per-destination stream, decorrelated across addresses but fully
-       determined by [seed]: a failing chaos test replays exactly. *)
-    let rng = Rng.create (seed lxor Hashtbl.hash address) in
+    (* By default a per-destination stream, decorrelated across
+       addresses but fully determined by [seed]: a failing chaos test
+       replays exactly. With [?rng], every sender draws from that one
+       shared generator instead — the simulation harness injects its
+       master-seeded RNG here so the entire fault schedule is one
+       stream derived from a single integer. *)
+    let rng =
+      match rng with
+      | Some rng -> rng
+      | None -> Rng.create (seed lxor Hashtbl.hash address)
+    in
     (* Deliver a reply through the configured mischief: optional fixed
        + jittered delay, optional duplicate delivery one turn later
        (exercising the caller's settle-once guard). *)

@@ -32,8 +32,13 @@ val config :
 (** All probabilities default to [0.] — a freshly wrapped family
     injects nothing until the test dials faults in. *)
 
-val wrap : seed:int -> config:config -> Pf.family -> Pf.family
+val wrap : ?rng:Rng.t -> seed:int -> config:config -> Pf.family -> Pf.family
 (** [wrap ~seed ~config fam] returns a family identical to [fam] except
     that every sender injects faults per [config], driven by a
     deterministic per-destination RNG derived from [seed]. Batching is
-    disabled on wrapped senders so each request rolls independently. *)
+    disabled on wrapped senders so each request rolls independently.
+
+    [?rng] overrides the per-destination derivation: all senders then
+    draw from that single shared generator. The simulation harness uses
+    this to fold transport faults into its master seed stream, so one
+    integer determines the whole execution. *)

@@ -47,13 +47,16 @@ type sender_state = {
   mutable ep : Netsim.Stream.endpoint option;
   mutable connecting : bool;
   mutable closed : bool;
+  mutable last_tx : float;
+      (* Latest scheduled transmit time under a latency model; keeps
+         delayed transmits monotone so per-destination FIFO holds. *)
 }
 
-let make_sender netsim ~local_addr _loop address : Pf.sender =
+let make_sender ?latency netsim ~local_addr loop address : Pf.sender =
   let dst, port = parse_address address in
   let st =
     { outstanding = Hashtbl.create 32; pending = Queue.create (); seq = 0;
-      ep = None; connecting = false; closed = false }
+      ep = None; connecting = false; closed = false; last_tx = neg_infinity }
   in
   let fail_all reason =
     (* Ascending seq order, then the not-yet-transmitted queue: keeps
@@ -69,11 +72,33 @@ let make_sender netsim ~local_addr _loop address : Pf.sender =
     Queue.clear st.pending
   in
   let requests_tx = Telemetry.counter "xrl.sim.requests_tx" in
-  let transmit ep xrl cb =
+  let do_transmit ep xrl cb =
     if Telemetry.is_enabled () then Telemetry.incr requests_tx;
     st.seq <- st.seq + 1;
     Hashtbl.replace st.outstanding st.seq cb;
     Netsim.Stream.send ep (Xrl_wire.encode (Xrl_wire.Request { seq = st.seq; xrl }))
+  in
+  (* With a latency model, each transmit is held for a drawn delay.
+     Targets are forced strictly monotone per sender, so requests to
+     one destination still leave (and are sequenced) in send order —
+     only the interleaving {e across} senders varies with the draw. *)
+  let transmit ep xrl cb =
+    match latency with
+    | None -> do_transmit ep xrl cb
+    | Some draw ->
+      let now = Eventloop.now loop in
+      let target = Float.max (now +. Float.max 0. (draw ())) st.last_tx in
+      let target = if target <= st.last_tx then st.last_tx +. 1e-9 else target in
+      st.last_tx <- target;
+      ignore
+        (Eventloop.after loop (target -. now) (fun () ->
+             if st.closed then cb (Xrl_error.Send_failed "sender closed") []
+             else
+               match st.ep with
+               | Some ep' when Netsim.Stream.is_open ep' ->
+                 do_transmit ep' xrl cb
+               | _ -> cb (Xrl_error.Send_failed "connection closed") []));
+      ignore ep
   in
   let on_receive data =
     match Xrl_wire.decode data with
@@ -121,9 +146,9 @@ let make_sender netsim ~local_addr _loop address : Pf.sender =
   in
   { send_req; send_batch = None; close_sender; family_of_sender = "sim" }
 
-let family netsim ~local_addr : Pf.family =
+let family ?latency netsim ~local_addr : Pf.family =
   {
     family_name = "sim";
     make_listener = (fun loop dispatch -> make_listener netsim ~local_addr loop dispatch);
-    make_sender = (fun loop address -> make_sender netsim ~local_addr loop address);
+    make_sender = (fun loop address -> make_sender ?latency netsim ~local_addr loop address);
   }

@@ -15,7 +15,15 @@
 
     Addresses look like ["sim:10.0.0.2:7001"]. *)
 
-val family : Netsim.t -> local_addr:Ipv4.t -> Pf.family
+val family : ?latency:(unit -> float) -> Netsim.t -> local_addr:Ipv4.t -> Pf.family
 (** A family instance for one simulated machine. Listeners bind
     sequential ports on [local_addr]; senders connect across the
-    simulated network and pipeline requests like the TCP family. *)
+    simulated network and pipeline requests like the TCP family.
+
+    [latency] is a virtual-latency model: each request transmit is held
+    for [latency ()] extra seconds (on top of the Netsim path latency).
+    Per-destination transmits stay strictly FIFO — delayed targets are
+    forced monotone — so only the interleaving across destinations
+    varies. Drawing the delay from a seeded PRNG (the simulation
+    harness's shared RNG) fuzzes XRL delivery schedules while keeping
+    the whole run reproducible from the seed. *)

@@ -27,11 +27,15 @@ let default_retry =
 
 (* Errors worth retrying: transport failures and resolution failures
    are transient across a component restart, and an attempt-level
-   timeout means the request or its reply was lost in flight. Anything
-   else (Command_failed, Bad_args, ...) is the peer's final word. *)
+   timeout means the request or its reply was lost in flight.
+   No_such_method is transient for the same reason: a freshly
+   registered instance exists at the Finder before it has advertised
+   its methods, so a caller reacting to the birth notification can
+   resolve into that window. Anything else (Command_failed, Bad_args,
+   ...) is the peer's final word. *)
 let retryable = function
   | Xrl_error.Send_failed _ | Xrl_error.Resolve_failed _
-  | Xrl_error.Timed_out _ -> true
+  | Xrl_error.No_such_method _ | Xrl_error.Timed_out _ -> true
   | _ -> false
 
 (* One per (family, address) destination. Telemetry handles are

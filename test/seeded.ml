@@ -1,0 +1,32 @@
+(* Deterministic seeding for the QCheck property suites.
+
+   Each suite derives every generator stream from one integer seed, so
+   any failure is replayable bit-for-bit:
+
+     QCHECK_SEED=918273645 dune exec test/test_properties.exe
+
+   Without QCHECK_SEED a fresh seed is drawn at startup; it is printed
+   whenever a property fails so the run can be reproduced. *)
+
+let seed =
+  match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+  | Some s -> s
+  | None ->
+    Random.self_init ();
+    Random.int 0x3FFFFFFF
+
+(* Like [QCheck_alcotest.to_alcotest], but drawing from the shared seed
+   and reprinting it on failure. Each property gets its own state built
+   from the same seed, so dropping tests from a suite does not perturb
+   the streams of the ones that remain. *)
+let qcheck test =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) test
+  in
+  ( name,
+    speed,
+    fun args ->
+      try run args
+      with e ->
+        Printf.printf "property failed; replay with QCHECK_SEED=%d\n%!" seed;
+        raise e )

@@ -260,6 +260,89 @@ let full_stack_router ~loop ~netsim ~local_as ~bgp_id () =
   in
   (finder, fea, rib, bgp)
 
+let test_deletion_stage_readd_race_full_stack () =
+  (* §5.1.2: after a peering loss the PeerIn's table is handed to a
+     background deletion stage. If the peering comes back and the same
+     prefixes are re-advertised while that stage is still draining, the
+     stale withdrawals race the fresh adds all the way down the
+     pipeline. None of the three tables — BGP winners, RIB, FEA FIB —
+     may lose a fresh route to a stale delete. *)
+  let loop = Eventloop.create () in
+  let netsim = Netsim.create loop in
+  let a = standalone_router ~loop ~netsim ~local_as:65001 ~bgp_id:(addr "1.1.1.1") () in
+  let _, fea, rib, b =
+    full_stack_router ~loop ~netsim ~local_as:65002 ~bgp_id:(addr "2.2.2.2") ()
+  in
+  Result.get_ok
+    (Rib.add_route rib ~protocol:"connected" ~net:(net "10.0.0.0/24")
+       ~nexthop:Ipv4.zero ());
+  Bgp_process.add_peer a
+    { (Bgp_process.default_peer_config ~peer_addr:(addr "10.0.0.2")
+         ~local_addr:(addr "10.0.0.1") ~peer_as:65002)
+      with Bgp_process.checking_cache = true };
+  (* Tiny deletion slice so the stage drains slowly enough to overlap
+     the re-established session's route dump. *)
+  Bgp_process.add_peer b
+    { (Bgp_process.default_peer_config ~peer_addr:(addr "10.0.0.1")
+         ~local_addr:(addr "10.0.0.2") ~peer_as:65001)
+      with Bgp_process.deletion_slice = 7; checking_cache = true };
+  Bgp_process.start a;
+  Bgp_process.start b;
+  run_for loop 2.0;
+  let nets =
+    List.init 300 (fun i ->
+        Ipv4net.make (Ipv4.of_octets 130 (i / 250) (i mod 250) 0) 24)
+  in
+  List.iter (Bgp_process.originate a) nets;
+  run_for loop 5.0;
+  check Alcotest.int "all routes reached BGP" 300 (Bgp_process.route_count b);
+  check Alcotest.bool "a sample reached the FIB" true
+    (Fib.lookup (Fea.fib fea) (addr "130.0.17.1") <> None);
+  (* Drop the peering and stop as soon as the stage is spawned. *)
+  Bgp_process.remove_peer a (addr "10.0.0.2");
+  Eventloop.run
+    ~until:(fun () -> Bgp_process.deletion_stages b (addr "10.0.0.1") = 1)
+    loop;
+  check Alcotest.int "deletion stage mid-flight" 1
+    (Bgp_process.deletion_stages b (addr "10.0.0.1"));
+  (* The peer reappears and re-advertises the very same prefixes while
+     the stage still holds their stale twins. *)
+  Bgp_process.add_peer a
+    { (Bgp_process.default_peer_config ~peer_addr:(addr "10.0.0.2")
+         ~local_addr:(addr "10.0.0.1") ~peer_as:65002)
+      with Bgp_process.checking_cache = true };
+  List.iter (Bgp_process.originate a) nets;
+  run_for loop 40.0;
+  check Alcotest.int "deletion stages drained" 0
+    (Bgp_process.deletion_stages b (addr "10.0.0.1"));
+  check Alcotest.int "bgp relearned all" 300 (Bgp_process.route_count b);
+  no_violations b;
+  (* Verify every prefix survived in the RIB and in the FEA FIB, with
+     the fresh session's nexthop. *)
+  List.iter
+    (fun n ->
+       (match Rib.lookup_best rib (Ipv4net.network n) with
+        | Some r ->
+          if r.Rib_route.protocol <> "ebgp" then
+            Alcotest.failf "%s: RIB winner is %s" (Ipv4net.to_string n)
+              r.Rib_route.protocol
+        | None -> Alcotest.failf "%s: missing from RIB" (Ipv4net.to_string n));
+       match Fib.get (Fea.fib fea) n with
+       | Some e ->
+         if Ipv4.to_string e.Fib.nexthop <> "10.0.0.1" then
+           Alcotest.failf "%s: FIB nexthop %s" (Ipv4net.to_string n)
+             (Ipv4.to_string e.Fib.nexthop)
+       | None -> Alcotest.failf "%s: missing from FIB" (Ipv4net.to_string n))
+    nets;
+  (* And no stale extras: exactly the 300 BGP entries remain. *)
+  let bgp_fib_entries =
+    List.length
+      (List.filter
+         (fun e -> e.Fib.protocol = "ebgp")
+         (Fib.entries (Fea.fib fea)))
+  in
+  check Alcotest.int "no stale FIB entries" 300 bgp_fib_entries
+
 let test_full_stack_to_fib () =
   let loop = Eventloop.create () in
   let netsim = Netsim.create loop in
@@ -533,6 +616,8 @@ let () =
           Alcotest.test_case "establishment" `Quick test_session_establishment;
           Alcotest.test_case "flap spawns deletion stage" `Quick
             test_peering_flap_deletion_stage;
+          Alcotest.test_case "deletion stage vs re-adds, down to the FIB"
+            `Quick test_deletion_stage_readd_race_full_stack;
           Alcotest.test_case "silent partition + hold timer" `Quick
             test_silent_partition_hold_timer_recovery;
         ] );

@@ -36,6 +36,56 @@ let test_equal_deadline_fifo () =
   check (Alcotest.list Alcotest.int) "fifo among equal deadlines"
     [ 1; 2; 3; 4; 5 ] (List.rev !order)
 
+let test_past_deadline_fires_once_sim () =
+  let loop = Eventloop.create () in
+  let fires = ref 0 in
+  ignore (Eventloop.after loop (-5.0) (fun () -> incr fires));
+  ignore (Eventloop.at loop (-3.0) (fun () -> incr fires));
+  Eventloop.run loop;
+  check Alcotest.int "each fired exactly once" 2 !fires;
+  check (Alcotest.float 1e-9) "clock never went backwards" 0.0
+    (Eventloop.now loop)
+
+let test_past_deadline_fires_once_real () =
+  let loop = Eventloop.create ~mode:`Real () in
+  let fires = ref 0 in
+  ignore (Eventloop.after loop (-1.0) (fun () -> incr fires));
+  Eventloop.run ~until:(fun () -> !fires > 0) loop;
+  Eventloop.run_until_idle loop;
+  check Alcotest.int "fired exactly once" 1 !fires
+
+let test_past_deadline_next_iteration () =
+  (* A callback rescheduling into the past waits for the next sweep:
+     the other timer due in this sweep runs first, and the chain cannot
+     monopolise a single iteration. *)
+  let loop = Eventloop.create () in
+  let order = ref [] in
+  let reschedules = ref 0 in
+  let rec a () =
+    order := "a" :: !order;
+    incr reschedules;
+    if !reschedules < 3 then ignore (Eventloop.after loop (-1.0) a)
+  in
+  ignore (Eventloop.after loop (-1.0) a);
+  ignore (Eventloop.after loop (-1.0) (fun () -> order := "b" :: !order));
+  Eventloop.run loop;
+  check (Alcotest.list Alcotest.string) "reschedule waits for next sweep"
+    [ "a"; "b"; "a"; "a" ] (List.rev !order)
+
+let test_tie_break_hook () =
+  let loop = Eventloop.create () in
+  let order = ref [] in
+  for i = 1 to 4 do
+    ignore (Eventloop.after loop 1.0 (fun () -> order := i :: !order))
+  done;
+  ignore (Eventloop.after loop 2.0 (fun () -> order := 99 :: !order));
+  (* Always pick the last of the due same-deadline batch. *)
+  Eventloop.set_tie_break loop (Some (fun n -> n - 1));
+  Eventloop.run loop;
+  Eventloop.set_tie_break loop None;
+  check (Alcotest.list Alcotest.int) "hook reorders only the equal batch"
+    [ 4; 3; 2; 1; 99 ] (List.rev !order)
+
 let test_cancel () =
   let loop = Eventloop.create () in
   let fired = ref false in
@@ -244,6 +294,28 @@ let test_minheap () =
   check (Alcotest.list Alcotest.string) "sorted, stable"
     [ "a"; "a2"; "b"; "c" ] (List.rev !order)
 
+let test_minheap_stamp_and_peek_entry () =
+  let h = Minheap.create () in
+  check Alcotest.int "fresh heap stamp" 0 (Minheap.stamp h);
+  Minheap.push h 2.0 "x";
+  Minheap.push h 1.0 "y";
+  Minheap.push h 1.0 "z";
+  check Alcotest.int "stamp counts pushes" 3 (Minheap.stamp h);
+  (match Minheap.peek_entry h with
+   | Some (p, seq, v) ->
+     check (Alcotest.float 1e-9) "min priority first" 1.0 p;
+     check Alcotest.int "earliest equal push wins" 1 seq;
+     check Alcotest.string "its value" "y" v
+   | None -> Alcotest.fail "unexpectedly empty");
+  ignore (Minheap.pop h);
+  (match Minheap.peek_entry h with
+   | Some (p, seq, v) ->
+     check (Alcotest.float 1e-9) "still the equal batch" 1.0 p;
+     check Alcotest.int "then the later equal push" 2 seq;
+     check Alcotest.string "its value" "z" v
+   | None -> Alcotest.fail "unexpectedly empty");
+  check Alcotest.int "pops do not move the stamp" 3 (Minheap.stamp h)
+
 let prop_minheap_sorts =
   QCheck.Test.make ~name:"minheap pops in sorted order" ~count:300
     QCheck.(list (pair (float_bound_exclusive 1000.0) small_int))
@@ -271,6 +343,13 @@ let () =
           Alcotest.test_case "deadline order" `Quick test_timer_order;
           Alcotest.test_case "equal deadlines are FIFO" `Quick
             test_equal_deadline_fifo;
+          Alcotest.test_case "past deadline fires once (sim)" `Quick
+            test_past_deadline_fires_once_sim;
+          Alcotest.test_case "past deadline fires once (real)" `Quick
+            test_past_deadline_fires_once_real;
+          Alcotest.test_case "past reschedule waits a sweep" `Quick
+            test_past_deadline_next_iteration;
+          Alcotest.test_case "tie-break hook" `Quick test_tie_break_hook;
           Alcotest.test_case "cancel" `Quick test_cancel;
           Alcotest.test_case "periodic" `Quick test_periodic;
           Alcotest.test_case "cancel periodic mid-flight" `Quick
@@ -310,5 +389,7 @@ let () =
         ] );
       ( "minheap",
         Alcotest.test_case "basic" `Quick test_minheap
-        :: List.map QCheck_alcotest.to_alcotest [ prop_minheap_sorts ] );
+        :: Alcotest.test_case "stamp and peek_entry FIFO" `Quick
+             test_minheap_stamp_and_peek_entry
+        :: List.map Seeded.qcheck [ prop_minheap_sorts ] );
     ]

@@ -264,14 +264,14 @@ let () =
   Alcotest.run "xorp_properties"
     [
       ( "decision_order",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Seeded.qcheck
           [ prop_decision_irreflexive; prop_decision_asymmetric;
             prop_decision_transitive; prop_decision_total_across_peers ] );
       ( "damping",
-        List.map QCheck_alcotest.to_alcotest [ prop_damping_decay_monotone ] );
+        List.map Seeded.qcheck [ prop_damping_decay_monotone ] );
       ( "rib_model",
-        List.map QCheck_alcotest.to_alcotest [ prop_rib_matches_flat_model ] );
+        List.map Seeded.qcheck [ prop_rib_matches_flat_model ] );
       ( "fanout",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Seeded.qcheck
           [ prop_fanout_order_and_filtering ] );
     ]

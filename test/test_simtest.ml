@@ -1,0 +1,140 @@
+(* Tests for the simulation harness itself: determinism, the scenario
+   text form, the invariant checkers, and the fuzz/shrink driver. *)
+
+let check = Alcotest.check
+
+let assert_green what (o : Simtest.outcome) =
+  match o.Simtest.violations with
+  | [] -> ()
+  | v :: _ ->
+    Alcotest.failf "%s: %d violation(s), first: %s" what
+      (List.length o.Simtest.violations) v
+
+(* A light scenario so each run stays fast: one fault, one mid-run
+   checkpoint. *)
+let light =
+  Simtest.scenario ~seed:11 ~horizon:100.
+    [ Simtest.inject_routes 20. 5;
+      Simtest.flap_at 40. Simtest.S_bgp;
+      Simtest.check_at 70. ]
+
+let test_benign_scenario_green () =
+  assert_green "benign" (Simtest.run light)
+
+let test_same_seed_identical_trace () =
+  let a = Simtest.run light and b = Simtest.run light in
+  assert_green "first" a;
+  check Alcotest.bool "byte-identical traces" true
+    (String.equal a.Simtest.trace b.Simtest.trace);
+  check Alcotest.int "same dispatch count" a.Simtest.dispatched
+    b.Simtest.dispatched
+
+let test_different_seed_different_trace () =
+  (* Not a hard guarantee for arbitrary pairs, but these two schedules
+     differ in feed content, so their traces must. *)
+  let a = Simtest.run (Simtest.generate ~seed:1) in
+  let b = Simtest.run (Simtest.generate ~seed:2) in
+  check Alcotest.bool "seeds explore different executions" false
+    (String.equal a.Simtest.trace b.Simtest.trace)
+
+let test_kill_restart_recovers () =
+  let sc =
+    Simtest.scenario ~seed:7 ~horizon:110.
+      [ Simtest.kill_at 30. Simtest.C_fea;
+        Simtest.restart_at 45. Simtest.C_fea ]
+  in
+  assert_green "kill+restart fea" (Simtest.run sc)
+
+let test_text_form_roundtrip () =
+  let sc =
+    Simtest.scenario ~seed:99
+      ~background:{ Simtest.dup = 0.05; delay = 0.001; jitter = 0.002 }
+      ~xrl_latency:0.004 ~horizon:90.
+      [ Simtest.kill_at 20. Simtest.C_ospf;
+        Simtest.restart_at 31.5 Simtest.C_ospf;
+        Simtest.flap_at 40.25 Simtest.S_rip;
+        Simtest.inject_routes 50. 12;
+        Simtest.partition 60.;
+        Simtest.delay_burst_at 70. ~dur:3.5;
+        Simtest.check_at 80. ]
+  in
+  match Simtest.of_string (Simtest.to_string sc) with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok sc' ->
+    check Alcotest.string "print/parse fixpoint" (Simtest.to_string sc)
+      (Simtest.to_string sc');
+    check Alcotest.bool "structurally equal" true (sc = sc')
+
+let test_injected_bug_caught_deterministically () =
+  (* Disabling the RIB's replay-on-FEA-rebirth must turn a plain
+     kill+restart scenario red — and only under the bad option. *)
+  let sc =
+    Simtest.scenario ~seed:3 ~horizon:110.
+      [ Simtest.inject_routes 15. 6; Simtest.kill_at 40. Simtest.C_fea ]
+  in
+  assert_green "healthy recovery" (Simtest.run sc);
+  let bad = { Simtest.default_opts with Simtest.fea_rebirth_replay = false } in
+  let o = Simtest.run ~opts:bad sc in
+  if o.Simtest.violations = [] then
+    Alcotest.fail "rib-no-replay bug escaped the invariant checkers"
+
+let test_fuzz_finds_and_shrinks_injected_bug () =
+  let bad = { Simtest.default_opts with Simtest.fea_rebirth_replay = false } in
+  let r = Simtest.fuzz ~opts:bad ~base:0 ~count:40 () in
+  match r.Simtest.failed with
+  | None -> Alcotest.fail "fuzzer missed the injected bug in 40 seeds"
+  | Some (o, minimal) ->
+    check Alcotest.bool "original outcome was red" true
+      (o.Simtest.violations <> []);
+    (* The minimal scenario must still fail, and must have been cut
+       down to the essential fault (a kill with no paired restart;
+       repair restarts it without replay). *)
+    let o' = Simtest.run ~opts:bad minimal in
+    check Alcotest.bool "shrunk scenario still fails" true
+      (o'.Simtest.violations <> []);
+    check Alcotest.bool "shrunk to at most 2 events" true
+      (List.length minimal.Simtest.events <= 2);
+    (* And the counterexample replays through its text form. *)
+    (match Simtest.of_string (Simtest.to_string minimal) with
+     | Error e -> Alcotest.failf "counterexample does not reparse: %s" e
+     | Ok sc ->
+       let o'' = Simtest.run ~opts:bad sc in
+       check Alcotest.bool "reparsed counterexample still fails" true
+         (o''.Simtest.violations <> []))
+
+let test_fuzz_batch_green () =
+  let r = Simtest.fuzz ~base:0 ~count:25 () in
+  check Alcotest.int "all seeds ran" 25 r.Simtest.seeds_run;
+  match r.Simtest.failed with
+  | None -> ()
+  | Some (o, minimal) ->
+    Alcotest.failf "seed %d failed (%s); minimal:\n%s"
+      o.Simtest.ran.Simtest.seed
+      (String.concat "; " o.Simtest.violations)
+      (Simtest.to_string minimal)
+
+let () =
+  Alcotest.run "xorp_simtest"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "benign scenario green" `Quick
+            test_benign_scenario_green;
+          Alcotest.test_case "same seed, same trace" `Quick
+            test_same_seed_identical_trace;
+          Alcotest.test_case "different seeds diverge" `Quick
+            test_different_seed_different_trace;
+          Alcotest.test_case "kill + restart recovers" `Quick
+            test_kill_restart_recovers;
+        ] );
+      ( "text_form",
+        [ Alcotest.test_case "roundtrip" `Quick test_text_form_roundtrip ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "injected bug caught" `Quick
+            test_injected_bug_caught_deterministically;
+          Alcotest.test_case "fuzzer finds and shrinks it" `Quick
+            test_fuzz_finds_and_shrinks_injected_bug;
+          Alcotest.test_case "green batch" `Quick test_fuzz_batch_green;
+        ] );
+    ]

@@ -153,10 +153,10 @@ let test_garbage () =
 let () =
   Alcotest.run "xorp_wire_props"
     [ ( "ospf",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Seeded.qcheck
           [ prop_ospf_roundtrip; prop_ospf_truncation ] );
       ( "rip",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Seeded.qcheck
           [ prop_rip_roundtrip; prop_rip_truncation ] );
       ( "garbage",
         [ Alcotest.test_case "fixed adversarial vectors" `Quick test_garbage ]

@@ -391,6 +391,80 @@ let test_kill_family_is_restrictive () =
   | Xrl_error.Bad_args _ -> ()
   | e -> Alcotest.failf "kill family leaked data: %s" (Xrl_error.to_string e)
 
+(* --- Batch wire roundtrip (property) ------------------------------------ *)
+
+(* Arbitrary atoms: names from the unreserved lowercase alphabet (the
+   constructors reject [:=&?,/%]), values over every constructor with
+   one level of list nesting (lists nest on the wire, so include one
+   nested layer too). *)
+let gen_atom =
+  let open QCheck.Gen in
+  let name = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+  let scalar =
+    oneof
+      [ map (fun n -> Xrl_atom.U32 (n land 0xFFFFFFFF)) nat;
+        map (fun n -> Xrl_atom.I32 n) small_signed_int;
+        map (fun n -> Xrl_atom.U64 (Int64.of_int n)) nat;
+        map (fun s -> Xrl_atom.Txt s) (small_string ~gen:printable);
+        map (fun b -> Xrl_atom.Bool b) bool;
+        map
+          (fun (a, b) -> Xrl_atom.Ipv4_v (Ipv4.of_octets a b a b))
+          (pair (int_bound 255) (int_bound 255));
+        map
+          (fun (a, len) ->
+             Xrl_atom.Ipv4net_v (Ipv4net.make (Ipv4.of_octets a 0 0 0) len))
+          (pair (int_bound 255) (int_bound 8));
+        map (fun s -> Xrl_atom.Binary s) (small_string ~gen:(char_range '\000' '\255'));
+      ]
+  in
+  let value =
+    oneof
+      [ scalar;
+        map (fun vs -> Xrl_atom.List vs) (list_size (int_bound 3) scalar);
+        map
+          (fun vs -> Xrl_atom.List [ Xrl_atom.List vs; Xrl_atom.Bool true ])
+          (list_size (int_bound 2) scalar);
+      ]
+  in
+  map2 Xrl_atom.make name value
+
+let gen_message =
+  let open QCheck.Gen in
+  let atoms = list_size (int_bound 4) gen_atom in
+  let name = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+  let request =
+    map2
+      (fun seq (((target, iface), meth), args) ->
+         Xrl_wire.Request
+           { seq;
+             xrl = Xrl.make ~target ~interface:iface ~method_name:meth args })
+      nat
+      (pair (pair (pair name name) name) atoms)
+  in
+  let reply =
+    map2
+      (fun (seq, code) (note, args) ->
+         Xrl_wire.Reply { seq; error = Xrl_error.of_code code note; args })
+      (pair nat (int_bound 9))
+      (pair (small_string ~gen:printable) atoms)
+  in
+  let element = oneof [ request; reply ] in
+  oneof
+    [ element;
+      map (fun ms -> Xrl_wire.Batch ms) (list_size (int_bound 8) element) ]
+
+(* Decoding may normalise (e.g. error notes, argument canonical forms),
+   so the invariant is re-encode stability, not structural equality:
+   encode . decode is the identity on encoder output. *)
+let prop_batch_wire_roundtrip =
+  QCheck.Test.make ~name:"wire encode/decode/encode is stable" ~count:500
+    (QCheck.make gen_message)
+    (fun msg ->
+       let bytes = Xrl_wire.encode msg in
+       match Xrl_wire.decode bytes with
+       | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e
+       | Ok decoded -> String.equal (Xrl_wire.encode decoded) bytes)
+
 let () =
   Alcotest.run "xorp_xrl_ext"
     [
@@ -428,4 +502,5 @@ let () =
           Alcotest.test_case "restrictive transport" `Quick
             test_kill_family_is_restrictive;
         ] );
+      ("wire_batch", List.map Seeded.qcheck [ prop_batch_wire_roundtrip ]);
     ]
