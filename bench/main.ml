@@ -21,6 +21,10 @@ let experiments =
      "figures 10-12 + occupancy/during-load/churn sweep, emits BENCH_pipeline.json",
      Fig_latency.run_all);
     ("fig13", "event-driven vs 30s scanners (Figure 13)", Fig13.run);
+    ("forward",
+     "packets/s through the element-graph data plane, 146515-route FIB, \
+      emits BENCH_forward.json",
+     Forward.run);
     ("memory", "full-table memory footprint (§5.1)", Memory.run);
     ("ablation-pipeline", "A1: TCP pipeline window sweep",
      Ablations.run_pipeline);

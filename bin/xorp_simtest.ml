@@ -22,6 +22,7 @@ let read_file path =
 
 let opts_of ~bug ~trace =
   { Simtest.fea_rebirth_replay = (bug <> Some "rib-no-replay");
+    dataplane_ttl_leak = (bug = Some "dataplane-ttl-leak");
     log_trace = trace }
 
 let report_outcome ~quiet (o : Simtest.outcome) =
@@ -42,9 +43,11 @@ let report_outcome ~quiet (o : Simtest.outcome) =
 
 let run_main seeds base seed replay bug trace quiet =
   (match bug with
-   | None | Some "rib-no-replay" -> ()
+   | None | Some "rib-no-replay" | Some "dataplane-ttl-leak" -> ()
    | Some other ->
-     Printf.eprintf "unknown --inject-bug %S (known: rib-no-replay)\n" other;
+     Printf.eprintf
+       "unknown --inject-bug %S (known: rib-no-replay, dataplane-ttl-leak)\n"
+       other;
      exit 2);
   let opts = opts_of ~bug ~trace in
   match (seed, replay) with
@@ -128,7 +131,9 @@ let bug_arg =
     value & opt (some string) None
     & info [ "inject-bug" ] ~docv:"NAME"
         ~doc:"Run with a known bug injected (rib-no-replay: the RIB \
-              skips the full FIB replay when the FEA is reborn).")
+              skips the full FIB replay when the FEA is reborn; \
+              dataplane-ttl-leak: the forwarding graph's DecTtl forgets \
+              to drop TTL-expired packets).")
 
 let trace_arg =
   Arg.(

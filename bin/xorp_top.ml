@@ -104,10 +104,24 @@ let render_frame ~frame ~clock ~top_n stages counters spans =
          addf "%-34s %8d %9.1f %9.1f %9.1f %9.1f\n" st.st_name st.st_count
            st.st_p50 st.st_p90 st.st_p99 st.st_max)
     stages;
+  (* The forwarding path gets its own pane: per-element rx/tx/drop
+     counters live under the "dataplane." telemetry prefix. *)
+  let is_dp (n, _) =
+    String.length n >= String.length Dataplane.telemetry_prefix
+    && String.sub n 0 (String.length Dataplane.telemetry_prefix)
+       = Dataplane.telemetry_prefix
+  in
+  let dp_counters, counters = List.partition is_dp counters in
   let counters = List.sort compare counters in
   if counters <> [] then begin
     addf "\n%-34s %12s\n" "COUNTERS" "value";
     List.iter (fun (n, v) -> addf "%-34s %12s\n" n v) counters
+  end;
+  if dp_counters <> [] then begin
+    addf "\n%-34s %12s\n" "DATA PLANE" "packets";
+    List.iter
+      (fun (n, v) -> addf "%-34s %12s\n" n v)
+      (List.sort compare dp_counters)
   end;
   if spans <> [] then begin
     addf "\n%-7s %-7s %-22s %9s  %s\n" "trace" "span" "RECENT SPANS"

@@ -4,7 +4,7 @@
    commands, either interactively from stdin or from -e arguments:
 
      show routes | show fib | show bgp peers | show rip | show ospf
-     show config | show version
+     show dataplane | show config | show version
      run <seconds>          advance the (simulated) clock
      xrl <textual-xrl>      dispatch any XRL (scriptability, §6.1)
      help | quit
@@ -16,6 +16,7 @@ open Cmdliner
 
 let help_text = {|commands:
   show routes | fib | bgp peers | rip | ospf | config | version
+  show dataplane       the forwarding element graph and its counters
   show telemetry       metrics, stage latencies and trace spans
   run <seconds>        advance the clock
   xrl <textual-xrl>    dispatch an XRL and print the reply
@@ -60,6 +61,9 @@ let execute router line =
     true
   | [ "show"; "ospf" ] ->
     print_string (Rtrmgr.show_ospf router);
+    true
+  | [ "show"; "dataplane" ] ->
+    print_string (Rtrmgr.show_dataplane router);
     true
   | [ "show"; "telemetry" ] ->
     print_string (Rtrmgr.show_telemetry router);

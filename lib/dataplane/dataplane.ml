@@ -1,0 +1,1139 @@
+let src = Logs.Src.create "xorp.dataplane" ~doc:"element-graph data plane"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let telemetry_prefix = "dataplane."
+
+type action = Emit of int | Kill of string
+
+type lookup_result = {
+  lr_nexthop : Ipv4.t;
+  lr_ifname : string;
+  lr_connected : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Graph description                                                  *)
+
+type decl = { d_name : string; d_klass : string; d_args : string list }
+type edge = { e_src : string; e_sport : int; e_dst : string; e_dport : int }
+type spec = { sp_decls : decl list; sp_edges : edge list }
+
+(* ------------------------------------------------------------------ *)
+(* Element classes                                                    *)
+
+(* How many ports a class exposes. [Range] classes take their actual
+   count from the connections in the graph. *)
+type ports = Exact of int | Range of int * int
+
+(* The structural classes (queueing, fan-out, graph edges to the
+   outside world) are built in; everything that is per-packet logic —
+   including most built-ins — is a [Map], so user classes registered
+   with [register_map_class] are not second-class citizens. *)
+type impl =
+  | I_map of (lookup:(Ipv4.t -> lookup_result option) ->
+              args:string list -> n_out:int -> (Packet.t -> action))
+  | I_from
+  | I_to_net
+  | I_queue
+  | I_sched
+  | I_tee
+
+type class_info = {
+  ci_in : ports;
+  ci_out : string list -> ports; (* from checked args *)
+  ci_check : string list -> (unit, string) result;
+  ci_impl : impl;
+  ci_builtin : bool;
+}
+
+let classes : (string, class_info) Hashtbl.t = Hashtbl.create 16
+
+let is_ident s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+          (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+          || (c >= '0' && c <= '9') || c = '_')
+       s
+
+let check_no_args = function
+  | [] -> Ok ()
+  | _ -> Error "takes no arguments"
+
+let check_one_int ~what ~min ~max = function
+  | [ a ] -> (
+      match int_of_string_opt a with
+      | Some n when n >= min && n <= max -> Ok ()
+      | _ ->
+        Error (Printf.sprintf "%s must be an integer in %d..%d" what min max))
+  | _ -> Error (Printf.sprintf "takes exactly one argument (%s)" what)
+
+let classify_spec arg =
+  if arg = "-" then Ok None
+  else
+    match int_of_string_opt arg with
+    | Some n when n >= 0 && n <= 255 -> Ok (Some n)
+    | _ -> Error (Printf.sprintf "bad protocol %S (want 0..255 or '-')" arg)
+
+let () =
+  let add name ci = Hashtbl.replace classes name ci in
+  add "FromNetsim"
+    { ci_in = Exact 0; ci_out = (fun _ -> Exact 1);
+      ci_check =
+        (function
+          | [ ifname ] when ifname <> "" -> Ok ()
+          | _ -> Error "takes exactly one argument (the interface name)");
+      ci_impl = I_from; ci_builtin = true };
+  add "ToNetsim"
+    { ci_in = Exact 1; ci_out = (fun _ -> Exact 0);
+      ci_check = check_no_args; ci_impl = I_to_net; ci_builtin = true };
+  add "Queue"
+    { ci_in = Exact 1; ci_out = (fun _ -> Exact 1);
+      ci_check = check_one_int ~what:"capacity" ~min:1 ~max:1_000_000;
+      ci_impl = I_queue; ci_builtin = true };
+  add "Scheduler"
+    { ci_in = Range (1, 16); ci_out = (fun _ -> Exact 1);
+      ci_check = check_one_int ~what:"burst" ~min:1 ~max:4096;
+      ci_impl = I_sched; ci_builtin = true };
+  add "Tee"
+    { ci_in = Exact 1;
+      ci_out = (fun args ->
+          match args with [ n ] -> Exact (int_of_string n) | _ -> Exact 2);
+      ci_check = check_one_int ~what:"branches" ~min:2 ~max:16;
+      ci_impl = I_tee; ci_builtin = true };
+  add "Classify"
+    { ci_in = Exact 1;
+      ci_out = (fun args -> Exact (List.length args));
+      ci_check =
+        (fun args ->
+           if args = [] then Error "needs at least one protocol pattern"
+           else
+             List.fold_left
+               (fun acc a ->
+                  match (acc, classify_spec a) with
+                  | (Error _ as e), _ -> e
+                  | Ok (), Error e -> Error e
+                  | Ok (), Ok _ -> Ok ())
+               (Ok ()) args);
+      ci_impl =
+        I_map
+          (fun ~lookup:_ ~args ~n_out:_ ->
+             let specs =
+               Array.of_list
+                 (List.map
+                    (fun a ->
+                       match classify_spec a with
+                       | Ok s -> s
+                       | Error e -> invalid_arg e)
+                    args)
+             in
+             fun pkt ->
+               let rec go i =
+                 if i >= Array.length specs then Kill "no-match"
+                 else
+                   match specs.(i) with
+                   | None -> Emit i
+                   | Some p when p = pkt.Packet.proto -> Emit i
+                   | Some _ -> go (i + 1)
+               in
+               go 0);
+      ci_builtin = true };
+  add "CheckHeader"
+    { ci_in = Exact 1; ci_out = (fun _ -> Exact 1);
+      ci_check = check_no_args;
+      ci_impl =
+        I_map
+          (fun ~lookup:_ ~args:_ ~n_out:_ pkt ->
+             if pkt.Packet.ttl <= 0 then Kill "zero-ttl"
+             else if Ipv4.equal pkt.Packet.dst Ipv4.zero then Kill "bad-dst"
+             else if Ipv4.equal pkt.Packet.dst Ipv4.broadcast then
+               Kill "broadcast"
+             else if Ipv4.is_multicast pkt.Packet.dst then Kill "multicast"
+             else Emit 0);
+      ci_builtin = true };
+  add "LpmLookup"
+    { ci_in = Exact 1; ci_out = (fun _ -> Range (1, 2));
+      ci_check = check_no_args;
+      ci_impl =
+        I_map
+          (fun ~lookup ~args:_ ~n_out ->
+             fun pkt ->
+               match lookup pkt.Packet.dst with
+               | None -> if n_out >= 2 then Emit 1 else Kill "no-route"
+               | Some lr ->
+                 pkt.Packet.nexthop <-
+                   (if lr.lr_connected || Ipv4.equal lr.lr_nexthop Ipv4.zero
+                    then pkt.Packet.dst
+                    else lr.lr_nexthop);
+                 pkt.Packet.out_ifname <- lr.lr_ifname;
+                 Emit 0);
+      ci_builtin = true };
+  add "DecTtl"
+    { ci_in = Exact 1; ci_out = (fun _ -> Exact 1);
+      ci_check = check_no_args;
+      ci_impl =
+        I_map
+          (fun ~lookup:_ ~args:_ ~n_out:_ pkt ->
+             pkt.Packet.ttl <- pkt.Packet.ttl - 1;
+             if pkt.Packet.ttl <= 0 then Kill "ttl-expired" else Emit 0);
+      ci_builtin = true };
+  add "Count"
+    { ci_in = Exact 1; ci_out = (fun _ -> Exact 1);
+      ci_check = check_no_args;
+      ci_impl = I_map (fun ~lookup:_ ~args:_ ~n_out:_ _pkt -> Emit 0);
+      ci_builtin = true };
+  add "Drop"
+    { ci_in = Exact 1; ci_out = (fun _ -> Exact 0);
+      ci_check =
+        (function
+          | [] -> Ok ()
+          | [ r ] when is_ident r || String.for_all (fun c -> c <> '.') r ->
+            Ok ()
+          | _ -> Error "takes at most one argument (the drop reason)");
+      ci_impl =
+        I_map
+          (fun ~lookup:_ ~args ~n_out:_ ->
+             let reason = match args with [ r ] -> r | _ -> "dropped" in
+             fun _pkt -> Kill reason);
+      ci_builtin = true }
+
+let register_map_class ?(n_out = (1, 1)) name ~check ~make =
+  let lo, hi = n_out in
+  if lo < 0 || hi < lo then invalid_arg "Dataplane.register_map_class: n_out";
+  (match Hashtbl.find_opt classes name with
+   | Some { ci_builtin = true; _ } ->
+     invalid_arg
+       (Printf.sprintf "Dataplane.register_map_class: %s is built in" name)
+   | _ -> ());
+  Hashtbl.replace classes name
+    { ci_in = Exact 1;
+      ci_out = (fun _ -> if lo = hi then Exact lo else Range (lo, hi));
+      ci_check = check;
+      ci_impl = I_map (fun ~lookup:_ ~args ~n_out -> make ~args ~n_out);
+      ci_builtin = false }
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                            *)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+(* "[2]name[1]" -> (Some 2, "name", Some 1); ports optional. *)
+let parse_endpoint s =
+  let s = String.trim s in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let take_port s =
+    (* s starts with '['; returns (port, rest-after-']'). *)
+    match String.index_opt s ']' with
+    | None -> err "missing ']' in %S" s
+    | Some i -> (
+        match int_of_string_opt (String.trim (String.sub s 1 (i - 1))) with
+        | Some p when p >= 0 ->
+          Ok (p, String.sub s (i + 1) (String.length s - i - 1))
+        | _ -> err "bad port number in %S" s)
+  in
+  let inp, rest =
+    if String.length s > 0 && s.[0] = '[' then
+      match take_port s with
+      | Ok (p, rest) -> (Ok (Some p), rest)
+      | Error e -> (Error e, s)
+    else (Ok None, s)
+  in
+  match inp with
+  | Error e -> Error e
+  | Ok inp -> (
+      let rest = String.trim rest in
+      match String.index_opt rest '[' with
+      | None ->
+        if is_ident rest then Ok (inp, rest, None)
+        else err "bad element name %S" rest
+      | Some i -> (
+          let name = String.trim (String.sub rest 0 i) in
+          let tail = String.sub rest i (String.length rest - i) in
+          if not (is_ident name) then err "bad element name %S" name
+          else
+            match take_port tail with
+            | Error e -> Error e
+            | Ok (p, after) ->
+              if String.trim after <> "" then
+                err "trailing junk after %S" name
+              else Ok (inp, name, Some p)))
+
+let parse_args rhs =
+  (* "Class(a, b)" or "Class" -> (klass, args) *)
+  let rhs = String.trim rhs in
+  match String.index_opt rhs '(' with
+  | None ->
+    if is_ident rhs then Ok (rhs, [])
+    else Error (Printf.sprintf "bad class name %S" rhs)
+  | Some i ->
+    let klass = String.trim (String.sub rhs 0 i) in
+    if not (is_ident klass) then
+      Error (Printf.sprintf "bad class name %S" klass)
+    else if rhs.[String.length rhs - 1] <> ')' then
+      Error (Printf.sprintf "missing ')' in %S" rhs)
+    else
+      let inner = String.sub rhs (i + 1) (String.length rhs - i - 2) in
+      let args =
+        if String.trim inner = "" then []
+        else List.map String.trim (String.split_on_char ',' inner)
+      in
+      if List.exists (fun a -> a = "") args then
+        Error (Printf.sprintf "empty argument in %S" rhs)
+      else Ok (klass, args)
+
+(* Split a line on "->" arrows. *)
+let split_arrows line =
+  let parts = ref [] in
+  let buf = Buffer.create 32 in
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && line.[!i] = '-' && line.[!i + 1] = '>' then begin
+      parts := Buffer.contents buf :: !parts;
+      Buffer.clear buf;
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf line.[!i];
+      incr i
+    end
+  done;
+  parts := Buffer.contents buf :: !parts;
+  List.rev !parts
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let parse_raw text =
+  let decls = ref [] and edges = ref [] in
+  let error = ref None in
+  let fail lineno fmt =
+    Printf.ksprintf
+      (fun m ->
+         if !error = None then error := Some (Printf.sprintf "line %d: %s" lineno m))
+      fmt
+  in
+  List.iteri
+    (fun idx line ->
+       let lineno = idx + 1 in
+       let line = String.trim (strip_comment line) in
+       if line <> "" && !error = None then
+         if contains_sub line "::" then begin
+           match String.index_opt line ':' with
+           | Some i
+             when i + 1 < String.length line && line.[i + 1] = ':' ->
+             let name = String.trim (String.sub line 0 i) in
+             let rhs =
+               String.sub line (i + 2) (String.length line - i - 2)
+             in
+             if not (is_ident name) then
+               fail lineno "bad element name %S" name
+             else (
+               match parse_args rhs with
+               | Error e -> fail lineno "%s" e
+               | Ok (klass, args) ->
+                 decls := { d_name = name; d_klass = klass; d_args = args }
+                          :: !decls)
+           | _ -> fail lineno "malformed declaration %S" line
+         end
+         else if contains_sub line "->" then begin
+           let parts = split_arrows line in
+           match
+             List.fold_left
+               (fun acc part ->
+                  match acc with
+                  | Error _ -> acc
+                  | Ok eps -> (
+                      match parse_endpoint part with
+                      | Ok ep -> Ok (ep :: eps)
+                      | Error e -> Error e))
+               (Ok []) parts
+           with
+           | Error e -> fail lineno "%s" e
+           | Ok eps -> (
+               match List.rev eps with
+               | [] | [ _ ] -> fail lineno "dangling '->'"
+               | first :: rest ->
+                 let (_, _, _) = first in
+                 ignore
+                   (List.fold_left
+                      (fun (_, sname, sport) (dport_opt, dname, dport_out) ->
+                         edges :=
+                           { e_src = sname;
+                             e_sport =
+                               (match sport with Some p -> p | None -> 0);
+                             e_dst = dname;
+                             e_dport =
+                               (match dport_opt with Some p -> p | None -> 0) }
+                           :: !edges;
+                         (dport_opt, dname, dport_out))
+                      first rest))
+         end
+         else fail lineno "expected a declaration ('::') or a connection ('->')")
+    (String.split_on_char '\n' text);
+  match !error with
+  | Some e -> Error e
+  | None -> Ok { sp_decls = List.rev !decls; sp_edges = List.rev !edges }
+
+(* Structural validation; returns per-declaration resolved port counts
+   in declaration order. *)
+let resolve spec =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let* () = if spec.sp_decls = [] then err "empty graph" else Ok () in
+  (* Unique names, known classes, valid arguments. *)
+  let tbl = Hashtbl.create 16 in
+  let* () =
+    List.fold_left
+      (fun acc d ->
+         let* () = acc in
+         if Hashtbl.mem tbl d.d_name then
+           err "element %s declared twice" d.d_name
+         else
+           match Hashtbl.find_opt classes d.d_klass with
+           | None -> err "%s: unknown element class %s" d.d_name d.d_klass
+           | Some ci -> (
+               match ci.ci_check d.d_args with
+               | Error e -> err "%s :: %s: %s" d.d_name d.d_klass e
+               | Ok () ->
+                 Hashtbl.replace tbl d.d_name (d, ci);
+                 Ok ()))
+      (Ok ()) spec.sp_decls
+  in
+  (* Edge endpoints exist. *)
+  let* () =
+    List.fold_left
+      (fun acc e ->
+         let* () = acc in
+         let check n =
+           if Hashtbl.mem tbl n then Ok ()
+           else err "connection references undeclared element %s" n
+         in
+         let* () = check e.e_src in
+         check e.e_dst)
+      (Ok ()) spec.sp_edges
+  in
+  (* Push/pull discipline. *)
+  let klass_of n = (fst (Hashtbl.find tbl n)).d_klass in
+  let* () =
+    List.fold_left
+      (fun acc e ->
+         let* () = acc in
+         let sk = klass_of e.e_src and dk = klass_of e.e_dst in
+         if sk = "Queue" && dk <> "Scheduler" then
+           err
+             "%s -> %s: a Queue's output is pull-driven and must feed a \
+              Scheduler input"
+             e.e_src e.e_dst
+         else if dk = "Scheduler" && sk <> "Queue" then
+           err
+             "%s -> %s: a Scheduler pulls its inputs and accepts only Queue \
+              outputs"
+             e.e_src e.e_dst
+         else Ok ())
+      (Ok ()) spec.sp_edges
+  in
+  (* Resolve port counts and check every port is properly connected. *)
+  let resolve_decl d =
+    let _, ci = Hashtbl.find tbl d.d_name in
+    let sports =
+      List.filter_map
+        (fun e -> if e.e_src = d.d_name then Some e.e_sport else None)
+        spec.sp_edges
+    in
+    let dports =
+      List.filter_map
+        (fun e -> if e.e_dst = d.d_name then Some e.e_dport else None)
+        spec.sp_edges
+    in
+    let max_port = List.fold_left max (-1) in
+    (* Outputs: each port exactly once. *)
+    let* n_out =
+      let m = max_port sports in
+      let* n =
+        match ci.ci_out d.d_args with
+        | Exact n ->
+          if m >= n then
+            err "%s has no output port %d (%s has %d)" d.d_name m d.d_klass n
+          else Ok n
+        | Range (lo, hi) ->
+          if m >= hi then
+            err "%s has no output port %d (%s has at most %d)" d.d_name m
+              d.d_klass hi
+          else Ok (max lo (m + 1))
+      in
+      let* () =
+        List.fold_left
+          (fun acc p ->
+             let* () = acc in
+             match List.length (List.filter (( = ) p) sports) with
+             | 1 -> Ok ()
+             | k -> err "output port %s[%d] connected %d times" d.d_name p k)
+          (Ok ())
+          (List.init n (fun i -> i))
+      in
+      Ok n
+    in
+    (* Inputs: each port connected; Scheduler inputs exactly once. *)
+    let* n_in =
+      let m = max_port dports in
+      let* n =
+        match ci.ci_in with
+        | Exact n ->
+          if m >= n then
+            if n = 0 then err "%s (%s) takes no input" d.d_name d.d_klass
+            else err "%s has no input port %d (%s has %d)" d.d_name m
+                d.d_klass n
+          else Ok n
+        | Range (lo, hi) ->
+          if m >= hi then
+            err "%s has no input port %d (%s has at most %d)" d.d_name m
+              d.d_klass hi
+          else Ok (max lo (m + 1))
+      in
+      let* () =
+        List.fold_left
+          (fun acc p ->
+             let* () = acc in
+             let k = List.length (List.filter (( = ) p) dports) in
+             if k = 0 then err "input port %s[%d] is unconnected" d.d_name p
+             else if k > 1 && d.d_klass = "Scheduler" then
+               err "Scheduler input %s[%d] has %d upstream Queues (want 1)"
+                 d.d_name p k
+             else Ok ())
+          (Ok ())
+          (List.init n (fun i -> i))
+      in
+      Ok n
+    in
+    Ok (d, n_in, n_out)
+  in
+  let* resolved =
+    List.fold_left
+      (fun acc d ->
+         let* l = acc in
+         let* r = resolve_decl d in
+         Ok (r :: l))
+      (Ok []) spec.sp_decls
+  in
+  let resolved = List.rev resolved in
+  (* Cycle check: every cycle must pass through a Queue (whose output
+     breaks the synchronous push chain). *)
+  let* () =
+    let adj = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+         if klass_of e.e_src <> "Queue" then
+           Hashtbl.replace adj e.e_src
+             (e.e_dst :: (Option.value ~default:[] (Hashtbl.find_opt adj e.e_src))))
+      spec.sp_edges;
+    let color = Hashtbl.create 16 in
+    (* 1 = in progress, 2 = done *)
+    let rec dfs path n =
+      match Hashtbl.find_opt color n with
+      | Some 2 -> Ok ()
+      | Some _ ->
+        let cycle =
+          let rec take = function
+            | [] -> []
+            | x :: tl -> if x = n then [ x ] else x :: take tl
+          in
+          List.rev (n :: take path)
+        in
+        err "cycle without an intervening Queue: %s"
+          (String.concat " -> " cycle)
+      | None ->
+        Hashtbl.replace color n 1;
+        let* () =
+          List.fold_left
+            (fun acc d ->
+               let* () = acc in
+               dfs (n :: path) d)
+            (Ok ())
+            (Option.value ~default:[] (Hashtbl.find_opt adj n))
+        in
+        Hashtbl.replace color n 2;
+        Ok ()
+    in
+    List.fold_left
+      (fun acc d ->
+         let* () = acc in
+         dfs [] d.d_name)
+      (Ok ()) spec.sp_decls
+  in
+  Ok resolved
+
+let parse text =
+  match parse_raw text with
+  | Error e -> Error e
+  | Ok spec -> (
+      match resolve spec with Error e -> Error e | Ok _ -> Ok spec)
+
+let print spec =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun d ->
+       Buffer.add_string b d.d_name;
+       Buffer.add_string b " :: ";
+       Buffer.add_string b d.d_klass;
+       if d.d_args <> [] then begin
+         Buffer.add_char b '(';
+         Buffer.add_string b (String.concat ", " d.d_args);
+         Buffer.add_char b ')'
+       end;
+       Buffer.add_char b '\n')
+    spec.sp_decls;
+  if spec.sp_edges <> [] then Buffer.add_char b '\n';
+  let order = Hashtbl.create 16 in
+  List.iteri (fun i d -> Hashtbl.replace order d.d_name i) spec.sp_decls;
+  let idx n = Option.value ~default:max_int (Hashtbl.find_opt order n) in
+  let edges =
+    List.sort
+      (fun a b ->
+         match compare (idx a.e_src) (idx b.e_src) with
+         | 0 -> compare a.e_sport b.e_sport
+         | c -> c)
+      spec.sp_edges
+  in
+  List.iter
+    (fun e ->
+       Buffer.add_string b e.e_src;
+       if e.e_sport <> 0 then
+         Buffer.add_string b (Printf.sprintf "[%d]" e.e_sport);
+       Buffer.add_string b " -> ";
+       if e.e_dport <> 0 then
+         Buffer.add_string b (Printf.sprintf "[%d]" e.e_dport);
+       Buffer.add_string b e.e_dst;
+       Buffer.add_char b '\n')
+    edges;
+  Buffer.contents b
+
+let sanitize_ident s =
+  let s =
+    String.map
+      (fun c ->
+         if
+           (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+           || (c >= '0' && c <= '9') || c = '_'
+         then c
+         else '_')
+      s
+  in
+  if s = "" then "if_" else s
+
+let default_config ~ifaces =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "# default IPv4 forwarding path\n";
+  List.iter
+    (fun i ->
+       Buffer.add_string b
+         (Printf.sprintf "from_%s :: FromNetsim(%s)\n" (sanitize_ident i) i))
+    ifaces;
+  Buffer.add_string b
+    "cls :: Classify(-)\n\
+     chk :: CheckHeader\n\
+     lpm :: LpmLookup\n\
+     ttl :: DecTtl\n\
+     q :: Queue(512)\n\
+     sched :: Scheduler(8)\n\
+     out :: ToNetsim\n\n";
+  List.iter
+    (fun i ->
+       Buffer.add_string b
+         (Printf.sprintf "from_%s -> cls\n" (sanitize_ident i)))
+    ifaces;
+  Buffer.add_string b
+    "cls -> chk -> lpm -> ttl -> q -> sched -> out\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Runtime                                                            *)
+
+type counters = {
+  mutable c_rx : int;
+  mutable c_tx : int;
+  mutable c_drops : (string * (int ref * Telemetry.counter)) list;
+}
+
+type element = {
+  el_name : string;
+  el_klass : string;
+  el_args : string list;
+  el_n_in : int;
+  el_n_out : int;
+  el_kind : kind;
+  el_gen : int;
+  el_out : (element * int) option array;      (* length n_out *)
+  el_pull : element option array;             (* Scheduler: upstream Queues *)
+  el_c : counters;
+  el_rx_m : Telemetry.counter;
+  el_tx_m : Telemetry.counter;
+}
+
+and kind =
+  | K_map of (Packet.t -> action)
+  | K_tee
+  | K_queue of queue_state
+  | K_sched of sched_state
+  | K_from of string
+  | K_to_net
+
+and queue_state = { q_cap : int; q_buf : Packet.t Queue.t }
+and sched_state = { s_burst : int; mutable s_next : int; mutable s_armed : bool }
+
+type t = {
+  loop : Eventloop.t;
+  lookup : Ipv4.t -> lookup_result option;
+  tx : ifname:string -> dst:Ipv4.t -> string -> unit;
+  ifaces : string list;
+  mutable elements : element list;
+  by_name : (string, element) Hashtbl.t;
+  mutable sources : (string * element) list;  (* ifname -> FromNetsim *)
+  mutable hook : (Packet.t -> [ `Forward | `Absorb ]) option;
+  mutable gen : int;
+  mutable dead : bool;
+  mutable rx_bad : int;
+  mutable rx_no_source : int;
+}
+
+let create ~loop ~lookup ~tx ~ifaces () =
+  { loop; lookup; tx; ifaces; elements = []; by_name = Hashtbl.create 16;
+    sources = []; hook = None; gen = 0; dead = false; rx_bad = 0;
+    rx_no_source = 0 }
+
+let drop el reason =
+  let cell, metric =
+    match List.assoc_opt reason el.el_c.c_drops with
+    | Some pair -> pair
+    | None ->
+      let pair =
+        ( ref 0,
+          Telemetry.counter
+            (telemetry_prefix ^ el.el_name ^ ".drop." ^ reason) )
+      in
+      el.el_c.c_drops <- (reason, pair) :: el.el_c.c_drops;
+      pair
+  in
+  incr cell;
+  Telemetry.incr metric
+
+let count_rx el =
+  el.el_c.c_rx <- el.el_c.c_rx + 1;
+  Telemetry.incr el.el_rx_m
+
+let count_tx el =
+  el.el_c.c_tx <- el.el_c.c_tx + 1;
+  Telemetry.incr el.el_tx_m
+
+let rec push t el pkt =
+  count_rx el;
+  match el.el_kind with
+  | K_map f -> (
+      match f pkt with
+      | Emit p when p >= 0 && p < el.el_n_out -> emit t el p pkt
+      | Emit _ -> drop el "bad-port"
+      | Kill reason -> drop el reason)
+  | K_tee ->
+    for p = el.el_n_out - 1 downto 1 do
+      emit t el p (Packet.copy pkt)
+    done;
+    emit t el 0 pkt
+  | K_queue q ->
+    if Queue.length q.q_buf >= q.q_cap then drop el "overflow"
+    else begin
+      Queue.push pkt q.q_buf;
+      match el.el_out.(0) with
+      | Some (sched, _) -> arm t sched
+      | None -> ()
+    end
+  | K_sched _ -> drop el "push-into-scheduler"
+  | K_from _ -> emit t el 0 pkt
+  | K_to_net ->
+    let forward =
+      match t.hook with
+      | None -> true
+      | Some h -> ( match h pkt with `Forward -> true | `Absorb -> false)
+    in
+    if forward then
+      if Ipv4.equal pkt.Packet.nexthop Ipv4.zero then drop el "no-nexthop"
+      else begin
+        t.tx ~ifname:pkt.Packet.out_ifname ~dst:pkt.Packet.nexthop
+          (Packet.to_wire pkt);
+        count_tx el
+      end
+    else count_tx el
+
+and emit t el port pkt =
+  count_tx el;
+  match el.el_out.(port) with
+  | Some (dst, _) -> push t dst pkt
+  | None -> ()
+
+and arm t el =
+  match el.el_kind with
+  | K_sched s ->
+    if (not s.s_armed) && not t.dead then begin
+      s.s_armed <- true;
+      Eventloop.defer t.loop (fun () -> run_sched t el)
+    end
+  | _ -> ()
+
+and run_sched t el =
+  match el.el_kind with
+  | K_sched s ->
+    s.s_armed <- false;
+    (* A graph replaced while this event was in flight must not keep
+       transmitting through its stale wiring. *)
+    if (not t.dead) && el.el_gen = t.gen then begin
+      let n = el.el_n_in in
+      let pull_one () =
+        let found = ref None in
+        let tries = ref 0 in
+        while !found = None && !tries < n do
+          let i = s.s_next in
+          s.s_next <- (s.s_next + 1) mod n;
+          incr tries;
+          match el.el_pull.(i) with
+          | Some ({ el_kind = K_queue q; _ } as q_el)
+            when not (Queue.is_empty q.q_buf) ->
+            count_tx q_el;
+            found := Some (Queue.pop q.q_buf)
+          | _ -> ()
+        done;
+        !found
+      in
+      let budget = ref s.s_burst in
+      let exhausted = ref false in
+      while (not !exhausted) && !budget > 0 do
+        match pull_one () with
+        | Some pkt ->
+          decr budget;
+          count_rx el;
+          emit t el 0 pkt
+        | None -> exhausted := true
+      done;
+      let backlog =
+        Array.exists
+          (function
+            | Some { el_kind = K_queue q; _ } -> not (Queue.is_empty q.q_buf)
+            | _ -> false)
+          el.el_pull
+      in
+      if backlog then arm t el
+    end
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Instantiation                                                      *)
+
+let make_element t ~gen ~name ~klass ~args ~n_in ~n_out ci =
+  let kind =
+    match ci.ci_impl with
+    | I_map mk -> K_map (mk ~lookup:t.lookup ~args ~n_out)
+    | I_from -> K_from (List.hd args)
+    | I_to_net -> K_to_net
+    | I_queue ->
+      K_queue { q_cap = int_of_string (List.hd args); q_buf = Queue.create () }
+    | I_sched ->
+      K_sched
+        { s_burst = int_of_string (List.hd args); s_next = 0; s_armed = false }
+    | I_tee -> K_tee
+  in
+  { el_name = name; el_klass = klass; el_args = args; el_n_in = n_in;
+    el_n_out = n_out; el_kind = kind; el_gen = gen;
+    el_out = Array.make (max n_out 1) None;
+    el_pull = Array.make (max n_in 1) None;
+    el_c = { c_rx = 0; c_tx = 0; c_drops = [] };
+    el_rx_m = Telemetry.counter (telemetry_prefix ^ name ^ ".rx");
+    el_tx_m = Telemetry.counter (telemetry_prefix ^ name ^ ".tx") }
+
+let install t spec =
+  match resolve spec with
+  | Error e -> Error e
+  | Ok resolved -> (
+      (* Environment checks before touching the running graph. *)
+      let sources_err =
+        let seen = Hashtbl.create 4 in
+        List.fold_left
+          (fun acc (d, _, _) ->
+             match acc with
+             | Error _ -> acc
+             | Ok () ->
+               if d.d_klass <> "FromNetsim" then Ok ()
+               else
+                 let ifname = List.hd d.d_args in
+                 if not (List.mem ifname t.ifaces) then
+                   Error
+                     (Printf.sprintf "%s :: FromNetsim(%s): no such interface"
+                        d.d_name ifname)
+                 else if Hashtbl.mem seen ifname then
+                   Error
+                     (Printf.sprintf "two FromNetsim elements claim %s" ifname)
+                 else begin
+                   Hashtbl.replace seen ifname ();
+                   Ok ()
+                 end)
+          (Ok ()) resolved
+      in
+      match sources_err with
+      | Error e -> Error e
+      | Ok () ->
+        let gen = t.gen + 1 in
+        t.gen <- gen;
+        (* A new forwarding-path generation starts its metric namespace
+           from zero, like a component restart does for "fea.". *)
+        Telemetry.reset_prefix telemetry_prefix;
+        Hashtbl.reset t.by_name;
+        let elements =
+          List.map
+            (fun (d, n_in, n_out) ->
+               let ci = Hashtbl.find classes d.d_klass in
+               let el =
+                 make_element t ~gen ~name:d.d_name ~klass:d.d_klass
+                   ~args:d.d_args ~n_in ~n_out ci
+               in
+               Hashtbl.replace t.by_name d.d_name el;
+               el)
+            resolved
+        in
+        List.iter
+          (fun e ->
+             let s = Hashtbl.find t.by_name e.e_src in
+             let d = Hashtbl.find t.by_name e.e_dst in
+             s.el_out.(e.e_sport) <- Some (d, e.e_dport);
+             match d.el_kind with
+             | K_sched _ -> d.el_pull.(e.e_dport) <- Some s
+             | _ -> ())
+          spec.sp_edges;
+        t.elements <- elements;
+        t.sources <-
+          List.filter_map
+            (fun el ->
+               match el.el_kind with
+               | K_from ifname -> Some (ifname, el)
+               | _ -> None)
+            elements;
+        Log.info (fun m ->
+            m "installed element graph: %d elements, %d edges"
+              (List.length elements)
+              (List.length spec.sp_edges));
+        Ok ())
+
+let install_config t text =
+  match parse text with Error e -> Error e | Ok spec -> install t spec
+
+let current_spec t =
+  let decls =
+    List.map
+      (fun el ->
+         { d_name = el.el_name; d_klass = el.el_klass; d_args = el.el_args })
+      t.elements
+  in
+  let edges =
+    List.concat_map
+      (fun el ->
+         List.filter_map
+           (fun p ->
+              match el.el_out.(p) with
+              | Some (d, dport) ->
+                Some
+                  { e_src = el.el_name; e_sport = p; e_dst = d.el_name;
+                    e_dport = dport }
+              | None -> None)
+           (List.init el.el_n_out (fun i -> i)))
+      t.elements
+  in
+  { sp_decls = decls; sp_edges = edges }
+
+let config t = if t.elements = [] then "" else print (current_spec t)
+let element_count t = List.length t.elements
+
+let rx t ~ifname payload =
+  if not t.dead then
+    match Packet.of_wire payload with
+    | Error _ ->
+      t.rx_bad <- t.rx_bad + 1;
+      Telemetry.incr (Telemetry.counter (telemetry_prefix ^ "rx.bad-packet"))
+    | Ok pkt -> (
+        pkt.Packet.in_ifname <- ifname;
+        match List.assoc_opt ifname t.sources with
+        | Some el -> push t el pkt
+        | None ->
+          t.rx_no_source <- t.rx_no_source + 1;
+          Telemetry.incr
+            (Telemetry.counter (telemetry_prefix ^ "rx.no-source")))
+
+let inject t ~ifname pkt =
+  if t.dead then Error "data plane is shut down"
+  else
+    match List.assoc_opt ifname t.sources with
+    | None -> Error (Printf.sprintf "no FromNetsim element on %s" ifname)
+    | Some el ->
+      pkt.Packet.in_ifname <- ifname;
+      push t el pkt;
+      Ok ()
+
+let set_tx_hook t hook = t.hook <- hook
+
+let shutdown t = t.dead <- true
+
+(* ------------------------------------------------------------------ *)
+(* Runtime reconfiguration                                            *)
+
+let insert_element t ~name ~klass ~args ~after ~port =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let* () = if t.elements = [] then err "no graph installed" else Ok () in
+  let* () =
+    if not (is_ident name) then err "bad element name %S" name
+    else if Hashtbl.mem t.by_name name then
+      err "element %s already exists" name
+    else Ok ()
+  in
+  let* ci =
+    match Hashtbl.find_opt classes klass with
+    | None -> err "unknown element class %s" klass
+    | Some ci -> Ok ci
+  in
+  let* () =
+    match ci.ci_check args with
+    | Error e -> err "%s :: %s: %s" name klass e
+    | Ok () -> Ok ()
+  in
+  let* () =
+    let in_ok = match ci.ci_in with Exact 1 -> true | _ -> false in
+    let out_ok =
+      match ci.ci_out args with
+      | Exact 1 -> true
+      | Range (lo, hi) -> lo <= 1 && 1 <= hi
+      | Exact _ -> false
+    in
+    if in_ok && out_ok then Ok ()
+    else err "%s is not a one-input one-output class" klass
+  in
+  let* up =
+    match Hashtbl.find_opt t.by_name after with
+    | None -> err "no element %s in the running graph" after
+    | Some up -> Ok up
+  in
+  let* () =
+    match up.el_kind with
+    | K_queue _ ->
+      err
+        "cannot insert on the pull edge between Queue %s and its Scheduler"
+        after
+    | _ -> Ok ()
+  in
+  let* dst, dport =
+    if port < 0 || port >= up.el_n_out then
+      err "%s has no output port %d" after port
+    else
+      match up.el_out.(port) with
+      | None -> err "output %s[%d] is not connected" after port
+      | Some x -> Ok x
+  in
+  let el =
+    make_element t ~gen:t.gen ~name ~klass ~args ~n_in:1 ~n_out:1 ci
+  in
+  el.el_out.(0) <- Some (dst, dport);
+  up.el_out.(port) <- Some (el, 0);
+  Hashtbl.replace t.by_name name el;
+  (* Keep declaration order topological-ish: right after the upstream. *)
+  t.elements <-
+    List.concat_map
+      (fun e -> if e == up then [ e; el ] else [ e ])
+      t.elements;
+  Log.info (fun m ->
+      m "inserted %s :: %s after %s[%d]" name klass after port);
+  Ok ()
+
+let remove_element t ~name =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let* el =
+    match Hashtbl.find_opt t.by_name name with
+    | None -> err "no element %s in the running graph" name
+    | Some el -> Ok el
+  in
+  let* () =
+    match el.el_kind with
+    | K_queue _ | K_sched _ ->
+      err "%s defines the push/pull boundary and cannot be spliced out" name
+    | _ ->
+      if el.el_n_in = 1 && el.el_n_out = 1 then Ok ()
+      else err "%s is not a one-input one-output element" name
+  in
+  let downstream = el.el_out.(0) in
+  List.iter
+    (fun up ->
+       Array.iteri
+         (fun p o ->
+            match o with
+            | Some (d, _) when d == el -> up.el_out.(p) <- downstream
+            | _ -> ())
+         up.el_out)
+    t.elements;
+  Hashtbl.remove t.by_name name;
+  t.elements <- List.filter (fun e -> not (e == el)) t.elements;
+  Log.info (fun m -> m "removed element %s" name);
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                      *)
+
+type stats = {
+  st_name : string;
+  st_klass : string;
+  st_args : string list;
+  st_rx : int;
+  st_tx : int;
+  st_drops : (string * int) list;
+}
+
+let stats t =
+  List.map
+    (fun el ->
+       { st_name = el.el_name; st_klass = el.el_klass; st_args = el.el_args;
+         st_rx = el.el_c.c_rx; st_tx = el.el_c.c_tx;
+         st_drops =
+           List.sort compare
+             (List.map
+                (fun (r, (cell, _)) -> (r, !cell))
+                el.el_c.c_drops) })
+    t.elements
+
+let render t =
+  if t.elements = [] then "no element graph installed\n"
+  else begin
+    let b = Buffer.create 512 in
+    Buffer.add_string b (config t);
+    Buffer.add_char b '\n';
+    Buffer.add_string b
+      (Printf.sprintf "%-16s %-14s %10s %10s  %s\n" "ELEMENT" "CLASS" "RX"
+         "TX" "DROPS");
+    List.iter
+      (fun s ->
+         let drops =
+           if s.st_drops = [] then "-"
+           else
+             String.concat ", "
+               (List.map
+                  (fun (r, n) -> Printf.sprintf "%s=%d" r n)
+                  s.st_drops)
+         in
+         Buffer.add_string b
+           (Printf.sprintf "%-16s %-14s %10d %10d  %s\n" s.st_name
+              s.st_klass s.st_rx s.st_tx drops))
+      (stats t);
+    if t.rx_bad > 0 || t.rx_no_source > 0 then
+      Buffer.add_string b
+        (Printf.sprintf "ingress: %d bad packets, %d with no source element\n"
+           t.rx_bad t.rx_no_source);
+    Buffer.contents b
+  end

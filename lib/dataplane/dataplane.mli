@@ -1,0 +1,182 @@
+(** A Click-style composable data plane: the forwarding path is a
+    directed graph of small packet-processing {e elements} connected by
+    ports, assembled from a line-oriented textual configuration — the
+    paper's extensibility argument (§5) taken below the control plane.
+
+    {b Push and pull.} Most connections are {e push}: an upstream
+    element processes a packet and hands it straight downstream in the
+    same call stack. A [Queue] converts push to pull: packets pushed
+    into it wait until the downstream [Scheduler] — the only element
+    with pull inputs — drains them in round-robin bursts from a
+    deferred event, which is what decouples ingress from egress. The
+    grammar enforces the discipline: a Queue's output may only feed a
+    Scheduler input, and every cycle must pass through a Queue.
+
+    {b Element catalogue} (see docs/DATAPLANE.md for details):
+    [FromNetsim(ifname)], [Classify(p1, p2, ...)], [CheckHeader],
+    [LpmLookup], [DecTtl], [Queue(cap)], [Scheduler(burst)],
+    [ToNetsim], [Drop(reason)], [Count], [Tee(n)] — plus any class
+    added at runtime with {!register_map_class}.
+
+    {b Counters.} Every element keeps local rx/tx/per-reason-drop
+    counts (reported by {!stats}) and mirrors them into the global
+    telemetry registry under [dataplane.<element>.*], which is what
+    [xorp_top] and [show dataplane] render. *)
+
+type t
+
+(** {1 Configuration grammar}
+
+    Line-oriented, Click-like. [#] starts a comment. A declaration is
+    [name :: Class(arg, arg)] (parentheses optional when there are no
+    arguments); a connection is [a -> b], with explicit ports written
+    [a\[1\] -> \[0\]b] and port 0 implied when omitted. Chains
+    ([a -> b -> c]) expand to pairwise edges. {!parse} validates the
+    whole graph — every port connected, push/pull discipline, no
+    queueless cycle — so an installed graph cannot misroute a packet
+    into a missing port. *)
+
+type spec
+(** A parsed, validated graph description (no live state). *)
+
+val parse : string -> (spec, string) result
+(** Parse and validate. The error names the offending element, port,
+    or line. *)
+
+val print : spec -> string
+(** Canonical rendering: declarations in order, then one edge per
+    line. [parse] of the result yields an equal spec, and printing is
+    a fixed point ([print (parse (print s)) = print s]). *)
+
+val default_config : ifaces:string list -> string
+(** The standard IPv4 path over the given interfaces: per-interface
+    [FromNetsim] fanning into
+    [Classify(-) -> CheckHeader -> LpmLookup -> DecTtl -> Queue(512)
+    -> Scheduler(8) -> ToNetsim]. *)
+
+(** {1 Lifecycle} *)
+
+type lookup_result = {
+  lr_nexthop : Ipv4.t;
+  lr_ifname : string;
+  lr_connected : bool;
+      (** destination is on-link: forward to the packet's own
+          destination address rather than [lr_nexthop] *)
+}
+
+val create :
+  loop:Eventloop.t ->
+  lookup:(Ipv4.t -> lookup_result option) ->
+  tx:(ifname:string -> dst:Ipv4.t -> string -> unit) ->
+  ifaces:string list ->
+  unit -> t
+(** An empty data plane bound to its environment: [lookup] is the
+    forwarding-table decision ([LpmLookup] calls it), [tx] transmits a
+    wire-form packet out of an interface ([ToNetsim] calls it), and
+    [ifaces] names the interfaces [FromNetsim] may bind to. No graph
+    is installed yet; packets arriving via {!rx} are counted and
+    dropped until {!install} succeeds. *)
+
+val install : t -> spec -> (unit, string) result
+(** Replace the running graph wholesale. Packets queued in the old
+    graph are discarded and all [dataplane.*] telemetry is zeroed (a
+    new forwarding-path generation). Fails — leaving the old graph
+    running — if a [FromNetsim] names an unknown interface or two
+    claim the same one. *)
+
+val install_config : t -> string -> (unit, string) result
+(** [parse] + {!install}. *)
+
+val config : t -> string
+(** Canonical configuration of the {e running} graph (reflects runtime
+    inserts/removals); [""] when no graph is installed. *)
+
+val element_count : t -> int
+
+val shutdown : t -> unit
+(** Stop processing: subsequent {!rx}/{!inject} are ignored and armed
+    schedulers do nothing when their deferred event fires. *)
+
+(** {1 Packet flow} *)
+
+val rx : t -> ifname:string -> string -> unit
+(** A wire-form packet arrived on [ifname]: decode it and push it into
+    that interface's [FromNetsim] element. Malformed packets and
+    packets for an interface with no [FromNetsim] are counted
+    ([dataplane.rx.bad-packet], [dataplane.rx.no-source]) and dropped. *)
+
+val inject : t -> ifname:string -> Packet.t -> (unit, string) result
+(** Push an already-decoded packet into [ifname]'s [FromNetsim]
+    (tests and the simtest invariant probe). *)
+
+val set_tx_hook : t -> (Packet.t -> [ `Forward | `Absorb ]) option -> unit
+(** Observation tap on [ToNetsim]: the hook sees every packet about to
+    leave the graph and decides whether it is also transmitted
+    ([`Forward]) or swallowed ([`Absorb] — used by probes that must
+    not disturb the simulated network). *)
+
+(** {1 Runtime reconfiguration (§5: dynamic stages)}
+
+    Both operations rewire the running graph between packets — the
+    event loop is single-threaded, so a splice is atomic with respect
+    to packet processing and queued packets are preserved. *)
+
+val insert_element :
+  t -> name:string -> klass:string -> args:string list ->
+  after:string -> port:int -> (unit, string) result
+(** Splice a new one-in/one-out element into the edge leaving
+    [after]'s output [port]. Fails on the pull edge between a [Queue]
+    and its [Scheduler] (a push element cannot live there). *)
+
+val remove_element : t -> name:string -> (unit, string) result
+(** Splice a one-in/one-out element out, reconnecting its upstreams to
+    its downstream. [Queue] and [Scheduler] elements cannot be removed
+    this way (they define the push/pull boundary). *)
+
+(** {1 Introspection} *)
+
+type stats = {
+  st_name : string;
+  st_klass : string;
+  st_args : string list;
+  st_rx : int;                     (** packets entering the element *)
+  st_tx : int;                     (** packets leaving on any port *)
+  st_drops : (string * int) list;  (** per-reason drop counts *)
+}
+
+val stats : t -> stats list
+(** Per-element counters, in graph declaration order. These are local
+    to this instance (unlike the telemetry mirror, which is global to
+    the process). *)
+
+val render : t -> string
+(** Operator-facing text: the configuration followed by a counter
+    table ([xorpsh]'s [show dataplane]). *)
+
+(** {1 Extending the element catalogue}
+
+    New packet-processing logic plugs in without touching this module
+    — the data-plane analogue of the paper's claim that new protocols
+    plug in without touching the core. *)
+
+type action =
+  | Emit of int     (** send the packet on this output port *)
+  | Kill of string  (** drop it, counted under this reason *)
+
+val register_map_class :
+  ?n_out:int * int ->
+  string ->
+  check:(string list -> (unit, string) result) ->
+  make:(args:string list -> n_out:int -> (Packet.t -> action)) ->
+  unit
+(** Register a one-input element class available to every subsequent
+    {!parse}/{!install}/{!insert_element}. [n_out] is the allowed
+    range of output-port counts (default [(1, 1)]); the actual count
+    is determined by the connections in the graph. [check] validates
+    the configuration arguments at parse time; [make] builds the
+    per-packet function for one instance. Re-registering a name
+    replaces the class; built-in classes cannot be replaced. *)
+
+val telemetry_prefix : string
+(** ["dataplane."] — the metric namespace all element counters live
+    under. *)

@@ -1,0 +1,64 @@
+type t = {
+  src : Ipv4.t;
+  dst : Ipv4.t;
+  mutable ttl : int;
+  proto : int;
+  payload : string;
+  mutable in_ifname : string;
+  mutable out_ifname : string;
+  mutable nexthop : Ipv4.t;
+}
+
+let make ?(ttl = 64) ?(proto = 0) ?(payload = "") ~src ~dst () =
+  if ttl < 0 || ttl > 255 then invalid_arg "Packet.make: ttl";
+  if proto < 0 || proto > 255 then invalid_arg "Packet.make: proto";
+  { src; dst; ttl; proto; payload; in_ifname = ""; out_ifname = "";
+    nexthop = Ipv4.zero }
+
+let copy t = { t with ttl = t.ttl }
+
+(* Wire form: magic "DP", ttl, proto, then src and dst as 4 bytes each
+   in network order; the payload follows verbatim. *)
+let header_len = 12
+
+let put_addr b a =
+  let o1, o2, o3, o4 = Ipv4.to_octets a in
+  Buffer.add_char b (Char.chr o1);
+  Buffer.add_char b (Char.chr o2);
+  Buffer.add_char b (Char.chr o3);
+  Buffer.add_char b (Char.chr o4)
+
+let to_wire t =
+  let b = Buffer.create (header_len + String.length t.payload) in
+  Buffer.add_string b "DP";
+  Buffer.add_char b (Char.chr (t.ttl land 0xff));
+  Buffer.add_char b (Char.chr (t.proto land 0xff));
+  put_addr b t.src;
+  put_addr b t.dst;
+  Buffer.add_string b t.payload;
+  Buffer.contents b
+
+let get_addr s off =
+  Ipv4.of_octets
+    (Char.code s.[off]) (Char.code s.[off + 1])
+    (Char.code s.[off + 2]) (Char.code s.[off + 3])
+
+let of_wire s =
+  if String.length s < header_len then
+    Error (Printf.sprintf "short packet: %d bytes" (String.length s))
+  else if not (s.[0] = 'D' && s.[1] = 'P') then Error "bad magic"
+  else
+    let ttl = Char.code s.[2] in
+    let proto = Char.code s.[3] in
+    let src = get_addr s 4 in
+    let dst = get_addr s 8 in
+    let payload = String.sub s header_len (String.length s - header_len) in
+    Ok (make ~ttl ~proto ~payload ~src ~dst ())
+
+let to_string t =
+  Printf.sprintf "%s -> %s ttl=%d proto=%d len=%d%s%s" (Ipv4.to_string t.src)
+    (Ipv4.to_string t.dst) t.ttl t.proto (String.length t.payload)
+    (if t.in_ifname = "" then "" else " in=" ^ t.in_ifname)
+    (if t.out_ifname = "" then ""
+     else
+       Printf.sprintf " out=%s via %s" t.out_ifname (Ipv4.to_string t.nexthop))

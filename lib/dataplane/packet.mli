@@ -1,0 +1,43 @@
+(** The packet that flows through the data-plane element graph.
+
+    A deliberately small IPv4-ish datagram: enough header to make the
+    forwarding decisions real (TTL, protocol, addresses), plus the
+    per-hop annotations a forwarding path computes (ingress interface,
+    egress interface, next hop). The annotations travel with the packet
+    between elements but are {e not} part of the wire form — exactly
+    like Click's packet annotations. *)
+
+type t = {
+  src : Ipv4.t;
+  dst : Ipv4.t;
+  mutable ttl : int;          (** 0..255; decremented by [DecTtl] *)
+  proto : int;                (** 0..255; matched by [Classify] *)
+  payload : string;
+  (* Annotations (not serialized): *)
+  mutable in_ifname : string;  (** set on ingress by the data plane *)
+  mutable out_ifname : string; (** set by [LpmLookup] *)
+  mutable nexthop : Ipv4.t;    (** set by [LpmLookup]; the address the
+                                   egress transmit targets *)
+}
+
+val make :
+  ?ttl:int -> ?proto:int -> ?payload:string ->
+  src:Ipv4.t -> dst:Ipv4.t -> unit -> t
+(** Fresh packet with empty annotations. [ttl] defaults to 64,
+    [proto] to 0, [payload] to [""]. *)
+
+val copy : t -> t
+(** Independent copy (used by [Tee]; annotations are copied too). *)
+
+val header_len : int
+(** Bytes of wire header preceding the payload (12). *)
+
+val to_wire : t -> string
+(** Serialize header + payload. Annotations are not serialized. *)
+
+val of_wire : string -> (t, string) result
+(** Parse a wire form; [Error] explains the malformation. The parsed
+    packet has empty annotations. *)
+
+val to_string : t -> string
+(** One-line debug rendering. *)

@@ -5,6 +5,10 @@ module Log = (val Logs.src_log src : Logs.LOG)
 let pp_kernel = "fea_kernel"
 let pp_arrived = "fea_arrived"
 
+(* The UDP port the element-graph data plane sends and receives on —
+   our stand-in for "raw IP" between routers (RIP owns 520, BGP 179). *)
+let dataplane_port = 4
+
 type relay_socket = {
   sockid : int;
   client_target : string;
@@ -21,12 +25,17 @@ type t = {
   client_watches : (string, unit) Hashtbl.t;
   mutable next_sockid : int;
   mutable installed : int;
+  mutable dataplane : Dataplane.t option;
+  mutable dp_socks : (string * Netsim.Dgram.socket) list;
+  lookups_control : Telemetry.counter;
+  lookups_dataplane : Telemetry.counter;
 }
 
 let fib t = t.fib
 let xrl_router t = t.router
 let interfaces t = t.ifaces
 let routes_installed t = t.installed
+let dataplane t = t.dataplane
 
 (* Skips payload construction when the point is disabled, so bulk
    installs do not allocate per route per point. *)
@@ -128,6 +137,7 @@ let add_fib_handlers t =
   Xrl_router.add_handler r ~interface:"fea" ~method_name:"lookup_route4"
     (fun args reply ->
        let addr = Xrl_atom.get_ipv4 args "addr" in
+       Telemetry.incr t.lookups_control;
        match Fib.lookup t.fib addr with
        | Some e ->
          reply ok
@@ -254,7 +264,152 @@ let add_udp_handlers t =
          Hashtbl.remove t.sockets sockid;
          reply ok [])
 
-let create ?families ?profiler ?(interfaces = []) ?netsim finder loop () =
+(* ------------------------------------------------------------------ *)
+(* Element-graph data plane (paper §5 extensibility, below the
+   control plane). The FEA owns the ingress/egress sockets — one per
+   interface on [dataplane_port] — so the element graph can be
+   replaced at runtime without rebinding anything. *)
+
+let dp_tx t ~ifname ~dst payload =
+  let sock =
+    match List.assoc_opt ifname t.dp_socks with
+    | Some s -> Some s
+    | None -> (
+        (* The route carried no interface name: fall back to the
+           interface whose /24 contains the next hop, else the first. *)
+        let on_link (name, _) =
+          match List.assoc_opt name t.ifaces with
+          | Some addr -> Ipv4net.contains_addr (Ipv4net.make addr 24) dst
+          | None -> false
+        in
+        match List.find_opt on_link t.dp_socks with
+        | Some (_, s) -> Some s
+        | None -> ( match t.dp_socks with (_, s) :: _ -> Some s | [] -> None))
+  in
+  match sock with
+  | Some s -> Netsim.Dgram.sendto s ~dst ~dport:dataplane_port payload
+  | None -> ()
+
+let setup_dataplane t net ~config =
+  let lookup addr =
+    Telemetry.incr t.lookups_dataplane;
+    match Fib.lookup t.fib addr with
+    | None -> None
+    | Some e ->
+      Some
+        { Dataplane.lr_nexthop = e.Fib.nexthop; lr_ifname = e.Fib.ifname;
+          lr_connected = String.equal e.Fib.protocol "connected" }
+  in
+  let dp =
+    Dataplane.create
+      ~loop:(Xrl_router.eventloop t.router)
+      ~lookup
+      ~tx:(fun ~ifname ~dst payload -> dp_tx t ~ifname ~dst payload)
+      ~ifaces:(List.map fst t.ifaces) ()
+  in
+  t.dp_socks <-
+    List.filter_map
+      (fun (ifname, addr) ->
+         match Netsim.Dgram.bind net ~addr ~port:dataplane_port with
+         | sock ->
+           Netsim.Dgram.on_receive sock (fun ~src:_ ~sport:_ payload ->
+               match t.dataplane with
+               | Some dp -> Dataplane.rx dp ~ifname payload
+               | None -> ());
+           Some (ifname, sock)
+         | exception Invalid_argument msg ->
+           Log.warn (fun m ->
+               m "data plane: cannot bind %s:%d on %s: %s"
+                 (Ipv4.to_string addr) dataplane_port ifname msg);
+           None)
+      t.ifaces;
+  (match Dataplane.install_config dp config with
+   | Ok () -> ()
+   | Error e -> failwith ("dataplane graph rejected: " ^ e));
+  t.dataplane <- Some dp
+
+let add_dataplane_handlers t =
+  let r = t.router in
+  let add = Xrl_router.add_handler r ~interface:"dataplane" ~version:"0.1" in
+  let with_dp reply f =
+    match t.dataplane with
+    | None -> reply (Xrl_error.Command_failed "FEA has no data plane") []
+    | Some dp -> f dp
+  in
+  add ~method_name:"install_graph" (fun args reply ->
+      with_dp reply (fun dp ->
+          let config = Xrl_atom.get_txt args "config" in
+          match Dataplane.install_config dp config with
+          | Ok () ->
+            reply ok
+              [ Xrl_atom.u32 "elements" (Dataplane.element_count dp) ]
+          | Error e -> reply (Xrl_error.Command_failed e) []));
+  add ~method_name:"get_graph" (fun _ reply ->
+      with_dp reply (fun dp ->
+          reply ok [ Xrl_atom.txt "config" (Dataplane.config dp) ]));
+  add ~method_name:"list_elements" (fun _ reply ->
+      with_dp reply (fun dp ->
+          let vals =
+            List.map
+              (fun s ->
+                 Xrl_atom.Txt
+                   (Printf.sprintf "%s|%s|%d|%d" s.Dataplane.st_name
+                      s.Dataplane.st_klass s.Dataplane.st_rx
+                      s.Dataplane.st_tx))
+              (Dataplane.stats dp)
+          in
+          reply ok [ Xrl_atom.list "elements" vals ]));
+  add ~method_name:"get_counters" (fun args reply ->
+      with_dp reply (fun dp ->
+          let name = Xrl_atom.get_txt args "name" in
+          match
+            List.find_opt
+              (fun s -> String.equal s.Dataplane.st_name name)
+              (Dataplane.stats dp)
+          with
+          | None ->
+            reply (Xrl_error.Command_failed ("no element " ^ name)) []
+          | Some s ->
+            reply ok
+              [ Xrl_atom.txt "klass" s.Dataplane.st_klass;
+                Xrl_atom.u32 "rx" s.Dataplane.st_rx;
+                Xrl_atom.u32 "tx" s.Dataplane.st_tx;
+                Xrl_atom.list "drops"
+                  (List.map
+                     (fun (reason, n) ->
+                        Xrl_atom.Txt (Printf.sprintf "%s|%d" reason n))
+                     s.Dataplane.st_drops) ]));
+  add ~method_name:"insert_element" (fun args reply ->
+      with_dp reply (fun dp ->
+          let name = Xrl_atom.get_txt args "name" in
+          let klass = Xrl_atom.get_txt args "klass" in
+          let after = Xrl_atom.get_txt args "after" in
+          let dp_args =
+            match Xrl_atom.find args "config" with
+            | Some { value = Txt s; _ } when String.trim s <> "" ->
+              List.map String.trim (String.split_on_char ',' s)
+            | _ -> []
+          in
+          let port =
+            match Xrl_atom.find args "port" with
+            | Some { value = U32 p; _ } -> p
+            | _ -> 0
+          in
+          match
+            Dataplane.insert_element dp ~name ~klass ~args:dp_args ~after
+              ~port
+          with
+          | Ok () -> reply ok []
+          | Error e -> reply (Xrl_error.Command_failed e) []));
+  add ~method_name:"remove_element" (fun args reply ->
+      with_dp reply (fun dp ->
+          let name = Xrl_atom.get_txt args "name" in
+          match Dataplane.remove_element dp ~name with
+          | Ok () -> reply ok []
+          | Error e -> reply (Xrl_error.Command_failed e) []))
+
+let create ?families ?profiler ?(interfaces = []) ?netsim
+    ?(dataplane = `Default) finder loop () =
   (* A fresh generation starts its metric namespace from zero, so a
      restarted FEA does not inherit the dead instance's counts. *)
   Telemetry.reset_prefix "fea.";
@@ -264,7 +419,9 @@ let create ?families ?profiler ?(interfaces = []) ?netsim finder loop () =
   let t =
     { router; fib = Fib.create (); profiler; ifaces = interfaces; netsim;
       sockets = Hashtbl.create 8; client_watches = Hashtbl.create 4;
-      next_sockid = 0; installed = 0 }
+      next_sockid = 0; installed = 0; dataplane = None; dp_socks = [];
+      lookups_control = Telemetry.counter "fea.lookups.control";
+      lookups_dataplane = Telemetry.counter "fea.lookups.dataplane" }
   in
   (match profiler with
    | Some p ->
@@ -273,9 +430,20 @@ let create ?families ?profiler ?(interfaces = []) ?netsim finder loop () =
    | None -> ());
   add_fib_handlers t;
   add_udp_handlers t;
+  add_dataplane_handlers t;
+  (match (netsim, dataplane) with
+   | Some net, `Default when interfaces <> [] ->
+     setup_dataplane t net
+       ~config:(Dataplane.default_config ~ifaces:(List.map fst interfaces))
+   | Some net, `Graph config -> setup_dataplane t net ~config
+   | _ -> ());
   t
 
 let shutdown t =
   Hashtbl.iter (fun _ sock -> Netsim.Dgram.close sock.dgram) t.sockets;
   Hashtbl.reset t.sockets;
+  (match t.dataplane with Some dp -> Dataplane.shutdown dp | None -> ());
+  List.iter (fun (_, sock) -> Netsim.Dgram.close sock) t.dp_socks;
+  t.dp_socks <- [];
+  t.dataplane <- None;
   Xrl_router.shutdown t.router

@@ -5,18 +5,13 @@ type entry = {
   protocol : string;
 }
 
-type t = { trie : entry Ptree.t; mutable lookups : int }
+type t = { trie : entry Ptree.t }
 
-let create () = { trie = Ptree.create (); lookups = 0 }
+let create () = { trie = Ptree.create () }
 let add t entry = ignore (Ptree.insert t.trie entry.net entry)
 let delete t net = Ptree.remove t.trie net <> None
-
-let lookup t addr =
-  t.lookups <- t.lookups + 1;
-  Option.map snd (Ptree.longest_match t.trie addr)
-
+let lookup t addr = Option.map snd (Ptree.longest_match t.trie addr)
 let get t net = Ptree.find t.trie net
 let size t = Ptree.size t.trie
 let entries t = List.map snd (Ptree.to_list t.trie)
 let clear t = Ptree.clear t.trie
-let lookups_performed t = t.lookups

@@ -20,7 +20,12 @@ val delete : t -> Ipv4net.t -> bool
 (** [true] if an entry was present. *)
 
 val lookup : t -> Ipv4.t -> entry option
-(** Longest-prefix-match forwarding decision. *)
+(** Longest-prefix-match forwarding decision. Lookups are not counted
+    here: the FIB has several consumers (the control plane's
+    [lookup_route4], the data plane's [LpmLookup]) and conflating their
+    load was misleading — each consumer counts its own calls in
+    telemetry ([fea.lookups.control], [fea.lookups.dataplane], and the
+    per-element [dataplane.*] counters). *)
 
 val get : t -> Ipv4net.t -> entry option
 (** Exact-match fetch. *)
@@ -28,6 +33,3 @@ val get : t -> Ipv4net.t -> entry option
 val size : t -> int
 val entries : t -> entry list
 val clear : t -> unit
-
-val lookups_performed : t -> int
-(** Total {!lookup} calls (forwarding-plane load, for tests/benches). *)

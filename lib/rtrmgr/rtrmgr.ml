@@ -416,6 +416,11 @@ let show_ospf t =
       (Ospf_process.route_table ospf_c);
     Buffer.contents buf
 
+let show_dataplane t =
+  match Fea.dataplane t.fea_c with
+  | None -> "no data plane (FEA runs without forwarding interfaces)\n"
+  | Some dp -> Dataplane.render dp
+
 let show_telemetry _t = Telemetry.render_table ()
 
 let telemetry_router t = t.tel_r

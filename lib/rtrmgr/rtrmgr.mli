@@ -51,6 +51,10 @@ val show_bgp_peers : t -> string
 val show_rip : t -> string
 val show_ospf : t -> string
 
+val show_dataplane : t -> string
+(** The FEA's element graph (canonical config form) plus per-element
+    rx/tx/drop counters; a note when no data plane is running. *)
+
 val show_telemetry : t -> string
 (** Counters, gauges, latency histograms (count/p50/p90/p99/max) and
     the span-ring occupancy, rendered as aligned text tables. *)

@@ -273,9 +273,35 @@ protocols {
 |}
     routes
 
-type opts = { fea_rebirth_replay : bool; log_trace : bool }
+type opts = {
+  fea_rebirth_replay : bool;
+  dataplane_ttl_leak : bool;
+  log_trace : bool;
+}
 
-let default_opts = { fea_rebirth_replay = true; log_trace = false }
+let default_opts =
+  { fea_rebirth_replay = true; dataplane_ttl_leak = false; log_trace = false }
+
+(* The known-bad element class for [dataplane_ttl_leak]: decrements the
+   TTL like DecTtl but forgets to kill expired packets, so a TTL that
+   reaches zero leaks out of the router. The forwarding invariant must
+   catch it. *)
+let () =
+  Dataplane.register_map_class "LeakDecTtl"
+    ~check:(function [] -> Ok () | _ -> Error "takes no arguments")
+    ~make:(fun ~args:_ ~n_out:_ pkt ->
+      pkt.Packet.ttl <- pkt.Packet.ttl - 1;
+      Dataplane.Emit 0)
+
+(* [default_config] with DecTtl swapped for the leaky variant. *)
+let leaky_dataplane_config ~ifaces =
+  Dataplane.default_config ~ifaces
+  |> String.split_on_char '\n'
+  |> List.map (fun line ->
+         if String.equal (String.trim line) "ttl :: DecTtl" then
+           "ttl :: LeakDecTtl"
+         else line)
+  |> String.concat "\n"
 
 type world = {
   loop : Eventloop.t;
@@ -350,9 +376,14 @@ and start_component w comp =
   match comp with
   | C_fea ->
     if w.fea = None then begin
+      let dataplane =
+        if w.opts.dataplane_ttl_leak then
+          `Graph (leaky_dataplane_config ~ifaces:(List.map fst dut_ifaces))
+        else `Default
+      in
       let fea =
         Fea.create ~families:w.families ~interfaces:dut_ifaces
-          ~netsim:w.netsim w.finder w.loop ()
+          ~netsim:w.netsim ~dataplane w.finder w.loop ()
       in
       arm_kill w C_fea (Fea.xrl_router fea);
       w.fea <- Some fea;
@@ -656,6 +687,115 @@ let converge w =
 
 (* --- invariants -------------------------------------------------------- *)
 
+(* Forwarding-plane invariant: at a quiescent point, the element graph
+   must agree with [Fib.lookup] packet for packet. Probes are injected
+   through the real ingress path and intercepted at ToNetsim with an
+   absorbing tx hook, so they never reach the shared netsim and cannot
+   disturb the protocol sessions. The scheduler chain drains on
+   deferred events, so [run_until_idle] is enough to flush each probe
+   without advancing the clock. *)
+let check_dataplane w ~tag fea dp =
+  let fail fmt =
+    Printf.ksprintf (fun s -> violation w "%s: dataplane: %s" tag s) fmt
+  in
+  let fib = Fea.fib fea in
+  let exits = ref [] in
+  Dataplane.set_tx_hook dp
+    (Some
+       (fun pkt ->
+         exits :=
+           (pkt.Packet.out_ifname, pkt.Packet.nexthop, pkt.Packet.ttl)
+           :: !exits;
+         `Absorb));
+  let probe ?(ttl = 64) dst =
+    exits := [];
+    (match
+       Dataplane.inject dp ~ifname:"eth0"
+         (Packet.make ~ttl ~src:(ip "10.0.0.7") ~dst ())
+     with
+     | Ok () -> ()
+     | Error e -> fail "probe inject failed: %s" e);
+    Eventloop.run_until_idle w.loop;
+    !exits
+  in
+  let probeable (e : Fib.entry) =
+    let dst = Ipv4net.first_addr e.Fib.net in
+    if Ipv4.equal dst Ipv4.zero || Ipv4.is_multicast dst then None
+    else Some dst
+  in
+  let entries = Fib.entries fib in
+  (* One probe per FIB entry would dominate the run on big tables;
+     a bounded deterministic sample catches the same bug classes. *)
+  let sample = List.filteri (fun i _ -> i < 16) entries in
+  List.iter
+    (fun (e : Fib.entry) ->
+      match probeable e with
+      | None -> ()
+      | Some dst -> (
+        match Fib.lookup fib dst with
+        | None -> fail "%s is in the FIB but lookup misses it"
+                    (Ipv4net.to_string e.Fib.net)
+        | Some hit -> (
+          match probe dst with
+          | [ (ifname, nexthop, ttl) ] ->
+            let expect_nh =
+              if
+                String.equal hit.Fib.protocol "connected"
+                || Ipv4.equal hit.Fib.nexthop Ipv4.zero
+              then dst
+              else hit.Fib.nexthop
+            in
+            if not (Ipv4.equal nexthop expect_nh) then
+              fail "probe %s exited toward %s, FIB says %s"
+                (Ipv4.to_string dst) (Ipv4.to_string nexthop)
+                (Ipv4.to_string expect_nh);
+            if hit.Fib.ifname <> "" && not (String.equal ifname hit.Fib.ifname)
+            then
+              fail "probe %s exited on %S, FIB says %S" (Ipv4.to_string dst)
+                ifname hit.Fib.ifname;
+            if ttl <> 63 then
+              fail "probe %s exited with TTL %d (expected 63)"
+                (Ipv4.to_string dst) ttl
+          | [] ->
+            fail "probe %s never exited, but the FIB routes it via %s"
+              (Ipv4.to_string dst)
+              (Ipv4.to_string hit.Fib.nexthop)
+          | l ->
+            fail "probe %s exited %d times" (Ipv4.to_string dst)
+              (List.length l))))
+    sample;
+  (* A destination with no route must be dropped, not forwarded. *)
+  let dark = ip "203.0.113.77" in
+  (match Fib.lookup fib dark with
+   | Some _ -> ()
+   | None ->
+     if probe dark <> [] then
+       fail "probe %s exited despite having no route" (Ipv4.to_string dark));
+  (* TTL death: an expiring packet must be dropped inside the graph and
+     the drop must be visible in the element counters. *)
+  (match List.find_map probeable entries with
+   | None -> ()
+   | Some dst ->
+     let ttl_drops () =
+       List.fold_left
+         (fun acc s ->
+           acc
+           + (match List.assoc_opt "ttl-expired" s.Dataplane.st_drops with
+              | Some n -> n
+              | None -> 0))
+         0 (Dataplane.stats dp)
+     in
+     let before = ttl_drops () in
+     (match probe ~ttl:1 dst with
+      | [] ->
+        if ttl_drops () <> before + 1 then
+          fail "TTL-expired probe for %s dropped but not counted"
+            (Ipv4.to_string dst)
+      | _ ->
+        fail "TTL-expired probe for %s exited the router"
+          (Ipv4.to_string dst)));
+  Dataplane.set_tx_hook dp None
+
 let check_invariants w ~tag =
   let fail fmt = Printf.ksprintf (fun s -> violation w "%s: %s" tag s) fmt in
   (* 1. Every RIB winner is installed in the FIB with the same nexthop,
@@ -738,6 +878,11 @@ let check_invariants w ~tag =
   let tx = Telemetry.counter_value (Telemetry.counter "xrl.sim.requests_tx")
   and rx = Telemetry.counter_value (Telemetry.counter "xrl.sim.requests_rx") in
   if rx > tx then fail "sim transport dispatched %d requests but sent %d" rx tx;
+  (* 6. The element-graph forwarding path agrees with the FIB. *)
+  (match w.fea with
+   | Some fea ->
+     Option.iter (fun dp -> check_dataplane w ~tag fea dp) (Fea.dataplane fea)
+   | None -> ());
   tr w "%s: invariants checked (%s)" tag (signature w)
 
 (* --- repair and teardown ----------------------------------------------- *)

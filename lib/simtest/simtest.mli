@@ -21,9 +21,12 @@
     After the scripted events, the harness repairs the world (restarts
     anything still dead, turns chaos off), runs to quiescence, and
     checks cross-component invariants: RIB/FIB agreement, per-protocol
-    route-count agreement, no forwarding loops, no unsettled XRLs, no
-    leaked timers or background tasks after teardown, and telemetry
-    consistency. The {!fuzz} driver explores seeds; on a failure it
+    route-count agreement, no forwarding loops, element-graph
+    forwarding agreement with [Fib.lookup] (probe packets injected
+    through the real data plane must exit toward the nexthop the FIB
+    dictates, and TTL-expired probes must die inside the graph,
+    counted), no unsettled XRLs, no leaked timers or background tasks
+    after teardown, and telemetry consistency. The {!fuzz} driver explores seeds; on a failure it
     greedily shrinks the fault schedule to a minimal reproducing
     scenario, printable and re-runnable with {!of_string}/{!run}. *)
 
@@ -104,12 +107,18 @@ type opts = {
   (** Passed to {!Rib.create}; [false] injects the known-bad recovery
       (held deltas only, no full FIB replay) so the harness can prove
       it catches the divergence. *)
+  dataplane_ttl_leak : bool;
+  (** [true] installs the DUT's element graph with [LeakDecTtl] — a
+      DecTtl that decrements but forgets to kill expired packets — so
+      the harness can prove the forwarding invariant (element graph
+      agrees with {!Fib.lookup}; TTL-expired packets die inside the
+      graph, visibly) catches the leak. *)
   log_trace : bool;
   (** Also print trace lines to stderr as they happen. *)
 }
 
 val default_opts : opts
-(** Replay on, no live trace. *)
+(** Replay on, no injected bugs, no live trace. *)
 
 type outcome = {
   ran : scenario;

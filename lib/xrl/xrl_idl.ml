@@ -272,10 +272,30 @@ let telemetry_interface =
       meth "snapshot" ~returns:[ arg "json" A_txt ];
       meth "reset" ]
 
+let dataplane_interface =
+  (* Element lists and drop tables travel as txt atoms of the form
+     "field|field|..." — same convention as telemetry/0.1's lists. *)
+  iface ~name:"dataplane" ~version:"0.1"
+    [ meth "install_graph" ~args:[ arg "config" A_txt ]
+        ~returns:[ arg "elements" A_u32 ];
+      meth "get_graph" ~returns:[ arg "config" A_txt ];
+      meth "list_elements" ~returns:[ arg "elements" A_list ];
+      meth "get_counters" ~args:[ arg "name" A_txt ]
+        ~returns:
+          [ arg "klass" A_txt; arg "rx" A_u32; arg "tx" A_u32;
+            arg "drops" A_list ];
+      meth "insert_element"
+        ~args:
+          [ arg "name" A_txt; arg "klass" A_txt;
+            arg ~optional:true "config" A_txt; arg "after" A_txt;
+            arg ~optional:true "port" A_u32 ];
+      meth "remove_element" ~args:[ arg "name" A_txt ] ]
+
 let builtin_interfaces =
   [ fea_interface; fea_udp_interface; fea_client_interface; rib_interface;
     rib_client_interface; redist_client_interface; bgp_interface;
-    rip_interface; ospf_interface; telemetry_interface ]
+    rip_interface; ospf_interface; telemetry_interface;
+    dataplane_interface ]
 
 let find_interface name =
   List.find_opt (fun i -> i.i_name = name) builtin_interfaces

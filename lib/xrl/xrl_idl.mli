@@ -88,11 +88,15 @@ val telemetry_interface : interface
 (** [telemetry/0.1]: list/get/spans/snapshot/reset against the global
     telemetry registry (served by [Telemetry_xrl]). *)
 
+val dataplane_interface : interface
+(** [dataplane/0.1]: install/inspect/mutate the FEA's element-graph
+    forwarding path (served by [Fea]; see docs/DATAPLANE.md). *)
+
 val builtin_interfaces : interface list
 (** Specs for the public interfaces of the built-in components:
     [fea/1.0], [fea_udp/1.0], [fea_client/1.0], [rib/1.0],
     [rib_client/1.0], [redist_client/1.0], [bgp/1.0], [rip/1.0],
-    [ospf/1.0], [telemetry/0.1]. *)
+    [ospf/1.0], [telemetry/0.1], [dataplane/0.1]. *)
 
 val find_interface : string -> interface option
 (** Look up a builtin interface by name. *)

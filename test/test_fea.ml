@@ -43,8 +43,43 @@ let test_fib_basics () =
    | None -> Alcotest.fail "no match");
   check Alcotest.bool "lookup miss" true (Fib.lookup fib (addr "11.0.0.1") = None);
   check Alcotest.bool "delete" true (Fib.delete fib (net "10.1.0.0/16"));
-  check Alcotest.bool "double delete" false (Fib.delete fib (net "10.1.0.0/16"));
-  check Alcotest.int "lookup counter" 3 (Fib.lookups_performed fib)
+  check Alcotest.bool "double delete" false (Fib.delete fib (net "10.1.0.0/16"))
+
+(* LPM corner cases, exactly the decisions the data plane's LpmLookup
+   element takes per packet. *)
+let test_lpm_edge_cases () =
+  let fib = Fib.create () in
+  let route net_s nh ifname =
+    Fib.add fib
+      { Fib.net = net net_s; nexthop = addr nh; ifname; protocol = "static" }
+  in
+  let expect what a ifname =
+    match Fib.lookup fib (addr a) with
+    | Some e -> check Alcotest.string what ifname e.Fib.ifname
+    | None -> Alcotest.failf "%s: unexpected miss for %s" what a
+  in
+  let expect_miss what a =
+    check Alcotest.bool what true (Fib.lookup fib (addr a) = None)
+  in
+  expect_miss "empty table misses" "8.8.8.8";
+  route "0.0.0.0/0" "10.0.0.254" "default";
+  expect "default route catches strangers" "8.8.8.8" "default";
+  expect "default route catches low space" "0.0.0.1" "default";
+  route "10.0.0.0/8" "10.0.0.1" "agg8";
+  route "10.1.0.0/16" "10.0.0.2" "agg16";
+  route "10.1.2.0/24" "10.0.0.3" "net24";
+  route "10.1.2.3/32" "10.0.0.4" "host32";
+  expect "/32 host route wins" "10.1.2.3" "host32";
+  expect "/24 covers its other hosts" "10.1.2.9" "net24";
+  expect "/16 covers outside the /24" "10.1.9.9" "agg16";
+  expect "/8 covers outside the /16" "10.9.9.9" "agg8";
+  expect "outside the /8 falls to default" "11.0.0.1" "default";
+  (* Deleting a covered prefix uncovers the covering one. *)
+  check Alcotest.bool "delete /24" true (Fib.delete fib (net "10.1.2.0/24"));
+  expect "covered hosts fall back to the /16" "10.1.2.9" "agg16";
+  expect "/32 survives its covering /24" "10.1.2.3" "host32";
+  check Alcotest.bool "delete default" true (Fib.delete fib (net "0.0.0.0/0"));
+  expect_miss "no default: strangers miss again" "8.8.8.8"
 
 (* --- XRL interface --------------------------------------------------- *)
 
@@ -226,6 +261,48 @@ let test_restart_resets_metrics () =
     (Telemetry.Histogram.count h);
   Fea.shutdown fea2
 
+(* FIB lookup load used to be one global counter on Fib.t; it is now
+   counted per consumer in telemetry, so control-plane lookups and
+   data-plane forwarding no longer conflate. *)
+let test_lookup_counted_per_consumer () =
+  Telemetry.set_enabled true;
+  let loop, _, _, fea, caller = setup () in
+  let value name = Telemetry.counter_value (Telemetry.counter name) in
+  ignore
+    (call caller
+       (fea_xrl "add_route4"
+          [ Xrl_atom.ipv4net "net" (net "172.16.0.0/12");
+            Xrl_atom.ipv4 "nexthop" (addr "10.0.0.254");
+            Xrl_atom.txt "ifname" "eth0";
+            Xrl_atom.txt "protocol" "static" ]));
+  ignore
+    (call caller
+       (fea_xrl "lookup_route4" [ Xrl_atom.ipv4 "addr" (addr "172.16.5.5") ]));
+  let err, _ =
+    Xrl_router.call_blocking caller
+      (fea_xrl "lookup_route4" [ Xrl_atom.ipv4 "addr" (addr "99.9.9.9") ])
+  in
+  check Alcotest.bool "miss still fails" false (Xrl_error.is_ok err);
+  check Alcotest.int "control-plane lookups counted (hit and miss)" 2
+    (value "fea.lookups.control");
+  check Alcotest.int "no data-plane lookups yet" 0
+    (value "fea.lookups.dataplane");
+  (* One packet through the element graph is one data-plane lookup —
+     and does not move the control-plane counter. *)
+  let dp = Option.get (Fea.dataplane fea) in
+  Dataplane.set_tx_hook dp (Some (fun _ -> `Absorb));
+  (match
+     Dataplane.inject dp ~ifname:"eth0"
+       (Packet.make ~src:(addr "10.0.0.9") ~dst:(addr "172.16.5.5") ())
+   with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  Eventloop.run_until_idle loop;
+  check Alcotest.int "data-plane lookup counted" 1
+    (value "fea.lookups.dataplane");
+  check Alcotest.int "control-plane counter untouched" 2
+    (value "fea.lookups.control")
+
 let test_sole_instance () =
   let loop = Eventloop.create () in
   let finder = Finder.create () in
@@ -237,7 +314,13 @@ let test_sole_instance () =
 let () =
   Alcotest.run "xorp_fea"
     [
-      ("fib", [ Alcotest.test_case "basics" `Quick test_fib_basics ]);
+      ( "fib",
+        [
+          Alcotest.test_case "basics" `Quick test_fib_basics;
+          Alcotest.test_case "LPM edge cases" `Quick test_lpm_edge_cases;
+          Alcotest.test_case "lookups counted per consumer" `Quick
+            test_lookup_counted_per_consumer;
+        ] );
       ( "xrl",
         [
           Alcotest.test_case "add/lookup/delete" `Quick

@@ -102,6 +102,34 @@ let test_fuzz_finds_and_shrinks_injected_bug () =
        check Alcotest.bool "reparsed counterexample still fails" true
          (o''.Simtest.violations <> []))
 
+let test_dataplane_ttl_leak_caught () =
+  (* Swapping DecTtl for the leaky variant must turn even an eventless
+     scenario red: the forwarding invariant's TTL-expired probe leaks
+     out of the router instead of dying in the graph. *)
+  let sc = Simtest.scenario ~seed:5 ~horizon:60. [] in
+  assert_green "healthy data plane" (Simtest.run sc);
+  let bad = { Simtest.default_opts with Simtest.dataplane_ttl_leak = true } in
+  let o = Simtest.run ~opts:bad sc in
+  match o.Simtest.violations with
+  | [] -> Alcotest.fail "dataplane-ttl-leak bug escaped the invariants"
+  | v :: _ ->
+    check Alcotest.bool "violation names the TTL leak" true
+      (Astring.String.is_infix ~affix:"TTL-expired" v)
+
+let test_fuzz_shrinks_dataplane_bug () =
+  let bad = { Simtest.default_opts with Simtest.dataplane_ttl_leak = true } in
+  let r = Simtest.fuzz ~opts:bad ~base:0 ~count:3 () in
+  match r.Simtest.failed with
+  | None -> Alcotest.fail "fuzzer missed the dataplane bug"
+  | Some (_, minimal) ->
+    (* The bug is independent of the fault schedule, so shrinking must
+       strip every event and still fail. *)
+    check Alcotest.int "shrunk to an empty schedule" 0
+      (List.length minimal.Simtest.events);
+    let o = Simtest.run ~opts:bad minimal in
+    check Alcotest.bool "shrunk scenario still fails" true
+      (o.Simtest.violations <> [])
+
 let test_fuzz_batch_green () =
   let r = Simtest.fuzz ~base:0 ~count:25 () in
   check Alcotest.int "all seeds ran" 25 r.Simtest.seeds_run;
@@ -135,6 +163,10 @@ let () =
             test_injected_bug_caught_deterministically;
           Alcotest.test_case "fuzzer finds and shrinks it" `Quick
             test_fuzz_finds_and_shrinks_injected_bug;
+          Alcotest.test_case "dataplane ttl leak caught" `Quick
+            test_dataplane_ttl_leak_caught;
+          Alcotest.test_case "fuzzer shrinks the dataplane bug" `Quick
+            test_fuzz_shrinks_dataplane_bug;
           Alcotest.test_case "green batch" `Quick test_fuzz_batch_green;
         ] );
     ]

@@ -129,7 +129,7 @@ let test_idl_render () =
     (Astring.String.is_infix ~affix:"interface demo/1.0" rendered);
   check Alcotest.bool "mentions return" true
     (Astring.String.is_infix ~affix:"sum:u32" rendered);
-  check Alcotest.int "ten builtin interfaces" 10
+  check Alcotest.int "eleven builtin interfaces" 11
     (List.length Xrl_idl.builtin_interfaces)
 
 (* --- Finder ACLs (§7) ------------------------------------------------------ *)
