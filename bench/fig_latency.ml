@@ -143,7 +143,9 @@ let build () =
 
 let settled s ~preload =
   Bgp_process.route_count s.bgp > preload
+  && Bgp_process.inbound_backlog s.bgp = 0
   && Bgp_process.fanout_queue_length s.bgp = 0
+  && Rib.fea_queue_length s.rib = 0
   && Rib.route_count s.rib >= preload + 2
   && Fib.size (Fea.fib s.fea) >= preload + 2
 
@@ -349,15 +351,34 @@ let print_rows ~traced ~n_routes rows =
          st.p50 st.p90 st.p99 st.max_v)
     rows
 
+(* CI gate on head-of-line blocking: the median flap measured while the
+   full table streams in must stay within [during_gate_ratio] x the
+   idle median, or under an absolute floor. The floor covers loop-turn
+   granularity: the flap crosses the pipeline in a handful of turns,
+   each of which legitimately carries one bounded bulk slice of the
+   load, so a few milliseconds is the physics of sharing the loop —
+   what the gate must catch is the pre-lane behaviour, where the flap
+   queued behind the entire remaining table (p50 in the seconds). The
+   floor is ~7x the p50 measured on a loaded container, the same
+   headroom policy as the 60 s full-load budget. *)
+let during_gate_ratio = 10.0
+let during_gate_floor_ms = 10.0
+
 (* --- JSON output ----------------------------------------------------- *)
 
-let emit_json ~path ~load experiments =
+let emit_json ~path ~load ?gate experiments =
   let buf = Buffer.create 4096 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   bpf "{\n";
   bpf "  \"bench\": \"pipeline\",\n";
   bpf "  \"table_size\": %d,\n" Feed.paper_table_size;
   bpf "  \"pacing_ms\": 50,\n";
+  (match gate with
+   | Some (idle_p50, during_p50, limit) ->
+     bpf
+       "  \"during_load_gate\": { \"idle_p50_ms\": %.4f, \"during_p50_ms\": %.4f, \"limit_ms\": %.4f, \"ratio\": %.1f, \"floor_ms\": %.1f },\n"
+       idle_p50 during_p50 limit during_gate_ratio during_gate_floor_ms
+   | None -> ());
   bpf "  \"paper_ms\": { \"fig10_kernel_avg\": 3.374, \"fig11_kernel_avg\": 3.632, \"fig12_kernel_avg\": 4.417 },\n";
   (match load with
    | Some l ->
@@ -406,6 +427,13 @@ let kernel_avg e =
     List.find_opt (fun (point, _, _) -> point = Fea.pp_kernel) e.rows
   with
   | Some (_, _, st) -> st.avg
+  | None -> nan
+
+let kernel_p50 e =
+  match
+    List.find_opt (fun (point, _, _) -> point = Fea.pp_kernel) e.rows
+  with
+  | Some (_, _, st) -> st.p50
   | None -> nan
 
 (* Single-figure entry points for the bench registry. *)
@@ -501,6 +529,22 @@ let run_all () =
         peering = "different"; churn_rps = 0; during_load = true;
         n_routes = n; traced; rows }
   in
+  (* CI gate: a flap mid-load rides the urgent lane past the bulk
+     backlog; if it queues behind the table again, fail loudly. *)
+  let idle_p50 = kernel_p50 fig10 in
+  let during_p50 = kernel_p50 during in
+  let gate_limit =
+    Float.max (during_gate_ratio *. idle_p50) during_gate_floor_ms
+  in
+  pf "\nduring-load gate: p50 to kernel %.3f ms (idle %.3f ms, limit %.3f ms)\n"
+    during_p50 idle_p50 gate_limit;
+  if not (during_p50 <= gate_limit) (* also catches nan: no traced routes *)
+  then
+    failwith
+      (Printf.sprintf
+         "during-load p50 %.3f ms exceeds gate %.3f ms (%.0fx idle p50 %.3f ms, floor %.0f ms): head-of-line blocking is back"
+         during_p50 gate_limit during_gate_ratio idle_p50
+         during_gate_floor_ms);
 
   header "Figure 11: latency with 146,515 initial routes (same peering)";
   paper_note
@@ -587,4 +631,4 @@ let run_all () =
     (k11 /. k10);
   pf "different-peering vs same: %.2fx (paper: 1.22x)\n" (k12 /. k11);
   emit_json ~path:"BENCH_pipeline.json" ~load:(Some load)
-    (List.rev !results)
+    ~gate:(idle_p50, during_p50, gate_limit) (List.rev !results)

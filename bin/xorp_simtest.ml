@@ -23,6 +23,7 @@ let read_file path =
 let opts_of ~bug ~trace =
   { Simtest.fea_rebirth_replay = (bug <> Some "rib-no-replay");
     dataplane_ttl_leak = (bug = Some "dataplane-ttl-leak");
+    bgp_lane_unordered = (bug = Some "lane-reorder");
     log_trace = trace }
 
 let report_outcome ~quiet (o : Simtest.outcome) =
@@ -43,10 +44,12 @@ let report_outcome ~quiet (o : Simtest.outcome) =
 
 let run_main seeds base seed replay bug trace quiet =
   (match bug with
-   | None | Some "rib-no-replay" | Some "dataplane-ttl-leak" -> ()
+   | None | Some "rib-no-replay" | Some "dataplane-ttl-leak"
+   | Some "lane-reorder" -> ()
    | Some other ->
      Printf.eprintf
-       "unknown --inject-bug %S (known: rib-no-replay, dataplane-ttl-leak)\n"
+       "unknown --inject-bug %S (known: rib-no-replay, dataplane-ttl-leak, \
+        lane-reorder)\n"
        other;
      exit 2);
   let opts = opts_of ~bug ~trace in
@@ -133,7 +136,9 @@ let bug_arg =
         ~doc:"Run with a known bug injected (rib-no-replay: the RIB \
               skips the full FIB replay when the FEA is reborn; \
               dataplane-ttl-leak: the forwarding graph's DecTtl forgets \
-              to drop TTL-expired packets).")
+              to drop TTL-expired packets; lane-reorder: BGP's priority \
+              lanes lose their per-prefix FIFO guard, so an urgent \
+              withdrawal can overtake a queued bulk add).")
 
 let trace_arg =
   Arg.(

@@ -111,11 +111,30 @@ let render_frame ~frame ~clock ~top_n stages counters spans =
     && String.sub n 0 (String.length Dataplane.telemetry_prefix)
        = Dataplane.telemetry_prefix
   in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  (* So do the pipeline's staging queues and priority lanes: the BGP
+     inbound backlog, the fanout/RibOut lane depths, and the RIB's
+     FEA transmit queue. Watching these during a table load shows the
+     bulk backlog draining while the urgent lane stays near zero. *)
+  let is_queue (n, _) =
+    contains n ".lane." || contains n ".backlog" || contains n ".fea_q."
+  in
   let dp_counters, counters = List.partition is_dp counters in
+  let q_counters, counters = List.partition is_queue counters in
   let counters = List.sort compare counters in
   if counters <> [] then begin
     addf "\n%-34s %12s\n" "COUNTERS" "value";
     List.iter (fun (n, v) -> addf "%-34s %12s\n" n v) counters
+  end;
+  if q_counters <> [] then begin
+    addf "\n%-34s %12s\n" "QUEUES (backlogs and lanes)" "depth";
+    List.iter
+      (fun (n, v) -> addf "%-34s %12s\n" n v)
+      (List.sort compare q_counters)
   end;
   if dp_counters <> [] then begin
     addf "\n%-34s %12s\n" "DATA PLANE" "packets";

@@ -4,7 +4,7 @@
    commands, either interactively from stdin or from -e arguments:
 
      show routes | show fib | show bgp peers | show rip | show ospf
-     show dataplane | show config | show version
+     show dataplane | show queues | show config | show version
      run <seconds>          advance the (simulated) clock
      xrl <textual-xrl>      dispatch any XRL (scriptability, §6.1)
      help | quit
@@ -18,6 +18,7 @@ let help_text = {|commands:
   show routes | fib | bgp peers | rip | ospf | config | version
   show dataplane       the forwarding element graph and its counters
   show telemetry       metrics, stage latencies and trace spans
+  show queues          pipeline backlogs and urgent/bulk lane depths
   run <seconds>        advance the clock
   xrl <textual-xrl>    dispatch an XRL and print the reply
   help                 this text
@@ -67,6 +68,9 @@ let execute router line =
     true
   | [ "show"; "telemetry" ] ->
     print_string (Rtrmgr.show_telemetry router);
+    true
+  | [ "show"; "queues" ] ->
+    print_string (Rtrmgr.show_queues router);
     true
   | [ "show"; "config" ] ->
     print_string (Rtrmgr.config_text router);

@@ -39,7 +39,9 @@ class deletion_table ~name ~(victims : Bgp_types.route Ptree.t)
         | Some (net, r) ->
           ignore (Ptree.remove victims net);
           deleted <- deleted + 1;
-          self#push_delete r;
+          (* A whole-table teardown is bulk work: it must not crowd
+             fresh updates out of the urgent lane downstream. *)
+          Bgp_types.with_lane Laneq.Bulk (fun () -> self#push_delete r);
           `Continue
       in
       task <- Some (Eventloop.add_task loop ~weight:slice one)

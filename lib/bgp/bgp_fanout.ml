@@ -12,51 +12,107 @@
    simply leave their cursor behind; memory is shared in the one
    queue); fully-consumed entries are compacted away. Per-reader
    advertisement rules: never echo to the originating peer, and no
-   IBGP-to-IBGP re-advertisement (we are not a route reflector). *)
+   IBGP-to-IBGP re-advertisement (we are not a route reflector).
+
+   Two lanes: changes arriving in the ambient bulk lane (a table load
+   being drained from an inbound staging queue) land in a bulk log;
+   urgent changes (a flap during that load) land in an urgent log that
+   every reader drains first, so a flap overtakes a 146k-entry load
+   backlog here instead of queueing behind it. Per-prefix FIFO order is
+   preserved across lanes (§5.1.2): an urgent change for a prefix that
+   still has entries in the bulk log is demoted to the bulk lane, so it
+   cannot overtake older work for its own prefix even for the slowest
+   reader. [ordered:false] disables that guard — the deliberately
+   broken variant the simulation fuzzer must catch. *)
 
 (* Entries remember the trace context that was ambient when they were
    queued: the drain runs in a later event-loop pass, so the context
    must travel with the entry for spans emitted downstream (output
-   branches, the RIB branch) to stay linked to the originating update. *)
+   branches, the RIB branch) to stay linked to the originating update.
+   The lane does not need storing: it is which log the entry sits in,
+   and the drain reinstates it as the ambient lane for downstream
+   stages. *)
 type entry = {
   op : [ `Add | `Delete ];
   route : Bgp_types.route;
   trace : Telemetry.Trace.ctx option;
 }
 
+(* One growable append-only log (ring-less; compaction blits). *)
+type log = {
+  mutable entries : entry array;
+  mutable base : int; (* absolute index of entries.(0) *)
+  mutable count : int; (* live entries *)
+}
+
+let make_log () = { entries = [||]; base = 0; count = 0 }
+
+let log_append l e =
+  if l.count >= Array.length l.entries then begin
+    let ncap = max 64 (2 * Array.length l.entries) in
+    let na = Array.make ncap e in
+    Array.blit l.entries 0 na 0 l.count;
+    l.entries <- na
+  end;
+  l.entries.(l.count) <- e;
+  l.count <- l.count + 1
+
 type reader = {
   r_peer : Bgp_types.peer_info;
   r_branch : Bgp_table.table;
-  mutable cursor : int; (* absolute entry index *)
+  mutable u_cursor : int; (* absolute index into the urgent log *)
+  mutable b_cursor : int; (* absolute index into the bulk log *)
 }
 
-class fanout_table ~name ?(batch = 500)
+class fanout_table ~name ?(batch = 500) ?(ordered = true)
     ~(peer_info_of : int -> Bgp_types.peer_info option) (loop : Eventloop.t) =
   object (self)
     inherit Bgp_table.base name
     val h_add = Telemetry.histogram ("bgp." ^ name ^ ".add_us")
     val h_del = Telemetry.histogram ("bgp." ^ name ^ ".delete_us")
-    val mutable entries : entry array = [||] (* ring-less growable log *)
-    val mutable base = 0      (* absolute index of entries.(0) *)
-    val mutable count = 0     (* live entries *)
+    val g_urgent = Telemetry.gauge ("bgp." ^ name ^ ".lane.urgent")
+    val g_bulk = Telemetry.gauge ("bgp." ^ name ^ ".lane.bulk")
+    val urgent = make_log ()
+    val bulk = make_log ()
+    (* Prefixes with entries still in the bulk log (until compaction
+       proves every reader consumed them), counted; the §5.1.2 guard. *)
+    val bulk_pending : (Ipv4net.t, int) Hashtbl.t = Hashtbl.create 256
     val readers : (int, reader) Hashtbl.t = Hashtbl.create 8
     val mutable drain_scheduled = false
     val mutable peak_queue = 0
+    val mutable demoted = 0
 
     method reader_count = Hashtbl.length readers
-    method queue_length = count
+    method queue_length = urgent.count + bulk.count
+    method urgent_length = urgent.count
+    method bulk_length = bulk.count
     method peak_queue_length = peak_queue
+    method demoted = demoted
 
-    method private append e =
-      if count >= Array.length entries then begin
-        let ncap = max 64 (2 * Array.length entries) in
-        let na = Array.make ncap e in
-        Array.blit entries 0 na 0 count;
-        entries <- na
-      end;
-      entries.(count) <- e;
-      count <- count + 1;
-      if count > peak_queue then peak_queue <- count;
+    method private set_lane_gauges =
+      Telemetry.set_gauge g_urgent (float_of_int urgent.count);
+      Telemetry.set_gauge g_bulk (float_of_int bulk.count)
+
+    method private append lane e =
+      let net = e.route.Bgp_types.net in
+      let lane =
+        match (lane : Laneq.lane) with
+        | Laneq.Urgent when ordered && Hashtbl.mem bulk_pending net ->
+          (* Older work for this prefix is still in the bulk log:
+             demote so no reader can see this change overtake it. *)
+          demoted <- demoted + 1;
+          Laneq.Bulk
+        | lane -> lane
+      in
+      (match lane with
+       | Laneq.Urgent -> log_append urgent e
+       | Laneq.Bulk ->
+         let n = Option.value (Hashtbl.find_opt bulk_pending net) ~default:0 in
+         Hashtbl.replace bulk_pending net (n + 1);
+         log_append bulk e);
+      let len = self#queue_length in
+      if len > peak_queue then peak_queue <- len;
+      self#set_lane_gauges;
       self#schedule_drain
 
     method private schedule_drain =
@@ -78,47 +134,79 @@ class fanout_table ~name ?(batch = 500)
           false (* no IBGP-to-IBGP re-advertisement *)
         | _ -> true
 
+    method private deliver (r : reader) (e : entry) lane =
+      if self#should_send r e then
+        Bgp_types.with_lane lane (fun () ->
+            Telemetry.Trace.with_ctx e.trace (fun () ->
+                match e.op with
+                | `Add -> r.r_branch#add_route e.route
+                | `Delete -> r.r_branch#delete_route e.route))
+
     method private drain =
-      let tail = base + count in
+      let u_tail = urgent.base + urgent.count in
+      let b_tail = bulk.base + bulk.count in
       let more = ref false in
       Hashtbl.iter
         (fun _ r ->
-           let budget = ref batch in
-           while r.cursor < tail && !budget > 0 do
-             let e = entries.(r.cursor - base) in
-             r.cursor <- r.cursor + 1;
-             decr budget;
-             if self#should_send r e then
-               Telemetry.Trace.with_ctx e.trace (fun () ->
-                   match e.op with
-                   | `Add -> r.r_branch#add_route e.route
-                   | `Delete -> r.r_branch#delete_route e.route)
+           (* Urgent lane first, and always dry before bulk: the lane
+              guard's per-prefix ordering argument depends on it.
+              Urgent volume is flap-sized, so no batch bound here. *)
+           while r.u_cursor < u_tail do
+             let e = urgent.entries.(r.u_cursor - urgent.base) in
+             r.u_cursor <- r.u_cursor + 1;
+             self#deliver r e Laneq.Urgent
            done;
-           if r.cursor < tail then more := true)
+           let budget = ref batch in
+           while r.b_cursor < b_tail && !budget > 0 do
+             let e = bulk.entries.(r.b_cursor - bulk.base) in
+             r.b_cursor <- r.b_cursor + 1;
+             decr budget;
+             self#deliver r e Laneq.Bulk
+           done;
+           if r.b_cursor < b_tail then more := true)
         readers;
       self#compact;
+      self#set_lane_gauges;
       if !more then self#schedule_drain
 
     method private compact =
-      let min_cursor =
-        Hashtbl.fold (fun _ r acc -> min acc r.cursor) readers (base + count)
+      let u_min, b_min =
+        Hashtbl.fold
+          (fun _ r (u, b) -> (min u r.u_cursor, min b r.b_cursor))
+          readers
+          (urgent.base + urgent.count, bulk.base + bulk.count)
       in
-      let drop = min_cursor - base in
-      if drop > 0 then begin
-        let remaining = count - drop in
-        if remaining > 0 then Array.blit entries drop entries 0 remaining;
-        count <- remaining;
-        base <- min_cursor
-      end
+      let drop_log l min_cursor on_drop =
+        let drop = min_cursor - l.base in
+        if drop > 0 then begin
+          (match on_drop with
+           | None -> ()
+           | Some f ->
+             for i = 0 to drop - 1 do f l.entries.(i) done);
+          let remaining = l.count - drop in
+          if remaining > 0 then Array.blit l.entries drop l.entries 0 remaining;
+          l.count <- remaining;
+          l.base <- min_cursor
+        end
+      in
+      drop_log urgent u_min None;
+      drop_log bulk b_min
+        (Some
+           (fun e ->
+              let net = e.route.Bgp_types.net in
+              match Hashtbl.find_opt bulk_pending net with
+              | Some n when n <= 1 -> Hashtbl.remove bulk_pending net
+              | Some n -> Hashtbl.replace bulk_pending net (n - 1)
+              | None -> ()))
 
     method add_route route =
       Telemetry.time h_add (fun () ->
-          self#append
+          self#append (Bgp_types.current_lane ())
             { op = `Add; route; trace = Telemetry.Trace.current () })
 
     method delete_route route =
       Telemetry.time h_del (fun () ->
-          self#append
+          self#append (Bgp_types.current_lane ())
             { op = `Delete; route; trace = Telemetry.Trace.current () })
 
     (* Pulls pass through to the decision stage upstream. The fanout
@@ -131,18 +219,21 @@ class fanout_table ~name ?(batch = 500)
       | Some p -> p#lookup_route net
       | None -> None
 
-    (* New readers start at the queue tail: they see only future
+    (* New readers start at both queue tails: they see only future
        updates. The owner dumps the existing table to them separately
        (Bgp_process runs a background winner-table dump on session
        establishment). *)
     method add_reader ~(info : Bgp_types.peer_info) (branch : Bgp_table.table)
       =
       Hashtbl.replace readers info.peer_id
-        { r_peer = info; r_branch = branch; cursor = base + count }
+        { r_peer = info; r_branch = branch;
+          u_cursor = urgent.base + urgent.count;
+          b_cursor = bulk.base + bulk.count }
 
     method remove_reader peer_id =
       Hashtbl.remove readers peer_id;
-      self#compact
+      self#compact;
+      self#set_lane_gauges
 
     method has_reader peer_id = Hashtbl.mem readers peer_id
   end

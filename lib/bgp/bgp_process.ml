@@ -27,6 +27,17 @@ let default_peer_config ~peer_addr ~local_addr ~peer_as =
     damping = None; checking_cache = false; deletion_slice = 100;
     aggregates = [] }
 
+(* One staged prefix from an inbound UPDATE, waiting in the per-peer
+   staging queue for the background drain task (§4): the session
+   handler validates the UPDATE and enqueues, and the route only
+   enters rib-in → decision → fanout when the drain task gets a
+   slice. *)
+type inbound_op = {
+  i_net : Ipv4net.t;
+  i_action : [ `Add of Bgp_types.attrs | `Withdraw ];
+  i_trace : Telemetry.Trace.ctx option;
+}
+
 type peer = {
   cfg : peer_config;
   info : Bgp_types.peer_info;
@@ -38,6 +49,8 @@ type peer = {
   export_branch : Bgp_table.table; (* top of the output branch *)
   out_cache : Bgp_cache.cache_table option;
   ribout : Bgp_ribout.rib_out;
+  inbound : inbound_op Queue.t;
+  mutable inbound_task : Eventloop.task option;
   mutable retry_timer : Eventloop.timer option;
   mutable endpoint : Netsim.Stream.endpoint option;
   mutable dump_task : Eventloop.task option;
@@ -54,6 +67,16 @@ type t = {
   bgp_port : int;
   send_to_rib : bool;
   nexthop_mode : [ `Rib | `Assume_resolvable ];
+  (* Inbound slicing and lane classification (§4 + §5.1): each slice
+     of a peer's drain task moves [1] staged prefix, [inbound_slice]
+     slices per event-loop turn; an op drained while its peer's
+     staging backlog is at least [urgent_threshold] is classified
+     bulk, otherwise urgent. *)
+  inbound_slice : int;
+  urgent_threshold : int;
+  lane_ordered : bool;
+  mutable inbound_backlog : int; (* staged ops across all peers *)
+  g_inbound : Telemetry.gauge;
   peers : (int, peer) Hashtbl.t; (* keyed by peer address *)
   (* peer_id -> kind, kept even after peer removal so in-flight RIB
      withdrawals are attributed to the right origin protocol *)
@@ -63,7 +86,7 @@ type t = {
   fanout : Bgp_fanout.fanout_table;
   local_ribin : Bgp_ribin.rib_in;
   listeners : (int, Netsim.Stream.listener) Hashtbl.t; (* by local addr *)
-  rib_q : (string * Bgp_types.route * Telemetry.Trace.ctx option) Queue.t;
+  rib_q : (string * Bgp_types.route * Telemetry.Trace.ctx option) Laneq.t;
   mutable rib_flush_scheduled : bool;
   mutable started : bool;
 }
@@ -167,29 +190,55 @@ let send_rib_run t entries =
               m "bulk RIB %s (%d routes) failed: %s" op0 n
                 (Xrl_error.to_string err)))
 
-let schedule_rib_flush t =
+(* Bulk-lane routes forwarded to the RIB per deferred flush: bounds how
+   long one loop turn spends packing and how large a synchronous run
+   the RIB's bulk handler processes, so an urgent flush in the next
+   turn is never far away. *)
+let rib_bulk_slice = 128
+
+let rec schedule_rib_flush t =
   if not t.rib_flush_scheduled then begin
     t.rib_flush_scheduled <- true;
     Eventloop.defer t.loop (fun () ->
         t.rib_flush_scheduled <- false;
-        (* Group consecutive same-op, same-protocol entries into runs,
-           preserving overall order: an add/delete alternation for the
-           same prefix must reach the RIB in sequence. *)
-        let rec drain run =
-          match Queue.take_opt t.rib_q with
-          | None -> send_rib_run t (List.rev run)
-          | Some ((op, route, _) as entry) -> (
-            match run with
-            | [] -> drain [ entry ]
-            | (prev_op, prev_route, _) :: _
-              when prev_op = op
-                   && rib_protocol t prev_route = rib_protocol t route ->
-              drain (entry :: run)
-            | _ ->
-              send_rib_run t (List.rev run);
-              drain [ entry ])
+        (* Urgent lane first, as per-route XRLs — the method is how the
+           lane crosses the XRL boundary: the RIB classifies per-route
+           rib/add_route arrivals as urgent and bulk-packed
+           rib/add_routes4 arrivals as bulk. Per-prefix order across
+           lanes is the Laneq guard's job. *)
+        let rec urgent () =
+          match Laneq.pop_urgent t.rib_q with
+          | Some (_, entry) ->
+            send_rib_one t entry;
+            urgent ()
+          | None -> ()
         in
-        drain [])
+        urgent ();
+        (* Group consecutive same-op, same-protocol bulk entries into
+           runs, preserving overall order: an add/delete alternation
+           for the same prefix must reach the RIB in sequence. Bounded
+           per flush; leftovers re-defer so timers and fresh I/O get
+           the loop in between. *)
+        let budget = ref rib_bulk_slice in
+        let rec drain run =
+          if !budget = 0 then send_rib_run t (List.rev run)
+          else
+            match Laneq.pop_bulk t.rib_q with
+            | None -> send_rib_run t (List.rev run)
+            | Some (_, ((op, route, _) as entry)) -> (
+              decr budget;
+              match run with
+              | [] -> drain [ entry ]
+              | (prev_op, prev_route, _) :: _
+                when prev_op = op
+                     && rib_protocol t prev_route = rib_protocol t route ->
+                drain (entry :: run)
+              | _ ->
+                send_rib_run t (List.rev run);
+                drain [ entry ])
+        in
+        drain [];
+        if not (Laneq.is_empty t.rib_q) then schedule_rib_flush t)
   end
 
 (* The fanout reader feeding the RIB. Locally originated routes
@@ -198,7 +247,10 @@ let make_rib_branch t : Bgp_table.table =
   let on op (route : Bgp_types.route) =
     if route.Bgp_types.peer_id <> 0 && t.send_to_rib then begin
       profile_net t pp_queued_rib (op ^ " ") route.net;
-      Queue.push (op, route, Telemetry.Trace.current ()) t.rib_q;
+      Laneq.push t.rib_q
+        (Bgp_types.current_lane ())
+        ~net:route.Bgp_types.net
+        (op, route, Telemetry.Trace.current ());
       schedule_rib_flush t
     end
   in
@@ -272,17 +324,82 @@ let start_winner_dump t peer =
         dump_should_send peer.info
           (t.decision#peer_info route.Bgp_types.peer_id)
           route
-      then peer.export_branch#add_route route;
+      then
+        (* A table dump is bulk by definition: fresh updates flowing
+           through the fanout overtake it in the peer's RibOut. *)
+        Bgp_types.with_lane Laneq.Bulk (fun () ->
+            peer.export_branch#add_route route);
       `Continue
   in
   peer.dump_task <- Some (Eventloop.add_task t.loop ~weight:100 one)
+
+(* --- inbound staging (§4 background-task slicing) --------------------- *)
+
+let inbound_backlog t = t.inbound_backlog
+
+let adjust_backlog t delta =
+  t.inbound_backlog <- t.inbound_backlog + delta;
+  Telemetry.set_gauge t.g_inbound (float_of_int t.inbound_backlog)
+
+let apply_inbound peer (op : inbound_op) =
+  match op.i_action with
+  | `Withdraw ->
+    peer.ribin#delete_route
+      { Bgp_types.net = op.i_net;
+        attrs = Bgp_types.default_attrs ~nexthop:Ipv4.zero;
+        peer_id = peer.info.peer_id; igp_metric = None }
+  | `Add attrs ->
+    peer.ribin#add_route
+      { Bgp_types.net = op.i_net; attrs; peer_id = peer.info.peer_id;
+        igp_metric = None }
+
+(* The per-peer drain task: one staged prefix per slice,
+   [t.inbound_slice] slices per event-loop turn, so a bulk table load
+   chips away between timers and fresh I/O instead of monopolising the
+   loop (the same §4 machinery as [start_winner_dump]). Lane
+   classification happens here, at drain time: an op drained while the
+   peer's staging backlog is deep is bulk; an op drained from a nearly
+   empty queue (a flap, or the tail of a load) is urgent. *)
+let ensure_inbound_task t peer =
+  match peer.inbound_task with
+  | Some _ -> ()
+  | None ->
+    let one () =
+      match Queue.take_opt peer.inbound with
+      | None ->
+        peer.inbound_task <- None;
+        `Done
+      | Some op ->
+        adjust_backlog t (-1);
+        let lane : Laneq.lane =
+          if Queue.length peer.inbound >= t.urgent_threshold then Laneq.Bulk
+          else Laneq.Urgent
+        in
+        Bgp_types.with_lane lane (fun () ->
+            Telemetry.Trace.with_ctx op.i_trace (fun () ->
+                apply_inbound peer op));
+        `Continue
+    in
+    peer.inbound_task <-
+      Some (Eventloop.add_task t.loop ~weight:t.inbound_slice one)
+
+(* Session gone: staged-but-undrained ops die with it (the Adj-RIB-In
+   they would have entered is being flushed anyway). *)
+let clear_inbound t peer =
+  adjust_backlog t (-Queue.length peer.inbound);
+  Queue.clear peer.inbound;
+  match peer.inbound_task with
+  | Some task ->
+    Eventloop.remove_task task;
+    peer.inbound_task <- None
+  | None -> ()
 
 let handle_update t peer (msg : Bgp_packet.msg) =
   match msg with
   | Bgp_packet.Update { withdrawn; attrs; nlri } ->
     (* The whole UPDATE is one root span; per-prefix work downstream
-       (fanout entries, rib_q entries, the RIB and FEA handlers) links
-       back to it through the captured contexts. *)
+       (staged ops, fanout entries, rib_q entries, the RIB and FEA
+       handlers) links back to it through the captured contexts. *)
     Telemetry.Trace.span_sync ~name:"bgp.update"
       ~note:
         (Printf.sprintf "%s +%d -%d"
@@ -291,39 +408,77 @@ let handle_update t peer (msg : Bgp_packet.msg) =
       ~clock:(fun () -> Eventloop.now t.loop)
     @@ fun () ->
     (* One record per prefix, so per-route latency can be traced
-       through all eight profile points of §8.2. *)
+       through all eight profile points of §8.2. The entering point is
+       recorded at receive time — staging delay is part of what the
+       later points measure. *)
     List.iter (fun net -> profile_net t pp_entering "delete " net) withdrawn;
     List.iter (fun net -> profile_net t pp_entering "add " net) nlri;
-    List.iter
-      (fun net ->
-         peer.ribin#delete_route
-           { Bgp_types.net;
-             attrs = Bgp_types.default_attrs ~nexthop:Ipv4.zero;
-             peer_id = peer.info.peer_id; igp_metric = None })
-      withdrawn;
-    (match attrs with
-     | Some a when nlri <> [] ->
-       if Aspath.contains a.Bgp_types.aspath t.local_as then
-         (* AS loop: our own AS already in the path. *)
-         Log.debug (fun m ->
-             m "loop detected from %s, ignoring %d prefixes"
-               (Ipv4.to_string peer.cfg.peer_addr)
-               (List.length nlri))
-       else begin
-         (* LOCAL_PREF is only meaningful on IBGP sessions. *)
-         let a =
-           match peer.info.kind with
-           | Bgp_types.Ebgp -> { a with Bgp_types.localpref = None }
-           | Bgp_types.Ibgp -> a
-         in
-         List.iter
-           (fun net ->
-              peer.ribin#add_route
-                { Bgp_types.net; attrs = a; peer_id = peer.info.peer_id;
-                  igp_metric = None })
-           nlri
-       end
-     | _ -> ())
+    (* Validation is per UPDATE, not per prefix, so it happens at
+       receive time: AS-loop rejection and the LOCAL_PREF session rule
+       (only meaningful on IBGP). *)
+    let nlri_attrs =
+      match attrs with
+      | Some a when nlri <> [] ->
+        if Aspath.contains a.Bgp_types.aspath t.local_as then begin
+          (* AS loop: our own AS already in the path. *)
+          Log.debug (fun m ->
+              m "loop detected from %s, ignoring %d prefixes"
+                (Ipv4.to_string peer.cfg.peer_addr)
+                (List.length nlri));
+          None
+        end
+        else
+          Some
+            (match peer.info.kind with
+             | Bgp_types.Ebgp -> { a with Bgp_types.localpref = None }
+             | Bgp_types.Ibgp -> a)
+      | _ -> None
+    in
+    let n_ops =
+      List.length withdrawn
+      + (match nlri_attrs with Some _ -> List.length nlri | None -> 0)
+    in
+    if Queue.is_empty peer.inbound && n_ops < t.urgent_threshold then
+      (* Fast path: nothing staged for this peer and the UPDATE is
+         flap-sized. Process synchronously in the urgent lane — the
+         idle-path pipeline (and its profile-point sequence) is exactly
+         what it was before inbound slicing, and a flap arriving during
+         another peer's bulk load enters the urgent lane right here. *)
+      Bgp_types.with_lane Laneq.Urgent (fun () ->
+          List.iter
+            (fun net ->
+               peer.ribin#delete_route
+                 { Bgp_types.net;
+                   attrs = Bgp_types.default_attrs ~nexthop:Ipv4.zero;
+                   peer_id = peer.info.peer_id; igp_metric = None })
+            withdrawn;
+          match nlri_attrs with
+          | Some a ->
+            List.iter
+              (fun net ->
+                 peer.ribin#add_route
+                   { Bgp_types.net; attrs = a;
+                     peer_id = peer.info.peer_id; igp_metric = None })
+              nlri
+          | None -> ())
+    else begin
+      (* Bulk path: stage every prefix (withdrawals first, as they
+         came) and let the background task drain them a slice at a
+         time. Per-peer FIFO keeps the §5.1.2 ordering within the
+         staging queue itself. *)
+      let stage action net =
+        Queue.push
+          { i_net = net; i_action = action;
+            i_trace = Telemetry.Trace.current () }
+          peer.inbound
+      in
+      List.iter (stage `Withdraw) withdrawn;
+      (match nlri_attrs with
+       | Some a -> List.iter (stage (`Add a)) nlri
+       | None -> ());
+      adjust_backlog t n_ops;
+      ensure_inbound_task t peer
+    end
   | _ -> ()
 
 let rec schedule_redial t peer =
@@ -375,6 +530,7 @@ let on_peer_down t peer reason =
      Eventloop.remove_task task;
      peer.dump_task <- None
    | None -> ());
+  clear_inbound t peer;
   peer.endpoint <- None;
   (* Hand the whole table to a background deletion stage (§5.1.2). *)
   peer.ribin#peering_went_down ~slice:peer.cfg.deletion_slice ();
@@ -440,7 +596,7 @@ let build_peer t (cfg : peer_config) =
           match !fsm_ref with
           | Some fsm -> Peer_fsm.send_update fsm msg
           | None -> false)
-      t.loop
+      ~ordered:t.lane_ordered t.loop
   in
   (* Output branch head: an optional aggregation stage in front of the
      export filters (§8.3-style late addition; neighbours unchanged). *)
@@ -504,6 +660,7 @@ let build_peer t (cfg : peer_config) =
            | Some a -> (a :> Bgp_table.table)
            | None -> (export_filter :> Bgp_table.table));
         out_cache; ribout;
+        inbound = Queue.create (); inbound_task = None;
         retry_timer = None; endpoint = None; dump_task = None; removed = false;
       }
   in
@@ -514,6 +671,7 @@ let build_peer t (cfg : peer_config) =
 (* --- XRL interface ----------------------------------------------------- *)
 
 let route_count t = t.decision#winner_count
+let fold_winners t f init = t.decision#fold_winners f init
 
 let originate t net =
   t.local_ribin#add_route
@@ -591,7 +749,10 @@ let add_xrl_handlers t =
 (* --- public API --------------------------------------------------------- *)
 
 let create ?families ?profiler ?(send_to_rib = true) ?(nexthop_mode = `Rib)
-    ?(bgp_port = 179) finder loop ~netsim ~local_as ~bgp_id () =
+    ?(bgp_port = 179) ?(inbound_slice = 64) ?(urgent_threshold = 64)
+    ?(lane_ordered = true) finder loop ~netsim ~local_as ~bgp_id () =
+  if inbound_slice < 1 || urgent_threshold < 1 then
+    invalid_arg "Bgp_process.create";
   (* A fresh generation starts its metric namespace from zero, so a
      restarted BGP process does not inherit the dead instance's counts. *)
   Telemetry.reset_prefix "bgp.";
@@ -600,19 +761,27 @@ let create ?families ?profiler ?(send_to_rib = true) ?(nexthop_mode = `Rib)
   let t =
     lazy
       (let fanout =
+         (* The bulk-lane batch scales with the inbound slice so the
+            fanout drains at least as fast as staging refills it, while
+            staying bounded per turn. *)
          new Bgp_fanout.fanout_table ~name:"fanout"
+           ~batch:(2 * inbound_slice) ~ordered:lane_ordered
            ~peer_info_of:(fun id -> decision#peer_info id)
            loop
        in
        {
          router; loop; netsim; profiler; local_as; bgp_id; bgp_port;
          send_to_rib; nexthop_mode;
+         inbound_slice; urgent_threshold; lane_ordered;
+         inbound_backlog = 0;
+         g_inbound = Telemetry.gauge "bgp.inbound.backlog";
          peers = Hashtbl.create 8; peer_kinds = Hashtbl.create 8;
          next_peer_id = 0;
          decision; fanout;
          local_ribin = new Bgp_ribin.rib_in ~name:"local" ~peer_id:0 loop;
          listeners = Hashtbl.create 4;
-         rib_q = Queue.create (); rib_flush_scheduled = false;
+         rib_q = Laneq.create ~ordered:lane_ordered ();
+         rib_flush_scheduled = false;
          started = false;
        })
   in
@@ -694,6 +863,7 @@ let remove_peer t addr =
        | Some task -> Eventloop.remove_task task
        | None -> ())
     end;
+    clear_inbound t peer;
     peer.ribin#peering_went_down ~slice:peer.cfg.deletion_slice ();
     (* Permanent removal: detach the branch from the decision process.
        The deletion stage's withdrawals still trigger re-evaluation,
@@ -767,6 +937,12 @@ let shutdown t =
        (match peer.retry_timer with
         | Some timer -> Eventloop.cancel timer
         | None -> ());
+       (match peer.dump_task with
+        | Some task ->
+          Eventloop.remove_task task;
+          peer.dump_task <- None
+        | None -> ());
+       clear_inbound t peer;
        Peer_fsm.stop peer.fsm)
     t.peers;
   Hashtbl.iter (fun _ l -> Netsim.Stream.unlisten l) t.listeners;

@@ -57,13 +57,38 @@ val create :
   ?send_to_rib:bool ->
   ?nexthop_mode:[ `Rib | `Assume_resolvable ] ->
   ?bgp_port:int ->
+  ?inbound_slice:int ->
+  ?urgent_threshold:int ->
+  ?lane_ordered:bool ->
   Finder.t -> Eventloop.t -> netsim:Netsim.t ->
   local_as:int -> bgp_id:Ipv4.t -> unit -> t
 (** Registers component class ["bgp"] with the Finder. [families]
     selects the XRL transports of the component's endpoint (default:
     intra-process; the simulation harness passes a chaos-wrapped
     family). [send_to_rib] defaults to true; [nexthop_mode] defaults to
-    [`Rib]; [bgp_port] defaults to 179. *)
+    [`Rib]; [bgp_port] defaults to 179.
+
+    [inbound_slice] (default 64) is the per-loop-turn work bound of
+    each peer's inbound staging task: received UPDATEs that cannot be
+    processed synchronously are staged per peer and drained
+    [inbound_slice] route operations per turn by a background task
+    (§4), so a 146k-route table load never monopolises the loop.
+    [urgent_threshold] (default 64) decides the lane of each drained
+    operation: while a peer's staged backlog is at least the threshold
+    the drain is a bulk load, below it the operations are urgent (a
+    flap during the load). An UPDATE carrying fewer than
+    [urgent_threshold] operations arriving on an empty staging queue
+    is processed synchronously in the urgent lane — the idle-path
+    behaviour is exactly the pre-slicing pipeline.
+
+    [lane_ordered] (default true) keeps the per-prefix FIFO guard of
+    the urgent/bulk lanes everywhere (an urgent change for a prefix
+    with bulk work still queued is demoted behind it, §5.1.2).
+    [lane_ordered:false] is the deliberately broken variant the
+    simulation fuzzer must catch.
+
+    @raise Invalid_argument if [inbound_slice] or [urgent_threshold]
+    is not positive. *)
 
 val add_peer : t -> peer_config -> unit
 (** @raise Invalid_argument if the peer address is already configured. *)
@@ -93,6 +118,9 @@ val established_count : t -> int
 val route_count : t -> int
 (** Post-decision winners. *)
 
+val fold_winners : t -> (Bgp_types.route -> 'a -> 'a) -> 'a -> 'a
+(** Fold over the post-decision winner table (prefix order). *)
+
 val ribin_count : t -> Ipv4.t -> int
 (** Routes currently stored in one peer's PeerIn. *)
 
@@ -113,6 +141,11 @@ val sever_session : t -> Ipv4.t -> bool
 
 val fanout_queue_length : t -> int
 val fanout_peak_queue_length : t -> int
+
+val inbound_backlog : t -> int
+(** Route operations staged across all peers' inbound queues, waiting
+    for their background drain tasks. Zero when idle or settled; also
+    surfaced as the [bgp.inbound.backlog] gauge. *)
 
 val instance_name : t -> string
 val xrl_router : t -> Xrl_router.t

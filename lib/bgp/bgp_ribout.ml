@@ -10,23 +10,40 @@
      the prefix was previously advertised).
    - IBGP: attributes pass unchanged, with LOCAL_PREF made explicit.
 
-   Batching: changes accumulate and are flushed in one deferred event;
-   withdrawals are packed together and announcements are grouped by
-   identical attributes, honouring the 4096-byte message limit. *)
+   Batching: changes accumulate and are flushed in bounded deferred
+   slices; withdrawals are packed together and announcements are
+   grouped by identical attributes, honouring the 4096-byte message
+   limit.
+
+   Lanes: pending changes ride the ambient urgent/bulk lane
+   (Bgp_types.current_lane), so a flap propagating to this peer
+   overtakes a table dump or bulk-load backlog still waiting in the
+   bulk lane. Each flush drains the urgent lane dry, then a bounded
+   bulk batch; the Laneq per-prefix guard keeps an urgent withdraw
+   from overtaking a still-pending bulk announce of the same prefix
+   (§5.1.2 across lanes). *)
 
 let max_prefixes_per_update = 700
 
+(* Bulk-lane changes drained per flush slice: bounds the dedup/group/
+   pack work one loop turn spends on a single peer's output. *)
+let bulk_flush_slice = 2048
+
 type change = Announce of Bgp_types.route | Withdraw of Ipv4net.t
+
+let change_net = function
+  | Announce r -> r.Bgp_types.net
+  | Withdraw net -> net
 
 class rib_out ~name ~(info : Bgp_types.peer_info) ~(local_as : int)
     ~(local_addr : Ipv4.t) ~(send : Bgp_packet.msg -> bool)
-    (loop : Eventloop.t) =
+    ?(ordered = true) (loop : Eventloop.t) =
   object (self)
     inherit Bgp_table.base name
     val h_add = Telemetry.histogram ("bgp." ^ name ^ ".add_us")
     val h_del = Telemetry.histogram ("bgp." ^ name ^ ".delete_us")
     val adv : Bgp_types.route Ptree.t = Ptree.create () (* Adj-RIB-Out *)
-    val pending : change Queue.t = Queue.create ()
+    val pending : change Laneq.t = Laneq.create ~ordered ()
     val mutable flush_scheduled = false
     val mutable updates_built = 0
 
@@ -64,16 +81,19 @@ class rib_out ~name ~(info : Bgp_types.peer_info) ~(local_as : int)
             self#flush)
       end
 
+    method private push_pending ch =
+      Laneq.push pending (Bgp_types.current_lane ()) ~net:(change_net ch) ch
+
     method add_route r =
       Telemetry.time h_add @@ fun () ->
       (match self#transform r with
        | Some r' ->
          ignore (Ptree.insert adv r'.Bgp_types.net r');
-         Queue.push (Announce r') pending
+         self#push_pending (Announce r')
        | None ->
          (* Transform dropped it; withdraw any previous advertisement. *)
          (match Ptree.remove adv r.Bgp_types.net with
-          | Some _ -> Queue.push (Withdraw r.Bgp_types.net) pending
+          | Some _ -> self#push_pending (Withdraw r.Bgp_types.net)
           | None -> ()));
       self#schedule_flush
 
@@ -81,27 +101,48 @@ class rib_out ~name ~(info : Bgp_types.peer_info) ~(local_as : int)
       Telemetry.time h_del @@ fun () ->
       match Ptree.remove adv r.Bgp_types.net with
       | Some _ ->
-        Queue.push (Withdraw r.Bgp_types.net) pending;
+        self#push_pending (Withdraw r.Bgp_types.net);
         self#schedule_flush
       | None -> () (* never advertised (filtered/transform-dropped) *)
 
     method lookup_route net = Ptree.find adv net
 
     method private flush =
-      (* Net effect per prefix: the last change wins. *)
+      (* One slice: the urgent lane drained dry, then a bounded bulk
+         batch. Leftover bulk re-defers, so one peer's huge output
+         backlog cannot monopolise a loop turn. *)
+      let drained = ref [] in
+      let rec take_urgent () =
+        match Laneq.pop_urgent pending with
+        | Some (_, ch) ->
+          drained := ch :: !drained;
+          take_urgent ()
+        | None -> ()
+      in
+      take_urgent ();
+      let budget = ref bulk_flush_slice in
+      let rec take_bulk () =
+        if !budget > 0 then
+          match Laneq.pop_bulk pending with
+          | Some (_, ch) ->
+            decr budget;
+            drained := ch :: !drained;
+            take_bulk ()
+          | None -> ()
+      in
+      take_bulk ();
+      (* Net effect per prefix within the slice: the last change wins.
+         Safe across lanes because the Laneq guard preserves per-prefix
+         push order, so "last in the slice" is "latest". *)
       let final : (Ipv4net.t, change) Hashtbl.t = Hashtbl.create 64 in
       let order = ref [] in
-      Queue.iter
+      List.iter
         (fun ch ->
-           let net =
-             match ch with
-             | Announce r -> r.Bgp_types.net
-             | Withdraw net -> net
-           in
+           let net = change_net ch in
            if not (Hashtbl.mem final net) then order := net :: !order;
            Hashtbl.replace final net ch)
-        pending;
-      Queue.clear pending;
+        (List.rev !drained);
+      if not (Laneq.is_empty pending) then self#schedule_flush;
       let withdrawals = ref [] in
       let announces = ref [] in (* (attrs, nets ref) groups *)
       List.iter
@@ -153,5 +194,7 @@ class rib_out ~name ~(info : Bgp_types.peer_info) ~(local_as : int)
        everything) so the fresh dump starts clean. *)
     method session_reset =
       Ptree.clear adv;
-      Queue.clear pending
+      Laneq.clear pending
+
+    method pending_length = Laneq.length pending
   end

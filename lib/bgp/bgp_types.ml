@@ -68,3 +68,19 @@ let local_peer_info ~local_as ~bgp_id =
     peer_bgp_id = bgp_id }
 
 let effective_localpref attrs = Option.value attrs.localpref ~default:100
+
+(* Ambient priority lane (urgent vs bulk), threaded through the staged
+   pipeline the same way trace contexts are: stages that defer work
+   capture the current lane alongside the entry and reinstate it when
+   draining, so a route classified bulk at the inbound staging queue
+   stays in the bulk lane all the way to the RIB hand-off. The default
+   is Urgent: interactive paths (originate/withdraw, redistribution,
+   nexthop invalidation) never wait behind a bulk backlog. *)
+let current_lane_ref = ref Laneq.Urgent
+
+let current_lane () = !current_lane_ref
+
+let with_lane lane f =
+  let saved = !current_lane_ref in
+  current_lane_ref := lane;
+  Fun.protect ~finally:(fun () -> current_lane_ref := saved) f

@@ -54,3 +54,16 @@ val local_peer_info : local_as:int -> bgp_id:Ipv4.t -> peer_info
 
 val effective_localpref : attrs -> int
 (** [localpref] or the conventional default 100. *)
+
+(** {1 Ambient priority lane}
+
+    The urgent/bulk lane ({!Laneq.lane}) a route change is travelling
+    in, threaded through the staged pipeline like trace contexts:
+    stages that defer work capture the current lane with each entry and
+    reinstate it when draining. Default is [Urgent]. *)
+
+val current_lane : unit -> Laneq.lane
+
+val with_lane : Laneq.lane -> (unit -> 'a) -> 'a
+(** [with_lane lane f] runs [f] with the ambient lane set to [lane],
+    restoring the previous lane afterwards (exception-safe). *)

@@ -17,6 +17,7 @@ and task = {
   weight : int;
   slice : unit -> [ `Continue | `Done ];
   mutable live : bool;
+  task_loop : t_ref;
 }
 
 and t = {
@@ -89,15 +90,24 @@ let defer t cb = Queue.push cb t.deferred
 
 let add_task t ?(weight = 1) slice =
   if weight < 1 then invalid_arg "Eventloop.add_task";
-  let task = { weight; slice; live = true } in
+  let task = { weight; slice; live = true; task_loop = t } in
   Queue.push task t.tasks;
   t.live_tasks <- t.live_tasks + 1;
   task
 
 let task_live task = task.live
 
-let remove_task task = task.live <- false
-(* live_tasks is decremented when the dead task is next dequeued. *)
+(* Retirement is the single place the counter goes down, guarded so a
+   task removed and then reaped (or removed twice) decrements exactly
+   once: [live_tasks] is always the number of tasks that still have
+   slices to run, which [quiescent] and [run_until_idle] rely on. *)
+let retire_task task =
+  if task.live then begin
+    task.live <- false;
+    task.task_loop.live_tasks <- task.task_loop.live_tasks - 1
+  end
+
+let remove_task = retire_task
 
 let add_reader t fd cb = Hashtbl.replace t.readers fd cb
 let remove_reader t fd = Hashtbl.remove t.readers fd
@@ -210,7 +220,7 @@ let run_one_task t =
     match Queue.take_opt t.tasks with
     | None -> false
     | Some task when not task.live ->
-      t.live_tasks <- t.live_tasks - 1;
+      (* Already retired by [remove_task]; just drop the queue slot. *)
       skim ()
     | Some task ->
       let rec slices n =
@@ -228,12 +238,8 @@ let run_one_task t =
       in
       t.dispatched <- t.dispatched + 1;
       (match slices task.weight with
-       | `Done ->
-         task.live <- false;
-         t.live_tasks <- t.live_tasks - 1
-       | `Continue ->
-         if task.live then Queue.push task t.tasks
-         else t.live_tasks <- t.live_tasks - 1);
+       | `Done -> retire_task task
+       | `Continue -> if task.live then Queue.push task t.tasks);
       true
   in
   skim ()

@@ -69,6 +69,10 @@ val add_task : t -> ?weight:int -> (unit -> [ `Continue | `Done ]) -> task
     many consecutive slices per round. *)
 
 val remove_task : task -> unit
+(** Idempotent. The task's [live_tasks] slot is released immediately —
+    [live_tasks]/[quiescent] never count removed-but-not-yet-swept
+    tasks — though its queue slot is reclaimed lazily. *)
+
 val task_live : task -> bool
 
 (** {1 File descriptors ([`Real] mode)} *)

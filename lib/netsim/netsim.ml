@@ -13,7 +13,14 @@ type stream_endpoint = {
   mutable ep_open : bool;
   mutable recv_cb : string -> unit;
   mutable close_cb : unit -> unit;
+  (* Segments in flight TOWARD this endpoint. Each delivery timer pops
+     the head, so delivery is FIFO in send order even when several
+     segments share a deadline and the seeded timer tie-break shuffles
+     their timers: a stream is TCP-like, it never reorders. *)
+  inflight : segment Queue.t;
 }
+
+and segment = Seg_data of string | Seg_close
 
 and dgram_socket = {
   dnet : t;
@@ -82,12 +89,14 @@ module Stream = struct
         let client =
           { net; latency; ep_local = (srcaddr, sport); ep_remote = (dst, port);
             peer = None; ep_open = true;
-            recv_cb = (fun _ -> ()); close_cb = (fun () -> ()) }
+            recv_cb = (fun _ -> ()); close_cb = (fun () -> ());
+            inflight = Queue.create () }
         in
         let server =
           { net; latency; ep_local = (dst, port); ep_remote = (srcaddr, sport);
             peer = Some client; ep_open = true;
-            recv_cb = (fun _ -> ()); close_cb = (fun () -> ()) }
+            recv_cb = (fun _ -> ()); close_cb = (fun () -> ());
+            inflight = Queue.create () }
         in
         client.peer <- Some server;
         (* SYN-ACK: the client learns of success one more latency
@@ -102,36 +111,48 @@ module Stream = struct
     (* SYN takes one latency to reach the listener. *)
     ignore (Eventloop.after net.loop latency attempt)
 
+  (* Queue one segment toward [peer] and schedule one delivery; the
+     timer delivers whatever is at the head, preserving send order. *)
+  let transmit net peer latency seg =
+    Queue.push seg peer.inflight;
+    ignore
+      (Eventloop.after net.loop latency (fun () ->
+           match Queue.take_opt peer.inflight with
+           | Some (Seg_data d) -> if peer.ep_open then peer.recv_cb d
+           | Some Seg_close ->
+             if peer.ep_open then begin
+               peer.ep_open <- false;
+               peer.close_cb ()
+             end
+           | None -> ()))
+
   let send ep data =
     if ep.ep_open then
       match ep.peer with
-      | Some peer ->
-        ignore
-          (Eventloop.after ep.net.loop ep.latency (fun () ->
-               if peer.ep_open then peer.recv_cb data))
+      | Some peer -> transmit ep.net peer ep.latency (Seg_data data)
       | None -> ()
 
   let on_receive ep cb = ep.recv_cb <- cb
   let on_close ep cb = ep.close_cb <- cb
 
+  (* The close notification rides the stream behind any data still in
+     flight, like a FIN. *)
   let close ep =
     if ep.ep_open then begin
       ep.ep_open <- false;
       match ep.peer with
-      | Some peer ->
-        ignore
-          (Eventloop.after ep.net.loop ep.latency (fun () ->
-               if peer.ep_open then begin
-                 peer.ep_open <- false;
-                 peer.close_cb ()
-               end))
+      | Some peer -> transmit ep.net peer ep.latency Seg_close
       | None -> ()
     end
 
   let sever ep =
     ep.ep_open <- false;
     match ep.peer with
-    | Some peer -> peer.ep_open <- false
+    | Some peer ->
+      peer.ep_open <- false;
+      (* Whatever was in flight dies with the wire. *)
+      Queue.clear peer.inflight;
+      Queue.clear ep.inflight
     | None -> ()
 
   let is_open ep = ep.ep_open

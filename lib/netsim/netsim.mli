@@ -38,14 +38,19 @@ module Stream : sig
 
   val send : endpoint -> string -> unit
   (** Queue bytes for in-order delivery to the peer after the path
-      latency. Bytes sent on a closed endpoint are dropped. *)
+      latency. Delivery is FIFO in send order even when several
+      messages share a deadline and the simulated loop's timer
+      tie-break would shuffle their timers — a stream never reorders,
+      like TCP. Bytes sent on a closed endpoint are dropped. *)
 
   val on_receive : endpoint -> (string -> unit) -> unit
   val on_close : endpoint -> (unit -> unit) -> unit
 
   val close : endpoint -> unit
-  (** Close both directions; the peer's close callback fires after the
-      path latency. Idempotent. *)
+  (** Close both directions; the notification rides the stream behind
+      any data still in flight (like a FIN), so the peer's close
+      callback fires after the path latency and after all sent data
+      has been delivered. Idempotent. *)
 
   val sever : endpoint -> unit
   (** Cut the connection {e silently}: both ends stop delivering and

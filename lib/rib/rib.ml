@@ -21,13 +21,32 @@ type t = {
      within one event-loop turn coalesce here and flush together on
      the next iteration. Each entry carries the trace context that was
      ambient when it was queued. *)
-  fea_q : (fea_op * Telemetry.Trace.ctx option) Queue.t;
+  fea_q : (fea_op * Telemetry.Trace.ctx option) Laneq.t;
   mutable fea_flush_armed : bool;
+  (* Lane for FIB pushes produced by the currently-running handler:
+     per-route XRLs ride urgent (the default), bulk transfers from a
+     table load ride bulk. Set around handler bodies, never stored in
+     entries — the Laneq remembers which lane each entry sits in. *)
+  mutable fea_lane : Laneq.lane;
+  g_fea_depth : Telemetry.gauge;
+  g_fea_urgent : Telemetry.gauge;
+  g_fea_bulk : Telemetry.gauge;
   (* False while no FEA instance is registered: updates queue instead
      of being sent into the void, and a rebirth triggers a full-FIB
      replay (the restarted FEA has an empty FIB). *)
   mutable fea_up : bool;
 }
+
+let set_fea_gauges t =
+  Telemetry.set_gauge t.g_fea_depth (float_of_int (Laneq.length t.fea_q));
+  Telemetry.set_gauge t.g_fea_urgent
+    (float_of_int (Laneq.urgent_length t.fea_q));
+  Telemetry.set_gauge t.g_fea_bulk (float_of_int (Laneq.bulk_length t.fea_q))
+
+let with_fea_lane t lane f =
+  let saved = t.fea_lane in
+  t.fea_lane <- lane;
+  Fun.protect ~finally:(fun () -> t.fea_lane <- saved) f
 
 (* Hot-path variant: skips payload construction when the point is
    disabled (a full-table load would otherwise allocate one string per
@@ -124,18 +143,48 @@ let send_run t (ops : (fea_op * Telemetry.Trace.ctx option) list) =
               m "bulk FEA update (%d routes) failed: %s" n
                 (Xrl_error.to_string err)))
 
-let flush_fea t =
+(* Bulk-lane FIB updates drained per flush slice: bounds the packing
+   work (and the size of each bulk XRL run) one loop turn spends on the
+   RIB->FEA leg, so a flap's urgent FIB update is never stuck behind a
+   full-table load already queued here. *)
+let fea_bulk_slice = 1024
+
+let rec flush_fea t =
   t.fea_flush_armed <- false;
   (* No live FEA: keep the queue. It goes out — or is superseded by the
      full replay — once an instance is back. *)
   if t.fea_up then begin
+    (* One slice: the urgent lane drained dry (flap-sized), then a
+       bounded bulk batch. Per-prefix order across lanes is preserved
+       by the Laneq demotion guard. *)
+    let drained = ref [] in
+    let rec take_urgent () =
+      match Laneq.pop_urgent t.fea_q with
+      | Some (_, item) ->
+        drained := item :: !drained;
+        take_urgent ()
+      | None -> ()
+    in
+    take_urgent ();
+    let budget = ref fea_bulk_slice in
+    let rec take_bulk () =
+      if !budget > 0 then
+        match Laneq.pop_bulk t.fea_q with
+        | Some (_, item) ->
+          decr budget;
+          drained := item :: !drained;
+          take_bulk ()
+        | None -> ()
+    in
+    take_bulk ();
+    let items = List.rev !drained in
     if t.bulk_fea then begin
       (* Group consecutive same-kind ops into runs, preserving overall
          order (an add/delete alternation must reach the FIB in
          sequence). *)
       let flush_run run = send_run t (List.rev run) in
       let run =
-        Queue.fold
+        List.fold_left
           (fun run ((op, _) as item) ->
              match run with
              | [] -> [ item ]
@@ -143,12 +192,18 @@ let flush_fea t =
              | _ ->
                flush_run run;
                [ item ])
-          [] t.fea_q
+          [] items
       in
       flush_run run
     end
-    else Queue.iter (fun (op, ctx) -> send_one t op ctx) t.fea_q;
-    Queue.clear t.fea_q
+    else List.iter (fun (op, ctx) -> send_one t op ctx) items;
+    set_fea_gauges t;
+    (* Leftover bulk re-defers: the next loop turn gets a chance to
+       interleave fresh urgent work ahead of it. *)
+    if not (Laneq.is_empty t.fea_q) then begin
+      t.fea_flush_armed <- true;
+      Eventloop.defer t.loop (fun () -> flush_fea t)
+    end
   end
 
 let send_fea t (op : fea_op) =
@@ -159,7 +214,9 @@ let send_fea t (op : fea_op) =
        queued within this turn flushes together (one bulk XRL per
        same-kind run). The deferral would lose the ambient trace
        context, so capture it per entry and reinstate it at send. *)
-    Queue.push (op, Telemetry.Trace.current ()) t.fea_q;
+    Laneq.push t.fea_q t.fea_lane ~net:(op_net op)
+      (op, Telemetry.Trace.current ());
+    set_fea_gauges t;
     if t.fea_up && not t.fea_flush_armed then begin
       t.fea_flush_armed <- true;
       Eventloop.defer t.loop (fun () -> flush_fea t)
@@ -291,6 +348,7 @@ let flush_protocol t protocol =
 
 let xrl_router t = t.router
 let invalidations_sent t = t.register#invalidations_sent
+let fea_queue_length t = Laneq.length t.fea_q
 
 (* --- XRL interface --------------------------------------------------- *)
 
@@ -346,6 +404,11 @@ let add_xrl_handlers t =
            ~note:(string_of_int n ^ " routes")
            ~clock:(fun () -> Eventloop.now t.loop)
            (fun () ->
+              (* A bulk transfer is a table load in flight: its FIB
+                 pushes ride the bulk lane so they cannot crowd a
+                 concurrent flap (arriving per-route, urgent) out of
+                 the RIB->FEA leg. *)
+              with_fea_lane t Laneq.Bulk @@ fun () ->
               List.iter
                 (fun { Route_pack.net; nexthop; protocol; metric; ifname = _ } ->
                    profile_net t pp_arrived "add " net;
@@ -375,6 +438,7 @@ let add_xrl_handlers t =
            ~note:(string_of_int n ^ " routes")
            ~clock:(fun () -> Eventloop.now t.loop)
            (fun () ->
+              with_fea_lane t Laneq.Bulk @@ fun () ->
               List.iter
                 (fun net ->
                    profile_net t pp_arrived "delete " net;
@@ -489,16 +553,20 @@ let watch_protocol_deaths t finder =
    against the old instance would be wrong; replace them with a full
    dump of the current winners. *)
 let replay_fib t =
-  Queue.clear t.fea_q;
+  Laneq.clear t.fea_q;
+  (* A full-FIB dump is the definition of bulk work: fresh urgent
+     changes for other prefixes overtake it, while the Laneq guard
+     keeps a change to a replayed prefix behind its replay entry. *)
   let n =
     fold_winners t
       (fun r n ->
-         Queue.push (`Add r, None) t.fea_q;
+         Laneq.push t.fea_q Laneq.Bulk ~net:r.Rib_route.net (`Add r, None);
          n + 1)
       0
   in
   Log.info (fun m -> m "FEA is back; replaying %d FIB entries" n);
-  if (not t.fea_flush_armed) && not (Queue.is_empty t.fea_q) then begin
+  set_fea_gauges t;
+  if (not t.fea_flush_armed) && not (Laneq.is_empty t.fea_q) then begin
     t.fea_flush_armed <- true;
     Eventloop.defer t.loop (fun () -> flush_fea t)
   end
@@ -521,7 +589,7 @@ let watch_fea_lifecycle ?(rebirth_replay = true) t finder =
         if not t.fea_up then begin
           t.fea_up <- true;
           if rebirth_replay then replay_fib t
-          else if (not t.fea_flush_armed) && not (Queue.is_empty t.fea_q)
+          else if (not t.fea_flush_armed) && not (Laneq.is_empty t.fea_q)
           then begin
             (* Faulty variant kept for the simulation harness's
                bug-injection mode: only the deltas held while the FEA
@@ -547,7 +615,11 @@ let create ?families ?batching ?profiler ?(send_to_fea = true)
   in
   let t =
     { router; loop; profiler; origins; register; redist; send_to_fea;
-      bulk_fea; fea_q = Queue.create (); fea_flush_armed = false;
+      bulk_fea; fea_q = Laneq.create (); fea_flush_armed = false;
+      fea_lane = Laneq.Urgent;
+      g_fea_depth = Telemetry.gauge "rib.fea_q.depth";
+      g_fea_urgent = Telemetry.gauge "rib.fea_q.urgent";
+      g_fea_bulk = Telemetry.gauge "rib.fea_q.bulk";
       fea_up = true }
   in
   t_ref := Some router;

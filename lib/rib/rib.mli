@@ -35,9 +35,11 @@ val create :
   Finder.t -> Eventloop.t -> unit -> t
 (** Registers class ["rib"] (sole) with the Finder. With
     [send_to_fea] (default true), winner changes are pushed to the
-    ["fea"] target: changes made within one event-loop turn coalesce
-    and, with [bulk_fea] (default true), each consecutive same-kind
-    run of two or more leaves as one bulk [add_routes4] /
+    ["fea"] target: changes coalesce in a two-lane transmit queue
+    (urgent for per-route changes, bulk for table loads arriving over
+    the bulk [rib/add_routes4] XRLs) that flushes in bounded deferred
+    slices, and, with [bulk_fea] (default true), each consecutive
+    same-kind run of two or more leaves as one bulk [add_routes4] /
     [delete_routes4] XRL (single routes keep the per-route XRL).
     [batching] is passed to the underlying {!Xrl_router.create}. The
     RIB watches the ["bgp"], ["rip"] and ["ospf"] component classes
@@ -92,6 +94,13 @@ val flush_protocol : t -> string -> unit
 
 val xrl_router : t -> Xrl_router.t
 val invalidations_sent : t -> int
+
+val fea_queue_length : t -> int
+(** FIB updates queued towards the FEA (both lanes). The RIB→FEA leg
+    drains the urgent lane dry each flush and the bulk lane in bounded
+    slices, so during a table load this stays non-zero for a while;
+    also surfaced as the [rib.fea_q.depth] gauge. *)
+
 val shutdown : t -> unit
 
 (** {1 Profile points (Figures 10–12)} *)

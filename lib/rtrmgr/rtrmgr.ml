@@ -423,6 +423,47 @@ let show_dataplane t =
 
 let show_telemetry _t = Telemetry.render_table ()
 
+(* The pipeline's staging queues and priority lanes (paper §5.1): the
+   BGP inbound backlog, the fanout/RibOut lane splits, and the RIB's
+   FEA transmit queue. During a full-table load the bulk figures swell
+   while the urgent lanes stay near zero — that gap is the
+   head-of-line fix at work. Live depths come from this router's
+   components; the lane split from their telemetry gauges. *)
+let show_queues t =
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let rows =
+    Telemetry.list_metrics ()
+    |> List.filter_map (fun (name, m) ->
+      match m with
+      | Telemetry.Gauge g
+        when contains name ".lane." || contains name ".backlog"
+             || contains name ".fea_q." ->
+        Some (name, int_of_float (Telemetry.gauge_value g))
+      | _ -> None)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%-34s %8s\n" "Queue" "depth");
+  Buffer.add_string buf
+    (Printf.sprintf "%-34s %8d\n" "rib.fea_q (live)"
+       (Rib.fea_queue_length t.rib_c));
+  Option.iter
+    (fun bgp_c ->
+       Buffer.add_string buf
+         (Printf.sprintf "%-34s %8d\n" "bgp.inbound (live)"
+            (Bgp_process.inbound_backlog bgp_c));
+       Buffer.add_string buf
+         (Printf.sprintf "%-34s %8d\n" "bgp.fanout (live)"
+            (Bgp_process.fanout_queue_length bgp_c)))
+    t.bgp_c;
+  List.iter
+    (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "%-34s %8d\n" n v))
+    rows;
+  Buffer.contents buf
+
 let telemetry_router t = t.tel_r
 
 let shutdown t =

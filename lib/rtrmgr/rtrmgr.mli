@@ -59,4 +59,11 @@ val show_telemetry : t -> string
 (** Counters, gauges, latency histograms (count/p50/p90/p99/max) and
     the span-ring occupancy, rendered as aligned text tables. *)
 
+val show_queues : t -> string
+(** The control-plane pipeline's staging queues and priority lanes:
+    the BGP inbound backlog, the fanout/RibOut urgent/bulk lane
+    depths, and the RIB's FEA transmit queue. During a full-table
+    load the bulk figures swell while the urgent lanes stay near
+    zero — the visible signature of the head-of-line fix. *)
+
 val shutdown : t -> unit

@@ -19,6 +19,7 @@ type op =
   | Restart of component
   | Flap of source
   | Inject of int
+  | Surge of int
   | Sever
   | Delay_burst of float
   | Check
@@ -41,6 +42,7 @@ let kill_at at c = { at; op = Kill c }
 let restart_at at c = { at; op = Restart c }
 let flap_at at s = { at; op = Flap s }
 let inject_routes at n = { at; op = Inject n }
+let surge_at at n = { at; op = Surge n }
 let partition at = { at; op = Sever }
 let delay_burst_at at ~dur = { at; op = Delay_burst dur }
 let check_at at = { at; op = Check }
@@ -71,6 +73,7 @@ let op_to_string = function
   | Restart c -> "restart " ^ component_name c
   | Flap s -> "flap " ^ source_name s
   | Inject n -> Printf.sprintf "inject %d" n
+  | Surge n -> Printf.sprintf "surge %d" n
   | Sever -> "sever"
   | Delay_burst d -> Printf.sprintf "delay-burst %g" d
   | Check -> "check"
@@ -162,6 +165,10 @@ let of_string text =
             | [ "inject"; n ] -> (
               match int_of_string_opt n with
               | Some n -> add (Inject n)
+              | None -> err "bad count %S" n)
+            | [ "surge"; n ] -> (
+              match int_of_string_opt n with
+              | Some n -> add (Surge n)
               | None -> err "bad count %S" n)
             | [ "sever" ] -> add Sever
             | [ "delay-burst"; d ] -> (
@@ -276,11 +283,13 @@ protocols {
 type opts = {
   fea_rebirth_replay : bool;
   dataplane_ttl_leak : bool;
+  bgp_lane_unordered : bool;
   log_trace : bool;
 }
 
 let default_opts =
-  { fea_rebirth_replay = true; dataplane_ttl_leak = false; log_trace = false }
+  { fea_rebirth_replay = true; dataplane_ttl_leak = false;
+    bgp_lane_unordered = false; log_trace = false }
 
 (* The known-bad element class for [dataplane_ttl_leak]: decrements the
    TTL like DecTtl but forgets to kill expired packets, so a TTL that
@@ -406,9 +415,15 @@ and start_component w comp =
     end
   | C_bgp ->
     if w.bgp = None then begin
+      (* Tiny inbound slices (the real defaults are sized for 146k-route
+         loads) so even the harness's small surges exercise the staged
+         inbound path and both priority lanes; [lane_ordered:false] is
+         the injected lane-reorder bug the fuzzer must catch. *)
       let bgp =
-        Bgp_process.create ~families:w.families w.finder w.loop
-          ~netsim:w.netsim ~local_as:65001 ~bgp_id:(ip "1.1.1.1") ()
+        Bgp_process.create ~families:w.families ~inbound_slice:4
+          ~urgent_threshold:4 ~lane_ordered:(not w.opts.bgp_lane_unordered)
+          w.finder w.loop ~netsim:w.netsim ~local_as:65001
+          ~bgp_id:(ip "1.1.1.1") ()
       in
       Bgp_process.add_peer bgp
         { (Bgp_process.default_peer_config ~peer_addr:(ip "10.0.0.9")
@@ -593,6 +608,36 @@ let exec w op =
        for _ = 1 to n do
          Bgp_process.originate bgp (fresh_prefix w)
        done)
+  | Surge n ->
+    tr w "event: surge %d" n;
+    (match Rtrmgr.bgp w.isp with
+     | None -> ()
+     | Some bgp ->
+       let nets = List.init n (fun _ -> fresh_prefix w) in
+       List.iter (Bgp_process.originate bgp) nets;
+       (* Two loop iterations later — after the ISP's RibOut has
+          flushed the surge UPDATE, but in the same virtual instant —
+          withdraw the last surged prefix and originate three more.
+          At the DUT the surge is staged; the chaser lands right
+          behind it, so the last add drains with a 4-deep tail (bulk
+          lane) while the withdrawal drains moments later from the
+          nearly empty queue (urgent lane). The §5.1.2 per-prefix
+          guard is what keeps that urgent withdrawal behind the very
+          bulk add it must not overtake. *)
+       match List.rev nets with
+       | last :: _ ->
+         Eventloop.defer w.loop (fun () ->
+             Eventloop.defer w.loop (fun () ->
+                 match Rtrmgr.bgp w.isp with
+                 | Some bgp ->
+                   tr w "surge chaser: withdraw %s +3"
+                     (Ipv4net.to_string last);
+                   Bgp_process.withdraw bgp last;
+                   for _ = 1 to 3 do
+                     Bgp_process.originate bgp (fresh_prefix w)
+                   done
+                 | None -> ()))
+       | [] -> ())
   | Sever -> (
     tr w "event: sever";
     match w.bgp with
@@ -1000,7 +1045,8 @@ let generate ~seed =
       if Rng.bool g then
         evs := restart_at (at +. 5. +. (Rng.float g *. 20.)) c :: !evs
     | 4 | 5 -> evs := flap_at at sources.(Rng.int g (Array.length sources)) :: !evs
-    | 6 | 7 -> evs := inject_routes at (1 + Rng.int g 15) :: !evs
+    | 6 -> evs := inject_routes at (1 + Rng.int g 15) :: !evs
+    | 7 -> evs := surge_at at (5 + Rng.int g 15) :: !evs
     | 8 -> evs := partition at :: !evs
     | _ -> evs := delay_burst_at at ~dur:(2. +. (Rng.float g *. 8.)) :: !evs
   done;

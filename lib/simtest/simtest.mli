@@ -48,6 +48,12 @@ type op =
                                it 2 s later. *)
   | Inject of int          (** Originate N fresh prefixes at the ISP,
                                drawn from the seeded feed stream. *)
+  | Surge of int           (** Originate N fresh prefixes at the ISP,
+                               then withdraw the last one in the same
+                               virtual instant (two loop iterations
+                               later), so the withdrawal chases the
+                               surge through the DUT's staged inbound
+                               queue and priority lanes (§5.1.2). *)
   | Sever                  (** Silently cut the DUT-ISP BGP session
                                (only hold timers can detect it). *)
   | Delay_burst of float   (** For the given duration, delay + jitter
@@ -80,6 +86,7 @@ val kill_at : float -> component -> event
 val restart_at : float -> component -> event
 val flap_at : float -> source -> event
 val inject_routes : float -> int -> event
+val surge_at : float -> int -> event
 val partition : float -> event
 (** Silent cut of the DUT-ISP session at the given time ({!Sever}). *)
 
@@ -113,6 +120,12 @@ type opts = {
       the harness can prove the forwarding invariant (element graph
       agrees with {!Fib.lookup}; TTL-expired packets die inside the
       graph, visibly) catches the leak. *)
+  bgp_lane_unordered : bool;
+  (** [true] creates the DUT's BGP with [lane_ordered:false] — the
+      priority lanes lose their per-prefix FIFO guard, so an urgent
+      withdrawal can overtake the still-queued bulk add of the same
+      prefix ({!Surge} provokes exactly this race) and BGP and the RIB
+      end up disagreeing. The harness must catch the divergence. *)
   log_trace : bool;
   (** Also print trace lines to stderr as they happen. *)
 }
@@ -137,8 +150,8 @@ val run : ?opts:opts -> scenario -> outcome
 
 val generate : seed:int -> scenario
 (** The seed-indexed scenario family the fuzzer explores: 0-4 faults
-    (kills, restarts, flaps, injections, severs, delay bursts) at
-    seeded times, seeded background chaos and latency. *)
+    (kills, restarts, flaps, injections, surges, severs, delay bursts)
+    at seeded times, seeded background chaos and latency. *)
 
 type fuzz_result = {
   seeds_run : int;

@@ -184,6 +184,40 @@ let test_task_remove () =
   Eventloop.run loop;
   check Alcotest.int "self-removal honoured" 3 !slices
 
+let test_task_accounting_exact () =
+  (* remove_task must release the live_tasks slot immediately, not when
+     the dead task is next dequeued: quiescent/live_tasks would
+     otherwise over-report until the next task sweep. *)
+  let loop = Eventloop.create () in
+  let t1 = Eventloop.add_task loop (fun () -> `Continue) in
+  let t2 = Eventloop.add_task loop (fun () -> `Continue) in
+  check Alcotest.int "two live" 2 (Eventloop.live_tasks loop);
+  Eventloop.remove_task t1;
+  check Alcotest.int "eager decrement" 1 (Eventloop.live_tasks loop);
+  Eventloop.remove_task t1;
+  check Alcotest.int "idempotent" 1 (Eventloop.live_tasks loop);
+  Eventloop.remove_task t2;
+  check Alcotest.int "none live" 0 (Eventloop.live_tasks loop);
+  check Alcotest.bool "quiescent without a sweep" true
+    (Eventloop.quiescent loop);
+  (* The stale queue slots are reclaimed without double-decrementing. *)
+  Eventloop.run_until_idle loop;
+  check Alcotest.int "still zero after sweep" 0 (Eventloop.live_tasks loop)
+
+let test_task_accounting_self_remove () =
+  (* A slice that removes its own task (then returns either way) must
+     release exactly one slot. *)
+  let loop = Eventloop.create () in
+  let task = ref None in
+  task :=
+    Some
+      (Eventloop.add_task loop (fun () ->
+           Option.iter Eventloop.remove_task !task;
+           `Done));
+  Eventloop.run_until_idle loop;
+  check Alcotest.int "no underflow" 0 (Eventloop.live_tasks loop);
+  check Alcotest.bool "quiescent" true (Eventloop.quiescent loop)
+
 let test_task_weights () =
   let loop = Eventloop.create () in
   let a = ref 0 and b = ref 0 in
@@ -371,6 +405,10 @@ let () =
           Alcotest.test_case "yields to events" `Quick
             test_background_task_yields_to_events;
           Alcotest.test_case "removal" `Quick test_task_remove;
+          Alcotest.test_case "removal accounting is exact" `Quick
+            test_task_accounting_exact;
+          Alcotest.test_case "self-removal accounting" `Quick
+            test_task_accounting_self_remove;
           Alcotest.test_case "weights" `Quick test_task_weights;
         ] );
       ( "running",

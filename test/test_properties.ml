@@ -260,6 +260,171 @@ let prop_fanout_order_and_filtering =
             List.rev !(Hashtbl.find seen id) = expect)
          [ 1; 2; 3 ])
 
+(* --- priority lanes -------------------------------------------------------- *)
+
+(* The Laneq contract: however pushes and drain turns interleave, and
+   whichever lane each push rides, consumption order per prefix is push
+   order (the §5.1.2 guard demotes an urgent push whose prefix still
+   has bulk work pending). A turn is the consumer contract in code:
+   urgent drained dry, then a bounded bulk batch. *)
+type laneq_op = L_push of int * bool (* net index, is_bulk *) | L_turn
+
+let gen_laneq_ops =
+  QCheck.Gen.(
+    list_size (int_range 1 200)
+      (let* is_turn = frequency [ (3, return false); (1, return true) ] in
+       if is_turn then return L_turn
+       else
+         let* net = int_range 0 3 in
+         let* bulk = bool in
+         return (L_push (net, bulk))))
+
+let arb_laneq_ops =
+  QCheck.make gen_laneq_ops
+    ~print:(fun ops ->
+        String.concat ""
+          (List.map
+             (function
+               | L_push (n, b) -> Printf.sprintf "%c%d" (if b then 'b' else 'u') n
+               | L_turn -> "|")
+             ops))
+
+let prop_laneq_per_prefix_fifo =
+  QCheck.Test.make ~name:"laneq: per-prefix FIFO across lanes" ~count:300
+    arb_laneq_ops (fun ops ->
+        let q : int Laneq.t = Laneq.create () in
+        let nets =
+          Array.init 4 (fun i -> Ipv4net.make (Ipv4.of_octets 10 i 0 0) 16)
+        in
+        let seq = ref 0 in
+        let drained : (int, int list ref) Hashtbl.t = Hashtbl.create 4 in
+        let note net v =
+          let l =
+            match Hashtbl.find_opt drained net with
+            | Some l -> l
+            | None ->
+              let l = ref [] in
+              Hashtbl.replace drained net l;
+              l
+          in
+          l := v :: !l
+        in
+        let net_index n = Ipv4.to_int (Ipv4net.network n) lsr 16 land 0xff in
+        let turn () =
+          let rec urgent () =
+            match Laneq.pop_urgent q with
+            | Some (n, v) -> note (net_index n) v; urgent ()
+            | None -> ()
+          in
+          urgent ();
+          for _ = 1 to 3 do
+            match Laneq.pop_bulk q with
+            | Some (n, v) -> note (net_index n) v
+            | None -> ()
+          done
+        in
+        List.iter
+          (function
+            | L_push (i, bulk) ->
+              incr seq;
+              Laneq.push q
+                (if bulk then Laneq.Bulk else Laneq.Urgent)
+                ~net:nets.(i) !seq
+            | L_turn -> turn ())
+          ops;
+        while not (Laneq.is_empty q) do turn () done;
+        Hashtbl.fold
+          (fun _ l ok ->
+             let order = List.rev !l in
+             ok && List.sort compare order = order)
+          drained true)
+
+(* Sliced inbound staging must be invisible at the routing level: the
+   same announce/withdraw script, played into one receiver that stages
+   and drains every UPDATE in 2-op background slices (all bulk lane)
+   and into one that processes every UPDATE synchronously (all
+   urgent), must end with identical winner tables. *)
+type inbound_op = I_ann of int | I_wdr of int | I_settle
+
+let gen_inbound_ops =
+  QCheck.Gen.(
+    list_size (int_range 1 60)
+      (let* k = int_range 0 9 in
+       let* net = int_range 0 11 in
+       return
+         (if k = 0 then I_settle else if k <= 6 then I_ann net else I_wdr net)))
+
+let arb_inbound_ops =
+  QCheck.make gen_inbound_ops
+    ~print:(fun ops ->
+        String.concat ";"
+          (List.map
+             (function
+               | I_ann n -> Printf.sprintf "+%d" n
+               | I_wdr n -> Printf.sprintf "-%d" n
+               | I_settle -> "~")
+             ops))
+
+let prop_sliced_inbound_equivalence =
+  QCheck.Test.make ~name:"sliced inbound agrees with synchronous" ~count:25
+    arb_inbound_ops (fun ops ->
+        let world ~sliced =
+          let loop = Eventloop.create () in
+          let netsim = Netsim.create loop in
+          let finder = Finder.create () in
+          let mk ?inbound_slice ?urgent_threshold ~local_as ~bgp_id () =
+            Bgp_process.create ~send_to_rib:false
+              ~nexthop_mode:`Assume_resolvable ?inbound_slice
+              ?urgent_threshold finder loop ~netsim ~local_as ~bgp_id ()
+          in
+          let a = mk ~local_as:65001 ~bgp_id:(addr "1.1.1.1") () in
+          let b =
+            if sliced then
+              (* Tiny slices, threshold 1: every UPDATE staged, every
+                 drained op rides the bulk lane. *)
+              mk ~inbound_slice:2 ~urgent_threshold:1 ~local_as:65002
+                ~bgp_id:(addr "2.2.2.2") ()
+            else
+              (* Threshold too high to ever stage: the synchronous
+                 reference pipeline. *)
+              mk ~urgent_threshold:1_000_000 ~local_as:65002
+                ~bgp_id:(addr "2.2.2.2") ()
+          in
+          Bgp_process.add_peer a
+            (Bgp_process.default_peer_config ~peer_addr:(addr "10.0.0.2")
+               ~local_addr:(addr "10.0.0.1") ~peer_as:65002);
+          Bgp_process.add_peer b
+            (Bgp_process.default_peer_config ~peer_addr:(addr "10.0.0.1")
+               ~local_addr:(addr "10.0.0.2") ~peer_as:65001);
+          Bgp_process.start a;
+          Bgp_process.start b;
+          Eventloop.run_until_time loop (Eventloop.now loop +. 2.0);
+          let test_net i = Ipv4net.make (Ipv4.of_octets 10 100 i 0) 24 in
+          List.iter
+            (function
+              | I_ann i -> Bgp_process.originate a (test_net i)
+              | I_wdr i -> Bgp_process.withdraw a (test_net i)
+              | I_settle ->
+                Eventloop.run_until_time loop (Eventloop.now loop +. 0.2))
+            ops;
+          Eventloop.run_until_time loop (Eventloop.now loop +. 5.0);
+          Eventloop.run_until_idle loop;
+          let winners =
+            Bgp_process.fold_winners b
+              (fun r acc ->
+                 (Ipv4net.to_string r.Bgp_types.net, r.Bgp_types.attrs) :: acc)
+              []
+          in
+          (Bgp_process.inbound_backlog b, winners)
+        in
+        let backlog_sliced, sliced = world ~sliced:true in
+        let _, sync = world ~sliced:false in
+        backlog_sliced = 0
+        && List.length sliced = List.length sync
+        && List.for_all2
+          (fun (n1, a1) (n2, a2) -> n1 = n2 && Bgp_types.attrs_equal a1 a2)
+          sliced sync)
+
 let () =
   Alcotest.run "xorp_properties"
     [
@@ -274,4 +439,7 @@ let () =
       ( "fanout",
         List.map Seeded.qcheck
           [ prop_fanout_order_and_filtering ] );
+      ( "lanes",
+        List.map Seeded.qcheck
+          [ prop_laneq_per_prefix_fifo; prop_sliced_inbound_equivalence ] );
     ]

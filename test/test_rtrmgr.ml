@@ -271,6 +271,24 @@ let test_boot_bgp_pair_from_config () =
     (Astring.String.is_infix ~affix:"Established" (Rtrmgr.show_bgp_peers rb));
   check Alcotest.bool "fib shown" true
     (Astring.String.is_infix ~affix:"128.16.0.0/16" (Rtrmgr.show_fib rb));
+  (* The queue pane names the staging queues and both fanout lanes,
+     and everything has drained at quiescence. *)
+  let queues = Rtrmgr.show_queues rb in
+  List.iter
+    (fun row ->
+       check Alcotest.bool (row ^ " shown") true
+         (Astring.String.is_infix ~affix:row queues))
+    [ "bgp.inbound"; "bgp.fanout.lane.urgent"; "bgp.fanout.lane.bulk";
+      "rib.fea_q" ];
+  List.iteri
+    (fun i line ->
+       if i > 0 && line <> "" then
+         match List.rev (String.split_on_char ' ' line) with
+         | depth :: _ ->
+           check Alcotest.string
+             (Printf.sprintf "queue row %d drained" i) "0" depth
+         | [] -> ())
+    (String.split_on_char '\n' queues);
   Rtrmgr.shutdown ra;
   Rtrmgr.shutdown rb
 

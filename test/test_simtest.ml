@@ -54,6 +54,7 @@ let test_text_form_roundtrip () =
         Simtest.restart_at 31.5 Simtest.C_ospf;
         Simtest.flap_at 40.25 Simtest.S_rip;
         Simtest.inject_routes 50. 12;
+        Simtest.surge_at 55. 9;
         Simtest.partition 60.;
         Simtest.delay_burst_at 70. ~dur:3.5;
         Simtest.check_at 80. ]
@@ -130,6 +131,50 @@ let test_fuzz_shrinks_dataplane_bug () =
     check Alcotest.bool "shrunk scenario still fails" true
       (o.Simtest.violations <> [])
 
+let test_lane_reorder_caught () =
+  (* A surge staged through BGP's sliced inbound path ends with an
+     urgent withdrawal chasing a still-queued bulk add of the same
+     prefix. With the per-prefix lane guard (the default) the
+     withdrawal is demoted behind the add and everything converges;
+     with [bgp_lane_unordered] the withdrawal overtakes it, the RIB
+     applies delete-then-add, and BGP and the RIB disagree about the
+     prefix forever after. *)
+  let sc = Simtest.scenario ~seed:3 ~horizon:60. [ Simtest.surge_at 30. 10 ] in
+  assert_green "ordered lanes" (Simtest.run sc);
+  let bad = { Simtest.default_opts with Simtest.bgp_lane_unordered = true } in
+  let o = Simtest.run ~opts:bad sc in
+  match o.Simtest.violations with
+  | [] -> Alcotest.fail "lane-reorder bug escaped the invariant checkers"
+  | v :: _ ->
+    check Alcotest.bool "violation names the BGP/RIB disagreement" true
+      (Astring.String.is_infix ~affix:"RIB ebgp origin" v)
+
+let test_fuzz_finds_and_shrinks_lane_reorder () =
+  let bad = { Simtest.default_opts with Simtest.bgp_lane_unordered = true } in
+  let r = Simtest.fuzz ~opts:bad ~base:0 ~count:10 () in
+  match r.Simtest.failed with
+  | None -> Alcotest.fail "fuzzer missed the lane-reorder bug in 10 seeds"
+  | Some (o, minimal) ->
+    check Alcotest.bool "original outcome was red" true
+      (o.Simtest.violations <> []);
+    (* Only a surge provokes the race, so shrinking must cut the
+       schedule down to (at least) one. *)
+    check Alcotest.bool "shrunk scenario keeps a surge" true
+      (List.exists
+         (fun e -> match e.Simtest.op with Simtest.Surge _ -> true | _ -> false)
+         minimal.Simtest.events);
+    check Alcotest.bool "shrunk to at most 2 events" true
+      (List.length minimal.Simtest.events <= 2);
+    let o' = Simtest.run ~opts:bad minimal in
+    check Alcotest.bool "shrunk scenario still fails" true
+      (o'.Simtest.violations <> []);
+    (match Simtest.of_string (Simtest.to_string minimal) with
+     | Error e -> Alcotest.failf "counterexample does not reparse: %s" e
+     | Ok sc ->
+       let o'' = Simtest.run ~opts:bad sc in
+       check Alcotest.bool "reparsed counterexample still fails" true
+         (o''.Simtest.violations <> []))
+
 let test_fuzz_batch_green () =
   let r = Simtest.fuzz ~base:0 ~count:25 () in
   check Alcotest.int "all seeds ran" 25 r.Simtest.seeds_run;
@@ -167,6 +212,10 @@ let () =
             test_dataplane_ttl_leak_caught;
           Alcotest.test_case "fuzzer shrinks the dataplane bug" `Quick
             test_fuzz_shrinks_dataplane_bug;
+          Alcotest.test_case "lane reorder caught" `Quick
+            test_lane_reorder_caught;
+          Alcotest.test_case "fuzzer finds and shrinks lane reorder" `Quick
+            test_fuzz_finds_and_shrinks_lane_reorder;
           Alcotest.test_case "green batch" `Quick test_fuzz_batch_green;
         ] );
     ]

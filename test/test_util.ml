@@ -384,6 +384,77 @@ let prop_mask_len =
          else if (m lsr (31 - i)) land 1 = 1 then ones (i + 1) else i in
        ones 0 = l)
 
+(* --- Laneq ----------------------------------------------------------- *)
+
+let lq_net i = Ipv4net.make (Ipv4.of_octets 10 i 0 0) 16
+
+let test_laneq_basics () =
+  let q : int Laneq.t = Laneq.create () in
+  Alcotest.(check bool) "empty" true (Laneq.is_empty q);
+  Laneq.push q Laneq.Urgent ~net:(lq_net 1) 1;
+  Laneq.push q Laneq.Bulk ~net:(lq_net 2) 2;
+  Laneq.push q Laneq.Urgent ~net:(lq_net 3) 3;
+  check Alcotest.int "length" 3 (Laneq.length q);
+  check Alcotest.int "urgent" 2 (Laneq.urgent_length q);
+  check Alcotest.int "bulk" 1 (Laneq.bulk_length q);
+  check Alcotest.int "peak" 3 (Laneq.peak_length q);
+  (* pop serves urgent before bulk *)
+  (match Laneq.pop q with
+   | Some (_, 1) -> ()
+   | _ -> Alcotest.fail "expected urgent 1 first");
+  (match Laneq.pop q with
+   | Some (_, 3) -> ()
+   | _ -> Alcotest.fail "expected urgent 3 before bulk");
+  (match Laneq.pop q with
+   | Some (_, 2) -> ()
+   | _ -> Alcotest.fail "expected bulk 2 last");
+  Alcotest.(check bool) "drained" true (Laneq.is_empty q)
+
+let test_laneq_demotion_guard () =
+  let q : int Laneq.t = Laneq.create () in
+  Laneq.push q Laneq.Bulk ~net:(lq_net 1) 1;
+  (* Same prefix, urgent: must be demoted behind the bulk entry. *)
+  Laneq.push q Laneq.Urgent ~net:(lq_net 1) 2;
+  (* Different prefix, urgent: stays urgent. *)
+  Laneq.push q Laneq.Urgent ~net:(lq_net 2) 3;
+  check Alcotest.int "demoted" 1 (Laneq.demoted q);
+  check Alcotest.int "urgent holds only net2" 1 (Laneq.urgent_length q);
+  (match Laneq.pop_urgent q with
+   | Some (_, 3) -> ()
+   | _ -> Alcotest.fail "urgent lane should hold 3");
+  (match Laneq.pop_bulk q with
+   | Some (_, 1) -> ()
+   | _ -> Alcotest.fail "bulk order broken");
+  (match Laneq.pop_bulk q with
+   | Some (_, 2) -> ()
+   | _ -> Alcotest.fail "demoted entry must follow its blocker");
+  (* Once the prefix's bulk entries drained, urgent pushes stay
+     urgent again. *)
+  Laneq.push q Laneq.Urgent ~net:(lq_net 1) 4;
+  check Alcotest.int "no further demotion" 1 (Laneq.demoted q);
+  check Alcotest.int "urgent again" 1 (Laneq.urgent_length q)
+
+let test_laneq_unordered_variant () =
+  (* ordered:false drops the guard: the injected-bug mode really does
+     let an urgent change overtake same-prefix bulk work. *)
+  let q : int Laneq.t = Laneq.create ~ordered:false () in
+  Laneq.push q Laneq.Bulk ~net:(lq_net 1) 1;
+  Laneq.push q Laneq.Urgent ~net:(lq_net 1) 2;
+  check Alcotest.int "nothing demoted" 0 (Laneq.demoted q);
+  match Laneq.pop q with
+  | Some (_, 2) -> ()
+  | _ -> Alcotest.fail "unordered variant should reorder"
+
+let test_laneq_clear () =
+  let q : int Laneq.t = Laneq.create () in
+  Laneq.push q Laneq.Bulk ~net:(lq_net 1) 1;
+  Laneq.push q Laneq.Urgent ~net:(lq_net 1) 2;
+  Laneq.clear q;
+  Alcotest.(check bool) "cleared" true (Laneq.is_empty q);
+  (* bulk_pending must be cleared too, or this would demote. *)
+  Laneq.push q Laneq.Urgent ~net:(lq_net 1) 3;
+  check Alcotest.int "urgent after clear" 1 (Laneq.urgent_length q)
+
 let () =
   Alcotest.run "xorp_util"
     [
@@ -432,6 +503,15 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_feed_deterministic;
           Alcotest.test_case "realistic shape" `Quick test_feed_shape;
           Alcotest.test_case "nexthops" `Quick test_feed_nexthops;
+        ] );
+      ( "laneq",
+        [
+          Alcotest.test_case "push/pop across lanes" `Quick test_laneq_basics;
+          Alcotest.test_case "per-prefix demotion guard" `Quick
+            test_laneq_demotion_guard;
+          Alcotest.test_case "unordered variant reorders" `Quick
+            test_laneq_unordered_variant;
+          Alcotest.test_case "clear resets guard" `Quick test_laneq_clear;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
