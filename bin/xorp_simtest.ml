@@ -24,6 +24,7 @@ let opts_of ~bug ~trace =
   { Simtest.fea_rebirth_replay = (bug <> Some "rib-no-replay");
     dataplane_ttl_leak = (bug = Some "dataplane-ttl-leak");
     bgp_lane_unordered = (bug = Some "lane-reorder");
+    rib_resync = (bug <> Some "rib-no-resync");
     log_trace = trace }
 
 let report_outcome ~quiet (o : Simtest.outcome) =
@@ -45,11 +46,11 @@ let report_outcome ~quiet (o : Simtest.outcome) =
 let run_main seeds base seed replay bug trace quiet =
   (match bug with
    | None | Some "rib-no-replay" | Some "dataplane-ttl-leak"
-   | Some "lane-reorder" -> ()
+   | Some "lane-reorder" | Some "rib-no-resync" -> ()
    | Some other ->
      Printf.eprintf
        "unknown --inject-bug %S (known: rib-no-replay, dataplane-ttl-leak, \
-        lane-reorder)\n"
+        lane-reorder, rib-no-resync)\n"
        other;
      exit 2);
   let opts = opts_of ~bug ~trace in
@@ -138,7 +139,9 @@ let bug_arg =
               dataplane-ttl-leak: the forwarding graph's DecTtl forgets \
               to drop TTL-expired packets; lane-reorder: BGP's priority \
               lanes lose their per-prefix FIFO guard, so an urgent \
-              withdrawal can overtake a queued bulk add).")
+              withdrawal can overtake a queued bulk add; rib-no-resync: \
+              protocols mark a reborn RIB up without replaying their \
+              tables into it).")
 
 let trace_arg =
   Arg.(

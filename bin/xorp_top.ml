@@ -123,8 +123,15 @@ let render_frame ~frame ~clock ~top_n stages counters spans =
   let is_queue (n, _) =
     contains n ".lane." || contains n ".backlog" || contains n ".fea_q."
   in
+  (* Rebirth-resync activity: routes each protocol replayed into a
+     restarted RIB, and stale FIB entries the FEA swept afterwards.
+     Nonzero values here mean the router survived a RIB restart. *)
+  let is_resync (n, _) =
+    contains n ".rib_resync." || contains n ".rib_sweep."
+  in
   let dp_counters, counters = List.partition is_dp counters in
   let q_counters, counters = List.partition is_queue counters in
+  let resync_counters, counters = List.partition is_resync counters in
   let counters = List.sort compare counters in
   if counters <> [] then begin
     addf "\n%-34s %12s\n" "COUNTERS" "value";
@@ -135,6 +142,12 @@ let render_frame ~frame ~clock ~top_n stages counters spans =
     List.iter
       (fun (n, v) -> addf "%-34s %12s\n" n v)
       (List.sort compare q_counters)
+  end;
+  if resync_counters <> [] then begin
+    addf "\n%-34s %12s\n" "REBIRTH RESYNC (RIB restart)" "routes";
+    List.iter
+      (fun (n, v) -> addf "%-34s %12s\n" n v)
+      (List.sort compare resync_counters)
   end;
   if dp_counters <> [] then begin
     addf "\n%-34s %12s\n" "DATA PLANE" "packets";

@@ -88,6 +88,17 @@ type t = {
   listeners : (int, Netsim.Stream.listener) Hashtbl.t; (* by local addr *)
   rib_q : (string * Bgp_types.route * Telemetry.Trace.ctx option) Laneq.t;
   mutable rib_flush_scheduled : bool;
+  (* False while no RIB instance is registered: outbound route ops
+     hold in [rib_q] instead of being sent into the void, and a
+     rebirth triggers a full winner replay (the restarted RIB's origin
+     tables are empty). *)
+  mutable rib_up : bool;
+  rib_rebirth_resync : bool;
+  (* Redistribution policies this process has subscribed with; the
+     RIB's subscriber table dies with it, so these are re-sent on
+     rebirth. *)
+  mutable redist_policies : string list;
+  c_resync_replayed : Telemetry.counter;
   mutable started : bool;
 }
 
@@ -109,6 +120,13 @@ let rib_protocol t (route : Bgp_types.route) =
   match Hashtbl.find_opt t.peer_kinds route.Bgp_types.peer_id with
   | Some Bgp_types.Ibgp -> "ibgp"
   | _ -> "ebgp"
+
+(* Route transfers into the RIB are idempotent, so they qualify for
+   bounded retry. [No_such_method] is in the retryable set, which
+   closes the Finder birth gap: a reborn RIB is resolvable one loop
+   turn before its handlers are registered, and without retry a send
+   landing in that window would be lost. *)
+let rib_retry = Xrl_router.default_retry
 
 (* Per-route XRL; also the path a single-entry run takes, so the
    unbatched pipeline (and its profile-point sequence) is exactly what
@@ -134,7 +152,7 @@ let send_rib_one t (op, (route : Bgp_types.route), trace) =
         [ Xrl_atom.txt "protocol" protocol;
           Xrl_atom.ipv4net "net" route.Bgp_types.net ]
   in
-  Xrl_router.send t.router xrl (fun err _ ->
+  Xrl_router.send ~retry:rib_retry t.router xrl (fun err _ ->
       if not (Xrl_error.is_ok err) then
         Log.warn (fun m ->
             m "RIB %s for %s failed: %s" op
@@ -184,7 +202,7 @@ let send_rib_run t entries =
                  (List.map (fun (_, (r : Bgp_types.route), _) -> r.Bgp_types.net)
                     entries)) ]
     in
-    Xrl_router.send t.router xrl (fun err _ ->
+    Xrl_router.send ~retry:rib_retry t.router xrl (fun err _ ->
         if not (Xrl_error.is_ok err) then
           Log.warn (fun m ->
               m "bulk RIB %s (%d routes) failed: %s" op0 n
@@ -201,44 +219,48 @@ let rec schedule_rib_flush t =
     t.rib_flush_scheduled <- true;
     Eventloop.defer t.loop (fun () ->
         t.rib_flush_scheduled <- false;
-        (* Urgent lane first, as per-route XRLs — the method is how the
-           lane crosses the XRL boundary: the RIB classifies per-route
-           rib/add_route arrivals as urgent and bulk-packed
-           rib/add_routes4 arrivals as bulk. Per-prefix order across
-           lanes is the Laneq guard's job. *)
-        let rec urgent () =
-          match Laneq.pop_urgent t.rib_q with
-          | Some (_, entry) ->
-            send_rib_one t entry;
-            urgent ()
-          | None -> ()
-        in
-        urgent ();
-        (* Group consecutive same-op, same-protocol bulk entries into
-           runs, preserving overall order: an add/delete alternation
-           for the same prefix must reach the RIB in sequence. Bounded
-           per flush; leftovers re-defer so timers and fresh I/O get
-           the loop in between. *)
-        let budget = ref rib_bulk_slice in
-        let rec drain run =
-          if !budget = 0 then send_rib_run t (List.rev run)
-          else
-            match Laneq.pop_bulk t.rib_q with
-            | None -> send_rib_run t (List.rev run)
-            | Some (_, ((op, route, _) as entry)) -> (
-              decr budget;
-              match run with
-              | [] -> drain [ entry ]
-              | (prev_op, prev_route, _) :: _
-                when prev_op = op
-                     && rib_protocol t prev_route = rib_protocol t route ->
-                drain (entry :: run)
-              | _ ->
-                send_rib_run t (List.rev run);
-                drain [ entry ])
-        in
-        drain [];
-        if not (Laneq.is_empty t.rib_q) then schedule_rib_flush t)
+        (* No live RIB: keep the queue. It goes out — or is superseded
+           by the full winner replay — once an instance is back. *)
+        if t.rib_up then begin
+          (* Urgent lane first, as per-route XRLs — the method is how
+             the lane crosses the XRL boundary: the RIB classifies
+             per-route rib/add_route arrivals as urgent and bulk-packed
+             rib/add_routes4 arrivals as bulk. Per-prefix order across
+             lanes is the Laneq guard's job. *)
+          let rec urgent () =
+            match Laneq.pop_urgent t.rib_q with
+            | Some (_, entry) ->
+              send_rib_one t entry;
+              urgent ()
+            | None -> ()
+          in
+          urgent ();
+          (* Group consecutive same-op, same-protocol bulk entries into
+             runs, preserving overall order: an add/delete alternation
+             for the same prefix must reach the RIB in sequence. Bounded
+             per flush; leftovers re-defer so timers and fresh I/O get
+             the loop in between. *)
+          let budget = ref rib_bulk_slice in
+          let rec drain run =
+            if !budget = 0 then send_rib_run t (List.rev run)
+            else
+              match Laneq.pop_bulk t.rib_q with
+              | None -> send_rib_run t (List.rev run)
+              | Some (_, ((op, route, _) as entry)) -> (
+                decr budget;
+                match run with
+                | [] -> drain [ entry ]
+                | (prev_op, prev_route, _) :: _
+                  when prev_op = op
+                       && rib_protocol t prev_route = rib_protocol t route ->
+                  drain (entry :: run)
+                | _ ->
+                  send_rib_run t (List.rev run);
+                  drain [ entry ])
+          in
+          drain [];
+          if not (Laneq.is_empty t.rib_q) then schedule_rib_flush t
+        end)
   end
 
 (* The fanout reader feeding the RIB. Locally originated routes
@@ -251,7 +273,7 @@ let make_rib_branch t : Bgp_table.table =
         (Bgp_types.current_lane ())
         ~net:route.Bgp_types.net
         (op, route, Telemetry.Trace.current ());
-      schedule_rib_flush t
+      if t.rib_up then schedule_rib_flush t
     end
   in
   (new Bgp_table.sink ~name:"to-rib"
@@ -274,7 +296,7 @@ let make_resolver t : Bgp_nexthop.resolve_fn =
           ~method_name:"register_interest"
           [ Xrl_atom.txt "client" (instance_name t); Xrl_atom.ipv4 "addr" nh ]
       in
-      Xrl_router.send t.router xrl (fun err args ->
+      Xrl_router.send ~retry:rib_retry t.router xrl (fun err args ->
           if Xrl_error.is_ok err then begin
             let resolvable = Xrl_atom.get_bool args "resolves" in
             let valid = Xrl_atom.get_ipv4net args "valid" in
@@ -291,6 +313,87 @@ let make_resolver t : Bgp_nexthop.resolve_fn =
               { Bgp_nexthop.resolvable = false; metric = 0;
                 valid = Ipv4net.host nh }
           end)
+
+(* --- RIB rebirth resync (the mirror of Rib.watch_fea_lifecycle) ------- *)
+
+let send_redist_subscribe t policy =
+  let xrl =
+    Xrl.make ~target:"rib" ~interface:"rib" ~method_name:"redist_subscribe"
+      [ Xrl_atom.txt "target" (instance_name t);
+        Xrl_atom.txt "policy" policy ]
+  in
+  Xrl_router.send ~retry:rib_retry t.router xrl (fun err _ ->
+      if not (Xrl_error.is_ok err) then
+        Log.err (fun m ->
+            m "redist_subscribe failed: %s" (Xrl_error.to_string err)))
+
+(* A reborn RIB starts from empty origin tables, so deltas queued
+   against the old instance would be wrong; replace them with a full
+   dump of the post-decision winners. The dump rides the bulk lane:
+   fresh urgent changes for other prefixes overtake it, while the
+   Laneq guard keeps a live update to a replayed prefix behind its
+   replay entry (§5.1.2). *)
+let replay_winners t =
+  Laneq.clear t.rib_q;
+  let n =
+    t.decision#fold_winners
+      (fun (route : Bgp_types.route) n ->
+         if route.Bgp_types.peer_id <> 0 then begin
+           Laneq.push t.rib_q Laneq.Bulk ~net:route.Bgp_types.net
+             ("add", route, None);
+           n + 1
+         end
+         else n)
+      0
+  in
+  Telemetry.add t.c_resync_replayed n;
+  Log.info (fun m -> m "RIB is back; replaying %d winners" n)
+
+(* Watch the RIB's own lifetime: while no instance is live, outbound
+   route ops hold in [rib_q]; a (re)birth replays the winners and
+   re-subscribes redistribution, because both the origin tables and
+   the redist/register state died with the old instance. Cached
+   nexthop resolutions are invalidated wholesale so every nexthop is
+   re-queried — which also re-registers the interest the new
+   RegisterTable needs to push future invalidations. The synthetic
+   Birth fired for an already-live RIB at watch time is a no-op
+   because [rib_up] starts true. *)
+let watch_rib_lifecycle t finder =
+  Finder.watch_class finder "rib" (fun event _instance ->
+      match event with
+      | Finder.Death ->
+        if t.rib_up && Finder.live_instances finder "rib" = [] then begin
+          t.rib_up <- false;
+          Log.warn (fun m ->
+              m "RIB died; holding route updates until an instance returns")
+        end
+      | Finder.Birth ->
+        if not t.rib_up then begin
+          t.rib_up <- true;
+          (* Deferred: the birth notification fires from inside the new
+             RIB's registration, before it has advertised its methods
+             (the PR 5 race class; retry also covers the gap). *)
+          Eventloop.defer t.loop (fun () ->
+              if t.rib_up then begin
+                if t.rib_rebirth_resync then begin
+                  List.iter (send_redist_subscribe t)
+                    (List.rev t.redist_policies);
+                  if t.send_to_rib then replay_winners t;
+                  if t.nexthop_mode = `Rib then
+                    Hashtbl.iter
+                      (fun _ peer ->
+                         peer.nexthop_tbl#invalidate Ipv4net.default)
+                      t.peers
+                end;
+                (* Faulty variant kept for the simulation harness's
+                   bug-injection mode ("rib-no-resync"): only the
+                   deltas held while the RIB was down flush, so every
+                   route announced before the death is silently missing
+                   from the reborn RIB's origin tables. *)
+                if t.send_to_rib && not (Laneq.is_empty t.rib_q) then
+                  schedule_rib_flush t
+              end)
+        end)
 
 (* --- session plumbing ------------------------------------------------- *)
 
@@ -750,7 +853,8 @@ let add_xrl_handlers t =
 
 let create ?families ?profiler ?(send_to_rib = true) ?(nexthop_mode = `Rib)
     ?(bgp_port = 179) ?(inbound_slice = 64) ?(urgent_threshold = 64)
-    ?(lane_ordered = true) finder loop ~netsim ~local_as ~bgp_id () =
+    ?(lane_ordered = true) ?(rib_rebirth_resync = true) finder loop ~netsim
+    ~local_as ~bgp_id () =
   if inbound_slice < 1 || urgent_threshold < 1 then
     invalid_arg "Bgp_process.create";
   (* A fresh generation starts its metric namespace from zero, so a
@@ -782,6 +886,14 @@ let create ?families ?profiler ?(send_to_rib = true) ?(nexthop_mode = `Rib)
          listeners = Hashtbl.create 4;
          rib_q = Laneq.create ~ordered:lane_ordered ();
          rib_flush_scheduled = false;
+         (* From live Finder state, not assumed true: a process created
+            while the RIB is down (both killed, BGP restarted first)
+            must hold its queue and treat the RIB's eventual return as
+            a rebirth, or nothing ever replays. *)
+         rib_up = Finder.live_instances finder "rib" <> [];
+         rib_rebirth_resync;
+         redist_policies = [];
+         c_resync_replayed = Telemetry.counter "bgp.rib_resync.replayed";
          started = false;
        })
   in
@@ -805,6 +917,7 @@ let create ?families ?profiler ?(send_to_rib = true) ?(nexthop_mode = `Rib)
         kind = Bgp_types.Ebgp; peer_bgp_id = Ipv4.zero }
     rib_branch;
   add_xrl_handlers t;
+  watch_rib_lifecycle t finder;
   t
 
 let ensure_listener t local_addr =
@@ -872,15 +985,10 @@ let remove_peer t addr =
     Hashtbl.remove t.peers (peer_key addr)
 
 let subscribe_rib_redistribution t ~policy =
-  let xrl =
-    Xrl.make ~target:"rib" ~interface:"rib" ~method_name:"redist_subscribe"
-      [ Xrl_atom.txt "target" (instance_name t);
-        Xrl_atom.txt "policy" policy ]
-  in
-  Xrl_router.send t.router xrl (fun err _ ->
-      if not (Xrl_error.is_ok err) then
-        Log.err (fun m ->
-            m "redist_subscribe failed: %s" (Xrl_error.to_string err)))
+  (* Remembered so the subscription survives a RIB restart: the RIB's
+     subscriber table dies with the instance. *)
+  t.redist_policies <- policy :: t.redist_policies;
+  send_redist_subscribe t policy
 
 let peer_state t addr = Option.map (fun p -> Peer_fsm.state p.fsm) (find_peer t addr)
 

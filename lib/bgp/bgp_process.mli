@@ -60,6 +60,7 @@ val create :
   ?inbound_slice:int ->
   ?urgent_threshold:int ->
   ?lane_ordered:bool ->
+  ?rib_rebirth_resync:bool ->
   Finder.t -> Eventloop.t -> netsim:Netsim.t ->
   local_as:int -> bgp_id:Ipv4.t -> unit -> t
 (** Registers component class ["bgp"] with the Finder. [families]
@@ -86,6 +87,15 @@ val create :
     with bulk work still queued is demoted behind it, §5.1.2).
     [lane_ordered:false] is the deliberately broken variant the
     simulation fuzzer must catch.
+
+    [rib_rebirth_resync] (default true) makes the process watch the
+    ["rib"] Finder class: while no RIB instance is live, outbound
+    route operations are held, and when one is (re)born the process
+    re-subscribes its redistribution policies and replays the full
+    post-decision winner set on the bulk lane. [false] is the
+    deliberately broken variant behind the fuzzer's
+    [rib-no-resync] injected bug: the reborn RIB is marked up but
+    only deltas held during the outage are flushed.
 
     @raise Invalid_argument if [inbound_slice] or [urgent_threshold]
     is not positive. *)

@@ -27,9 +27,25 @@ type t = {
   mutable installed : int;
   mutable dataplane : Dataplane.t option;
   mutable dp_socks : (string * Netsim.Dgram.socket) list;
+  (* RIB graceful restart (mark and sweep): a route withdrawn while
+     the RIB is down is never deleted from the FIB by anyone — the
+     reborn RIB starts empty and only protocol replays reach it, so
+     the withdrawal is simply gone. On RIB rebirth every FIB entry is
+     marked stale; (re)installs unmark; whatever is still marked when
+     the hold timer fires was not re-announced and is swept. *)
+  mutable rib_up : bool;
+  stale : (Ipv4net.t, unit) Hashtbl.t;
+  mutable sweep_timer : Eventloop.timer option;
+  swept : Telemetry.counter;
   lookups_control : Telemetry.counter;
   lookups_dataplane : Telemetry.counter;
 }
+
+(* How long a reborn RIB gets to repopulate the FIB before unconfirmed
+   entries are swept. Generous against converge-time replay (protocol
+   replays land within a few virtual seconds) yet well inside the
+   simulation harness's quiescence window. *)
+let rib_sweep_hold = 30.0
 
 let fib t = t.fib
 let xrl_router t = t.router
@@ -72,6 +88,7 @@ let add_fib_handlers t =
               (Telemetry.histogram "fea.install.latency_us")
               (fun () ->
                  Fib.add t.fib { Fib.net; nexthop; ifname; protocol };
+                 Hashtbl.remove t.stale net;
                  t.installed <- t.installed + 1));
        profile_net t pp_kernel "add " net;
        reply ok []);
@@ -85,7 +102,9 @@ let add_fib_handlers t =
            (fun () ->
               Telemetry.time
                 (Telemetry.histogram "fea.install.latency_us")
-                (fun () -> Fib.delete t.fib net))
+                (fun () ->
+                   Hashtbl.remove t.stale net;
+                   Fib.delete t.fib net))
        in
        profile_net t pp_kernel "delete " net;
        if existed then reply ok []
@@ -112,6 +131,7 @@ let add_fib_handlers t =
                 (fun { Route_pack.net; nexthop; ifname; protocol; metric = _ } ->
                    profile_net t pp_arrived "add " net;
                    Fib.add t.fib { Fib.net; nexthop; ifname; protocol };
+                   Hashtbl.remove t.stale net;
                    t.installed <- t.installed + 1;
                    profile_net t pp_kernel "add " net)
                 adds);
@@ -130,6 +150,7 @@ let add_fib_handlers t =
               List.iter
                 (fun net ->
                    profile_net t pp_arrived "delete " net;
+                   Hashtbl.remove t.stale net;
                    ignore (Fib.delete t.fib net);
                    profile_net t pp_kernel "delete " net)
                 nets);
@@ -408,6 +429,48 @@ let add_dataplane_handlers t =
           | Ok () -> reply ok []
           | Error e -> reply (Xrl_error.Command_failed e) []))
 
+(* Mark-and-sweep across a RIB restart. The replay direction (each
+   protocol re-announcing into the reborn RIB) restores routes that
+   still exist; this is the other half: routes that stopped existing
+   while the RIB was down would survive in the FIB forever, because no
+   live component remembers them. Snapshot the FIB as "stale" when the
+   new RIB registers; everything it re-installs within the hold is
+   unmarked; the remainder is swept. *)
+let watch_rib_lifecycle t =
+  let loop = Xrl_router.eventloop t.router in
+  Finder.watch_class (Xrl_router.finder t.router) "rib" (fun event _instance ->
+      match event with
+      | Finder.Death ->
+        if t.rib_up
+        && Finder.live_instances (Xrl_router.finder t.router) "rib" = []
+        then t.rib_up <- false
+      | Finder.Birth ->
+        if not t.rib_up then begin
+          t.rib_up <- true;
+          Hashtbl.reset t.stale;
+          List.iter
+            (fun (e : Fib.entry) -> Hashtbl.replace t.stale e.Fib.net ())
+            (Fib.entries t.fib);
+          Option.iter Eventloop.cancel t.sweep_timer;
+          t.sweep_timer <-
+            Some
+              (Eventloop.after loop rib_sweep_hold (fun () ->
+                   t.sweep_timer <- None;
+                   let n =
+                     Hashtbl.fold
+                       (fun net () n ->
+                          if Fib.delete t.fib net then n + 1 else n)
+                       t.stale 0
+                   in
+                   Hashtbl.reset t.stale;
+                   if n > 0 then begin
+                     Telemetry.add t.swept n;
+                     Log.info (fun m ->
+                         m "RIB restart sweep: %d unconfirmed FIB entries \
+                            removed" n)
+                   end))
+        end)
+
 let create ?families ?profiler ?(interfaces = []) ?netsim
     ?(dataplane = `Default) finder loop () =
   (* A fresh generation starts its metric namespace from zero, so a
@@ -420,6 +483,8 @@ let create ?families ?profiler ?(interfaces = []) ?netsim
     { router; fib = Fib.create (); profiler; ifaces = interfaces; netsim;
       sockets = Hashtbl.create 8; client_watches = Hashtbl.create 4;
       next_sockid = 0; installed = 0; dataplane = None; dp_socks = [];
+      rib_up = true; stale = Hashtbl.create 64; sweep_timer = None;
+      swept = Telemetry.counter "fea.rib_sweep.removed";
       lookups_control = Telemetry.counter "fea.lookups.control";
       lookups_dataplane = Telemetry.counter "fea.lookups.dataplane" }
   in
@@ -431,6 +496,7 @@ let create ?families ?profiler ?(interfaces = []) ?netsim
   add_fib_handlers t;
   add_udp_handlers t;
   add_dataplane_handlers t;
+  watch_rib_lifecycle t;
   (match (netsim, dataplane) with
    | Some net, `Default when interfaces <> [] ->
      setup_dataplane t net
@@ -440,6 +506,8 @@ let create ?families ?profiler ?(interfaces = []) ?netsim
   t
 
 let shutdown t =
+  Option.iter Eventloop.cancel t.sweep_timer;
+  t.sweep_timer <- None;
   Hashtbl.iter (fun _ sock -> Netsim.Dgram.close sock.dgram) t.sockets;
   Hashtbl.reset t.sockets;
   (match t.dataplane with Some dp -> Dataplane.shutdown dp | None -> ());

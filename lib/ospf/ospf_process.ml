@@ -46,6 +46,12 @@ type t = {
   mutable spf_count : int;
   mutable started : bool;
   mutable fea_up : bool;
+  (* False while no RIB instance is registered: route announcements are
+     suppressed (the reborn RIB starts empty, so skipped deletes are
+     moot) and a rebirth triggers a full replay of [installed]. *)
+  mutable rib_up : bool;
+  rib_rebirth_resync : bool;
+  c_resync_replayed : Telemetry.counter;
   (* prefix -> (cost, nexthop) currently installed in the RIB *)
   installed : (Ipv4net.t, int * Ipv4.t) Hashtbl.t;
 }
@@ -95,9 +101,15 @@ let flood t ?except lsas =
 
 (* --- RIB interaction ----------------------------------------------------- *)
 
+(* Route transfers into the RIB are idempotent, so they qualify for
+   bounded retry. [No_such_method] is in the retryable set, which
+   closes the Finder birth gap: a reborn RIB is resolvable one loop
+   turn before its handlers are registered. *)
+let rib_retry = Xrl_router.default_retry
+
 let rib_update t method_name args =
-  if t.cfg.send_to_rib then
-    Xrl_router.send t.router
+  if t.cfg.send_to_rib && t.rib_up then
+    Xrl_router.send ~retry:rib_retry t.router
       (Xrl.make ~target:"rib" ~interface:"rib" ~method_name args)
       (fun err _ ->
          if not (Xrl_error.is_ok err) then
@@ -400,7 +412,40 @@ let watch_fea_lifecycle t finder =
                 List.iter (open_iface_socket t) t.cfg.ifaces)
         end)
 
-let create ?families ?profiler finder loop cfg =
+(* [installed] is exactly what this process believes the RIB holds for
+   protocol "ospf" — replaying it rebuilds the reborn RIB's (empty)
+   origin table verbatim, with no SPF re-run needed. *)
+let replay_rib t =
+  let n =
+    Hashtbl.fold
+      (fun net (cost, nexthop) n ->
+         rib_add t net cost nexthop;
+         n + 1)
+      t.installed 0
+  in
+  Telemetry.add t.c_resync_replayed n;
+  Log.info (fun m -> m "RIB is back; replaying %d routes" n)
+
+(* A restarted RIB has empty origin tables: everything we installed
+   died with it. Replay on rebirth (mirrors [watch_fea_lifecycle]
+   above and the RIB's own FIB replay toward a reborn FEA). *)
+let watch_rib_lifecycle t finder =
+  Finder.watch_class finder "rib" (fun event _instance ->
+      match event with
+      | Finder.Death ->
+        if t.rib_up && Finder.live_instances finder "rib" = [] then
+          t.rib_up <- false
+      | Finder.Birth ->
+        if not t.rib_up then begin
+          t.rib_up <- true;
+          (* Deferred: the birth notification fires from inside the new
+             RIB's registration, before it has advertised its methods. *)
+          Eventloop.defer t.loop (fun () ->
+              if t.rib_up && t.rib_rebirth_resync && t.cfg.send_to_rib then
+                replay_rib t)
+        end)
+
+let create ?families ?profiler ?(rib_rebirth_resync = true) finder loop cfg =
   ignore profiler;
   let router = Xrl_router.create ?families finder loop ~class_name:"ospf" () in
   let t =
@@ -409,6 +454,12 @@ let create ?families ?profiler finder loop cfg =
       socks = Hashtbl.create 4; lsdb = Hashtbl.create 32;
       my_seq = 0; stubs = cfg.stub_prefixes;
       spf_pending = false; spf_count = 0; started = false; fea_up = true;
+      (* From live Finder state, not assumed true: a process created
+         while the RIB is down (both killed, protocol restarted first)
+         must still treat the RIB's eventual return as a rebirth. *)
+      rib_up = Finder.live_instances finder "rib" <> [];
+      rib_rebirth_resync;
+      c_resync_replayed = Telemetry.counter "ospf.rib_resync.replayed";
       installed = Hashtbl.create 64 }
   in
   List.iter
@@ -425,6 +476,7 @@ let create ?families ?profiler finder loop cfg =
     cfg.ifaces;
   add_handlers t;
   watch_fea_lifecycle t finder;
+  watch_rib_lifecycle t finder;
   t
 
 let start t =

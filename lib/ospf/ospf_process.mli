@@ -48,13 +48,21 @@ type t
 
 val create :
   ?families:Pf.family list ->
-  ?profiler:Profiler.t -> Finder.t -> Eventloop.t -> config -> t
+  ?profiler:Profiler.t ->
+  ?rib_rebirth_resync:bool ->
+  Finder.t -> Eventloop.t -> config -> t
 (** Registers component class ["ospf"]. [families] selects the XRL
     transports of the component's endpoint (default: intra-process; the
     simulation harness passes a chaos-wrapped family).
 
     FEA socket opens are retried with backoff, and re-issued when a
-    restarted FEA registers (its relay sockets die with it). *)
+    restarted FEA registers (its relay sockets die with it).
+
+    [rib_rebirth_resync] (default true) makes the process watch the
+    ["rib"] Finder class and, when a restarted RIB registers, replay
+    its installed SPF routes into the reborn (empty) origin table.
+    [false] is the deliberately broken variant behind the simulation
+    fuzzer's [rib-no-resync] injected bug. *)
 
 val start : t -> unit
 

@@ -44,6 +44,16 @@ type t = {
   mutable started : bool;
   mutable trigger_pending : bool;
   mutable fea_up : bool;
+  (* False while no RIB instance is registered: route announcements are
+     suppressed (the reborn RIB starts empty, so skipped deletes are
+     moot) and a rebirth triggers a full replay of the learned table. *)
+  mutable rib_up : bool;
+  rib_rebirth_resync : bool;
+  (* Redistribution policies this process has subscribed with; the
+     RIB's subscriber table dies with it, so these are re-sent on
+     rebirth. *)
+  mutable redist_policies : string list;
+  c_resync_replayed : Telemetry.counter;
   mutable tx_updates : int;
   mutable rx_updates : int;
   mutable tx_triggered : int;
@@ -82,8 +92,14 @@ let iter_neighbors t f =
 
 (* --- RIB interaction --------------------------------------------------- *)
 
+(* Route transfers into the RIB are idempotent, so they qualify for
+   bounded retry. [No_such_method] is in the retryable set, which
+   closes the Finder birth gap: a reborn RIB is resolvable one loop
+   turn before its handlers are registered. *)
+let rib_retry = Xrl_router.default_retry
+
 let rib_add t (r : rip_route) =
-  if t.cfg.send_to_rib then
+  if t.cfg.send_to_rib && t.rib_up then
     let xrl =
       Xrl.make ~target:"rib" ~interface:"rib" ~method_name:"add_route"
         [ Xrl_atom.txt "protocol" "rip";
@@ -91,17 +107,17 @@ let rib_add t (r : rip_route) =
           Xrl_atom.ipv4 "nexthop" r.rnexthop;
           Xrl_atom.u32 "metric" r.rmetric ]
     in
-    Xrl_router.send t.router xrl (fun err _ ->
+    Xrl_router.send ~retry:rib_retry t.router xrl (fun err _ ->
         if not (Xrl_error.is_ok err) then
           Log.warn (fun m -> m "rib add failed: %s" (Xrl_error.to_string err)))
 
 let rib_delete t (r : rip_route) =
-  if t.cfg.send_to_rib then
+  if t.cfg.send_to_rib && t.rib_up then
     let xrl =
       Xrl.make ~target:"rib" ~interface:"rib" ~method_name:"delete_route"
         [ Xrl_atom.txt "protocol" "rip"; Xrl_atom.ipv4net "net" r.rnet ]
     in
-    Xrl_router.send t.router xrl (fun err _ ->
+    Xrl_router.send ~retry:rib_retry t.router xrl (fun err _ ->
         if not (Xrl_error.is_ok err) then
           Log.debug (fun m -> m "rib delete failed: %s" (Xrl_error.to_string err)))
 
@@ -405,7 +421,60 @@ let watch_fea_lifecycle t finder =
                 List.iter (open_iface_socket t) t.cfg.ifaces)
         end)
 
-let create ?families ?profiler ?(seed = 17) finder loop cfg =
+let send_redist_subscribe t policy =
+  let xrl =
+    Xrl.make ~target:"rib" ~interface:"rib" ~method_name:"redist_subscribe"
+      [ Xrl_atom.txt "target" (instance_name t);
+        Xrl_atom.txt "policy" policy ]
+  in
+  Xrl_router.send ~retry:rib_retry t.router xrl (fun err _ ->
+      if not (Xrl_error.is_ok err) then
+        Log.err (fun m ->
+            m "redist_subscribe failed: %s" (Xrl_error.to_string err)))
+
+(* Only LEARNED routes are re-announced: locally originated and
+   redistributed entries ([rsrc] = zero) never went through [rib_add]
+   in the first place — the RIB learned them from their true origin
+   protocol — so replaying them would double-count. *)
+let replay_rib t =
+  let n =
+    Ptree.fold
+      (fun _ r n ->
+         if r.rmetric < infinity && not (Ipv4.equal r.rsrc Ipv4.zero) then begin
+           rib_add t r;
+           n + 1
+         end
+         else n)
+      t.db 0
+  in
+  Telemetry.add t.c_resync_replayed n;
+  Log.info (fun m -> m "RIB is back; replaying %d routes" n)
+
+(* A restarted RIB has empty origin tables and an empty redistribution
+   subscriber list: everything we ever announced — and our interest in
+   connected/static redistribution — died with it. Re-subscribe and
+   replay on rebirth (mirrors [watch_fea_lifecycle] above and the
+   RIB's own FIB replay toward a reborn FEA). *)
+let watch_rib_lifecycle t finder =
+  Finder.watch_class finder "rib" (fun event _instance ->
+      match event with
+      | Finder.Death ->
+        if t.rib_up && Finder.live_instances finder "rib" = [] then
+          t.rib_up <- false
+      | Finder.Birth ->
+        if not t.rib_up then begin
+          t.rib_up <- true;
+          (* Deferred: the birth notification fires from inside the new
+             RIB's registration, before it has advertised its methods. *)
+          Eventloop.defer t.loop (fun () ->
+              if t.rib_up && t.rib_rebirth_resync then begin
+                List.iter (send_redist_subscribe t) (List.rev t.redist_policies);
+                if t.cfg.send_to_rib then replay_rib t
+              end)
+        end)
+
+let create ?families ?profiler ?(seed = 17) ?(rib_rebirth_resync = true) finder
+    loop cfg =
   ignore profiler;
   let router = Xrl_router.create ?families finder loop ~class_name:"rip" () in
   let t =
@@ -414,6 +483,12 @@ let create ?families ?profiler ?(seed = 17) finder loop cfg =
       neighbor_iface = Hashtbl.create 8;
       socks = Hashtbl.create 4;
       started = false; trigger_pending = false; fea_up = true;
+      (* From live Finder state, not assumed true: a process created
+         while the RIB is down (both killed, protocol restarted first)
+         must still treat the RIB's eventual return as a rebirth. *)
+      rib_up = Finder.live_instances finder "rib" <> [];
+      rib_rebirth_resync; redist_policies = [];
+      c_resync_replayed = Telemetry.counter "rip.rib_resync.replayed";
       tx_updates = 0; rx_updates = 0; tx_triggered = 0; expired = 0 }
   in
   List.iter
@@ -425,6 +500,7 @@ let create ?families ?profiler ?(seed = 17) finder loop cfg =
     cfg.ifaces;
   add_handlers t;
   watch_fea_lifecycle t finder;
+  watch_rib_lifecycle t finder;
   t
 
 let periodic_update t =
@@ -452,15 +528,10 @@ let start t =
   end
 
 let subscribe_rib_redistribution t ~policy =
-  let xrl =
-    Xrl.make ~target:"rib" ~interface:"rib" ~method_name:"redist_subscribe"
-      [ Xrl_atom.txt "target" (instance_name t);
-        Xrl_atom.txt "policy" policy ]
-  in
-  Xrl_router.send t.router xrl (fun err _ ->
-      if not (Xrl_error.is_ok err) then
-        Log.err (fun m ->
-            m "redist_subscribe failed: %s" (Xrl_error.to_string err)))
+  (* Remembered so the subscription survives a RIB restart: the RIB's
+     subscriber table dies with the instance. *)
+  t.redist_policies <- policy :: t.redist_policies;
+  send_redist_subscribe t policy
 
 (* --- inspection -------------------------------------------------------------------- *)
 

@@ -37,6 +37,7 @@ type t
 val create :
   ?families:Pf.family list ->
   ?profiler:Profiler.t -> ?seed:int ->
+  ?rib_rebirth_resync:bool ->
   Finder.t -> Eventloop.t -> config -> t
 (** Registers component class ["rip"]. [families] selects the XRL
     transports of the component's endpoint (default: intra-process; the
@@ -45,7 +46,14 @@ val create :
 
     FEA socket opens are retried with backoff, and re-issued when a
     restarted FEA registers (its relay sockets — and our sockids — die
-    with it). *)
+    with it).
+
+    [rib_rebirth_resync] (default true) makes the process watch the
+    ["rib"] Finder class and, when a restarted RIB registers, re-send
+    its redistribution subscriptions and replay every live learned
+    route into the reborn (empty) origin table. [false] is the
+    deliberately broken variant behind the simulation fuzzer's
+    [rib-no-resync] injected bug. *)
 
 val start : t -> unit
 (** Open FEA sockets, solicit neighbours' tables, start the periodic

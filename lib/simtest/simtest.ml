@@ -284,12 +284,13 @@ type opts = {
   fea_rebirth_replay : bool;
   dataplane_ttl_leak : bool;
   bgp_lane_unordered : bool;
+  rib_resync : bool;
   log_trace : bool;
 }
 
 let default_opts =
   { fea_rebirth_replay = true; dataplane_ttl_leak = false;
-    bgp_lane_unordered = false; log_trace = false }
+    bgp_lane_unordered = false; rib_resync = true; log_trace = false }
 
 (* The known-bad element class for [dataplane_ttl_leak]: decrements the
    TTL like DecTtl but forgets to kill expired packets, so a TTL that
@@ -422,8 +423,8 @@ and start_component w comp =
       let bgp =
         Bgp_process.create ~families:w.families ~inbound_slice:4
           ~urgent_threshold:4 ~lane_ordered:(not w.opts.bgp_lane_unordered)
-          w.finder w.loop ~netsim:w.netsim ~local_as:65001
-          ~bgp_id:(ip "1.1.1.1") ()
+          ~rib_rebirth_resync:w.opts.rib_resync w.finder w.loop
+          ~netsim:w.netsim ~local_as:65001 ~bgp_id:(ip "1.1.1.1") ()
       in
       Bgp_process.add_peer bgp
         { (Bgp_process.default_peer_config ~peer_addr:(ip "10.0.0.9")
@@ -442,7 +443,10 @@ and start_component w comp =
             [ { Rip_process.if_addr = ip "10.0.2.1";
                 if_neighbors = [ ip "10.0.2.2" ] } ]
       in
-      let rip = Rip_process.create ~families:w.families w.finder w.loop cfg in
+      let rip =
+        Rip_process.create ~families:w.families
+          ~rib_rebirth_resync:w.opts.rib_resync w.finder w.loop cfg
+      in
       arm_kill w C_rip (Rip_process.xrl_router rip);
       Rip_process.start rip;
       w.rip <- Some rip;
@@ -459,7 +463,10 @@ and start_component w comp =
                       n_id = ip "2.2.2.2"; n_cost = 1 } ] } ]
           ()
       in
-      let ospf = Ospf_process.create ~families:w.families w.finder w.loop cfg in
+      let ospf =
+        Ospf_process.create ~families:w.families
+          ~rib_rebirth_resync:w.opts.rib_resync w.finder w.loop cfg
+      in
       arm_kill w C_ospf (Ospf_process.xrl_router ospf);
       Ospf_process.start ospf;
       w.ospf <- Some ospf;
@@ -868,6 +875,20 @@ let check_invariants w ~tag =
      let rib_n = Rib.route_count rib and fib_n = Fib.size fib in
      if rib_n <> fib_n then
        fail "RIB has %d winners but FIB has %d entries" rib_n fib_n;
+     (* The reverse direction, named: a FIB entry with no RIB winner is
+        a stale survivor — the signature of a route withdrawn while the
+        RIB was down that nobody swept after its restart. *)
+     let winners = Hashtbl.create 64 in
+     Rib.fold_winners rib
+       (fun r () -> Hashtbl.replace winners r.Rib_route.net ())
+       ();
+     List.iter
+       (fun (e : Fib.entry) ->
+          if not (Hashtbl.mem winners e.Fib.net) then
+            fail "FIB entry %s (%s) has no RIB winner — stale survivor"
+              (Ipv4net.to_string e.Fib.net)
+              e.Fib.protocol)
+       (Fib.entries fib);
      (* 2. No forwarding loops: following nexthops through the FIB must
            reach a directly connected network within 32 hops. *)
      List.iter
@@ -1030,9 +1051,10 @@ let generate ~seed =
       jitter = pickf [| 0.; 0.; 0.005; 0.02 |] }
   in
   let xrl_latency = pickf [| 0.; 0.; 0.002; 0.01 |] in
-  (* The RIB is exempt from kills: nothing re-announces to a reborn
-     RIB yet (see ROADMAP), so killing it fails trivially. *)
-  let comps = [| C_fea; C_bgp; C_rip; C_ospf |] in
+  (* Every component is fair game, the RIB included: protocols replay
+     their tables into a reborn RIB and the FEA sweeps unconfirmed
+     entries, so a RIB kill must converge like any other. *)
+  let comps = [| C_fea; C_rib; C_bgp; C_rip; C_ospf |] in
   let sources = [| S_bgp; S_rip; S_ospf |] in
   let n = Rng.int g 5 in
   let evs = ref [] in

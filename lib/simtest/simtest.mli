@@ -126,6 +126,13 @@ type opts = {
       withdrawal can overtake the still-queued bulk add of the same
       prefix ({!Surge} provokes exactly this race) and BGP and the RIB
       end up disagreeing. The harness must catch the divergence. *)
+  rib_resync : bool;
+  (** Passed to the protocol processes as [rib_rebirth_resync];
+      [false] injects the known-bad recovery (a reborn RIB is marked
+      up but no protocol replays its table into it), so after a
+      [kill rib]/restart the RIB origin tables stay empty while the
+      protocols still hold routes — the per-protocol agreement
+      invariant must catch the divergence. *)
   log_trace : bool;
   (** Also print trace lines to stderr as they happen. *)
 }

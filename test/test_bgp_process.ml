@@ -608,6 +608,94 @@ let test_bgp_xrl_interface () =
   run_for loop 2.0;
   check Alcotest.int "withdrawn at b" 0 (Bgp_process.route_count b)
 
+(* --- RIB rebirth resync ---------------------------------------------- *)
+
+let test_rib_rebirth_resync_full_stack () =
+  (* The symmetric direction of the RIB's FIB-replay-to-a-reborn-FEA:
+     when the RIB itself dies and restarts, BGP must replay its
+     post-decision winners into the empty origin tables. 150 routes so
+     the replay burst spans more than one bulk flush slice (128), and a
+     live withdrawal issued during the replay must land after its
+     prefix's replay add (§5.1.2 guard) — the prefix must end up
+     absent, not resurrected. *)
+  let loop = Eventloop.create () in
+  let netsim = Netsim.create loop in
+  let a = standalone_router ~loop ~netsim ~local_as:65001 ~bgp_id:(addr "1.1.1.1") () in
+  let finder, fea, rib, b =
+    full_stack_router ~loop ~netsim ~local_as:65002 ~bgp_id:(addr "2.2.2.2") ()
+  in
+  peering a "10.0.0.1" b "10.0.0.2" ~as_a:65001 ~as_b:65002;
+  Result.get_ok
+    (Rib.add_route rib ~protocol:"connected" ~net:(net "10.0.0.0/24")
+       ~nexthop:Ipv4.zero ());
+  Bgp_process.start a;
+  Bgp_process.start b;
+  run_for loop 2.0;
+  let nets =
+    List.init 150 (fun i ->
+        Ipv4net.make (Ipv4.of_octets 130 (i / 100) (i mod 100) 0) 24)
+  in
+  List.iter (Bgp_process.originate a) nets;
+  run_for loop 5.0;
+  check Alcotest.int "all at b" 150 (Bgp_process.route_count b);
+  check Alcotest.int "all in RIB" 150 (Rib.origin_route_count rib "ebgp");
+  (* Kill the RIB: Death fires, BGP holds its outbound queue. *)
+  Rib.shutdown rib;
+  run_for loop 1.0;
+  check Alcotest.int "bgp still holds its winners" 150
+    (Bgp_process.route_count b);
+  (* Rebirth: the new instance's origin tables are empty. Re-add the
+     connected route (the rtrmgr's job in a real boot), then race a
+     live withdrawal against the replay burst. *)
+  let rib' = Rib.create finder loop () in
+  Result.get_ok
+    (Rib.add_route rib' ~protocol:"connected" ~net:(net "10.0.0.0/24")
+       ~nexthop:Ipv4.zero ());
+  Bgp_process.withdraw a (List.hd nets);
+  run_for loop 10.0;
+  check Alcotest.int "bgp converged to 149" 149 (Bgp_process.route_count b);
+  check Alcotest.int "reborn RIB origin repopulated" 149
+    (Rib.origin_route_count rib' "ebgp");
+  check Alcotest.bool "withdrawn prefix stayed dead" true
+    (Rib.lookup_best rib' (addr "130.0.0.1") = None);
+  (match Rib.lookup_best rib' (addr "130.0.37.1") with
+   | Some r -> check Alcotest.string "survivor is ebgp" "ebgp" r.Rib_route.protocol
+   | None -> Alcotest.fail "replayed route missing from reborn RIB");
+  (* And the route made it back down to the FIB. *)
+  check Alcotest.bool "replayed into the FIB" true
+    (Fib.lookup (Fea.fib fea) (addr "130.0.37.1") <> None)
+
+let test_rib_call_in_birth_gap_retries () =
+  (* Regression for the Finder-birth-gap race class (found for
+     FEA-bound calls in the sim harness): a just-registered component
+     is resolvable one event-loop turn before its handlers exist, so a
+     BGP->RIB call landing in that window gets [No_such_method]. The
+     bounded-retry path must absorb it. *)
+  let loop = Eventloop.create () in
+  let netsim = Netsim.create loop in
+  let finder = Finder.create () in
+  (* A RIB impostor: registered (resolvable) but with no methods —
+     exactly the birth-gap state. Created before BGP so the watcher
+     sees a live RIB from the start and no rebirth resync fires; the
+     only send under test is the direct subscription below. *)
+  let rib_shell = Xrl_router.create finder loop ~class_name:"rib" () in
+  let b =
+    Bgp_process.create ~send_to_rib:false ~nexthop_mode:`Assume_resolvable
+      finder loop ~netsim ~local_as:65001 ~bgp_id:(addr "1.1.1.1") ()
+  in
+  let got = ref 0 in
+  Bgp_process.subscribe_rib_redistribution b ~policy:"accept";
+  (* First attempt fails with No_such_method; the handler appears
+     inside the retry window (default backoff starts at 50 ms). *)
+  ignore
+    (Eventloop.after loop 0.2 (fun () ->
+         Xrl_router.add_handler rib_shell ~interface:"rib"
+           ~method_name:"redist_subscribe" (fun _args reply ->
+             incr got;
+             reply Xrl_error.Ok_xrl [])));
+  run_for loop 5.0;
+  check Alcotest.int "subscription retried into the new handler" 1 !got
+
 let () =
   Alcotest.run "xorp_bgp_process"
     [
@@ -656,5 +744,10 @@ let () =
             test_aggregation_end_to_end;
           Alcotest.test_case "ibgp peer removal cleans RIB" `Quick
             test_ibgp_peer_removal_cleans_rib;
+          Alcotest.test_case "RIB rebirth: winners replayed, live \
+                              withdrawal not overtaken" `Quick
+            test_rib_rebirth_resync_full_stack;
+          Alcotest.test_case "RIB call in the birth gap is retried" `Quick
+            test_rib_call_in_birth_gap_retries;
         ] );
     ]

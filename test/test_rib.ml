@@ -460,6 +460,42 @@ let test_bulk_fea_preserves_add_delete_order () =
   check Alcotest.bool "10.0.0.0/8 gone" true
     (Fib.lookup (Fea.fib fea) (addr "10.200.0.1") = None)
 
+(* --- RIB restart: FEA mark-and-sweep --------------------------------- *)
+
+let test_fea_sweeps_stale_fib_after_rib_restart () =
+  (* A route withdrawn while the RIB is down can never reach the reborn
+     RIB — no live component remembers the withdrawal. The FEA closes
+     the hole: on RIB rebirth it marks its whole FIB stale, re-installs
+     unmark, and a hold timer sweeps whatever was not re-announced. *)
+  let loop, finder, fea, rib = setup () in
+  add rib ~protocol:"static" "10.0.0.0/8" "192.0.2.1";
+  add rib ~protocol:"static" "172.16.0.0/12" "192.0.2.1";
+  Eventloop.run loop;
+  check Alcotest.int "both installed" 2 (Fib.size (Fea.fib fea));
+  (* RIB dies. Its routes — and any withdrawal that would have come —
+     are gone; the FIB still holds both entries. *)
+  Rib.shutdown rib;
+  Eventloop.run loop;
+  check Alcotest.int "FIB survives the RIB" 2 (Fib.size (Fea.fib fea));
+  (* Rebirth: only one of the two routes still exists (the other was
+     "withdrawn during the outage" — nobody re-adds it). *)
+  let rib' = Rib.create finder loop () in
+  add rib' ~protocol:"static" "10.0.0.0/8" "192.0.2.1";
+  (* Bounded run: [Eventloop.run] would fast-forward virtual time
+     through the 30 s hold timer itself. *)
+  Eventloop.run_until_time loop (Eventloop.now loop +. 5.0);
+  (* Before the hold expires the unconfirmed entry is still there:
+     graceful restart, not a flush. *)
+  check Alcotest.bool "unconfirmed entry still forwarding" true
+    (Fib.get (Fea.fib fea) (net "172.16.0.0/12") <> None);
+  Eventloop.run_until_time loop (Eventloop.now loop +. 35.0);
+  check Alcotest.bool "re-announced entry kept" true
+    (Fib.get (Fea.fib fea) (net "10.0.0.0/8") <> None);
+  check Alcotest.bool "unconfirmed entry swept" true
+    (Fib.get (Fea.fib fea) (net "172.16.0.0/12") = None);
+  check Alcotest.int "sweep counted" 1
+    (Telemetry.counter_value (Telemetry.counter "fea.rib_sweep.removed"))
+
 let () =
   Alcotest.run "xorp_rib"
     [
@@ -495,6 +531,8 @@ let () =
             test_flush_on_protocol_death;
           Alcotest.test_case "flush interleaves with events" `Quick
             test_flush_interleaves_with_events;
+          Alcotest.test_case "FEA sweeps stale FIB after RIB restart" `Quick
+            test_fea_sweeps_stale_fib_after_rib_restart;
         ] );
       ( "xrl",
         [ Alcotest.test_case "rib/1.0 interface" `Quick test_xrl_interface ] );

@@ -289,6 +289,47 @@ let test_redistribution_from_rib () =
   check Alcotest.bool "retracted" true
     (Rip_process.lookup r2.rip (net "203.0.113.0/24") = None)
 
+let test_redistribution_survives_rib_restart () =
+  (* The RIB's redist subscriber table dies with the instance. RIP must
+     re-subscribe on rebirth, and its learned routes must be replayed
+     into the reborn RIB's empty origin table. *)
+  let loop, r1, r2 = pair () in
+  Result.get_ok
+    (Rib.add_route r1.rib ~protocol:"static" ~net:(net "203.0.113.0/24")
+       ~nexthop:(addr "10.0.0.254") ());
+  Rip_process.subscribe_rib_redistribution r1.rip ~policy:"accept";
+  run_for loop 10.0;
+  check Alcotest.bool "redistributed before the restart" true
+    (Rip_process.lookup r2.rip (net "203.0.113.0/24") <> None);
+  check Alcotest.int "r2's learned route in its RIB" 1
+    (Rib.origin_route_count r2.rib "rip");
+  (* Restart r1's RIB. *)
+  Rib.shutdown r1.rib;
+  run_for loop 1.0;
+  let rib' = Rib.create r1.finder loop () in
+  run_for loop 5.0;
+  (* A static route added only to the NEW instance must still cross
+     into RIP: the subscription was re-sent on rebirth. Without the
+     resync this silently never propagates. *)
+  Result.get_ok
+    (Rib.add_route rib' ~protocol:"static" ~net:(net "198.51.100.0/24")
+       ~nexthop:(addr "10.0.0.254") ());
+  run_for loop 10.0;
+  check Alcotest.bool "post-restart static crosses into RIP" true
+    (Rip_process.lookup r2.rip (net "198.51.100.0/24") <> None);
+  (* And the learned side of r1's table (routes heard from r2, not the
+     redistributed injections) was replayed into the reborn RIB's
+     empty rip origin table. *)
+  let learned_r1 =
+    List.length
+      (List.filter
+         (fun (_, _, nh) -> not (Ipv4.equal nh Ipv4.zero))
+         (Rip_process.routes r1.rip))
+  in
+  check Alcotest.int "reborn RIB rip origin matches r1's learned table"
+    learned_r1
+    (Rib.origin_route_count rib' "rip")
+
 let test_counters () =
   let loop, r1, r2 = pair () in
   Rip_process.inject r1.rip ~net:(net "172.16.0.0/12") ();
@@ -327,6 +368,8 @@ let () =
             test_better_route_replaces;
           Alcotest.test_case "redistribution from RIB" `Quick
             test_redistribution_from_rib;
+          Alcotest.test_case "redistribution survives RIB restart" `Quick
+            test_redistribution_survives_rib_restart;
           Alcotest.test_case "counters" `Quick test_counters;
         ] );
     ]

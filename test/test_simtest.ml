@@ -45,6 +45,19 @@ let test_kill_restart_recovers () =
   in
   assert_green "kill+restart fea" (Simtest.run sc)
 
+let test_kill_restart_rib_recovers () =
+  (* The RIB itself is now in the kill set.  A dead-and-reborn RIB must
+     come back with every protocol's table replayed into it, so the
+     quiescent invariants (including the per-protocol origin counts and
+     the reverse FIB->RIB check) hold at the horizon. *)
+  let sc =
+    Simtest.scenario ~seed:7 ~horizon:110.
+      [ Simtest.inject_routes 15. 8;
+        Simtest.kill_at 40. Simtest.C_rib;
+        Simtest.restart_at 55. Simtest.C_rib ]
+  in
+  assert_green "kill+restart rib" (Simtest.run sc)
+
 let test_text_form_roundtrip () =
   let sc =
     Simtest.scenario ~seed:99
@@ -175,6 +188,56 @@ let test_fuzz_finds_and_shrinks_lane_reorder () =
        check Alcotest.bool "reparsed counterexample still fails" true
          (o''.Simtest.violations <> []))
 
+let test_rib_no_resync_caught () =
+  (* Protocols that mark a reborn RIB up but never replay their tables
+     into it leave the new RIB empty while BGP/RIP/OSPF still hold
+     routes.  The per-protocol origin-count invariant must name the
+     disagreement; the healthy default must stay green on the same
+     schedule. *)
+  let sc =
+    Simtest.scenario ~seed:7 ~horizon:110.
+      [ Simtest.inject_routes 15. 8;
+        Simtest.kill_at 40. Simtest.C_rib;
+        Simtest.restart_at 55. Simtest.C_rib ]
+  in
+  assert_green "healthy rib rebirth" (Simtest.run sc);
+  let bad = { Simtest.default_opts with Simtest.rib_resync = false } in
+  let o = Simtest.run ~opts:bad sc in
+  match o.Simtest.violations with
+  | [] -> Alcotest.fail "rib-no-resync bug escaped the invariant checkers"
+  | v :: _ ->
+    check Alcotest.bool "violation names an origin-count disagreement" true
+      (Astring.String.is_infix ~affix:"origin" v)
+
+let test_fuzz_finds_and_shrinks_rib_no_resync () =
+  let bad = { Simtest.default_opts with Simtest.rib_resync = false } in
+  let r = Simtest.fuzz ~opts:bad ~base:0 ~count:40 () in
+  match r.Simtest.failed with
+  | None -> Alcotest.fail "fuzzer missed the rib-no-resync bug in 40 seeds"
+  | Some (o, minimal) ->
+    check Alcotest.bool "original outcome was red" true
+      (o.Simtest.violations <> []);
+    (* Only a RIB kill provokes this bug, so the counterexample must
+       keep one; everything else should shrink away. *)
+    check Alcotest.bool "shrunk scenario keeps a rib kill" true
+      (List.exists
+         (fun e ->
+           match e.Simtest.op with
+           | Simtest.Kill Simtest.C_rib -> true
+           | _ -> false)
+         minimal.Simtest.events);
+    check Alcotest.bool "shrunk to at most 2 events" true
+      (List.length minimal.Simtest.events <= 2);
+    let o' = Simtest.run ~opts:bad minimal in
+    check Alcotest.bool "shrunk scenario still fails" true
+      (o'.Simtest.violations <> []);
+    (match Simtest.of_string (Simtest.to_string minimal) with
+     | Error e -> Alcotest.failf "counterexample does not reparse: %s" e
+     | Ok sc ->
+       let o'' = Simtest.run ~opts:bad sc in
+       check Alcotest.bool "reparsed counterexample still fails" true
+         (o''.Simtest.violations <> []))
+
 let test_fuzz_batch_green () =
   let r = Simtest.fuzz ~base:0 ~count:25 () in
   check Alcotest.int "all seeds ran" 25 r.Simtest.seeds_run;
@@ -199,6 +262,8 @@ let () =
             test_different_seed_different_trace;
           Alcotest.test_case "kill + restart recovers" `Quick
             test_kill_restart_recovers;
+          Alcotest.test_case "kill + restart of the RIB recovers" `Quick
+            test_kill_restart_rib_recovers;
         ] );
       ( "text_form",
         [ Alcotest.test_case "roundtrip" `Quick test_text_form_roundtrip ] );
@@ -216,6 +281,10 @@ let () =
             test_lane_reorder_caught;
           Alcotest.test_case "fuzzer finds and shrinks lane reorder" `Quick
             test_fuzz_finds_and_shrinks_lane_reorder;
+          Alcotest.test_case "rib-no-resync caught" `Quick
+            test_rib_no_resync_caught;
+          Alcotest.test_case "fuzzer finds and shrinks rib-no-resync" `Quick
+            test_fuzz_finds_and_shrinks_rib_no_resync;
           Alcotest.test_case "green batch" `Quick test_fuzz_batch_green;
         ] );
     ]
