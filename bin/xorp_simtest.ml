@@ -20,11 +20,12 @@ let read_file path =
     Ok s
   with Sys_error e -> Error e
 
-let opts_of ~bug ~trace =
+let opts_of ~bug ~trace ~domains =
   { Simtest.fea_rebirth_replay = (bug <> Some "rib-no-replay");
     dataplane_ttl_leak = (bug = Some "dataplane-ttl-leak");
     bgp_lane_unordered = (bug = Some "lane-reorder");
     rib_resync = (bug <> Some "rib-no-resync");
+    domains;
     log_trace = trace }
 
 let report_outcome ~quiet (o : Simtest.outcome) =
@@ -43,7 +44,7 @@ let report_outcome ~quiet (o : Simtest.outcome) =
     1
   end
 
-let run_main seeds base seed replay bug trace quiet =
+let run_main seeds base seed replay bug trace quiet domains =
   (match bug with
    | None | Some "rib-no-replay" | Some "dataplane-ttl-leak"
    | Some "lane-reorder" | Some "rib-no-resync" -> ()
@@ -53,7 +54,11 @@ let run_main seeds base seed replay bug trace quiet =
         lane-reorder, rib-no-resync)\n"
        other;
      exit 2);
-  let opts = opts_of ~bug ~trace in
+  if domains < 1 then begin
+    prerr_endline "--domains must be >= 1";
+    exit 2
+  end;
+  let opts = opts_of ~bug ~trace ~domains in
   match (seed, replay) with
   | Some _, Some _ ->
     prerr_endline "--seed and --replay are mutually exclusive";
@@ -151,12 +156,22 @@ let trace_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "quiet" ] ~doc:"Only report failures.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Run the DUT's BGP decision and RIB arbitration sharded by \
+              prefix range across N worker domains (default 1: the classic \
+              single-domain staged pipeline, which is also the only mode \
+              with byte-deterministic traces — keep 1 when fuzzing for \
+              counterexamples to shrink).")
+
 let cmd =
   Cmd.v
     (Cmd.info "xorp_simtest"
        ~doc:"Deterministic whole-router simulation fuzzer")
     Term.(
       const run_main $ seeds_arg $ base_arg $ seed_arg $ replay_arg $ bug_arg
-      $ trace_arg $ quiet_arg)
+      $ trace_arg $ quiet_arg $ domains_arg)
 
 let () = exit (Cmd.eval cmd)

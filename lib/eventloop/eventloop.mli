@@ -57,6 +57,26 @@ val timer_pending : timer -> bool
 
 val defer : t -> (unit -> unit) -> unit
 
+(** {1 Cross-domain injection}
+
+    Everything else in this interface is single-domain: a loop and all
+    its timers, tasks and callbacks belong to the domain that runs it.
+    [post] is the one exception — the wakeup half of the cross-domain
+    mailbox contract (see docs/CONCURRENCY.md). *)
+
+val post : t -> (unit -> unit) -> unit
+(** [post loop cb] hands [cb] to [loop] from {e any} domain: it is
+    queued thread-safely and runs on the loop's own domain with
+    deferred-event semantics on the next iteration. In [`Real] mode a
+    self-pipe wakes a loop blocked in [select] immediately; in [`Sim]
+    mode the closure is picked up the next time the loop is driven
+    (the virtual clock has no blocking wait to interrupt). Posted work
+    counts as pending work for {!quiescent} exactly like a deferred
+    event.
+    [cb] runs on the loop's domain, so it may touch loop-owned state;
+    the values it captures must not be mutated by the posting domain
+    afterwards. *)
+
 (** {1 Background tasks (§4, §5.1.2)} *)
 
 type task

@@ -1,0 +1,165 @@
+(** Sharded BGP→RIB pipeline: the decision and route-arbitration
+    stages partitioned by prefix range across OCaml domains.
+
+    The staged pipeline of paper §5.1 processes route changes for
+    different prefixes independently — nothing in the decision process
+    or the RIB's merge stages couples two prefixes except nexthop
+    resolution, which reads only internal (IGP) routes. This module
+    exploits that: the prefix space is split into [shards] contiguous
+    trie-aligned ranges ({!Ptree.shard_of}), and each range's decision
+    + arbitration state lives on a dedicated worker domain. All
+    cross-domain communication is message passing over two-lane
+    {!Mailbox}es — operations in, winner deltas out — so the per-prefix
+    FIFO guard of §5.1.2 and the urgent/bulk lanes hold per shard by
+    construction, and no route state is ever shared mutably between
+    domains (docs/CONCURRENCY.md).
+
+    Each worker runs a fused replica of the per-range pipeline tail:
+    BGP decision (the {!Bgp_decision.better} ladder over per-peer
+    candidates), protocol arbitration by administrative distance, and
+    the external/internal gate (an EGP route is usable only while its
+    nexthop resolves through the internal winners). Internal-protocol
+    changes are broadcast to every shard — any shard may need them to
+    gate its external routes — while BGP and external per-prefix
+    operations go to the owning shard only.
+
+    Winner deltas flow back through one merged outbox into the main
+    event loop ({!Eventloop.post} wakeup) and are applied to the
+    process mirrors ({!Bgp_process.apply_winner_delta},
+    {!Rib.apply_winner_delta}), from which the unchanged downstream
+    stages — fanout, export branches, register, redistribution, FEA
+    sink — carry on exactly as in the single-domain pipeline. In
+    particular a BGP decision winner still reaches the RIB over the
+    fanout's RIB branch and the RIB's XRL boundary; the RIB then
+    dispatches it back to the owner shard as an ebgp/ibgp origin
+    operation, so the arbitration inputs, the per-protocol origin
+    bookkeeping and every single-domain invariant are preserved
+    verbatim under sharding. *)
+
+type t
+(** A pool of shard workers bound to one main event loop. *)
+
+val create : ?shards:int -> Eventloop.t -> unit -> t
+(** [create ~shards loop ()] spawns [shards] worker domains (default
+    4), each owning one prefix range. The calling domain must be the
+    one driving [loop]: winner deltas are applied from [loop]
+    callbacks. @raise Invalid_argument if [shards < 1]. *)
+
+val shards : t -> int
+(** Number of worker domains (and prefix ranges). *)
+
+(** {1 Wiring}
+
+    The dispatch functions are passed to {!Bgp_process.create} and
+    {!Rib.create} as their [shard_dispatch] arguments; the connect
+    functions register the destinations for the returning winner
+    deltas. Wire both before any route flows. *)
+
+val bgp_dispatch : t -> lane:Laneq.lane -> Bgp_decision.shard_op -> unit
+(** Forward a decision-stage operation into the pool: route operations
+    to the owner shard of their prefix, peer attach/detach metadata
+    broadcast to every shard. [lane] is the urgent/bulk lane the
+    operation rides, preserved end to end. *)
+
+val rib_dispatch : t -> lane:Laneq.lane -> Rib.shard_op -> unit
+(** Forward a RIB origin-table operation into the pool: internal
+    (IGP) protocols broadcast to every shard — each shard needs them
+    to resolve the nexthops gating its external routes — external
+    protocols to the owner shard only. *)
+
+val connect_bgp : t -> Bgp_process.t -> unit
+(** Deliver BGP decision-winner deltas to [bgp]'s mirror
+    ({!Bgp_process.apply_winner_delta}), and broadcast a decision-state
+    reset to every worker (bulk lane, so stragglers from a previous
+    process are cleared with it): [bgp] may be a reborn process whose
+    peers will resend their sessions, and stale candidates from the old
+    process must not survive into the rebuilt decision state.
+    RIB-rebirth resync needs no special wiring: BGP replays the
+    mirror's winners over the ordinary RIB branch, exactly as in
+    single-domain mode. *)
+
+val connect_rib : t -> Rib.t -> unit
+(** Deliver route-arbitration winner deltas to [rib]'s register stage
+    ({!Rib.apply_winner_delta}). *)
+
+(** {1 Synchronisation} *)
+
+val quiesce : ?timeout_s:float -> t -> unit
+(** Barrier: block (driving [loop]) until every operation dispatched
+    so far has been processed by its worker and every resulting winner
+    delta has been applied on the loop's domain. Downstream deferred
+    work scheduled by those applications (FEA flushes, XRL replies) is
+    {e not} awaited — run the loop to idle afterwards as usual. Safe in
+    both loop modes; the simulation clock is not advanced.
+    @raise Failure on timeout (default 30 s) or if a worker died. *)
+
+val replay : t -> unit
+(** Ask every worker to re-emit its current winners as deltas (bulk
+    lane). Appliers diff against their mirrors, so replay is
+    idempotent; {!connect_bgp} installs this as the RIB-rebirth resync
+    path. *)
+
+val backlog : t -> int
+(** Operations and deltas currently in flight (all inboxes plus the
+    outbox); [0] once quiescent. *)
+
+val shutdown : t -> unit
+(** Close the inboxes, join the worker domains, and apply any deltas
+    still in the outbox. The pool is unusable afterwards (dispatches
+    are dropped). Idempotent. *)
+
+(** {1 Per-range engine}
+
+    The pure decision + arbitration replica each worker runs, exposed
+    for the property tests that check a sharded run against the
+    single-domain pipeline (test/test_shard.ml). Not thread-safe; a
+    worker owns its engine exclusively. *)
+module Engine : sig
+  type t
+
+  type emit = {
+    emit_bgp : Ipv4net.t -> Bgp_types.route option -> unit;
+        (** BGP decision winner changed for a prefix this engine owns. *)
+    emit_rib : Ipv4net.t -> Rib_route.t option -> unit;
+        (** Arbitrated RIB winner changed for a prefix this engine
+            owns. *)
+  }
+
+  val create : shard:int -> shards:int -> t
+  (** An empty engine owning range [shard] of [shards]
+      ({!Ptree.shard_of}). *)
+
+  val apply_bgp : t -> emit:emit -> Bgp_decision.shard_op -> unit
+  (** Process one decision-stage operation. Peer metadata is accepted
+      for any range; route operations only mutate state (and emit) when
+      the engine owns the prefix. A changed winner is emitted, not fed
+      into the arbitration side — it re-enters via {!apply_rib} once
+      the RIB has carried it across its XRL boundary. *)
+
+  val apply_rib : t -> emit:emit -> Rib.shard_op -> unit
+  (** Process one origin-table operation. Internal-protocol routes are
+      absorbed for the whole address space (they gate external routes
+      anywhere in the engine's range); external routes only for the
+      owned range. *)
+
+  val replay : t -> emit:emit -> unit
+  (** Re-emit every current winner in the owned range. *)
+
+  val reset_bgp : t -> unit
+  (** Discard all decision-stage state (peer metadata, candidates,
+      decision winners) without emitting deltas: the reborn BGP process
+      this serves starts with an empty mirror, and the RIB flushes dead
+      protocols' origins itself. Arbitration state is untouched. *)
+
+  val bgp_winner : t -> Ipv4net.t -> Bgp_types.route option
+  (** Current decision winner for a prefix (tests). *)
+
+  val rib_winner : t -> Ipv4net.t -> Rib_route.t option
+  (** Current arbitrated winner for a prefix (tests). *)
+
+  val bgp_winner_count : t -> int
+  (** Decision winners held (tests). *)
+
+  val rib_winner_count : t -> int
+  (** Arbitrated winners held (tests). *)
+end
