@@ -27,6 +27,13 @@ let experiments =
      "CI smoke: sharded load at 4 domains with a routes/s floor gate",
      Fig_latency.run_domains_smoke);
     ("fig13", "event-driven vs 30s scanners (Figure 13)", Fig13.run);
+    ("converge",
+     "network-wide convergence after a link flap, {3,10,30,100} routers, \
+      emits BENCH_converge.json",
+     Converge.run);
+    ("converge-smoke",
+     "CI smoke: 30-router flap re-convergence under a wall budget",
+     Converge.smoke);
     ("forward",
      "packets/s through the element-graph data plane, 146515-route FIB, \
       emits BENCH_forward.json",
@@ -71,7 +78,7 @@ let () =
       (fun (name, _, f) ->
          if
            name <> "pipeline" && name <> "smoke" && name <> "domains"
-           && name <> "domains-smoke"
+           && name <> "domains-smoke" && name <> "converge-smoke"
          then (ignore name; f ()))
       experiments
   | _ :: "list" :: _ -> list_them ()

@@ -26,6 +26,7 @@ let opts_of ~bug ~trace ~domains =
     bgp_lane_unordered = (bug = Some "lane-reorder");
     rib_resync = (bug <> Some "rib-no-resync");
     domains;
+    bgp_redump = (bug <> Some "mesh-partition-heal");
     log_trace = trace }
 
 let report_outcome ~quiet (o : Simtest.outcome) =
@@ -44,16 +45,64 @@ let report_outcome ~quiet (o : Simtest.outcome) =
     1
   end
 
-let run_main seeds base seed replay bug trace quiet domains =
+(* Boot an N-router grid twice under one seed and demand byte-identical
+   traces and table signatures: the determinism gate at topology scale. *)
+let topo_boot ~size ~seed ~quiet =
+  let topo =
+    let rec fit r = if size mod r = 0 then r else fit (r - 1) in
+    let rows = fit (int_of_float (sqrt (float_of_int size))) in
+    if rows <= 1 then Topology.chain size
+    else Topology.grid rows (size / rows)
+  in
+  let boot () =
+    let params = { Simnet.default_params with seed } in
+    let w = Simnet.spawn params topo in
+    let converged, _ = Simnet.converge w in
+    if converged then Simnet.check_all w ~tag:"boot";
+    let sign = Simnet.signature w in
+    let viol = Simnet.violations w in
+    let viol =
+      if converged then viol else "boot: did not converge" :: viol
+    in
+    Simnet.teardown w;
+    (sign, Digest.to_hex (Digest.string (Simnet.trace w)), viol)
+  in
+  let s1, d1, v1 = boot () in
+  let s2, d2, v2 = boot () in
+  if not quiet then begin
+    Printf.printf "topology: %d routers, seed %d\n" (Topology.size topo) seed;
+    Printf.printf "signature: %s\n" s1;
+    Printf.printf "trace digest: %s / %s\n" d1 d2
+  end;
+  List.iter (Printf.printf "violation: %s\n") (v1 @ v2);
+  if s1 <> s2 || d1 <> d2 then begin
+    Printf.printf "NOT deterministic: runs differ under seed %d\n" seed;
+    exit 1
+  end;
+  if v1 <> [] || v2 <> [] then exit 1;
+  if not quiet then
+    Printf.printf "deterministic: two boots agree byte-for-byte\n";
+  exit 0
+
+let run_main seeds base seed replay bug trace quiet domains topo topo_boot_size
+    =
   (match bug with
    | None | Some "rib-no-replay" | Some "dataplane-ttl-leak"
-   | Some "lane-reorder" | Some "rib-no-resync" -> ()
+   | Some "lane-reorder" | Some "rib-no-resync"
+   | Some "mesh-partition-heal" -> ()
    | Some other ->
      Printf.eprintf
        "unknown --inject-bug %S (known: rib-no-replay, dataplane-ttl-leak, \
-        lane-reorder, rib-no-resync)\n"
+        lane-reorder, rib-no-resync, mesh-partition-heal)\n"
        other;
      exit 2);
+  (match topo_boot_size with
+   | Some size when size >= 1 ->
+     topo_boot ~size ~seed:(Option.value seed ~default:0) ~quiet
+   | Some _ ->
+     prerr_endline "--topo-boot must be >= 1";
+     exit 2
+   | None -> ());
   if domains < 1 then begin
     prerr_endline "--domains must be >= 1";
     exit 2
@@ -65,7 +114,9 @@ let run_main seeds base seed replay bug trace quiet domains =
     exit 2
   | Some s, None ->
     (* Replay one generated scenario; print the trace unless --quiet. *)
-    let sc = Simtest.generate ~seed:s in
+    let sc =
+      if topo then Simtest.generate_topo ~seed:s else Simtest.generate ~seed:s
+    in
     if not quiet then Printf.printf "%s" (Simtest.to_string sc);
     let o = Simtest.run ~opts sc in
     if (not quiet) && not trace then print_string o.Simtest.trace;
@@ -90,7 +141,7 @@ let run_main seeds base seed replay bug trace quiet domains =
       if (not quiet) && s mod 50 = 0 && s > base then
         Printf.printf "... seed %d (%.1fs)\n%!" s (Unix.gettimeofday () -. t0)
     in
-    let r = Simtest.fuzz ~opts ~progress ~base ~count:seeds () in
+    let r = Simtest.fuzz ~opts ~progress ~topo ~base ~count:seeds () in
     let wall = Unix.gettimeofday () -. t0 in
     (match r.Simtest.failed with
      | None ->
@@ -166,12 +217,31 @@ let domains_arg =
               with byte-deterministic traces — keep 1 when fuzzing for \
               counterexamples to shrink).")
 
+let topo_arg =
+  Arg.(
+    value & flag
+    & info [ "topo" ]
+        ~doc:"Fuzz (or --seed replay) topology-parametric scenarios: each \
+              seed generates a whole network (2-8 routers over chains, \
+              iBGP full meshes, grids and mixed-protocol shapes) plus a \
+              fault schedule against it, and shrinking reduces the \
+              topology itself along with the events.")
+
+let topo_boot_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "topo-boot" ] ~docv:"SIZE"
+        ~doc:"Determinism gate: boot a SIZE-router grid twice under one \
+              seed (--seed, default 0), converge, and demand byte-identical \
+              traces and table signatures. Exits 1 on any difference or \
+              invariant violation.")
+
 let cmd =
   Cmd.v
     (Cmd.info "xorp_simtest"
        ~doc:"Deterministic whole-router simulation fuzzer")
     Term.(
       const run_main $ seeds_arg $ base_arg $ seed_arg $ replay_arg $ bug_arg
-      $ trace_arg $ quiet_arg $ domains_arg)
+      $ trace_arg $ quiet_arg $ domains_arg $ topo_arg $ topo_boot_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -55,6 +55,10 @@ type peer = {
   mutable endpoint : Netsim.Stream.endpoint option;
   mutable dump_task : Eventloop.task option;
   mutable removed : bool;
+  (* Has this peering ever reached Established? Re-establishments must
+     re-dump the winners table ([redump_on_reestablish]); the injected
+     mesh-partition-heal bug skips exactly that. *)
+  mutable was_established : bool;
 }
 
 type t = {
@@ -101,6 +105,7 @@ type t = {
      tables are empty). *)
   mutable rib_up : bool;
   rib_rebirth_resync : bool;
+  redump_on_reestablish : bool;
   (* Redistribution policies this process has subscribed with; the
      RIB's subscriber table dies with it, so these are re-sent on
      rebirth. *)
@@ -629,7 +634,14 @@ let on_peer_established t peer () =
       m "session with %s established" (Ipv4.to_string peer.cfg.peer_addr));
   peer.ribout#session_reset;
   t.fanout#add_reader ~info:peer.info peer.export_branch;
-  start_winner_dump t peer
+  let first = not peer.was_established in
+  peer.was_established <- true;
+  (* A session that comes back after a cut must be re-sent the whole
+     winners table: the peer dropped everything we had advertised when
+     the session went down. [redump_on_reestablish:false] is the
+     injected mesh-partition-heal bug — only deltas after the heal
+     flow, so routes that predate the cut never reach the peer again. *)
+  if first || t.redump_on_reestablish then start_winner_dump t peer
 
 let on_peer_down t peer reason =
   Log.info (fun m ->
@@ -772,6 +784,7 @@ let build_peer t (cfg : peer_config) =
         out_cache; ribout;
         inbound = Queue.create (); inbound_task = None;
         retry_timer = None; endpoint = None; dump_task = None; removed = false;
+        was_established = false;
       }
   in
   let peer = Lazy.force peer in
@@ -867,7 +880,8 @@ let add_xrl_handlers t =
 
 let create ?families ?profiler ?(send_to_rib = true) ?(nexthop_mode = `Rib)
     ?(bgp_port = 179) ?(inbound_slice = 64) ?(urgent_threshold = 64)
-    ?(lane_ordered = true) ?(rib_rebirth_resync = true) ?shard_dispatch
+    ?(lane_ordered = true) ?(rib_rebirth_resync = true)
+    ?(redump_on_reestablish = true) ?shard_dispatch
     finder loop ~netsim ~local_as ~bgp_id () =
   if inbound_slice < 1 || urgent_threshold < 1 then
     invalid_arg "Bgp_process.create";
@@ -917,7 +931,7 @@ let create ?families ?profiler ?(send_to_rib = true) ?(nexthop_mode = `Rib)
             must hold its queue and treat the RIB's eventual return as
             a rebirth, or nothing ever replays. *)
          rib_up = Finder.live_instances finder "rib" <> [];
-         rib_rebirth_resync;
+         rib_rebirth_resync; redump_on_reestablish;
          redist_policies = [];
          c_resync_replayed = Telemetry.counter "bgp.rib_resync.replayed";
          started = false;

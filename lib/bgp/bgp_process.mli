@@ -61,6 +61,7 @@ val create :
   ?urgent_threshold:int ->
   ?lane_ordered:bool ->
   ?rib_rebirth_resync:bool ->
+  ?redump_on_reestablish:bool ->
   ?shard_dispatch:(lane:Laneq.lane -> Bgp_decision.shard_op -> unit) ->
   Finder.t -> Eventloop.t -> netsim:Netsim.t ->
   local_as:int -> bgp_id:Ipv4.t -> unit -> t
@@ -97,6 +98,14 @@ val create :
     deliberately broken variant behind the fuzzer's
     [rib-no-resync] injected bug: the reborn RIB is marked up but
     only deltas held during the outage are flushed.
+
+    [redump_on_reestablish] (default true) re-dumps the full winners
+    table to a peer whose session re-reaches Established after going
+    down (the peer dropped everything previously advertised with the
+    session). [false] is the deliberately broken variant behind the
+    fuzzer's [mesh-partition-heal] injected bug: after a severed link
+    heals only post-heal deltas flow, so routes that predate the cut
+    never reach the peer again.
 
     [shard_dispatch] switches the decision stage into {e sharded}
     mode (docs/CONCURRENCY.md): route operations reaching Decision are

@@ -65,6 +65,9 @@ let ok = Xrl_error.Ok_xrl
 
 let add_fib_handlers t =
   let r = t.router in
+  (* Resolved here (boot time) rather than per call, so a multi-router
+     process records each FEA's installs under its own namespace. *)
+  let install_hist = Telemetry.histogram "fea.install.latency_us" in
   Xrl_router.add_handler r ~interface:"fea" ~method_name:"add_route4"
     (fun args reply ->
        let net = Xrl_atom.get_ipv4net args "net" in
@@ -84,8 +87,7 @@ let add_fib_handlers t =
          ~note:(Ipv4net.to_string net)
          ~clock:(fun () -> Eventloop.now (Xrl_router.eventloop t.router))
          (fun () ->
-            Telemetry.time
-              (Telemetry.histogram "fea.install.latency_us")
+            Telemetry.time install_hist
               (fun () ->
                  Fib.add t.fib { Fib.net; nexthop; ifname; protocol };
                  Hashtbl.remove t.stale net;
@@ -100,8 +102,7 @@ let add_fib_handlers t =
            ~note:(Ipv4net.to_string net)
            ~clock:(fun () -> Eventloop.now (Xrl_router.eventloop t.router))
            (fun () ->
-              Telemetry.time
-                (Telemetry.histogram "fea.install.latency_us")
+              Telemetry.time install_hist
                 (fun () ->
                    Hashtbl.remove t.stale net;
                    Fib.delete t.fib net))

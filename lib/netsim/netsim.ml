@@ -34,6 +34,13 @@ and t = {
   default_latency : float;
   listeners : (addr_port, listener_rec) Hashtbl.t;
   dsockets : (addr_port, dgram_socket) Hashtbl.t;
+  (* Administratively-down links, keyed by the unordered address pair.
+     While a pair is cut, connects fail, datagrams vanish, and any
+     stream crossing the pair was severed when the cut landed. *)
+  cuts : (int * int, unit) Hashtbl.t;
+  (* Every live stream endpoint, so a link cut can find and sever the
+     connections crossing it; compacted on each cut. *)
+  mutable streams : stream_endpoint list;
   mutable loss_rng : Rng.t;
   mutable ephemeral : int;
 }
@@ -51,6 +58,8 @@ let create ?(default_latency = 0.001) loop =
     default_latency;
     listeners = Hashtbl.create 16;
     dsockets = Hashtbl.create 16;
+    cuts = Hashtbl.create 8;
+    streams = [];
     loss_rng = Rng.create 7;
     ephemeral = 49152;
   }
@@ -58,6 +67,12 @@ let create ?(default_latency = 0.001) loop =
 let eventloop t = t.loop
 let set_loss_seed t seed = t.loss_rng <- Rng.create seed
 let key addr port = (Ipv4.to_int addr, port)
+
+let addr_pair a b =
+  let x = Ipv4.to_int a and y = Ipv4.to_int b in
+  if x <= y then (x, y) else (y, x)
+
+let link_cut t ~a ~b = Hashtbl.mem t.cuts (addr_pair a b)
 
 module Stream = struct
   type endpoint = stream_endpoint
@@ -82,6 +97,11 @@ module Stream = struct
   let connect net ?latency ~src:srcaddr ~dst ~port cb =
     let latency = Option.value latency ~default:net.default_latency in
     let attempt () =
+      if Hashtbl.mem net.cuts (addr_pair srcaddr dst) then
+        (* The SYN dies on the cut wire; the caller times out as if
+           nothing listened there. *)
+        ignore (Eventloop.after net.loop latency (fun () -> cb None))
+      else
       match Hashtbl.find_opt net.listeners (key dst port) with
       | Some l when l.l_open ->
         net.ephemeral <- net.ephemeral + 1;
@@ -99,6 +119,7 @@ module Stream = struct
             inflight = Queue.create () }
         in
         client.peer <- Some server;
+        net.streams <- client :: server :: net.streams;
         (* SYN-ACK: the client learns of success one more latency
            later. Schedule this before invoking the accept callback so
            that, at equal deadlines, the client attaches its receive
@@ -160,6 +181,38 @@ module Stream = struct
   let remote_addr ep = fst ep.ep_remote
 end
 
+let cut_link ?(reset = false) t ~a ~b =
+  Hashtbl.replace t.cuts (addr_pair a b) ();
+  let pair = addr_pair a b in
+  let crossing ep =
+    ep.ep_open && addr_pair (fst ep.ep_local) (fst ep.ep_remote) = pair
+  in
+  List.iter
+    (fun ep ->
+      if crossing ep then
+        if reset then begin
+          (* A detectable link-down: both ends learn immediately, as
+             if the interface went down under the socket. *)
+          (match ep.peer with
+          | Some peer when peer.ep_open ->
+            peer.ep_open <- false;
+            Queue.clear peer.inflight;
+            peer.close_cb ()
+          | _ -> ());
+          if ep.ep_open then begin
+            ep.ep_open <- false;
+            Queue.clear ep.inflight;
+            ep.close_cb ()
+          end
+        end
+        else Stream.sever ep)
+    t.streams;
+  (* Compact the registry while we're here; closed endpoints can never
+     matter again. *)
+  t.streams <- List.filter (fun ep -> ep.ep_open) t.streams
+
+let heal_link t ~a ~b = Hashtbl.remove t.cuts (addr_pair a b)
+
 module Dgram = struct
   type socket = dgram_socket
 
@@ -183,7 +236,8 @@ module Dgram = struct
     else begin
       let net = s.dnet in
       let latency = Option.value latency ~default:net.default_latency in
-      let dropped = loss > 0.0 && Rng.float net.loss_rng < loss in
+      let cut = Hashtbl.mem net.cuts (addr_pair (fst s.d_local) dst) in
+      let dropped = cut || (loss > 0.0 && Rng.float net.loss_rng < loss) in
       if dropped then
         Log.debug (fun m ->
             m "dropping datagram to %s:%d" (Ipv4.to_string dst) dport)

@@ -85,3 +85,24 @@ end
 
 val set_loss_seed : t -> int -> unit
 (** Reseed the deterministic generator behind datagram loss. *)
+
+(** {1 Link-level faults}
+
+    A link is the unordered pair of the two interface addresses that
+    face each other. Cutting it severs every live stream whose two
+    endpoint addresses are that pair, makes new connects between the
+    pair fail, and silently drops datagrams between the pair, until
+    the link heals. *)
+
+val cut_link : ?reset:bool -> t -> a:Ipv4.t -> b:Ipv4.t -> unit
+(** Take the [a]–[b] link down. By default crossing streams are cut
+    {e silently} (like {!Stream.sever}: only keep-alive/hold timers
+    can detect it). With [reset:true] both ends' close callbacks fire
+    immediately — a detectable link-down, as when the interface goes
+    down under the socket. Idempotent. *)
+
+val heal_link : t -> a:Ipv4.t -> b:Ipv4.t -> unit
+(** Bring the [a]–[b] link back up. Streams severed by the cut stay
+    dead — the owners must reconnect. Idempotent. *)
+
+val link_cut : t -> a:Ipv4.t -> b:Ipv4.t -> bool

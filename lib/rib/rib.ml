@@ -681,7 +681,7 @@ let replay_fib t =
    updates accumulate in the queue instead of failing into the void;
    a (re)birth triggers the full replay above. The synthetic Birth
    fired for an already-live FEA at watch time is a no-op because
-   [fea_up] starts true. *)
+   [fea_up] was initialised from the same live-instance query. *)
 let watch_fea_lifecycle ?(rebirth_replay = true) t finder =
   Finder.watch_class finder "fea" (fun event _instance ->
       match event with
@@ -737,7 +737,13 @@ let create ?families ?batching ?profiler ?(send_to_fea = true)
       g_fea_depth = Telemetry.gauge "rib.fea_q.depth";
       g_fea_urgent = Telemetry.gauge "rib.fea_q.urgent";
       g_fea_bulk = Telemetry.gauge "rib.fea_q.bulk";
-      fea_up = true }
+      (* Not assumed true: a RIB created (or reborn) while the FEA is
+         down must treat the FEA's eventual return as a rebirth and
+         replay the FIB, exactly as the protocols treat a reborn RIB.
+         Without the watcher there is no Birth to flip it, so it
+         starts true. *)
+      fea_up =
+        (not send_to_fea) || Finder.live_instances finder "fea" <> [] }
   in
   t_ref := Some router;
   (match profiler with

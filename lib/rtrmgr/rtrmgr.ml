@@ -2,25 +2,39 @@ let src = Logs.Src.create "xorp.rtrmgr" ~doc:"Router Manager"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+type component = [ `Fea | `Rib | `Bgp | `Rip | `Ospf ]
+
 type t = {
   loop : Eventloop.t;
   net : Netsim.t;
   fndr : Finder.t;
   prof : Profiler.t option;
   tel_r : Xrl_router.t;
-  fea_c : Fea.t;
-  rib_c : Rib.t;
-  bgp_c : Bgp_process.t option;
-  rip_c : Rip_process.t option;
-  ospf_c : Ospf_process.t option;
+  (* Creation-time knobs, kept so [restart_component] rebuilds a
+     component exactly as [boot] did. *)
+  families : Pf.family list option;
+  bgp_redump : bool;
+  tel_ns : string; (* ambient telemetry namespace captured at boot *)
+  mutable fea_c : Fea.t option;
+  mutable rib_c : Rib.t option;
+  mutable bgp_c : Bgp_process.t option;
+  mutable rip_c : Rip_process.t option;
+  mutable ospf_c : Ospf_process.t option;
   cfg : Config_tree.t;
 }
 
 let eventloop t = t.loop
 let netsim t = t.net
 let finder t = t.fndr
-let fea t = t.fea_c
-let rib t = t.rib_c
+
+let alive name = function
+  | Some c -> c
+  | None -> failwith ("Rtrmgr: the " ^ name ^ " is down")
+
+let fea t = alive "FEA" t.fea_c
+let rib t = alive "RIB" t.rib_c
+let fea_opt t = t.fea_c
+let rib_opt t = t.rib_c
 let bgp t = t.bgp_c
 let rip t = t.rip_c
 let ospf t = t.ospf_c
@@ -85,14 +99,15 @@ let configure_static rib_c cfg =
       (Ok ())
       (Config_tree.children static "route")
 
-let configure_bgp ?profiler fndr loop net cfg =
+let configure_bgp ?families ?profiler ?(redump = true) fndr loop net cfg =
   match Config_tree.path cfg [ "protocols"; "bgp" ] with
   | None -> Ok None
   | Some bgp_cfg ->
     let local_as = int_of_string (Config_tree.leaf_exn bgp_cfg "local-as") in
     let bgp_id = Ipv4.of_string_exn (Config_tree.leaf_exn bgp_cfg "bgp-id") in
     let bgp_c =
-      Bgp_process.create ?profiler fndr loop ~netsim:net ~local_as ~bgp_id ()
+      Bgp_process.create ?families ?profiler ~redump_on_reestablish:redump
+        fndr loop ~netsim:net ~local_as ~bgp_id ()
     in
     let peer_result =
       List.fold_left
@@ -159,7 +174,7 @@ let configure_bgp ?profiler fndr loop net cfg =
        Bgp_process.start bgp_c;
        Ok (Some bgp_c))
 
-let configure_rip fndr loop cfg =
+let configure_rip ?families fndr loop cfg =
   match Config_tree.path cfg [ "protocols"; "rip" ] with
   | None -> Ok None
   | Some rip_cfg ->
@@ -184,7 +199,7 @@ let configure_rip fndr loop cfg =
            | Some v -> float_of_string v
            | None -> base.Rip_process.timeout) }
     in
-    let rip_c = Rip_process.create fndr loop config in
+    let rip_c = Rip_process.create ?families fndr loop config in
     List.iter
       (fun (route : Config_tree.t) ->
          let metric =
@@ -210,7 +225,7 @@ let configure_rip fndr loop cfg =
           Error [ e ])
      | None -> Ok (Some rip_c))
 
-let configure_ospf fndr loop cfg =
+let configure_ospf ?families fndr loop cfg =
   match Config_tree.path cfg [ "protocols"; "ospf" ] with
   | None -> Ok None
   | Some ospf_cfg ->
@@ -257,13 +272,38 @@ let configure_ospf fndr loop cfg =
            | Some v -> float_of_string v
            | None -> base.Ospf_process.dead_interval) }
     in
-    let ospf_c = Ospf_process.create fndr loop config in
+    let ospf_c = Ospf_process.create ?families fndr loop config in
     Ospf_process.start ospf_c;
     Ok (Some ospf_c)
 
 (* --- boot -------------------------------------------------------------------- *)
 
-let boot ?loop ?netsim:net ?finder:fndr ~config () =
+(* Boot one router's components (FEA, RIB + connected /24s + static
+   routes). Factored out of [boot] so [restart_component] can rebuild
+   exactly what boot built. *)
+let make_fea ?families ?profiler ~interfaces ~net fndr loop =
+  Fea.create ?families ?profiler:profiler ~interfaces ~netsim:net fndr loop ()
+
+let make_rib ?families ?profiler ~interfaces ~cfg fndr loop =
+  let rib_c = Rib.create ?families ?profiler fndr loop () in
+  (* Connected routes for each interface's /24. *)
+  List.iter
+    (fun (_, a) ->
+       match
+         Rib.add_route rib_c ~protocol:"connected"
+           ~net:(Ipv4net.make a 24) ~nexthop:Ipv4.zero ()
+       with
+       | Ok () -> ()
+       | Error e -> Log.warn (fun m -> m "connected route: %s" e))
+    interfaces;
+  match configure_static rib_c cfg with
+  | Ok () -> Ok rib_c
+  | Error e ->
+    Rib.shutdown rib_c;
+    Error e
+
+let boot ?loop ?netsim:net ?finder:fndr ?families ?(bgp_redump = true)
+    ~config () =
   let loop = match loop with Some l -> l | None -> Eventloop.create () in
   let net = match net with Some n -> n | None -> Netsim.create loop in
   let fndr = match fndr with Some f -> f | None -> Finder.create () in
@@ -290,39 +330,30 @@ let boot ?loop ?netsim:net ?finder:fndr ~config () =
             | _ -> Telemetry.set_enabled true);
            let interfaces = configure_interfaces cfg in
            let fea_c =
-             Fea.create ?profiler:prof ~interfaces ~netsim:net fndr loop ()
+             make_fea ?families ?profiler:prof ~interfaces ~net fndr loop
            in
-           let rib_c = Rib.create ?profiler:prof fndr loop () in
-           (* Connected routes for each interface's /24. *)
-           List.iter
-             (fun (_, a) ->
-                match
-                  Rib.add_route rib_c ~protocol:"connected"
-                    ~net:(Ipv4net.make a 24) ~nexthop:Ipv4.zero ()
-                with
-                | Ok () -> ()
-                | Error e -> Log.warn (fun m -> m "connected route: %s" e))
-             interfaces;
-           match configure_static rib_c cfg with
+           match make_rib ?families ?profiler:prof ~interfaces ~cfg fndr loop with
            | Error e ->
-             Rib.shutdown rib_c;
              Fea.shutdown fea_c;
              Error e
-           | Ok () ->
-             (match configure_bgp ?profiler:prof fndr loop net cfg with
+           | Ok rib_c ->
+             (match
+                configure_bgp ?families ?profiler:prof ~redump:bgp_redump
+                  fndr loop net cfg
+              with
               | Error e ->
                 Rib.shutdown rib_c;
                 Fea.shutdown fea_c;
                 Error e
               | Ok bgp_c ->
-                (match configure_rip fndr loop cfg with
+                (match configure_rip ?families fndr loop cfg with
                  | Error e ->
                    Option.iter Bgp_process.shutdown bgp_c;
                    Rib.shutdown rib_c;
                    Fea.shutdown fea_c;
                    Error e
                  | Ok rip_c ->
-                   (match configure_ospf fndr loop cfg with
+                   (match configure_ospf ?families fndr loop cfg with
                     | Error e ->
                       Option.iter Rip_process.shutdown rip_c;
                       Option.iter Bgp_process.shutdown bgp_c;
@@ -336,15 +367,83 @@ let boot ?loop ?netsim:net ?finder:fndr ~config () =
                       let tel_r = Telemetry_xrl.expose fndr loop in
                       Log.info (fun m -> m "router booted");
                       Ok
-                        { loop; net; fndr; prof; tel_r; fea_c; rib_c;
+                        { loop; net; fndr; prof; tel_r;
+                          families; bgp_redump;
+                          tel_ns = Telemetry.current_namespace ();
+                          fea_c = Some fea_c; rib_c = Some rib_c;
                           bgp_c; rip_c; ospf_c; cfg })))))
+
+(* --- component kill/restart --------------------------------------------- *)
+
+let component_name = function
+  | `Fea -> "fea" | `Rib -> "rib" | `Bgp -> "bgp"
+  | `Rip -> "rip" | `Ospf -> "ospf"
+
+let kill_component t (comp : component) =
+  match comp with
+  | `Fea -> Option.iter Fea.shutdown t.fea_c; t.fea_c <- None
+  | `Rib -> Option.iter Rib.shutdown t.rib_c; t.rib_c <- None
+  | `Bgp -> Option.iter Bgp_process.shutdown t.bgp_c; t.bgp_c <- None
+  | `Rip -> Option.iter Rip_process.shutdown t.rip_c; t.rip_c <- None
+  | `Ospf -> Option.iter Ospf_process.shutdown t.ospf_c; t.ospf_c <- None
+
+let restart_component t (comp : component) =
+  let families = t.families in
+  (* Rebuild under the namespace the router booted with, so the new
+     generation's metrics land where the old one's did. *)
+  Telemetry.with_namespace t.tel_ns (fun () ->
+      let warn = function
+        | Ok _ -> ()
+        | Error es ->
+          Log.warn (fun m ->
+              m "restarting %s: %s" (component_name comp)
+                (String.concat "; " es))
+      in
+      match comp with
+      | `Fea ->
+        if t.fea_c = None then
+          t.fea_c <-
+            Some
+              (make_fea ?families ?profiler:t.prof
+                 ~interfaces:(configure_interfaces t.cfg) ~net:t.net t.fndr
+                 t.loop)
+      | `Rib ->
+        if t.rib_c = None then begin
+          match
+            make_rib ?families ?profiler:t.prof
+              ~interfaces:(configure_interfaces t.cfg) ~cfg:t.cfg t.fndr t.loop
+          with
+          | Ok rib_c -> t.rib_c <- Some rib_c
+          | Error _ as e -> warn e
+        end
+      | `Bgp ->
+        if t.bgp_c = None then begin
+          match
+            configure_bgp ?families ?profiler:t.prof ~redump:t.bgp_redump
+              t.fndr t.loop t.net t.cfg
+          with
+          | Ok c -> t.bgp_c <- c
+          | Error _ as e -> warn e
+        end
+      | `Rip ->
+        if t.rip_c = None then begin
+          match configure_rip ?families t.fndr t.loop t.cfg with
+          | Ok c -> t.rip_c <- c
+          | Error _ as e -> warn e
+        end
+      | `Ospf ->
+        if t.ospf_c = None then begin
+          match configure_ospf ?families t.fndr t.loop t.cfg with
+          | Ok c -> t.ospf_c <- c
+          | Error _ as e -> warn e
+        end)
 
 (* --- show commands --------------------------------------------------------------- *)
 
 let show_routes t =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "Destination          Nexthop          Metric Protocol\n";
-  Rib.fold_winners t.rib_c
+  Rib.fold_winners (rib t)
     (fun r () ->
        Buffer.add_string buf
          (Printf.sprintf "%-20s %-16s %6d %s\n"
@@ -364,7 +463,7 @@ let show_fib t =
             (Ipv4net.to_string e.Fib.net)
             (Ipv4.to_string e.nexthop)
             e.ifname e.protocol))
-    (Fib.entries (Fea.fib t.fea_c));
+    (Fib.entries (Fea.fib (fea t)));
   Buffer.contents buf
 
 let show_bgp_peers t =
@@ -417,9 +516,10 @@ let show_ospf t =
     Buffer.contents buf
 
 let show_dataplane t =
-  match Fea.dataplane t.fea_c with
-  | None -> "no data plane (FEA runs without forwarding interfaces)\n"
-  | Some dp -> Dataplane.render dp
+  match Option.map Fea.dataplane t.fea_c with
+  | None -> "the FEA is down\n"
+  | Some None -> "no data plane (FEA runs without forwarding interfaces)\n"
+  | Some (Some dp) -> Dataplane.render dp
 
 let show_telemetry _t = Telemetry.render_table ()
 
@@ -447,9 +547,12 @@ let show_queues t =
   in
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Printf.sprintf "%-34s %8s\n" "Queue" "depth");
-  Buffer.add_string buf
-    (Printf.sprintf "%-34s %8d\n" "rib.fea_q (live)"
-       (Rib.fea_queue_length t.rib_c));
+  Option.iter
+    (fun rib_c ->
+       Buffer.add_string buf
+         (Printf.sprintf "%-34s %8d\n" "rib.fea_q (live)"
+            (Rib.fea_queue_length rib_c)))
+    t.rib_c;
   Option.iter
     (fun bgp_c ->
        Buffer.add_string buf
@@ -471,5 +574,7 @@ let shutdown t =
   Option.iter Ospf_process.shutdown t.ospf_c;
   Option.iter Rip_process.shutdown t.rip_c;
   Option.iter Bgp_process.shutdown t.bgp_c;
-  Rib.shutdown t.rib_c;
-  Fea.shutdown t.fea_c
+  Option.iter Rib.shutdown t.rib_c;
+  Option.iter Fea.shutdown t.fea_c;
+  t.ospf_c <- None; t.rip_c <- None; t.bgp_c <- None;
+  t.rib_c <- None; t.fea_c <- None

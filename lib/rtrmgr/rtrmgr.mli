@@ -18,20 +18,54 @@
 
 type t
 
+type component = [ `Fea | `Rib | `Bgp | `Rip | `Ospf ]
+
 val boot :
   ?loop:Eventloop.t -> ?netsim:Netsim.t -> ?finder:Finder.t ->
+  ?families:Pf.family list -> ?bgp_redump:bool ->
   config:string -> unit -> (t, string list) result
 (** Build and start a router. Default loop is a fresh simulated-clock
-    loop. On [Error], nothing is left running. *)
+    loop. On [Error], nothing is left running.
+
+    [families] selects the XRL transports of every component the boot
+    creates (default: intra-process); the simulation harness passes a
+    per-router chaos-wrapped {!Pf_sim} family. [bgp_redump] (default
+    true) is {!Bgp_process.create}'s [redump_on_reestablish] — [false]
+    is the fuzzer's [mesh-partition-heal] injected bug.
+
+    The ambient {!Telemetry.current_namespace} at boot time is
+    captured, so a multi-router process that boots each router under
+    its own namespace gets per-router metrics, and
+    {!restart_component} rebuilds components under the same
+    namespace. *)
 
 val eventloop : t -> Eventloop.t
 val netsim : t -> Netsim.t
 val finder : t -> Finder.t
+
 val fea : t -> Fea.t
 val rib : t -> Rib.t
+(** @raise Failure if the component has been killed
+    ({!kill_component}) and not restarted. *)
+
+val fea_opt : t -> Fea.t option
+val rib_opt : t -> Rib.t option
 val bgp : t -> Bgp_process.t option
 val rip : t -> Rip_process.t option
 val ospf : t -> Ospf_process.t option
+(** [None] when the protocol is not configured {e or} its component is
+    currently killed. *)
+
+val kill_component : t -> component -> unit
+(** Shut the component down in place (clean shutdown: it deregisters
+    from the Finder and closes its XRL endpoints). No-op if already
+    down, or for a protocol the configuration never started. *)
+
+val restart_component : t -> component -> unit
+(** Rebuild the component from the booted configuration, exactly as
+    {!boot} did (same XRL families, same telemetry namespace). No-op
+    if it is already running or was never configured. *)
+
 val profiler : t -> Profiler.t option
 val telemetry_router : t -> Xrl_router.t
 (** The sole router serving the [telemetry/0.1] XRL interface.

@@ -1,0 +1,109 @@
+(** Topology-parametric simulation world: N full router stacks from
+    one {!Topology.t}.
+
+    Where {!Simtest} boots the paper's single device under test
+    against three fixed peers, this module boots one complete router —
+    Rtrmgr, FEA, RIB, and the protocols its node declares — per
+    topology node, all on one virtual clock and one shared {!Netsim}.
+    Each router gets its own Finder, its own XRL-plane address
+    ({!Topology.sim_addr}) and its own telemetry namespace
+    (["<name>."]), so N stacks coexist in one process without metric
+    or registry collisions.
+
+    Everything derives from the topology and the master seed: link
+    interface addresses, BGP AS numbers and router ids, the one prefix
+    each router originates, the per-router chaos streams. Two runs of
+    the same (params, topology, events) triple produce byte-identical
+    traces.
+
+    Generated configurations detect faults inside the convergence
+    window: BGP sessions hold for 30 s and redial every 4 s, RIP
+    expires silent routes after 40 s, OSPF keeps its 20 s dead
+    interval. iBGP nodes get one static /32 per iBGP neighbour so the
+    preserved-nexthop routes (nexthop = originator's router id)
+    resolve, standing in for the IGP of a real deployment. *)
+
+type params = {
+  seed : int;
+  dup : float; (* ambient chaos: XRL duplication probability *)
+  delay : float; (* ambient chaos: fixed XRL delay, seconds *)
+  jitter : float; (* ambient chaos: uniform extra delay, seconds *)
+  xrl_latency : float; (* max per-call virtual transport latency *)
+  bgp_redump : bool;
+  (* [false] injects the mesh-partition-heal bug: a re-established
+     session is never re-dumped (Bgp_process's
+     [redump_on_reestablish]). *)
+  log_trace : bool;
+}
+
+val default_params : params
+
+type revent =
+  | E_kill of string * Rtrmgr.component
+  | E_restart of string * Rtrmgr.component
+  | E_sever of string * string (* silent cut: hold timers must notice *)
+  | E_heal of string * string
+  | E_flap of string * string (* reset cut, auto-heal 2 s later *)
+  | E_delay_burst of float
+
+val revent_to_string : revent -> string
+
+type t
+
+val spawn : params -> Topology.t -> t
+(** Boot every router. @raise Failure if a generated configuration is
+    rejected (a topology bug, not a scenario failure). *)
+
+val eventloop : t -> Eventloop.t
+val size : t -> int
+val router_names : t -> string list
+val mgr : t -> string -> Rtrmgr.t option
+
+val exec : t -> revent -> unit
+(** Apply one event now. Unknown router or link names trace a note and
+    do nothing — shrinking drops topology pieces out from under
+    scheduled events and the remnant schedule must still run. *)
+
+val converge :
+  ?step:float -> ?needed:int -> ?max_steps:int -> t -> bool * float
+(** Run virtual time forward until every router's table counts are
+    stable for [needed] consecutive samples [step] seconds apart with
+    no XRL in flight (or give up after [max_steps] samples, recording
+    a violation). Returns convergence and the virtual time of the last
+    observed change — the convergence instant, up to [step]
+    resolution. Defaults (9.7 s / 5 / 90) match the single-router
+    harness; the benchmark narrows [step] for finer timing. *)
+
+val check_all : t -> tag:string -> unit
+(** Every invariant: per router, RIB/FIB agreement (mirror, stale
+    survivors, local nexthop resolution), per-protocol origin counts,
+    and tx >= rx on the router's own namespaced transport counters;
+    network-wide — only when no link is cut and every component is up
+    — BGP session counts against topology degree, origin-prefix
+    reachability (BGP through the iBGP relay rule, RIP/OSPF through
+    connected components), cross-router forwarding walks that must
+    terminate at the originator without loops, and hop-optimality on
+    pure-eBGP topologies. *)
+
+val repair : t -> unit
+val teardown : t -> unit
+
+val violations : t -> string list
+val trace : t -> string
+val signature : t -> string
+(** Per-router table counts, one token per router — the convergence
+    and determinism fingerprint. *)
+
+type outcome = {
+  o_violations : string list;
+  o_trace : string;
+  o_sim_time : float;
+  o_dispatched : int;
+}
+
+val run :
+  params -> Topology.t -> events:(float * revent) list ->
+  checkpoints:float list -> horizon:float -> outcome
+(** The full scenario shape: spawn, schedule events, converge + check
+    at each checkpoint, run to the horizon, repair, converge, final
+    check, teardown. *)

@@ -23,6 +23,14 @@ type op =
   | Sever
   | Delay_burst of float
   | Check
+  (* Topology-scenario ops: these address routers and links of the
+     scenario's topology by name; in the fixed three-peer world they
+     are ignored. *)
+  | Kill_in of string * component
+  | Restart_in of string * component
+  | Link_sever of string * string
+  | Link_heal of string * string
+  | Link_flap of string * string
 
 type event = { at : float; op : op }
 
@@ -34,6 +42,7 @@ type scenario = {
   xrl_latency : float;
   events : event list;
   horizon : float;
+  topology : Topology.t option;
 }
 
 let calm = { dup = 0.; delay = 0.; jitter = 0. }
@@ -46,13 +55,19 @@ let surge_at at n = { at; op = Surge n }
 let partition at = { at; op = Sever }
 let delay_burst_at at ~dur = { at; op = Delay_burst dur }
 let check_at at = { at; op = Check }
+let kill_in_at at r c = { at; op = Kill_in (r, c) }
+let restart_in_at at r c = { at; op = Restart_in (r, c) }
+let sever_link_at at a b = { at; op = Link_sever (a, b) }
+let heal_link_at at a b = { at; op = Link_heal (a, b) }
+let flap_link_at at a b = { at; op = Link_flap (a, b) }
 
 let sort_events evs =
   List.stable_sort (fun a b -> compare a.at b.at) evs
 
 let scenario ?(seed = 0) ?(background = calm) ?(xrl_latency = 0.)
-    ?(horizon = 120.) events =
-  { seed; background; xrl_latency; events = sort_events events; horizon }
+    ?(horizon = 120.) ?topology events =
+  { seed; background; xrl_latency; events = sort_events events; horizon;
+    topology }
 
 let component_name = function
   | C_fea -> "fea" | C_rib -> "rib" | C_bgp -> "bgp"
@@ -77,11 +92,17 @@ let op_to_string = function
   | Sever -> "sever"
   | Delay_burst d -> Printf.sprintf "delay-burst %g" d
   | Check -> "check"
+  | Kill_in (r, c) -> Printf.sprintf "kill %s %s" r (component_name c)
+  | Restart_in (r, c) -> Printf.sprintf "restart %s %s" r (component_name c)
+  | Link_sever (a, b) -> Printf.sprintf "sever %s %s" a b
+  | Link_heal (a, b) -> Printf.sprintf "heal %s %s" a b
+  | Link_flap (a, b) -> Printf.sprintf "flap %s %s" a b
 
 let to_string sc =
   let b = Buffer.create 256 in
   Printf.bprintf b "seed %d\n" sc.seed;
   Printf.bprintf b "horizon %g\n" sc.horizon;
+  Option.iter (fun t -> Buffer.add_string b (Topology.to_string t)) sc.topology;
   if sc.background.dup > 0. then Printf.bprintf b "dup %g\n" sc.background.dup;
   if sc.background.delay > 0. then
     Printf.bprintf b "delay %g\n" sc.background.delay;
@@ -103,12 +124,19 @@ let of_string text =
   in
   let sc =
     ref { seed = 0; background = calm; xrl_latency = 0.; events = [];
-          horizon = 120. }
+          horizon = 120.; topology = None }
   in
+  let topo_lines = ref [] in
   let rec go = function
-    | [] ->
+    | [] -> (
       let s = !sc in
-      Ok { s with events = sort_events (List.rev s.events) }
+      let s = { s with events = sort_events (List.rev s.events) } in
+      match !topo_lines with
+      | [] -> Ok s
+      | lines -> (
+        match Topology.of_string (String.concat "\n" (List.rev lines)) with
+        | Ok t -> Ok { s with topology = Some t }
+        | Error e -> Error e))
     | line :: rest -> (
       let words =
         String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
@@ -119,6 +147,9 @@ let of_string text =
         | None -> err "bad number %S in %S" s line
       in
       match words with
+      | ("router" | "link" | "topology") :: _ ->
+        topo_lines := line :: !topo_lines;
+        go rest
       | [ "seed"; v ] -> (
         match int_of_string_opt v with
         | Some i -> sc := { !sc with seed = i }; go rest
@@ -158,10 +189,21 @@ let of_string text =
               match component_of_name c with
               | Some c -> add (Restart c)
               | None -> err "unknown component %S" c)
+            | [ "kill"; r; c ] -> (
+              match component_of_name c with
+              | Some c -> add (Kill_in (r, c))
+              | None -> err "unknown component %S" c)
+            | [ "restart"; r; c ] -> (
+              match component_of_name c with
+              | Some c -> add (Restart_in (r, c))
+              | None -> err "unknown component %S" c)
             | [ "flap"; s ] -> (
               match source_of_name s with
               | Some s -> add (Flap s)
               | None -> err "unknown source %S" s)
+            | [ "flap"; a; b ] -> add (Link_flap (a, b))
+            | [ "sever"; a; b ] -> add (Link_sever (a, b))
+            | [ "heal"; a; b ] -> add (Link_heal (a, b))
             | [ "inject"; n ] -> (
               match int_of_string_opt n with
               | Some n -> add (Inject n)
@@ -286,13 +328,14 @@ type opts = {
   bgp_lane_unordered : bool;
   rib_resync : bool;
   domains : int;
+  bgp_redump : bool;
   log_trace : bool;
 }
 
 let default_opts =
   { fea_rebirth_replay = true; dataplane_ttl_leak = false;
-    bgp_lane_unordered = false; rib_resync = true; domains = 1;
-    log_trace = false }
+    bgp_lane_unordered = false; rib_resync = true; bgp_redump = true;
+    domains = 1; log_trace = false }
 
 (* The known-bad element class for [dataplane_ttl_leak]: decrements the
    TTL like DecTtl but forgets to kill expired packets, so a TTL that
@@ -438,7 +481,8 @@ and start_component w comp =
         Bgp_process.create ~families:w.families ~inbound_slice:4
           ~urgent_threshold:4 ~lane_ordered:(not w.opts.bgp_lane_unordered)
           ?shard_dispatch:(Option.map Shard.bgp_dispatch w.pool)
-          ~rib_rebirth_resync:w.opts.rib_resync w.finder w.loop
+          ~rib_rebirth_resync:w.opts.rib_resync
+          ~redump_on_reestablish:w.opts.bgp_redump w.finder w.loop
           ~netsim:w.netsim ~local_as:65001 ~bgp_id:(ip "1.1.1.1") ()
       in
       (* connect_bgp also resets the workers' decision-stage state: a
@@ -701,6 +745,10 @@ let exec w op =
            end;
            tr w "delay burst over"))
   | Check -> () (* handled by the runner at its own pace *)
+  | Kill_in (r, _) | Restart_in (r, _) ->
+    tr w "event: topology op for %s ignored (fixed world)" r
+  | Link_sever (a, b) | Link_heal (a, b) | Link_flap (a, b) ->
+    tr w "event: link op %s-%s ignored (fixed world)" a b
 
 (* --- convergence ------------------------------------------------------- *)
 
@@ -1072,7 +1120,60 @@ type outcome = {
   dispatched : int;
 }
 
-let run ?(opts = default_opts) (sc : scenario) =
+(* --- the topology world ------------------------------------------------ *)
+
+let rtrmgr_component = function
+  | C_fea -> `Fea | C_rib -> `Rib | C_bgp -> `Bgp
+  | C_rip -> `Rip | C_ospf -> `Ospf
+
+(* Map scenario ops onto the multi-router world. One-argument
+   kill/restart address the first router; the fixed-world feed ops
+   (flap-source, inject, surge, sever-session) have no topology
+   meaning and are dropped. *)
+let revent_of_op ~first = function
+  | Kill_in (r, c) -> Some (Simnet.E_kill (r, rtrmgr_component c))
+  | Restart_in (r, c) -> Some (Simnet.E_restart (r, rtrmgr_component c))
+  | Link_sever (a, b) -> Some (Simnet.E_sever (a, b))
+  | Link_heal (a, b) -> Some (Simnet.E_heal (a, b))
+  | Link_flap (a, b) -> Some (Simnet.E_flap (a, b))
+  | Kill c -> Some (Simnet.E_kill (first, rtrmgr_component c))
+  | Restart c -> Some (Simnet.E_restart (first, rtrmgr_component c))
+  | Delay_burst d -> Some (Simnet.E_delay_burst d)
+  | Flap _ | Inject _ | Surge _ | Sever | Check -> None
+
+let run_topo ~(opts : opts) (sc : scenario) topo =
+  let params =
+    { Simnet.seed = sc.seed; dup = sc.background.dup;
+      delay = sc.background.delay; jitter = sc.background.jitter;
+      xrl_latency = sc.xrl_latency; bgp_redump = opts.bgp_redump;
+      log_trace = opts.log_trace }
+  in
+  let first =
+    match topo.Topology.nodes with
+    | n :: _ -> n.Topology.name
+    | [] -> ""
+  in
+  let events =
+    List.filter_map
+      (fun ev ->
+         Option.map (fun e -> (ev.at, e)) (revent_of_op ~first ev.op))
+      sc.events
+  in
+  let checkpoints =
+    List.filter_map
+      (fun ev -> match ev.op with Check -> Some ev.at | _ -> None)
+      sc.events
+  in
+  let o = Simnet.run params topo ~events ~checkpoints ~horizon:sc.horizon in
+  { ran = sc; violations = o.Simnet.o_violations; trace = o.Simnet.o_trace;
+    sim_time = o.Simnet.o_sim_time; dispatched = o.Simnet.o_dispatched }
+
+let rec run ?(opts = default_opts) (sc : scenario) =
+  match sc.topology with
+  | Some topo -> run_topo ~opts sc topo
+  | None -> run_fixed ~opts sc
+
+and run_fixed ~opts (sc : scenario) =
   let w = spawn sc opts in
   tr w "scenario seed %d: %d events, horizon %g" sc.seed
     (List.length sc.events) sc.horizon;
@@ -1141,6 +1242,44 @@ let generate ~seed =
   done;
   scenario ~seed ~background ~xrl_latency ~horizon:120. !evs
 
+let generate_topo ~seed =
+  let g = Rng.create ((seed * 0x9E3779B1) lxor 0x70FF5EED) in
+  let pickf arr = arr.(Rng.int g (Array.length arr)) in
+  let topo = Topology.generate ~seed in
+  let names =
+    Array.of_list (List.map (fun n -> n.Topology.name) topo.Topology.nodes)
+  in
+  let links = Array.of_list topo.Topology.links in
+  let background =
+    { dup = pickf [| 0.; 0.; 0.05; 0.1 |];
+      delay = 0.;
+      jitter = pickf [| 0.; 0.; 0.005; 0.02 |] }
+  in
+  let xrl_latency = pickf [| 0.; 0.; 0.002; 0.01 |] in
+  let comps = [| C_fea; C_rib; C_bgp; C_rip; C_ospf |] in
+  let n = 1 + Rng.int g 4 in
+  let evs = ref [] in
+  for _ = 1 to n do
+    let at = 20. +. (Rng.float g *. 60.) in
+    match Rng.int g 10 with
+    | 0 | 1 | 2 ->
+      let r = names.(Rng.int g (Array.length names)) in
+      let c = comps.(Rng.int g (Array.length comps)) in
+      evs := kill_in_at at r c :: !evs;
+      if Rng.bool g then
+        evs := restart_in_at (at +. 5. +. (Rng.float g *. 20.)) r c :: !evs
+    | (3 | 4 | 5) when Array.length links > 0 ->
+      let a, b = links.(Rng.int g (Array.length links)) in
+      evs := flap_link_at at a b :: !evs
+    | (6 | 7 | 8) when Array.length links > 0 ->
+      let a, b = links.(Rng.int g (Array.length links)) in
+      evs := sever_link_at at a b :: !evs;
+      if Rng.bool g then
+        evs := heal_link_at (at +. 5. +. (Rng.float g *. 20.)) a b :: !evs
+    | _ -> evs := delay_burst_at at ~dur:(2. +. (Rng.float g *. 8.)) :: !evs
+  done;
+  scenario ~seed ~background ~xrl_latency ~horizon:120. ~topology:topo !evs
+
 let shrink ?(opts = default_opts) sc0 =
   let runs = ref 0 in
   let still_fails sc =
@@ -1159,6 +1298,36 @@ let shrink ?(opts = default_opts) sc0 =
       if still_fails cand then drop_events cand i else drop_events sc (i + 1)
   in
   let sc = drop_events sc0 0 in
+  (* Shrink the topology itself: drop routers, then links. Events left
+     naming a removed piece are traced no-ops at run time, and a final
+     drop_events pass sweeps them out. *)
+  let rec drop_nodes sc i =
+    match sc.topology with
+    | None -> sc
+    | Some topo ->
+      if !runs >= budget || i >= List.length topo.Topology.nodes then sc
+      else
+        let name = (List.nth topo.Topology.nodes i).Topology.name in
+        let t' = Topology.drop_node topo name in
+        if Topology.size t' = 0 then drop_nodes sc (i + 1)
+        else
+          let cand = { sc with topology = Some t' } in
+          if still_fails cand then drop_nodes cand i
+          else drop_nodes sc (i + 1)
+  in
+  let sc = drop_nodes sc 0 in
+  let rec drop_links sc i =
+    match sc.topology with
+    | None -> sc
+    | Some topo ->
+      if !runs >= budget || i >= List.length topo.Topology.links then sc
+      else
+        let l = List.nth topo.Topology.links i in
+        let cand = { sc with topology = Some (Topology.drop_link topo l) } in
+        if still_fails cand then drop_links cand i else drop_links sc (i + 1)
+  in
+  let sc = drop_links sc 0 in
+  let sc = if sc.topology <> None then drop_events sc 0 else sc in
   (* Then zero the ambient-chaos knobs one at a time. *)
   let try_calm sc cand = if !runs < budget && still_fails cand then cand else sc in
   let sc =
@@ -1177,13 +1346,15 @@ type fuzz_result = {
   shrink_runs : int;
 }
 
-let fuzz ?(opts = default_opts) ?(progress = fun _ -> ()) ~base ~count () =
+let fuzz ?(opts = default_opts) ?(progress = fun _ -> ()) ?(topo = false)
+    ~base ~count () =
+  let gen = if topo then generate_topo else generate in
   let rec go i =
     if i >= count then { seeds_run = count; failed = None; shrink_runs = 0 }
     else begin
       let seed = base + i in
       progress seed;
-      let sc = generate ~seed in
+      let sc = gen ~seed in
       let o = run ~opts sc in
       if o.violations = [] then go (i + 1)
       else begin

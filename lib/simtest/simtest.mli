@@ -60,6 +60,18 @@ type op =
                                XRL replies on the DUT's transport. *)
   | Check                  (** Converge, then run the invariant
                                checkers mid-scenario. *)
+  | Kill_in of string * component
+                           (** Topology worlds: kill the component in
+                               the named router. In the fixed world
+                               this is a traced no-op. *)
+  | Restart_in of string * component
+  | Link_sever of string * string
+                           (** Topology worlds: silently cut the named
+                               link (hold timers must notice). *)
+  | Link_heal of string * string
+  | Link_flap of string * string
+                           (** Topology worlds: reset-cut the link,
+                               auto-heal 2 s later. *)
 
 type event = { at : float; op : op }
 
@@ -75,6 +87,11 @@ type scenario = {
   xrl_latency : float;      (** max virtual latency per XRL transmit *)
   events : event list;      (** sorted by time *)
   horizon : float;          (** when repair + final checks begin *)
+  topology : Topology.t option;
+  (** [None] (default): the fixed 3-peer world around one device under
+      test. [Some t]: {!Simnet} boots one full router stack per
+      topology node instead, and the link/per-router ops above come
+      alive. *)
 }
 
 val calm : chaos_levels
@@ -93,17 +110,25 @@ val partition : float -> event
 val delay_burst_at : float -> dur:float -> event
 val check_at : float -> event
 
+val kill_in_at : float -> string -> component -> event
+val restart_in_at : float -> string -> component -> event
+val sever_link_at : float -> string -> string -> event
+val heal_link_at : float -> string -> string -> event
+val flap_link_at : float -> string -> string -> event
+
 val scenario :
   ?seed:int -> ?background:chaos_levels -> ?xrl_latency:float ->
-  ?horizon:float -> event list -> scenario
+  ?horizon:float -> ?topology:Topology.t -> event list -> scenario
 (** Events are sorted by time; defaults: seed 0, calm background, no
-    extra latency, horizon 120 s. *)
+    extra latency, horizon 120 s, no topology (the fixed world). *)
 
 (** {2 Replayable text form} *)
 
 val to_string : scenario -> string
 (** A line-oriented form, stable under {!of_string}; this is what the
-    fuzzer prints for a shrunk counterexample. *)
+    fuzzer prints for a shrunk counterexample. Topology scenarios embed
+    the {!Topology.to_string} lines ([router ...]/[link ...]) directly
+    in the same document. *)
 
 val of_string : string -> (scenario, string) result
 
@@ -146,6 +171,12 @@ type opts = {
       invariants but not the byte-identical [trace] — delta application
       order between shards depends on real domain scheduling — so fuzz
       shrinking stays on [domains = 1]. *)
+  bgp_redump : bool;
+  (** Passed to {!Bgp_process} as [redump_on_reestablish]; [false]
+      injects the mesh-partition-heal bug — after a cut session
+      re-establishes, the winners are never re-dumped, so routes
+      withdrawn during the partition stay missing on the far side.
+      Only topology scenarios with link events can expose it. *)
   log_trace : bool;
   (** Also print trace lines to stderr as they happen. *)
 }
@@ -173,6 +204,12 @@ val generate : seed:int -> scenario
     (kills, restarts, flaps, injections, surges, severs, delay bursts)
     at seeded times, seeded background chaos and latency. *)
 
+val generate_topo : seed:int -> scenario
+(** The topology-parametric family: a {!Topology.generate}d network
+    (2-8 routers over all generator shapes) plus 1-4 faults drawn
+    against {e that} topology — per-router component kills/restarts,
+    link flaps, silent severs with optional heals, delay bursts. *)
+
 type fuzz_result = {
   seeds_run : int;
   failed : (outcome * scenario) option;
@@ -183,13 +220,17 @@ type fuzz_result = {
 }
 
 val fuzz :
-  ?opts:opts -> ?progress:(int -> unit) -> base:int -> count:int -> unit ->
-  fuzz_result
+  ?opts:opts -> ?progress:(int -> unit) -> ?topo:bool ->
+  base:int -> count:int -> unit -> fuzz_result
 (** Run [generate]d scenarios for seeds [base .. base+count-1],
     stopping at the first failure and shrinking it. [progress] is
-    called with each seed before it runs. *)
+    called with each seed before it runs. [~topo:true] draws from
+    {!generate_topo} instead, fuzzing whole networks. *)
 
 val shrink : ?opts:opts -> scenario -> scenario * int
-(** Greedily drop events, then zero chaos parameters, keeping every
-    mutation that still fails; returns the minimal scenario and how
-    many runs were spent. The input must fail under [opts]. *)
+(** Greedily drop events, then — for topology scenarios — drop routers
+    and links from the topology itself (events orphaned by a removed
+    piece become traced no-ops and are swept by a final event pass),
+    then zero chaos parameters, keeping every mutation that still
+    fails; returns the minimal scenario and how many runs were spent.
+    The input must fail under [opts]. *)

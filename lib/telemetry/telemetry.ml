@@ -113,6 +113,23 @@ let create_registry ?(span_capacity = 8192) () =
 
 let global = create_registry ()
 
+(* Ambient name prefix. Instrumented components register hierarchical
+   names like "fea.install.latency_us"; when several router stacks
+   share one process (lib/simtest topologies), each boots under its
+   own namespace ("r1.") so same-class components land on distinct
+   metrics instead of silently sharing counters. *)
+let namespace = ref ""
+let set_namespace ns = namespace := ns
+let current_namespace () = !namespace
+let qualify name = if !namespace = "" then name else !namespace ^ name
+
+let with_namespace ns f =
+  let saved = !namespace in
+  namespace := ns;
+  match f () with
+  | v -> namespace := saved; v
+  | exception e -> namespace := saved; raise e
+
 let kind_name = function
   | Counter _ -> "counter"
   | Gauge _ -> "gauge"
@@ -133,17 +150,17 @@ let get_or_create registry name make match_kind =
       v
 
 let counter ?(registry = global) name =
-  get_or_create registry name
+  get_or_create registry (qualify name)
     (fun () -> let c = { c_value = 0 } in (Counter c, c))
     (function Counter c -> Some c | _ -> None)
 
 let gauge ?(registry = global) name =
-  get_or_create registry name
+  get_or_create registry (qualify name)
     (fun () -> let g = { g_value = 0. } in (Gauge g, g))
     (function Gauge g -> Some g | _ -> None)
 
 let histogram ?(registry = global) name =
-  get_or_create registry name
+  get_or_create registry (qualify name)
     (fun () -> let h = Histogram.make () in (Histogram h, h))
     (function Histogram h -> Some h | _ -> None)
 
@@ -185,6 +202,7 @@ let reset ?(registry = global) () =
   Telemetry_ring.clear registry.span_ring
 
 let reset_prefix ?(registry = global) prefix =
+  let prefix = qualify prefix in
   Hashtbl.iter
     (fun name m ->
       if String.length name >= String.length prefix

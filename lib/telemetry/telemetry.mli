@@ -79,7 +79,31 @@ val global : registry
 val create_registry : ?span_capacity:int -> unit -> registry
 (** A private registry (tests). [span_capacity] defaults to 8192. *)
 
-(** Get-or-create. Names are hierarchical dotted paths.
+(** {2 Namespaces}
+
+    Instrumented components register fixed hierarchical names
+    (["fea.install.latency_us"]). When several router stacks share one
+    process — the topology-parametric simulation harness boots N of
+    them — an ambient {e namespace} prefix keeps their metrics apart:
+    while it is set (e.g. ["r1."]), {!counter}/{!gauge}/{!histogram}
+    register under the prefixed name and {!reset_prefix} zeroes only
+    the prefixed subtree. The default namespace is [""], which leaves
+    every existing caller untouched. Handles are resolved at
+    registration time, so a component that creates its metrics under a
+    namespace keeps recording there no matter what the ambient
+    namespace is later. *)
+
+val set_namespace : string -> unit
+val current_namespace : unit -> string
+
+val with_namespace : string -> (unit -> 'a) -> 'a
+(** Run the thunk with the ambient namespace set; always restores the
+    previous namespace (also on exceptions). *)
+
+(** {2 Registration}
+
+    Get-or-create. Names are hierarchical dotted paths, implicitly
+    prefixed by the ambient namespace.
     @raise Invalid_argument if the name exists with another kind. *)
 
 val counter : ?registry:registry -> string -> counter
@@ -107,7 +131,8 @@ val reset : ?registry:registry -> unit -> unit
 (** Zero every metric and drop recorded spans (registrations remain). *)
 
 val reset_prefix : ?registry:registry -> string -> unit
-(** Zero every metric whose dotted name starts with [prefix], in place,
+(** Zero every metric whose dotted name starts with [prefix] (after
+    qualification by the ambient namespace, like registration), in place,
     so existing handles stay valid. Components call this with their
     namespace (e.g. ["fea."]) when a new generation starts, so a
     restarted process does not inherit — and [xorp_top] does not

@@ -15,8 +15,8 @@ let parse_address address =
 (* Netsim streams preserve send boundaries, so each Stream.send is one
    complete Xrl_wire message: no length framing needed. *)
 
-let make_listener netsim ~local_addr _loop (dispatch : Pf.dispatch) :
-  Pf.listener =
+let make_listener ~requests_rx netsim ~local_addr _loop
+    (dispatch : Pf.dispatch) : Pf.listener =
   incr next_port;
   let port = !next_port in
   let listener =
@@ -24,8 +24,7 @@ let make_listener netsim ~local_addr _loop (dispatch : Pf.dispatch) :
         Netsim.Stream.on_receive ep (fun data ->
             match Xrl_wire.decode data with
             | Ok (Xrl_wire.Request { seq; xrl }) ->
-              if Telemetry.is_enabled () then
-                Telemetry.incr (Telemetry.counter "xrl.sim.requests_rx");
+              if Telemetry.is_enabled () then Telemetry.incr requests_rx;
               dispatch xrl (fun error args ->
                   if Netsim.Stream.is_open ep then
                     Netsim.Stream.send ep
@@ -52,7 +51,8 @@ type sender_state = {
          delayed transmits monotone so per-destination FIFO holds. *)
 }
 
-let make_sender ?latency netsim ~local_addr loop address : Pf.sender =
+let make_sender ~requests_tx ?latency netsim ~local_addr loop address :
+  Pf.sender =
   let dst, port = parse_address address in
   let st =
     { outstanding = Hashtbl.create 32; pending = Queue.create (); seq = 0;
@@ -71,7 +71,6 @@ let make_sender ?latency netsim ~local_addr loop address : Pf.sender =
     Queue.iter (fun (_, cb) -> cb (Xrl_error.Send_failed reason) []) st.pending;
     Queue.clear st.pending
   in
-  let requests_tx = Telemetry.counter "xrl.sim.requests_tx" in
   let do_transmit ep xrl cb =
     if Telemetry.is_enabled () then Telemetry.incr requests_tx;
     st.seq <- st.seq + 1;
@@ -147,8 +146,18 @@ let make_sender ?latency netsim ~local_addr loop address : Pf.sender =
   { send_req; send_batch = None; close_sender; family_of_sender = "sim" }
 
 let family ?latency netsim ~local_addr : Pf.family =
+  (* Resolve the counters when the family is created, not per listener
+     or per sender: the family is built during a router's boot, so in a
+     multi-router process each router's family records under that
+     router's telemetry namespace. *)
+  let requests_rx = Telemetry.counter "xrl.sim.requests_rx" in
+  let requests_tx = Telemetry.counter "xrl.sim.requests_tx" in
   {
     family_name = "sim";
-    make_listener = (fun loop dispatch -> make_listener netsim ~local_addr loop dispatch);
-    make_sender = (fun loop address -> make_sender ?latency netsim ~local_addr loop address);
+    make_listener =
+      (fun loop dispatch ->
+        make_listener ~requests_rx netsim ~local_addr loop dispatch);
+    make_sender =
+      (fun loop address ->
+        make_sender ~requests_tx ?latency netsim ~local_addr loop address);
   }

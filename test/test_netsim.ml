@@ -186,6 +186,175 @@ let test_dgram_close () =
   (* port is free again *)
   ignore (Netsim.Dgram.bind net ~addr:(addr "10.0.0.2") ~port:520)
 
+(* --- fan-out at topology scale -------------------------------------- *)
+
+let test_stream_fanout_fifo () =
+  (* 20 clients all talking to one server, every send scheduled at the
+     SAME virtual deadlines: per-stream FIFO must survive the
+     equal-deadline tie-breaking, and the interleaving must be
+     deterministic across runs. *)
+  let n_clients = 20 and n_msgs = 10 in
+  let run () =
+    let loop = Eventloop.create () in
+    let net = Netsim.create ~default_latency:0.002 loop in
+    let arrivals = ref [] in
+    ignore
+      (Netsim.Stream.listen net ~addr:(addr "10.0.0.200") ~port:179 (fun ep ->
+           Netsim.Stream.on_receive ep (fun data ->
+               arrivals := data :: !arrivals)));
+    for c = 1 to n_clients do
+      Netsim.Stream.connect net ~src:(Ipv4.of_octets 10 0 0 c)
+        ~dst:(addr "10.0.0.200") ~port:179 (fun ep ->
+          match ep with
+          | None -> Alcotest.fail "fanout connect refused"
+          | Some ep ->
+            for m = 1 to n_msgs do
+              (* Shared deadline: every client fires message m at
+                 virtual second m. *)
+              ignore
+                (Eventloop.after loop (float_of_int m) (fun () ->
+                     Netsim.Stream.send ep (Printf.sprintf "%d:%d" c m)))
+            done)
+    done;
+    Eventloop.run loop;
+    List.rev !arrivals
+  in
+  let a = run () in
+  check Alcotest.int "every message arrived" (n_clients * n_msgs)
+    (List.length a);
+  (* Per-client FIFO. *)
+  let last = Array.make (n_clients + 1) 0 in
+  List.iter
+    (fun s ->
+      Scanf.sscanf s "%d:%d" (fun c m ->
+          if m <> last.(c) + 1 then
+            Alcotest.failf "client %d: message %d after %d" c m last.(c);
+          last.(c) <- m))
+    a;
+  check
+    (Alcotest.list Alcotest.string)
+    "interleaving deterministic across runs" a (run ())
+
+let test_dgram_many_ports () =
+  (* A 100+-socket world (every RIP instance of a large topology binds
+     its own port): each socket sends one datagram around a ring; all
+     must arrive, each at the right socket. *)
+  let n = 120 in
+  let loop, net = setup () in
+  let socks =
+    Array.init n (fun i ->
+        Netsim.Dgram.bind net ~addr:(Ipv4.of_octets 10 2 (i / 100) (i mod 100))
+          ~port:(520 + (i mod 7)))
+  in
+  let got = Array.make n [] in
+  Array.iteri
+    (fun i s ->
+      Netsim.Dgram.on_receive s (fun ~src:_ ~sport:_ data ->
+          got.(i) <- data :: got.(i)))
+    socks;
+  for i = 0 to n - 1 do
+    let j = (i + 1) mod n in
+    Netsim.Dgram.sendto socks.(i)
+      ~dst:(Ipv4.of_octets 10 2 (j / 100) (j mod 100))
+      ~dport:(520 + (j mod 7))
+      (Printf.sprintf "from-%d" i)
+  done;
+  Eventloop.run loop;
+  for i = 0 to n - 1 do
+    let expect = [ Printf.sprintf "from-%d" ((i + n - 1) mod n) ] in
+    check (Alcotest.list Alcotest.string)
+      (Printf.sprintf "socket %d got its ring message" i)
+      expect got.(i)
+  done
+
+(* --- link cuts ------------------------------------------------------- *)
+
+let link_pair = (addr "10.0.0.1", addr "10.0.0.2")
+
+let connected_pair loop net =
+  let server = ref None and client = ref None in
+  ignore
+    (Netsim.Stream.listen net ~addr:(snd link_pair) ~port:179 (fun ep ->
+         server := Some ep));
+  Netsim.Stream.connect net ~src:(fst link_pair) ~dst:(snd link_pair)
+    ~port:179 (fun ep -> client := ep);
+  Eventloop.run loop;
+  match (!client, !server) with
+  | Some c, Some s -> (c, s)
+  | _ -> Alcotest.fail "pair did not connect"
+
+let test_cut_link_silent () =
+  let loop, net = setup () in
+  let a, b = link_pair in
+  let c, s = connected_pair loop net in
+  let s_closed = ref false and got = ref 0 in
+  Netsim.Stream.on_close s (fun () -> s_closed := true);
+  Netsim.Stream.on_receive s (fun _ -> incr got);
+  Netsim.cut_link net ~a ~b;
+  check Alcotest.bool "cut visible" true (Netsim.link_cut net ~a ~b);
+  Netsim.Stream.send c "into the void";
+  Eventloop.run loop;
+  check Alcotest.bool "silent: no close callback" false !s_closed;
+  check Alcotest.int "silent: nothing delivered" 0 !got;
+  check Alcotest.bool "both ends dead" false
+    (Netsim.Stream.is_open c || Netsim.Stream.is_open s);
+  (* New connects across the cut fail; after heal they succeed. *)
+  let att = ref `Pending in
+  Netsim.Stream.connect net ~src:a ~dst:b ~port:179 (fun ep ->
+      att := (match ep with None -> `Refused | Some _ -> `Connected));
+  Eventloop.run loop;
+  check Alcotest.bool "connect across cut refused" true (!att = `Refused);
+  Netsim.heal_link net ~a ~b;
+  check Alcotest.bool "cut cleared" false (Netsim.link_cut net ~a ~b);
+  Netsim.Stream.connect net ~src:a ~dst:b ~port:179 (fun ep ->
+      att := (match ep with None -> `Refused | Some _ -> `Connected));
+  Eventloop.run loop;
+  check Alcotest.bool "reconnect after heal" true (!att = `Connected)
+
+let test_cut_link_reset () =
+  let loop, net = setup () in
+  let a, b = link_pair in
+  let c, s = connected_pair loop net in
+  let c_closed = ref false and s_closed = ref false in
+  Netsim.Stream.on_close c (fun () -> c_closed := true);
+  Netsim.Stream.on_close s (fun () -> s_closed := true);
+  Netsim.cut_link ~reset:true net ~a ~b;
+  Eventloop.run loop;
+  check Alcotest.bool "reset: both close callbacks fired" true
+    (!c_closed && !s_closed)
+
+let test_cut_link_drops_dgrams () =
+  let loop, net = setup () in
+  let a, b = link_pair in
+  let sa = Netsim.Dgram.bind net ~addr:a ~port:520 in
+  let sb = Netsim.Dgram.bind net ~addr:b ~port:520 in
+  let got = ref 0 in
+  Netsim.Dgram.on_receive sb (fun ~src:_ ~sport:_ _ -> incr got);
+  Netsim.cut_link net ~a ~b;
+  Netsim.Dgram.sendto sa ~dst:b ~dport:520 "lost";
+  Eventloop.run loop;
+  check Alcotest.int "dropped while cut" 0 !got;
+  Netsim.heal_link net ~a ~b;
+  Netsim.Dgram.sendto sa ~dst:b ~dport:520 "after heal";
+  Eventloop.run loop;
+  check Alcotest.int "delivered after heal" 1 !got
+
+let test_cut_link_spares_others () =
+  (* A cut is per-pair: traffic between unrelated addresses flows. *)
+  let loop, net = setup () in
+  Netsim.cut_link net ~a:(addr "10.0.0.8") ~b:(addr "10.0.0.9");
+  let got = ref 0 in
+  ignore
+    (Netsim.Stream.listen net ~addr:(addr "10.0.0.2") ~port:179 (fun ep ->
+         Netsim.Stream.on_receive ep (fun _ -> incr got)));
+  Netsim.Stream.connect net ~src:(addr "10.0.0.1") ~dst:(addr "10.0.0.2")
+    ~port:179 (fun ep ->
+      match ep with
+      | Some ep -> Netsim.Stream.send ep "x"
+      | None -> Alcotest.fail "unrelated connect refused");
+  Eventloop.run loop;
+  check Alcotest.int "unrelated pair unaffected" 1 !got
+
 let test_determinism () =
   (* Two identical runs produce identical event timings. *)
   let run () =
@@ -238,6 +407,23 @@ let () =
           Alcotest.test_case "to nowhere" `Quick test_dgram_to_nowhere;
           Alcotest.test_case "bernoulli loss" `Quick test_dgram_loss;
           Alcotest.test_case "close" `Quick test_dgram_close;
+        ] );
+      ( "fanout",
+        [
+          Alcotest.test_case "20-endpoint FIFO under shared deadlines" `Quick
+            test_stream_fanout_fifo;
+          Alcotest.test_case "120 bound dgram sockets" `Quick
+            test_dgram_many_ports;
+        ] );
+      ( "links",
+        [
+          Alcotest.test_case "silent cut" `Quick test_cut_link_silent;
+          Alcotest.test_case "reset cut fires close" `Quick
+            test_cut_link_reset;
+          Alcotest.test_case "cut drops dgrams until heal" `Quick
+            test_cut_link_drops_dgrams;
+          Alcotest.test_case "cut is per-pair" `Quick
+            test_cut_link_spares_others;
         ] );
       ( "determinism",
         [ Alcotest.test_case "identical runs" `Quick test_determinism ] );

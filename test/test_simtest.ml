@@ -58,6 +58,21 @@ let test_kill_restart_rib_recovers () =
   in
   assert_green "kill+restart rib" (Simtest.run sc)
 
+let test_rib_reborn_while_fea_down_recovers () =
+  (* Found by the topology fuzzer (seed 32) and reproducible in the
+     fixed world: kill the FEA, then kill and restart the RIB while
+     the FEA is still down.  The reborn RIB must initialise its FEA
+     liveness from the Finder (not assume up), hold FIB pushes, and
+     replay the full FIB when the end-of-scenario repair finally
+     brings the FEA back. *)
+  let sc =
+    Simtest.scenario ~seed:32 ~horizon:110.
+      [ Simtest.kill_at 30. Simtest.C_fea;
+        Simtest.kill_at 50. Simtest.C_rib;
+        Simtest.restart_at 65. Simtest.C_rib ]
+  in
+  assert_green "rib reborn while fea down" (Simtest.run sc)
+
 let test_text_form_roundtrip () =
   let sc =
     Simtest.scenario ~seed:99
@@ -291,6 +306,126 @@ let test_multi_domain_matches_single_domain_counts () =
     (final_signature single.Simtest.trace)
     (final_signature sharded.Simtest.trace)
 
+(* --- the topology world ------------------------------------------------ *)
+
+let test_topo_scenario_green () =
+  (* A mixed-protocol network with a component kill and a link flap:
+     everything must re-converge and pass the network-wide checks. *)
+  let topo = Topology.mixed 5 in
+  let sc =
+    Simtest.scenario ~seed:19 ~horizon:110. ~topology:topo
+      [ Simtest.kill_in_at 25. "r2" Simtest.C_bgp;
+        Simtest.restart_in_at 40. "r2" Simtest.C_bgp;
+        Simtest.flap_link_at 60. "r1" "r2" ]
+  in
+  assert_green "topology scenario" (Simtest.run sc)
+
+let test_topo_same_seed_identical_trace () =
+  let sc =
+    Simtest.scenario ~seed:31 ~horizon:100.
+      ~topology:(Topology.ibgp_fullmesh 4)
+      [ Simtest.flap_link_at 30. "r1" "r2"; Simtest.check_at 70. ]
+  in
+  let a = Simtest.run sc and b = Simtest.run sc in
+  assert_green "first topo run" a;
+  check Alcotest.bool "byte-identical traces" true
+    (String.equal a.Simtest.trace b.Simtest.trace);
+  check Alcotest.int "same dispatch count" a.Simtest.dispatched
+    b.Simtest.dispatched
+
+let test_topo_text_form_roundtrip () =
+  let sc =
+    Simtest.scenario ~seed:77
+      ~background:{ Simtest.dup = 0.05; delay = 0.; jitter = 0.01 }
+      ~xrl_latency:0.002 ~horizon:90.
+      ~topology:(Topology.generate ~seed:5)
+      [ Simtest.kill_in_at 20. "r1" Simtest.C_rib;
+        Simtest.restart_in_at 33.5 "r1" Simtest.C_rib;
+        Simtest.sever_link_at 41. "r1" "r2";
+        Simtest.heal_link_at 55. "r1" "r2";
+        Simtest.flap_link_at 62. "r1" "r2";
+        Simtest.check_at 80. ]
+  in
+  match Simtest.of_string (Simtest.to_string sc) with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok sc' ->
+    check Alcotest.string "print/parse fixpoint" (Simtest.to_string sc)
+      (Simtest.to_string sc');
+    check Alcotest.bool "topology survived" true
+      (match sc'.Simtest.topology with
+       | Some t -> Topology.equal t (Topology.generate ~seed:5)
+       | None -> false);
+    check Alcotest.bool "structurally equal" true (sc = sc')
+
+let test_mesh_partition_heal_caught () =
+  (* The injected bug: a re-established BGP session is never
+     re-dumped, so routes withdrawn during a partition stay missing
+     after the heal. A single link flap on a two-router network
+     exposes it; the healthy default must stay green on the same
+     schedule. *)
+  let sc =
+    Simtest.scenario ~seed:1 ~horizon:110. ~topology:(Topology.chain 2)
+      [ Simtest.flap_link_at 30. "r1" "r2" ]
+  in
+  assert_green "healthy redump" (Simtest.run sc);
+  let bad = { Simtest.default_opts with Simtest.bgp_redump = false } in
+  let o = Simtest.run ~opts:bad sc in
+  match o.Simtest.violations with
+  | [] -> Alcotest.fail "mesh-partition-heal bug escaped the invariants"
+  | v :: _ ->
+    check Alcotest.bool "violation names lost reachability" true
+      (Astring.String.is_infix ~affix:"should reach" v)
+
+let test_topo_fuzz_finds_and_shrinks_mesh_partition_heal () =
+  let bad = { Simtest.default_opts with Simtest.bgp_redump = false } in
+  let r = Simtest.fuzz ~opts:bad ~topo:true ~base:0 ~count:60 () in
+  match r.Simtest.failed with
+  | None ->
+    Alcotest.fail "topology fuzzer missed mesh-partition-heal in 60 seeds"
+  | Some (o, minimal) ->
+    check Alcotest.bool "original outcome was red" true
+      (o.Simtest.violations <> []);
+    (* The topology itself must have shrunk: a handful of routers and
+       links, and a schedule stripped to the essential link fault. *)
+    let topo =
+      match minimal.Simtest.topology with
+      | Some t -> t
+      | None -> Alcotest.fail "minimal scenario lost its topology"
+    in
+    check Alcotest.bool "shrunk to at most 3 routers" true
+      (Topology.size topo <= 3);
+    check Alcotest.bool "shrunk to at most 2 links" true
+      (List.length topo.Topology.links <= 2);
+    check Alcotest.bool "shrunk to at most 2 events" true
+      (List.length minimal.Simtest.events <= 2);
+    check Alcotest.bool "a link fault survived shrinking" true
+      (List.exists
+         (fun e ->
+           match e.Simtest.op with
+           | Simtest.Link_flap _ | Simtest.Link_sever _ -> true
+           | _ -> false)
+         minimal.Simtest.events);
+    let o' = Simtest.run ~opts:bad minimal in
+    check Alcotest.bool "shrunk scenario still fails" true
+      (o'.Simtest.violations <> []);
+    (match Simtest.of_string (Simtest.to_string minimal) with
+     | Error e -> Alcotest.failf "counterexample does not reparse: %s" e
+     | Ok sc ->
+       let o'' = Simtest.run ~opts:bad sc in
+       check Alcotest.bool "reparsed counterexample still fails" true
+         (o''.Simtest.violations <> []))
+
+let test_topo_fuzz_batch_green () =
+  let r = Simtest.fuzz ~topo:true ~base:0 ~count:15 () in
+  check Alcotest.int "all topology seeds ran" 15 r.Simtest.seeds_run;
+  match r.Simtest.failed with
+  | None -> ()
+  | Some (o, minimal) ->
+    Alcotest.failf "topology seed %d failed (%s); minimal:\n%s"
+      o.Simtest.ran.Simtest.seed
+      (String.concat "; " o.Simtest.violations)
+      (Simtest.to_string minimal)
+
 let test_fuzz_batch_green () =
   let r = Simtest.fuzz ~base:0 ~count:25 () in
   check Alcotest.int "all seeds ran" 25 r.Simtest.seeds_run;
@@ -317,6 +452,8 @@ let () =
             test_kill_restart_recovers;
           Alcotest.test_case "kill + restart of the RIB recovers" `Quick
             test_kill_restart_rib_recovers;
+          Alcotest.test_case "RIB reborn while the FEA is down recovers"
+            `Quick test_rib_reborn_while_fea_down_recovers;
         ] );
       ( "text_form",
         [ Alcotest.test_case "roundtrip" `Quick test_text_form_roundtrip ] );
@@ -346,5 +483,20 @@ let () =
           Alcotest.test_case "fuzzer finds and shrinks rib-no-resync" `Quick
             test_fuzz_finds_and_shrinks_rib_no_resync;
           Alcotest.test_case "green batch" `Quick test_fuzz_batch_green;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "mixed network with faults green" `Quick
+            test_topo_scenario_green;
+          Alcotest.test_case "same seed, same trace" `Quick
+            test_topo_same_seed_identical_trace;
+          Alcotest.test_case "text form roundtrip" `Quick
+            test_topo_text_form_roundtrip;
+          Alcotest.test_case "mesh-partition-heal caught" `Quick
+            test_mesh_partition_heal_caught;
+          Alcotest.test_case "topology fuzzer finds and shrinks it" `Quick
+            test_topo_fuzz_finds_and_shrinks_mesh_partition_heal;
+          Alcotest.test_case "green topology batch" `Quick
+            test_topo_fuzz_batch_green;
         ] );
     ]

@@ -157,6 +157,65 @@ let test_reset_prefix () =
   check Alcotest.int "registrations survive" 3
     (List.length (Telemetry.list_metrics ~registry:reg ()))
 
+let test_ambient_namespace () =
+  (* Registration-time qualification: a metric created while a
+     namespace is ambient lives under it forever; resolution with
+     find_metric sees the qualified name; reset_prefix scopes to the
+     namespace like registration does. *)
+  Telemetry.set_enabled true;
+  let reg = Telemetry.create_registry () in
+  check Alcotest.string "default namespace is empty" ""
+    (Telemetry.current_namespace ());
+  let c =
+    Telemetry.with_namespace "r1." (fun () ->
+        check Alcotest.string "ambient inside thunk" "r1."
+          (Telemetry.current_namespace ());
+        Telemetry.counter ~registry:reg "bgp.updates")
+  in
+  check Alcotest.string "restored after thunk" ""
+    (Telemetry.current_namespace ());
+  Telemetry.incr c;
+  (match Telemetry.find_metric ~registry:reg "r1.bgp.updates" with
+   | Some (Telemetry.Counter c') ->
+     check Alcotest.int "qualified name resolves to the handle" 1
+       (Telemetry.counter_value c')
+   | _ -> Alcotest.fail "metric not under the namespace");
+  check Alcotest.bool "unqualified name does not exist" true
+    (Telemetry.find_metric ~registry:reg "bgp.updates" = None);
+  (* The handle keeps recording in its namespace even when a different
+     namespace is ambient later. *)
+  Telemetry.with_namespace "r2." (fun () -> Telemetry.incr c);
+  (match Telemetry.find_metric ~registry:reg "r1.bgp.updates" with
+   | Some (Telemetry.Counter c') ->
+     check Alcotest.int "handle pinned at registration" 2
+       (Telemetry.counter_value c')
+   | _ -> Alcotest.fail "metric moved")
+
+let test_namespaces_isolate_same_class_components () =
+  (* Two same-class components (two "BGP processes") in two router
+     namespaces: identical metric names, disjoint metrics. This is
+     what lets N router stacks share one process. *)
+  Telemetry.set_enabled true;
+  let reg = Telemetry.create_registry () in
+  let mk ns = Telemetry.with_namespace ns (fun () ->
+      Telemetry.counter ~registry:reg "bgp.rib.sent")
+  in
+  let c1 = mk "r1." and c2 = mk "r2." in
+  Telemetry.incr c1;
+  Telemetry.incr c1;
+  Telemetry.incr c2;
+  let value name =
+    match Telemetry.find_metric ~registry:reg name with
+    | Some (Telemetry.Counter c) -> Telemetry.counter_value c
+    | _ -> Alcotest.failf "%s missing" name
+  in
+  check Alcotest.int "r1 counts its own" 2 (value "r1.bgp.rib.sent");
+  check Alcotest.int "r2 counts its own" 1 (value "r2.bgp.rib.sent");
+  (* Resetting one router's namespace leaves the other alone. *)
+  Telemetry.reset_prefix ~registry:reg "r1.";
+  check Alcotest.int "r1 zeroed" 0 (value "r1.bgp.rib.sent");
+  check Alcotest.int "r2 untouched" 1 (value "r2.bgp.rib.sent")
+
 let test_disabled_is_noop () =
   let reg = Telemetry.create_registry () in
   let c = Telemetry.counter ~registry:reg "c" in
@@ -486,6 +545,9 @@ let () =
          QCheck_alcotest.to_alcotest prop_quantile ]);
       ("metrics",
        [ Alcotest.test_case "registry" `Quick test_metrics_registry;
+         Alcotest.test_case "ambient namespace" `Quick test_ambient_namespace;
+         Alcotest.test_case "namespaces isolate same-class components" `Quick
+           test_namespaces_isolate_same_class_components;
          Alcotest.test_case "reset_prefix scopes to a namespace" `Quick
            test_reset_prefix;
          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_is_noop ]);

@@ -1,0 +1,227 @@
+(* Tests for the declarative topology layer: construction validation,
+   the text form (property: parse/print roundtrip over random
+   topologies), generator determinism, and the derived address plan. *)
+
+let check = Alcotest.check
+
+let protos_of s =
+  match
+    match s with
+    | "bgp" -> Some Topology.bgp_only
+    | "ibgp" -> Some Topology.ibgp_only
+    | "rip" -> Some { Topology.no_protos with Topology.rip = true }
+    | "ospf" -> Some { Topology.no_protos with Topology.ospf = true }
+    | "none" -> Some Topology.no_protos
+    | _ -> None
+  with
+  | Some p -> p
+  | None -> assert false
+
+let mk nodes links =
+  Topology.make
+    ~nodes:
+      (List.map
+         (fun (name, p) -> { Topology.name; protos = protos_of p })
+         nodes)
+    ~links
+
+(* --- construction ------------------------------------------------------ *)
+
+let test_make_validates () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check Alcotest.bool "duplicate names rejected" true
+    (bad (fun () -> mk [ ("a", "bgp"); ("a", "bgp") ] []));
+  check Alcotest.bool "self link rejected" true
+    (bad (fun () -> mk [ ("a", "bgp") ] [ ("a", "a") ]));
+  check Alcotest.bool "unknown endpoint rejected" true
+    (bad (fun () -> mk [ ("a", "bgp") ] [ ("a", "ghost") ]));
+  check Alcotest.bool "bad name rejected" true
+    (bad (fun () -> mk [ ("a b", "bgp") ] []))
+
+let test_links_normalised () =
+  (* Reversed and duplicate declarations collapse to one canonical
+     link. *)
+  let t =
+    mk [ ("a", "bgp"); ("b", "bgp") ] [ ("b", "a"); ("a", "b"); ("a", "b") ]
+  in
+  check Alcotest.int "one link" 1 (List.length t.Topology.links);
+  check Alcotest.bool "has (a,b)" true (Topology.has_link t ("a", "b"));
+  check Alcotest.bool "has (b,a) too" true (Topology.has_link t ("b", "a"))
+
+let test_drop_node_drops_links () =
+  let t = Topology.chain 4 in
+  let t' = Topology.drop_node t "r2" in
+  check Alcotest.int "three routers left" 3 (Topology.size t');
+  check Alcotest.int "only the far link survives" 1
+    (List.length t'.Topology.links);
+  check Alcotest.bool "r3-r4 intact" true (Topology.has_link t' ("r3", "r4"))
+
+(* --- generators -------------------------------------------------------- *)
+
+let test_generator_shapes () =
+  let chain = Topology.chain 5 in
+  check Alcotest.int "chain links" 4 (List.length chain.Topology.links);
+  let mesh = Topology.ibgp_fullmesh 4 in
+  check Alcotest.int "fullmesh links" 6 (List.length mesh.Topology.links);
+  List.iter
+    (fun n ->
+      check Alcotest.bool ("ibgp on " ^ n.Topology.name) true
+        (n.Topology.protos.Topology.bgp = Topology.B_ibgp))
+    mesh.Topology.nodes;
+  let grid = Topology.grid 3 4 in
+  check Alcotest.int "grid routers" 12 (Topology.size grid);
+  (* rows*(cols-1) + (rows-1)*cols *)
+  check Alcotest.int "grid links" 17 (List.length grid.Topology.links);
+  let mixed = Topology.mixed 6 in
+  check Alcotest.bool "mixed has rip somewhere" true
+    (List.exists (fun n -> n.Topology.protos.Topology.rip) mixed.Topology.nodes);
+  check Alcotest.bool "mixed has ospf somewhere" true
+    (List.exists
+       (fun n -> n.Topology.protos.Topology.ospf)
+       mixed.Topology.nodes)
+
+let test_generate_deterministic () =
+  for seed = 0 to 49 do
+    let a = Topology.generate ~seed and b = Topology.generate ~seed in
+    if not (Topology.equal a b) then
+      Alcotest.failf "seed %d: generate not deterministic" seed;
+    check Alcotest.string
+      (Printf.sprintf "seed %d byte-identical text" seed)
+      (Topology.to_string a) (Topology.to_string b);
+    let n = Topology.size a in
+    if n < 2 || n > 8 then
+      Alcotest.failf "seed %d: %d routers outside the 2-8 family" seed n
+  done
+
+let test_text_sugar () =
+  match Topology.of_string "topology grid 2x3" with
+  | Error e -> Alcotest.failf "sugar rejected: %s" e
+  | Ok t ->
+    check Alcotest.bool "same as the generator" true
+      (Topology.equal t (Topology.grid 2 3))
+
+let test_text_errors () =
+  let rejects s =
+    match Topology.of_string s with Error _ -> true | Ok _ -> false
+  in
+  check Alcotest.bool "garbage line" true (rejects "flubber r1");
+  check Alcotest.bool "link to nowhere" true
+    (rejects "router r1\nlink r1 r9");
+  check Alcotest.bool "bad protocol token" true
+    (rejects "router r1 protocols=smtp")
+
+(* --- the address plan --------------------------------------------------- *)
+
+let test_addressing_disjoint () =
+  (* Across a 100-router, 180-link world: every sim address, origin
+     prefix and link subnet is distinct, and no sim address falls
+     inside any link subnet (iBGP nexthop resolution depends on
+     that). *)
+  let seen = Hashtbl.create 512 in
+  let claim what s =
+    if Hashtbl.mem seen s then Alcotest.failf "%s: %s reused" what s;
+    Hashtbl.add seen s ()
+  in
+  for i = 0 to 99 do
+    claim "sim_addr" (Ipv4.to_string (Topology.sim_addr i));
+    claim "origin_prefix" (Ipv4net.to_string (Topology.origin_prefix i))
+  done;
+  for li = 0 to 179 do
+    claim "link_subnet" (Ipv4net.to_string (Topology.link_subnet li));
+    let a1, a2 = Topology.link_addrs li in
+    claim "link_addr" (Ipv4.to_string a1);
+    claim "link_addr" (Ipv4.to_string a2);
+    check Alcotest.bool "link addrs inside their subnet" true
+      (Ipv4net.contains_addr (Topology.link_subnet li) a1
+      && Ipv4net.contains_addr (Topology.link_subnet li) a2);
+    for i = 0 to 99 do
+      if Ipv4net.contains_addr (Topology.link_subnet li) (Topology.sim_addr i) then
+        Alcotest.failf "sim_addr %d inside link subnet %d" i li
+    done
+  done
+
+(* --- properties --------------------------------------------------------- *)
+
+(* Random topologies straight from the constructor (not just the
+   seed-indexed family): up to 8 routers, arbitrary protocol mixes,
+   arbitrary link sets over them. *)
+let gen_topology =
+  QCheck.Gen.(
+    let* n = int_range 1 8 in
+    let names = List.init n (fun i -> Printf.sprintf "n%d" i) in
+    let* protos =
+      list_repeat n
+        (oneofl
+           [ Topology.bgp_only; Topology.ibgp_only; Topology.no_protos;
+             { Topology.no_protos with Topology.rip = true };
+             { Topology.no_protos with Topology.ospf = true };
+             { Topology.bgp_only with Topology.rip = true };
+             { Topology.ibgp_only with Topology.ospf = true } ])
+    in
+    let pairs =
+      List.concat_map
+        (fun a -> List.filter_map (fun b -> if a < b then Some (a, b) else None) names)
+        names
+    in
+    let* links = List.fold_right
+      (fun pair acc ->
+         let* keep = bool in
+         let* acc = acc in
+         return (if keep then pair :: acc else acc))
+      pairs (return [])
+    in
+    return
+      (Topology.make
+         ~nodes:
+           (List.map2
+              (fun name protos -> { Topology.name; protos })
+              names protos)
+         ~links))
+
+let arb_topology =
+  QCheck.make ~print:Topology.to_string gen_topology
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"topology: of_string (to_string t) = Ok t" ~count:300
+    arb_topology (fun t ->
+      match Topology.of_string (Topology.to_string t) with
+      | Ok t' -> Topology.equal t t'
+      | Error _ -> false)
+
+let prop_drop_link_shrinks =
+  QCheck.Test.make ~name:"topology: drop_link removes exactly that link"
+    ~count:200 arb_topology (fun t ->
+      match t.Topology.links with
+      | [] -> QCheck.assume_fail ()
+      | l :: _ ->
+        let t' = Topology.drop_link t l in
+        (not (Topology.has_link t' l))
+        && List.length t'.Topology.links = List.length t.Topology.links - 1
+        && Topology.size t' = Topology.size t)
+
+let () =
+  Alcotest.run "xorp_topology"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "validation" `Quick test_make_validates;
+          Alcotest.test_case "links normalised" `Quick test_links_normalised;
+          Alcotest.test_case "drop_node drops its links" `Quick
+            test_drop_node_drops_links;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "shapes" `Quick test_generator_shapes;
+          Alcotest.test_case "generate is deterministic" `Quick
+            test_generate_deterministic;
+        ] );
+      ( "text_form",
+        [
+          Alcotest.test_case "generator sugar" `Quick test_text_sugar;
+          Alcotest.test_case "errors rejected" `Quick test_text_errors;
+        ] );
+      ( "addressing",
+        [ Alcotest.test_case "plan is disjoint" `Quick test_addressing_disjoint ] );
+      ( "properties",
+        List.map Seeded.qcheck [ prop_roundtrip; prop_drop_link_shrinks ] );
+    ]
